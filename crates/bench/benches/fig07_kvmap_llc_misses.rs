@@ -1,0 +1,24 @@
+//! Figure 7: LLC load-miss rate for the key-value map microbenchmark
+//! (same runs as Figure 6; the simulator counts remote LLC transfers).
+
+use bench::{run_figure, two_socket_spec, user_space_locks};
+use harness::sweep::Metric;
+use numa_sim::workloads::kv_map;
+
+fn main() {
+    let specs = vec![two_socket_spec(
+        "fig07_kvmap_llc_misses",
+        "Figure 7: LLC load-miss rate (remote transfers/us), key-value map, 2-socket",
+        kv_map(0, 0.2),
+        user_space_locks(),
+        Metric::LlcMissesPerUs,
+    )];
+    for sweep in run_figure(&specs) {
+        let cna = sweep.final_value("CNA").unwrap_or(f64::MAX);
+        let mcs = sweep.final_value("MCS").unwrap_or(0.0);
+        assert!(
+            cna < mcs,
+            "expected CNA to incur fewer LLC misses than MCS ({cna:.2} vs {mcs:.2})"
+        );
+    }
+}

@@ -1,0 +1,28 @@
+//! Figure 8: long-term fairness factor for the key-value map microbenchmark.
+//!
+//! The fairness factor is the fraction of all operations completed by the
+//! better-served half of the threads: 0.5 = strictly fair, ≈1.0 = starvation.
+
+use bench::{run_figure, two_socket_spec, user_space_locks};
+use harness::sweep::Metric;
+use numa_sim::workloads::kv_map;
+
+fn main() {
+    let specs = vec![two_socket_spec(
+        "fig08_kvmap_fairness",
+        "Figure 8: long-term fairness factor, key-value map, 2-socket",
+        kv_map(0, 0.2),
+        user_space_locks(),
+        Metric::FairnessFactor,
+    )];
+    for sweep in run_figure(&specs) {
+        // MCS is strictly FIFO: its fairness factor stays at 0.5.
+        if let Some(mcs) = sweep.final_value("MCS") {
+            assert!(mcs < 0.55, "MCS fairness factor should be ~0.5, got {mcs:.3}");
+        }
+        // The backoff-based cohort lock is the unfair extreme.
+        if let (Some(cbo), Some(mcs)) = (sweep.final_value("C-BO-MCS"), sweep.final_value("MCS")) {
+            assert!(cbo >= mcs, "C-BO-MCS should be no fairer than MCS");
+        }
+    }
+}

@@ -1,0 +1,29 @@
+//! Figure 9: key-value map throughput with non-critical (external) work,
+//! including the CNA (opt) shuffle-reduction variant of §6.
+
+use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks_with_opt};
+use harness::sweep::Metric;
+use numa_sim::workloads::kv_map;
+
+fn main() {
+    let specs = vec![two_socket_spec(
+        "fig09_kvmap_noncritical",
+        "Figure 9: key-value map throughput with non-critical work (ops/us), 2-socket",
+        kv_map(1_800, 0.2),
+        user_space_locks_with_opt(),
+        Metric::ThroughputOpsPerUs,
+    )];
+    for sweep in run_figure(&specs) {
+        print_cna_vs_mcs_summary(&sweep);
+        // With external work the benchmark scales before the lock saturates;
+        // at the largest thread count the NUMA-aware locks must still lead.
+        let cna = sweep.final_value("CNA").unwrap_or(0.0);
+        let opt = sweep.final_value("CNA (opt)").unwrap_or(0.0);
+        let mcs = sweep.final_value("MCS").unwrap_or(f64::MAX);
+        assert!(cna > mcs, "CNA ({cna:.2}) should beat MCS ({mcs:.2})");
+        assert!(
+            opt > mcs,
+            "CNA (opt) ({opt:.2}) should beat MCS ({mcs:.2})"
+        );
+    }
+}

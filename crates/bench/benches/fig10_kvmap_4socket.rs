@@ -1,0 +1,25 @@
+//! Figure 10: key-value map throughput on the 4-socket machine (same
+//! workload as Figure 6, higher remote-transfer cost, threads up to 142).
+
+use bench::{four_socket_spec, print_cna_vs_mcs_summary, run_figure, user_space_locks};
+use harness::sweep::Metric;
+use numa_sim::workloads::kv_map;
+
+fn main() {
+    let specs = vec![four_socket_spec(
+        "fig10_kvmap_4socket",
+        "Figure 10: key-value map throughput (ops/us), 4-socket machine",
+        kv_map(0, 0.2),
+        user_space_locks(),
+        Metric::ThroughputOpsPerUs,
+    )];
+    for sweep in run_figure(&specs) {
+        print_cna_vs_mcs_summary(&sweep);
+        let cna = sweep.final_value("CNA").unwrap_or(0.0);
+        let mcs = sweep.final_value("MCS").unwrap_or(f64::MAX);
+        assert!(
+            cna > mcs * 1.3,
+            "on 4 sockets CNA's advantage should be larger ({cna:.2} vs {mcs:.2})"
+        );
+    }
+}

@@ -1,0 +1,58 @@
+//! Figure 11: leveldb `db_bench readrandom` throughput, (a) pre-filled
+//! database and (b) empty database.
+//!
+//! The figure series are regenerated on the simulator from the leveldb
+//! locking profile; a short real-thread run of the actual `leveldb-lite`
+//! store (with the real CNA lock) is also executed as a sanity check of the
+//! substrate itself.
+
+use std::time::Duration;
+
+use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks_with_opt};
+use harness::sweep::Metric;
+use leveldb_lite::{readrandom, ReadRandomConfig};
+use numa_sim::workloads::leveldb_readrandom;
+
+fn main() {
+    let specs = vec![
+        two_socket_spec(
+            "fig11a_leveldb_prefilled",
+            "Figure 11 (a): leveldb readrandom, pre-filled DB (ops/us), 2-socket",
+            leveldb_readrandom(true),
+            user_space_locks_with_opt(),
+            Metric::ThroughputOpsPerUs,
+        ),
+        two_socket_spec(
+            "fig11b_leveldb_empty",
+            "Figure 11 (b): leveldb readrandom, empty DB (ops/us), 2-socket",
+            leveldb_readrandom(false),
+            user_space_locks_with_opt(),
+            Metric::ThroughputOpsPerUs,
+        ),
+    ];
+    for sweep in run_figure(&specs) {
+        print_cna_vs_mcs_summary(&sweep);
+        let cna = sweep.final_value("CNA").unwrap_or(0.0);
+        let mcs = sweep.final_value("MCS").unwrap_or(f64::MAX);
+        assert!(cna > mcs, "CNA ({cna:.3}) should beat MCS ({mcs:.3})");
+    }
+
+    // Substrate sanity check: the real leveldb-lite store on the real CNA
+    // lock completes reads and finds pre-filled keys.
+    let report = readrandom::<cna::CnaLock>(&ReadRandomConfig {
+        threads: 2,
+        duration: Duration::from_millis(60),
+        prefill_keys: 20_000,
+        key_range: 20_000,
+        cache_capacity: 4_096,
+        ..ReadRandomConfig::default()
+    });
+    println!(
+        "leveldb-lite substrate check: {} ops in {:?} with the {} lock ({} found)",
+        report.total_ops(),
+        report.elapsed,
+        report.algorithm,
+        report.found
+    );
+    assert!(report.found > 0);
+}

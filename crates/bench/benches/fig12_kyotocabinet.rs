@@ -1,0 +1,46 @@
+//! Figure 12: Kyoto Cabinet `kccachetest` in wicked mode (fixed 10M key
+//! range), plus a real-thread sanity run of the `kyoto-lite` substrate.
+
+use std::time::Duration;
+
+use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks_with_opt};
+use harness::sweep::Metric;
+use kyoto_lite::{wicked, WickedConfig};
+use numa_sim::workloads::kyoto_wicked;
+
+fn main() {
+    let specs = vec![two_socket_spec(
+        "fig12_kyotocabinet",
+        "Figure 12: Kyoto Cabinet kccachetest wicked (ops/us), 2-socket",
+        kyoto_wicked(),
+        user_space_locks_with_opt(),
+        Metric::ThroughputOpsPerUs,
+    )];
+    for sweep in run_figure(&specs) {
+        print_cna_vs_mcs_summary(&sweep);
+        // The benchmark does not scale; the peak is at one thread and CNA is
+        // the only NUMA-aware lock that matches MCS there.
+        let cna_1 = sweep.value_at("CNA", 1).unwrap_or(0.0);
+        let mcs_1 = sweep.value_at("MCS", 1).unwrap_or(1.0);
+        assert!(
+            (cna_1 - mcs_1).abs() / mcs_1 < 0.05,
+            "CNA must match MCS at one thread ({cna_1:.2} vs {mcs_1:.2})"
+        );
+        let cna = sweep.final_value("CNA").unwrap_or(0.0);
+        let mcs = sweep.final_value("MCS").unwrap_or(f64::MAX);
+        assert!(cna > mcs, "CNA ({cna:.3}) should beat MCS ({mcs:.3}) under contention");
+    }
+
+    let report = wicked::<cna::CnaLock>(&WickedConfig {
+        threads: 2,
+        duration: Duration::from_millis(60),
+        key_range: 100_000,
+    });
+    println!(
+        "kyoto-lite substrate check: {} wicked ops in {:?} with the {} lock",
+        report.total_ops(),
+        report.elapsed,
+        report.algorithm
+    );
+    assert!(report.total_ops() > 0);
+}

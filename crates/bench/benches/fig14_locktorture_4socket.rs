@@ -1,0 +1,32 @@
+//! Figure 14: locktorture on the 4-socket machine, lockstat disabled (a)
+//! and enabled (b). The CNA-vs-stock gap is larger than on 2 sockets because
+//! remote cache misses are more expensive.
+
+use bench::{four_socket_spec, kernel_locks, print_cna_vs_mcs_summary, run_figure};
+use harness::sweep::Metric;
+use numa_sim::workloads::locktorture;
+
+fn main() {
+    let specs = vec![
+        four_socket_spec(
+            "fig14a_locktorture_4socket",
+            "Figure 14 (a): locktorture, 4-socket, lockstat disabled (ops/us)",
+            locktorture(false),
+            kernel_locks(),
+            Metric::ThroughputOpsPerUs,
+        ),
+        four_socket_spec(
+            "fig14b_locktorture_4socket_lockstat",
+            "Figure 14 (b): locktorture, 4-socket, lockstat enabled (ops/us)",
+            locktorture(true),
+            kernel_locks(),
+            Metric::ThroughputOpsPerUs,
+        ),
+    ];
+    for sweep in run_figure(&specs) {
+        print_cna_vs_mcs_summary(&sweep);
+        let cna = sweep.final_value("CNA").unwrap_or(0.0);
+        let stock = sweep.final_value("MCS").unwrap_or(f64::MAX);
+        assert!(cna > stock, "CNA ({cna:.3}) should beat stock ({stock:.3})");
+    }
+}

@@ -1,0 +1,60 @@
+//! Figure 15: the four will-it-scale benchmarks (lock1, lock2, open1,
+//! open2), stock vs CNA qspinlock, plus a real-thread sanity run of each
+//! benchmark against the user-space VFS substrates.
+
+use std::time::Duration;
+
+use bench::{kernel_locks, print_cna_vs_mcs_summary, run_figure, two_socket_spec};
+use harness::sweep::Metric;
+use kernel_sim::{run_will_it_scale, WisBenchmark, WisConfig};
+use numa_sim::workloads::{will_it_scale, WillItScale};
+use qspinlock::CnaQSpinLock;
+
+fn main() {
+    let panels = [
+        ("fig15a_lock1", WillItScale::Lock1),
+        ("fig15b_lock2", WillItScale::Lock2),
+        ("fig15c_open1", WillItScale::Open1),
+        ("fig15d_open2", WillItScale::Open2),
+    ];
+    let specs: Vec<_> = panels
+        .iter()
+        .map(|(id, bench)| {
+            two_socket_spec(
+                id,
+                &format!("Figure 15: will-it-scale {} (ops/us), stock vs CNA", bench.name()),
+                will_it_scale(*bench),
+                kernel_locks(),
+                Metric::ThroughputOpsPerUs,
+            )
+        })
+        .collect();
+    for sweep in run_figure(&specs) {
+        print_cna_vs_mcs_summary(&sweep);
+        let cna = sweep.final_value("CNA").unwrap_or(0.0);
+        let stock = sweep.final_value("MCS").unwrap_or(f64::MAX);
+        assert!(
+            cna > stock,
+            "[{}] CNA ({cna:.3}) should beat stock ({stock:.3}) at the largest thread count",
+            sweep.id
+        );
+    }
+
+    // Substrate sanity check: every benchmark makes progress on the real
+    // CNA qspinlock against the real fd-table / file-lock / dentry code.
+    for bench in WisBenchmark::all() {
+        let report = run_will_it_scale::<CnaQSpinLock>(
+            bench,
+            &WisConfig {
+                threads: 2,
+                duration: Duration::from_millis(40),
+            },
+        );
+        println!(
+            "will-it-scale substrate check: {} completed {} iterations",
+            report.benchmark,
+            report.total_ops()
+        );
+        assert!(report.total_ops() > 0);
+    }
+}

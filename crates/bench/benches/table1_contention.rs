@@ -1,0 +1,66 @@
+//! Table 1: the contended spin locks and call sites of each will-it-scale
+//! benchmark, produced by running the real VFS substrates under the
+//! lockstat-style registry and reporting which locks saw contention.
+
+use std::time::Duration;
+
+use kernel_sim::{run_will_it_scale, WisBenchmark, WisConfig};
+use qspinlock::StockQSpinLock;
+
+/// The expected (lock, call-site) pairs from the paper's Table 1.
+fn expected(bench: WisBenchmark) -> Vec<(&'static str, &'static str)> {
+    match bench {
+        WisBenchmark::Lock1 => vec![
+            ("files_struct.file_lock", "__alloc_fd"),
+            ("files_struct.file_lock", "fcntl_setlk"),
+        ],
+        WisBenchmark::Lock2 => vec![("file_lock_context.flc_lock", "posix_lock_inode")],
+        WisBenchmark::Open1 => vec![
+            ("files_struct.file_lock", "__alloc_fd"),
+            ("files_struct.file_lock", "__close_fd"),
+            ("lockref.lock", "dput"),
+            ("lockref.lock", "d_alloc"),
+        ],
+        WisBenchmark::Open2 => vec![
+            ("files_struct.file_lock", "__alloc_fd"),
+            ("files_struct.file_lock", "__close_fd"),
+        ],
+    }
+}
+
+fn main() {
+    println!("## Table 1: contention in the will-it-scale benchmarks\n");
+    let cfg = WisConfig {
+        threads: 4,
+        duration: Duration::from_millis(60),
+    };
+    let mut rows: Vec<Vec<String>> = Vec::new();
+    for bench in WisBenchmark::all() {
+        let report = run_will_it_scale::<StockQSpinLock>(bench, &cfg);
+        let observed: Vec<(String, String)> = report
+            .lockstat
+            .rows
+            .iter()
+            .filter(|r| r.acquisitions > 0)
+            .map(|r| (r.lock.clone(), r.call_site.clone()))
+            .collect();
+        for (lock, site) in expected(bench) {
+            let seen = observed.iter().any(|(l, s)| l == lock && s == site);
+            assert!(
+                seen,
+                "{}: expected call site {site} on {lock} was not observed",
+                bench.name()
+            );
+            rows.push(vec![bench.name().to_string(), lock.to_string(), site.to_string()]);
+        }
+        println!("{}:\n{}", bench.name(), report.lockstat.render());
+    }
+
+    let header = vec![
+        "benchmark".to_string(),
+        "contended spin lock".to_string(),
+        "call site".to_string(),
+    ];
+    println!("{}", harness::render_table("Table 1 (reproduced)", &header, &rows));
+    harness::write_csv("table1_contention", &header, &rows);
+}

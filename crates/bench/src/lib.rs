@@ -1,0 +1,136 @@
+//! Shared helpers for the figure-regeneration benchmarks.
+//!
+//! Each `[[bench]]` target in this crate regenerates one table or figure of
+//! the paper's evaluation: it builds one or more [`FigureSpec`]s, runs the
+//! simulator sweep at the current `SCALE`, prints the series the paper plots
+//! and writes a CSV under `target/experiments/`. The helpers here keep each
+//! bench file down to the experiment description itself.
+
+#![warn(missing_docs)]
+
+use harness::sweep::{FigureSpec, Metric, Sweep};
+use harness::{Scale, ScaleConfig};
+use numa_sim::lock_model::LockAlgorithm;
+use numa_sim::{CostModel, MachineConfig, Workload};
+
+/// The lock set shown in the paper's user-space figures.
+pub fn user_space_locks() -> Vec<LockAlgorithm> {
+    vec![
+        LockAlgorithm::Mcs,
+        LockAlgorithm::Cna,
+        LockAlgorithm::CBoMcs,
+        LockAlgorithm::Hmcs,
+    ]
+}
+
+/// The user-space lock set plus the CNA (opt) shuffle-reduction variant
+/// (Figure 9 and Figure 11).
+pub fn user_space_locks_with_opt() -> Vec<LockAlgorithm> {
+    let mut locks = user_space_locks();
+    locks.insert(2, LockAlgorithm::CnaOpt);
+    locks
+}
+
+/// The kernel comparison: stock qspinlock (MCS slow path) vs CNA slow path.
+pub fn kernel_locks() -> Vec<LockAlgorithm> {
+    vec![LockAlgorithm::Mcs, LockAlgorithm::Cna]
+}
+
+/// Builds a [`FigureSpec`] for a user-space experiment on the 2-socket
+/// machine.
+pub fn two_socket_spec(
+    id: &str,
+    title: &str,
+    workload: Workload,
+    algorithms: Vec<LockAlgorithm>,
+    metric: Metric,
+) -> FigureSpec {
+    FigureSpec {
+        id: id.to_string(),
+        title: title.to_string(),
+        machine: MachineConfig::two_socket_paper(),
+        cost: CostModel::two_socket_xeon(),
+        workload,
+        algorithms,
+        metric,
+        thread_counts: vec![],
+    }
+}
+
+/// Builds a [`FigureSpec`] for an experiment on the 4-socket machine.
+pub fn four_socket_spec(
+    id: &str,
+    title: &str,
+    workload: Workload,
+    algorithms: Vec<LockAlgorithm>,
+    metric: Metric,
+) -> FigureSpec {
+    FigureSpec {
+        id: id.to_string(),
+        title: title.to_string(),
+        machine: MachineConfig::four_socket_paper(),
+        cost: CostModel::four_socket_xeon(),
+        workload,
+        algorithms,
+        metric,
+        thread_counts: vec![],
+    }
+}
+
+/// Runs the specs of one figure at the ambient `SCALE` and returns the
+/// resulting sweeps (benches use them for shape assertions).
+pub fn run_figure(specs: &[FigureSpec]) -> Vec<Sweep> {
+    let scale: ScaleConfig = Scale::from_env().config();
+    specs
+        .iter()
+        .map(|spec| Sweep::run_and_report(spec, &scale))
+        .collect()
+}
+
+/// Prints a short "who wins" summary comparing CNA to MCS at the largest
+/// thread count of a sweep, mirroring the speedup numbers quoted in the
+/// paper's text.
+pub fn print_cna_vs_mcs_summary(sweep: &Sweep) {
+    if let (Some(cna), Some(mcs)) = (sweep.final_value("CNA"), sweep.final_value("MCS")) {
+        if mcs > 0.0 {
+            println!(
+                "[{}] CNA vs MCS at the largest thread count: {:+.1}%\n",
+                sweep.id,
+                (cna / mcs - 1.0) * 100.0
+            );
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn lock_sets_contain_the_expected_algorithms() {
+        assert_eq!(user_space_locks().len(), 4);
+        assert_eq!(user_space_locks_with_opt().len(), 5);
+        assert_eq!(kernel_locks(), vec![LockAlgorithm::Mcs, LockAlgorithm::Cna]);
+    }
+
+    #[test]
+    fn spec_builders_use_the_right_machines() {
+        let two = two_socket_spec(
+            "t",
+            "t",
+            Workload::kv_map_no_external_work(),
+            user_space_locks(),
+            Metric::ThroughputOpsPerUs,
+        );
+        assert_eq!(two.machine.sockets, 2);
+        let four = four_socket_spec(
+            "f",
+            "f",
+            Workload::kv_map_no_external_work(),
+            user_space_locks(),
+            Metric::ThroughputOpsPerUs,
+        );
+        assert_eq!(four.machine.sockets, 4);
+        assert!(four.cost.remote_line_ns > two.cost.remote_line_ns);
+    }
+}

@@ -1,0 +1,120 @@
+//! Tunable parameters of the CNA lock.
+
+use crate::{THRESHOLD, THRESHOLD2};
+
+/// Configuration of a [`CnaLock`](crate::CnaLock).
+///
+/// The defaults reproduce the paper's settings: the lock is kept on the
+/// current socket unless a pseudo-random draw ANDed with `0xffff` is zero
+/// (≈ 1/65536 of hand-overs flush the secondary queue), and the §6 shuffle
+/// reduction optimisation is disabled. The paper's *CNA (opt)* variant is
+/// [`CnaConfig::with_shuffle_reduction`].
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct CnaConfig {
+    /// Mask applied to a pseudo-random draw in `keep_lock_local()`. The
+    /// secondary queue is flushed (lock handed across sockets) when
+    /// `draw & keep_local_mask == 0`. `0` disables NUMA-awareness entirely
+    /// (every hand-over behaves like the flush path), `u64::MAX` practically
+    /// never flushes.
+    pub keep_local_mask: u64,
+    /// Enables the §6 shuffle reduction optimisation: when the secondary
+    /// queue is empty, skip the successor search (hand over to the immediate
+    /// successor) unless `draw & shuffle_mask == 0`.
+    pub shuffle_reduction: bool,
+    /// Mask used by the shuffle reduction draw.
+    pub shuffle_mask: u64,
+}
+
+impl Default for CnaConfig {
+    fn default() -> Self {
+        CnaConfig {
+            keep_local_mask: THRESHOLD,
+            shuffle_reduction: false,
+            shuffle_mask: THRESHOLD2,
+        }
+    }
+}
+
+impl CnaConfig {
+    /// The paper's default configuration ("CNA" in the plots).
+    pub fn paper_default() -> Self {
+        Self::default()
+    }
+
+    /// The paper's "CNA (opt)" configuration with shuffle reduction enabled
+    /// (§6, `THRESHOLD2 = 0xff`).
+    pub fn with_shuffle_reduction() -> Self {
+        CnaConfig {
+            shuffle_reduction: true,
+            ..Self::default()
+        }
+    }
+
+    /// Overrides the fairness mask (the knob the paper mentions for tuning
+    /// the fairness-vs-throughput trade-off).
+    pub fn keep_local_mask(mut self, mask: u64) -> Self {
+        self.keep_local_mask = mask;
+        self
+    }
+
+    /// Overrides the shuffle-reduction mask.
+    pub fn shuffle_mask(mut self, mask: u64) -> Self {
+        self.shuffle_mask = mask;
+        self
+    }
+
+    /// A configuration that *always* flushes the secondary queue, degrading
+    /// CNA to strict FIFO hand-over (useful in tests: behaves like MCS).
+    pub fn always_flush() -> Self {
+        CnaConfig {
+            keep_local_mask: 0,
+            shuffle_reduction: false,
+            shuffle_mask: THRESHOLD2,
+        }
+    }
+
+    /// A configuration that (practically) never flushes the secondary queue,
+    /// maximising locality at the cost of long-term fairness (useful in tests
+    /// to make the NUMA-aware hand-over deterministic).
+    pub fn never_flush() -> Self {
+        CnaConfig {
+            keep_local_mask: u64::MAX,
+            shuffle_reduction: false,
+            shuffle_mask: THRESHOLD2,
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn defaults_match_the_paper() {
+        let c = CnaConfig::default();
+        assert_eq!(c.keep_local_mask, 0xffff);
+        assert_eq!(c.shuffle_mask, 0xff);
+        assert!(!c.shuffle_reduction);
+        assert_eq!(CnaConfig::paper_default(), c);
+    }
+
+    #[test]
+    fn opt_variant_enables_shuffle_reduction_only() {
+        let c = CnaConfig::with_shuffle_reduction();
+        assert!(c.shuffle_reduction);
+        assert_eq!(c.keep_local_mask, 0xffff);
+    }
+
+    #[test]
+    fn builder_style_overrides() {
+        let c = CnaConfig::default().keep_local_mask(0xf).shuffle_mask(0x3);
+        assert_eq!(c.keep_local_mask, 0xf);
+        assert_eq!(c.shuffle_mask, 0x3);
+    }
+
+    #[test]
+    fn extreme_configs() {
+        assert_eq!(CnaConfig::always_flush().keep_local_mask, 0);
+        assert_eq!(CnaConfig::never_flush().keep_local_mask, u64::MAX);
+    }
+}

@@ -1,0 +1,27 @@
+//! Benchmark measurement harness.
+//!
+//! Two kinds of measurements drive the reproduction:
+//!
+//! * [`real`] — wall-clock, real-thread measurements of the actual lock
+//!   implementations (used by the Criterion latency benchmarks, the examples
+//!   and the integration tests). On this build host these demonstrate
+//!   correctness and single-thread behaviour; they cannot show NUMA effects.
+//! * [`sweep`] — simulator sweeps over thread counts and lock algorithms,
+//!   producing the series plotted in each figure of the paper. Results are
+//!   printed as aligned tables and written as CSV under
+//!   `target/experiments/`.
+//!
+//! The [`scale`] module selects between a quick `ci` configuration (default)
+//! and the full `paper` configuration via the `SCALE` environment variable.
+
+#![warn(missing_docs)]
+
+pub mod real;
+pub mod scale;
+pub mod sweep;
+pub mod table;
+
+pub use real::{run_real_contention, RealRunConfig, RealRunResult};
+pub use scale::{Scale, ScaleConfig};
+pub use sweep::{FigureSpec, Row, Sweep};
+pub use table::{render_table, write_csv};

@@ -1,0 +1,226 @@
+//! Real-thread, wall-clock measurements of the actual lock implementations.
+//!
+//! These runs exercise the atomics-based locks end to end (the same code a
+//! user of the library runs), measuring completed critical sections over a
+//! fixed wall-clock interval — the same methodology as the paper's
+//! user-space benchmarks, minus the NUMA hardware. They are used by the
+//! Criterion latency benches, the examples and the integration tests.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use numa_topology::SocketOverrideGuard;
+use sync_core::raw::RawLock;
+use sync_core::CachePadded;
+
+use crate::scale::Scale;
+
+/// Configuration of a real-thread contention run.
+#[derive(Debug, Clone)]
+pub struct RealRunConfig {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock measurement interval.
+    pub duration: Duration,
+    /// Iterations of trivial work inside the critical section.
+    pub critical_work: u32,
+    /// Iterations of trivial work outside the critical section.
+    pub non_critical_work: u32,
+    /// Number of virtual sockets the worker threads are spread over.
+    pub virtual_sockets: usize,
+}
+
+impl Default for RealRunConfig {
+    fn default() -> Self {
+        RealRunConfig {
+            threads: 2,
+            duration: Duration::from_millis(50),
+            critical_work: 32,
+            non_critical_work: 0,
+            virtual_sockets: 2,
+        }
+    }
+}
+
+impl RealRunConfig {
+    /// A configuration sized for the current `SCALE` (CI keeps runs short).
+    pub fn for_scale(threads: usize) -> Self {
+        let duration = match Scale::from_env() {
+            Scale::Ci => Duration::from_millis(40),
+            Scale::Paper => Duration::from_secs(2),
+        };
+        RealRunConfig {
+            threads,
+            duration,
+            ..Self::default()
+        }
+    }
+}
+
+/// Result of a real-thread contention run.
+#[derive(Debug, Clone)]
+pub struct RealRunResult {
+    /// Lock algorithm name.
+    pub algorithm: String,
+    /// Completed critical sections per thread.
+    pub ops_per_thread: Vec<u64>,
+    /// Wall-clock measurement interval.
+    pub elapsed: Duration,
+}
+
+impl RealRunResult {
+    /// Total completed critical sections.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_thread.iter().sum()
+    }
+
+    /// Throughput in operations per microsecond.
+    pub fn throughput_ops_per_us(&self) -> f64 {
+        self.total_ops() as f64 / self.elapsed.as_micros().max(1) as f64
+    }
+
+    /// The paper's fairness factor over the per-thread counts.
+    pub fn fairness_factor(&self) -> f64 {
+        numa_sim::stats::fairness_factor(&self.ops_per_thread)
+    }
+}
+
+#[inline]
+fn spin_work(iters: u32, seed: &mut u64) {
+    // A small pseudo-random calculation loop, like the paper's non-critical
+    // section simulation; kept dependency-carrying so it cannot be optimised
+    // away.
+    for _ in 0..iters {
+        *seed ^= *seed << 13;
+        *seed ^= *seed >> 7;
+        *seed ^= *seed << 17;
+    }
+    std::hint::black_box(*seed);
+}
+
+/// Runs `config.threads` workers hammering one lock of type `L`, counting
+/// completed critical sections during the measurement interval.
+///
+/// The protected state is a non-atomic counter, so any mutual-exclusion bug
+/// shows up as a mismatch between the counter and the sum of per-thread op
+/// counts (the function asserts this invariant).
+pub fn run_real_contention<L>(config: &RealRunConfig) -> RealRunResult
+where
+    L: RawLock + 'static,
+{
+    struct Protected {
+        counter: std::cell::UnsafeCell<u64>,
+    }
+    // SAFETY: the counter is only accessed while the benchmark lock is held.
+    unsafe impl Sync for Protected {}
+
+    let lock = Arc::new(L::default());
+    let protected = Arc::new(Protected {
+        counter: std::cell::UnsafeCell::new(0),
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let counts: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(
+        (0..config.threads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+    );
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..config.threads {
+            let lock = Arc::clone(&lock);
+            let protected = Arc::clone(&protected);
+            let stop = Arc::clone(&stop);
+            let counts = Arc::clone(&counts);
+            let cfg = config.clone();
+            scope.spawn(move || {
+                let _socket = SocketOverrideGuard::new(t % cfg.virtual_sockets.max(1));
+                let node = L::Node::default();
+                let mut seed = (t as u64 + 1) * 0x9E37_79B9;
+                let mut local_ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    // SAFETY: the node lives on this frame for the whole
+                    // acquisition; the counter is only touched under the lock.
+                    unsafe {
+                        lock.lock(&node);
+                        *protected.counter.get() += 1;
+                        spin_work(cfg.critical_work, &mut seed);
+                        lock.unlock(&node);
+                    }
+                    spin_work(cfg.non_critical_work, &mut seed);
+                    local_ops += 1;
+                    // Publish progress occasionally so the main thread's stop
+                    // signal is honoured promptly.
+                    if local_ops % 64 == 0 {
+                        counts[t].store(local_ops, Ordering::Relaxed);
+                    }
+                }
+                counts[t].store(local_ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed();
+
+    let ops_per_thread: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
+    // SAFETY: all workers have joined (scope ended).
+    let protected_total = unsafe { *protected.counter.get() };
+    assert_eq!(
+        protected_total,
+        ops_per_thread.iter().sum::<u64>(),
+        "mutual exclusion violated: protected counter diverged from op counts"
+    );
+
+    RealRunResult {
+        algorithm: L::NAME.to_string(),
+        ops_per_thread,
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cna::CnaLock;
+    use locks::McsLock;
+
+    #[test]
+    fn real_run_counts_operations_and_checks_mutual_exclusion() {
+        let cfg = RealRunConfig {
+            threads: 2,
+            duration: Duration::from_millis(30),
+            critical_work: 8,
+            non_critical_work: 8,
+            virtual_sockets: 2,
+        };
+        let result = run_real_contention::<CnaLock>(&cfg);
+        assert_eq!(result.algorithm, "CNA");
+        assert!(result.total_ops() > 0);
+        assert!(result.throughput_ops_per_us() > 0.0);
+        let f = result.fairness_factor();
+        assert!((0.5..=1.0).contains(&f));
+    }
+
+    #[test]
+    fn works_for_mcs_too() {
+        let cfg = RealRunConfig {
+            threads: 2,
+            duration: Duration::from_millis(20),
+            critical_work: 4,
+            non_critical_work: 4,
+            virtual_sockets: 2,
+        };
+        let result = run_real_contention::<McsLock>(&cfg);
+        assert_eq!(result.algorithm, "MCS");
+        assert!(result.total_ops() > 0);
+    }
+
+    #[test]
+    fn scale_config_produces_short_ci_runs() {
+        let cfg = RealRunConfig::for_scale(4);
+        assert_eq!(cfg.threads, 4);
+        assert!(cfg.duration <= Duration::from_millis(100) || Scale::from_env() == Scale::Paper);
+    }
+}

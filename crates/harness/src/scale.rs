@@ -1,0 +1,89 @@
+//! Experiment scale selection (`SCALE=ci` vs `SCALE=paper`).
+
+/// How big an experiment run should be.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Scale {
+    /// Quick runs suitable for `cargo bench` on a small host (default).
+    Ci,
+    /// The paper's full thread ranges and longer (virtual) durations.
+    Paper,
+}
+
+impl Scale {
+    /// Reads the `SCALE` environment variable (`ci` or `paper`).
+    pub fn from_env() -> Self {
+        match std::env::var("SCALE").as_deref() {
+            Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+            _ => Scale::Ci,
+        }
+    }
+
+    /// The concrete knobs for this scale.
+    pub fn config(self) -> ScaleConfig {
+        match self {
+            Scale::Ci => ScaleConfig {
+                virtual_duration_ms: 8,
+                repetitions: 1,
+                thread_cap: 72,
+            },
+            Scale::Paper => ScaleConfig {
+                virtual_duration_ms: 100,
+                repetitions: 5,
+                thread_cap: usize::MAX,
+            },
+        }
+    }
+}
+
+/// Concrete experiment sizing.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct ScaleConfig {
+    /// Simulated duration per data point, in milliseconds of virtual time.
+    pub virtual_duration_ms: u64,
+    /// Number of repetitions averaged per data point (the paper uses 5).
+    pub repetitions: usize,
+    /// Upper bound on the swept thread counts.
+    pub thread_cap: usize,
+}
+
+impl ScaleConfig {
+    /// Applies the cap to a list of thread counts.
+    pub fn cap_threads(&self, counts: &[usize]) -> Vec<usize> {
+        counts
+            .iter()
+            .copied()
+            .filter(|&c| c <= self.thread_cap)
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ci_is_smaller_than_paper() {
+        let ci = Scale::Ci.config();
+        let paper = Scale::Paper.config();
+        assert!(ci.virtual_duration_ms < paper.virtual_duration_ms);
+        assert!(ci.repetitions < paper.repetitions);
+    }
+
+    #[test]
+    fn thread_cap_filters_counts() {
+        let cfg = ScaleConfig {
+            virtual_duration_ms: 1,
+            repetitions: 1,
+            thread_cap: 8,
+        };
+        assert_eq!(cfg.cap_threads(&[1, 4, 8, 16, 70]), vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn from_env_defaults_to_ci() {
+        // The test environment does not set SCALE=paper.
+        if std::env::var("SCALE").is_err() {
+            assert_eq!(Scale::from_env(), Scale::Ci);
+        }
+    }
+}

@@ -1,0 +1,212 @@
+//! Simulator sweeps: one figure = one sweep over (algorithm × thread count).
+
+use numa_sim::lock_model::LockAlgorithm;
+use numa_sim::{CostModel, MachineConfig, SimResult, Simulation, Workload};
+
+use crate::scale::ScaleConfig;
+use crate::table::{render_table, write_csv};
+
+/// Which quantity a figure plots.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Total throughput in operations per microsecond (most figures).
+    ThroughputOpsPerUs,
+    /// LLC load-miss-rate proxy (Figure 7).
+    LlcMissesPerUs,
+    /// Long-term fairness factor (Figure 8).
+    FairnessFactor,
+}
+
+impl Metric {
+    /// Extracts the metric from a simulation result.
+    pub fn extract(self, result: &SimResult) -> f64 {
+        match self {
+            Metric::ThroughputOpsPerUs => result.throughput_ops_per_us(),
+            Metric::LlcMissesPerUs => result.llc_misses_per_us(),
+            Metric::FairnessFactor => result.fairness_factor(),
+        }
+    }
+
+    /// Column-header suffix.
+    pub fn unit(self) -> &'static str {
+        match self {
+            Metric::ThroughputOpsPerUs => "ops/us",
+            Metric::LlcMissesPerUs => "misses/us",
+            Metric::FairnessFactor => "fairness",
+        }
+    }
+}
+
+/// Everything needed to regenerate one figure (or one panel of a figure).
+#[derive(Debug)]
+pub struct FigureSpec {
+    /// Short id used for the CSV file name (e.g. `fig06`).
+    pub id: String,
+    /// Human-readable title printed above the table.
+    pub title: String,
+    /// Simulated machine.
+    pub machine: MachineConfig,
+    /// Latency calibration.
+    pub cost: CostModel,
+    /// Workload preset.
+    pub workload: Workload,
+    /// Algorithms to compare (table columns).
+    pub algorithms: Vec<LockAlgorithm>,
+    /// Metric to report.
+    pub metric: Metric,
+    /// Thread counts to sweep (table rows). Empty = the machine's paper
+    /// sweep.
+    pub thread_counts: Vec<usize>,
+}
+
+/// One row of a figure: the metric per algorithm at a given thread count.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Thread count.
+    pub threads: usize,
+    /// Metric value per algorithm, in the order of `FigureSpec::algorithms`.
+    pub values: Vec<f64>,
+}
+
+/// The outcome of a sweep.
+#[derive(Debug)]
+pub struct Sweep {
+    /// The spec's id.
+    pub id: String,
+    /// Column labels (algorithm names).
+    pub algorithms: Vec<String>,
+    /// Rows by thread count.
+    pub rows: Vec<Row>,
+    /// The metric that was measured.
+    pub metric: Metric,
+}
+
+impl Sweep {
+    /// Runs the sweep described by `spec` at the given scale.
+    pub fn run(spec: &FigureSpec, scale: &ScaleConfig) -> Sweep {
+        let thread_counts = if spec.thread_counts.is_empty() {
+            scale.cap_threads(&spec.machine.paper_thread_counts())
+        } else {
+            scale.cap_threads(&spec.thread_counts)
+        };
+        let mut rows = Vec::new();
+        for &threads in &thread_counts {
+            let mut values = Vec::new();
+            for &algo in &spec.algorithms {
+                let mut acc = 0.0;
+                for rep in 0..scale.repetitions.max(1) {
+                    let result = Simulation::new(
+                        spec.machine.clone(),
+                        spec.cost,
+                        algo,
+                        spec.workload.clone(),
+                    )
+                    .threads(threads)
+                    .virtual_duration_ms(scale.virtual_duration_ms)
+                    .seed(0xC0FFEE ^ (rep as u64) << 32 ^ threads as u64)
+                    .run();
+                    acc += spec.metric.extract(&result);
+                }
+                values.push(acc / scale.repetitions.max(1) as f64);
+            }
+            rows.push(Row { threads, values });
+        }
+        Sweep {
+            id: spec.id.clone(),
+            algorithms: spec.algorithms.iter().map(|a| a.name().to_string()).collect(),
+            rows,
+            metric: spec.metric,
+        }
+    }
+
+    /// Runs the sweep, prints the table and writes the CSV; returns the sweep
+    /// for further inspection (benches assert the expected shape on it).
+    pub fn run_and_report(spec: &FigureSpec, scale: &ScaleConfig) -> Sweep {
+        let sweep = Self::run(spec, scale);
+        let mut header = vec!["threads".to_string()];
+        header.extend(
+            sweep
+                .algorithms
+                .iter()
+                .map(|a| format!("{a} [{}]", spec.metric.unit())),
+        );
+        let rows: Vec<Vec<String>> = sweep
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.threads.to_string()];
+                cells.extend(r.values.iter().map(|v| format!("{v:.3}")));
+                cells
+            })
+            .collect();
+        println!("{}", render_table(&spec.title, &header, &rows));
+        if let Some(path) = write_csv(&spec.id, &header, &rows) {
+            println!("(csv written to {})\n", path.display());
+        }
+        sweep
+    }
+
+    /// Value for `algorithm` at the largest swept thread count.
+    pub fn final_value(&self, algorithm: &str) -> Option<f64> {
+        let idx = self.algorithms.iter().position(|a| a == algorithm)?;
+        self.rows.last().map(|r| r.values[idx])
+    }
+
+    /// Value for `algorithm` at a specific thread count.
+    pub fn value_at(&self, algorithm: &str, threads: usize) -> Option<f64> {
+        let idx = self.algorithms.iter().position(|a| a == algorithm)?;
+        self.rows
+            .iter()
+            .find(|r| r.threads == threads)
+            .map(|r| r.values[idx])
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scale::Scale;
+
+    fn small_spec() -> FigureSpec {
+        FigureSpec {
+            id: "unit_test_fig".to_string(),
+            title: "unit test".to_string(),
+            machine: MachineConfig::two_socket_paper(),
+            cost: CostModel::two_socket_xeon(),
+            workload: Workload::kv_map_no_external_work(),
+            algorithms: vec![LockAlgorithm::Mcs, LockAlgorithm::Cna],
+            metric: Metric::ThroughputOpsPerUs,
+            thread_counts: vec![1, 8],
+        }
+    }
+
+    #[test]
+    fn sweep_produces_a_row_per_thread_count() {
+        let scale = ScaleConfig {
+            virtual_duration_ms: 2,
+            repetitions: 1,
+            thread_cap: usize::MAX,
+        };
+        let sweep = Sweep::run(&small_spec(), &scale);
+        assert_eq!(sweep.rows.len(), 2);
+        assert_eq!(sweep.algorithms, vec!["MCS", "CNA"]);
+        assert!(sweep.value_at("MCS", 1).unwrap() > 0.0);
+        assert!(sweep.final_value("CNA").unwrap() > 0.0);
+        assert!(sweep.value_at("CNA", 3).is_none());
+    }
+
+    #[test]
+    fn ci_scale_caps_thread_counts() {
+        let mut spec = small_spec();
+        spec.thread_counts = vec![1, 8, 4096];
+        let sweep = Sweep::run(&spec, &Scale::Ci.config());
+        assert!(sweep.rows.iter().all(|r| r.threads <= 72));
+    }
+
+    #[test]
+    fn metric_extraction_units() {
+        assert_eq!(Metric::ThroughputOpsPerUs.unit(), "ops/us");
+        assert_eq!(Metric::LlcMissesPerUs.unit(), "misses/us");
+        assert_eq!(Metric::FairnessFactor.unit(), "fairness");
+    }
+}

@@ -1,0 +1,97 @@
+//! Table rendering and CSV output for experiment results.
+
+use std::fs;
+use std::path::PathBuf;
+
+/// Renders an aligned text table (header + rows).
+pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> String {
+    let mut widths: Vec<usize> = header.iter().map(|h| h.len()).collect();
+    for row in rows {
+        for (i, cell) in row.iter().enumerate() {
+            if i >= widths.len() {
+                widths.push(cell.len());
+            } else {
+                widths[i] = widths[i].max(cell.len());
+            }
+        }
+    }
+    let mut out = String::new();
+    out.push_str(&format!("## {title}\n"));
+    let fmt_row = |cells: &[String], widths: &[usize]| -> String {
+        cells
+            .iter()
+            .enumerate()
+            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .collect::<Vec<_>>()
+            .join("  ")
+    };
+    out.push_str(&fmt_row(header, &widths));
+    out.push('\n');
+    out.push_str(&"-".repeat(widths.iter().sum::<usize>() + 2 * widths.len().saturating_sub(1)));
+    out.push('\n');
+    for row in rows {
+        out.push_str(&fmt_row(row, &widths));
+        out.push('\n');
+    }
+    out
+}
+
+/// Directory where experiment CSV files are written.
+pub fn experiments_dir() -> PathBuf {
+    let dir = std::env::var("EXPERIMENTS_DIR")
+        .map(PathBuf::from)
+        .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+    let _ = fs::create_dir_all(&dir);
+    dir
+}
+
+/// Writes rows as CSV under `target/experiments/<name>.csv`, returning the
+/// path. Errors are reported but not fatal (benchmarks still print tables).
+pub fn write_csv(name: &str, header: &[String], rows: &[Vec<String>]) -> Option<PathBuf> {
+    let path = experiments_dir().join(format!("{name}.csv"));
+    let mut contents = String::new();
+    contents.push_str(&header.join(","));
+    contents.push('\n');
+    for row in rows {
+        contents.push_str(&row.join(","));
+        contents.push('\n');
+    }
+    match fs::write(&path, contents) {
+        Ok(()) => Some(path),
+        Err(err) => {
+            eprintln!("warning: could not write {}: {err}", path.display());
+            None
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn table_is_aligned_and_contains_all_cells() {
+        let header = vec!["threads".to_string(), "MCS".to_string(), "CNA".to_string()];
+        let rows = vec![
+            vec!["1".to_string(), "5.30".to_string(), "5.28".to_string()],
+            vec!["70".to_string(), "1.70".to_string(), "2.36".to_string()],
+        ];
+        let t = render_table("Figure 6", &header, &rows);
+        assert!(t.contains("Figure 6"));
+        assert!(t.contains("5.30"));
+        assert!(t.contains("2.36"));
+        let lines: Vec<&str> = t.lines().collect();
+        assert!(lines.len() >= 5);
+    }
+
+    #[test]
+    fn csv_roundtrip() {
+        std::env::set_var("EXPERIMENTS_DIR", std::env::temp_dir().join("cna-exp-test"));
+        let header = vec!["a".to_string(), "b".to_string()];
+        let rows = vec![vec!["1".to_string(), "2".to_string()]];
+        let path = write_csv("unit_test_table", &header, &rows).expect("csv written");
+        let contents = std::fs::read_to_string(&path).unwrap();
+        assert_eq!(contents, "a,b\n1,2\n");
+        std::env::remove_var("EXPERIMENTS_DIR");
+    }
+}

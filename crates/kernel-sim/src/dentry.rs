@@ -1,0 +1,230 @@
+//! Directory entries with `lockref`-protected reference counts.
+//!
+//! The kernel's `lockref` packs a spin lock and a reference count; `dget`,
+//! `dput`, `d_alloc` and the lockref fast paths all take the parent dentry's
+//! lock when many files are created/destroyed in one directory — the second
+//! contention point of `open1_threads` (Table 1).
+
+use std::collections::HashMap;
+use std::sync::Arc;
+
+use sync_core::mutex::LockMutex;
+use sync_core::raw::RawLock;
+
+use crate::lockstat::LockStatRegistry;
+
+/// A `lockref`: spin lock + reference count.
+pub struct LockRef<L: RawLock>
+where
+    L::Node: 'static,
+{
+    count: LockMutex<i64, L>,
+    stats: Arc<LockStatRegistry>,
+    name: &'static str,
+}
+
+impl<L: RawLock> LockRef<L>
+where
+    L::Node: 'static,
+{
+    /// Creates a lockref with an initial count.
+    pub fn new(initial: i64, name: &'static str, stats: Arc<LockStatRegistry>) -> Self {
+        LockRef {
+            count: LockMutex::new(initial),
+            stats,
+            name,
+        }
+    }
+
+    fn record(&self, call_site: &str, start: std::time::Instant) {
+        self.stats
+            .site(self.name, call_site)
+            .record(start.elapsed().as_nanos() > 200, start.elapsed().as_nanos() as u64);
+    }
+
+    /// `lockref_get`: unconditionally takes a reference.
+    pub fn get(&self, call_site: &str) {
+        let t0 = std::time::Instant::now();
+        let mut guard = self.count.lock();
+        self.record(call_site, t0);
+        *guard += 1;
+    }
+
+    /// `lockref_get_not_dead`: takes a reference unless the count is
+    /// negative (dead).
+    pub fn get_not_dead(&self, call_site: &str) -> bool {
+        let t0 = std::time::Instant::now();
+        let mut guard = self.count.lock();
+        self.record(call_site, t0);
+        if *guard < 0 {
+            false
+        } else {
+            *guard += 1;
+            true
+        }
+    }
+
+    /// `lockref_put_return`: drops a reference, returning the new count.
+    pub fn put(&self, call_site: &str) -> i64 {
+        let t0 = std::time::Instant::now();
+        let mut guard = self.count.lock();
+        self.record(call_site, t0);
+        *guard -= 1;
+        *guard
+    }
+
+    /// Marks the object dead (count becomes negative), as `d_kill` does.
+    pub fn mark_dead(&self) {
+        *self.count.lock() = -128;
+    }
+
+    /// Current count (diagnostics).
+    pub fn count(&self) -> i64 {
+        *self.count.lock()
+    }
+}
+
+/// A directory entry.
+pub struct Dentry<L: RawLock>
+where
+    L::Node: 'static,
+{
+    /// File name within the parent.
+    pub name: String,
+    /// Reference count guarded by the dentry's lockref.
+    pub lockref: LockRef<L>,
+}
+
+/// A minimal dentry cache for one directory.
+pub struct DentryDir<L: RawLock>
+where
+    L::Node: 'static,
+{
+    /// The directory's own lockref (`open1` contends on the *parent*).
+    pub lockref: LockRef<L>,
+    children: LockMutex<HashMap<String, Arc<Dentry<L>>>, L>,
+    stats: Arc<LockStatRegistry>,
+}
+
+impl<L: RawLock> DentryDir<L>
+where
+    L::Node: 'static,
+{
+    /// Creates an empty directory.
+    pub fn new(stats: Arc<LockStatRegistry>) -> Self {
+        DentryDir {
+            lockref: LockRef::new(1, "lockref.lock", stats.clone()),
+            children: LockMutex::new(HashMap::new()),
+            stats,
+        }
+    }
+
+    /// `d_alloc`: creates a child dentry, referencing the parent.
+    pub fn d_alloc(&self, name: &str) -> Arc<Dentry<L>> {
+        // Allocating a child takes a reference on the parent.
+        self.lockref.get("d_alloc");
+        let dentry = Arc::new(Dentry {
+            name: name.to_string(),
+            lockref: LockRef::new(1, "lockref.lock", self.stats.clone()),
+        });
+        self.children
+            .lock()
+            .insert(name.to_string(), Arc::clone(&dentry));
+        dentry
+    }
+
+    /// `dput`: drops a child dentry reference; when it reaches zero the
+    /// dentry is removed from the directory and the parent reference is
+    /// released.
+    pub fn dput(&self, dentry: &Arc<Dentry<L>>) {
+        let remaining = dentry.lockref.put("dput");
+        if remaining <= 0 {
+            dentry.lockref.mark_dead();
+            self.children.lock().remove(&dentry.name);
+            let _ = self.lockref.put("dput");
+        }
+    }
+
+    /// Looks up a child by name, taking a reference (like `d_lookup` +
+    /// `lockref_get_not_dead`).
+    pub fn lookup(&self, name: &str) -> Option<Arc<Dentry<L>>> {
+        let child = self.children.lock().get(name).cloned()?;
+        if child.lockref.get_not_dead("lockref_get_not_dead") {
+            Some(child)
+        } else {
+            None
+        }
+    }
+
+    /// Number of cached children.
+    pub fn children_count(&self) -> usize {
+        self.children.lock().len()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locks::McsLock;
+    use qspinlock::CnaQSpinLock;
+
+    fn stats() -> Arc<LockStatRegistry> {
+        Arc::new(LockStatRegistry::new())
+    }
+
+    #[test]
+    fn lockref_get_put_roundtrip() {
+        let l: LockRef<McsLock> = LockRef::new(1, "lockref.lock", stats());
+        l.get("dget");
+        assert_eq!(l.count(), 2);
+        assert_eq!(l.put("dput"), 1);
+        assert!(l.get_not_dead("lookup"));
+        l.mark_dead();
+        assert!(!l.get_not_dead("lookup"));
+    }
+
+    #[test]
+    fn d_alloc_and_dput_balance_parent_references() {
+        let s = stats();
+        let dir: DentryDir<McsLock> = DentryDir::new(s);
+        let initial = dir.lockref.count();
+        let d = dir.d_alloc("file-0");
+        assert_eq!(dir.lockref.count(), initial + 1);
+        assert_eq!(dir.children_count(), 1);
+        dir.dput(&d);
+        assert_eq!(dir.lockref.count(), initial);
+        assert_eq!(dir.children_count(), 0);
+    }
+
+    #[test]
+    fn lookup_references_live_children_only() {
+        let dir: DentryDir<McsLock> = DentryDir::new(stats());
+        let d = dir.d_alloc("x");
+        let found = dir.lookup("x").expect("child exists");
+        assert_eq!(found.name, "x");
+        // Drop both references; the child disappears.
+        dir.dput(&found);
+        dir.dput(&d);
+        assert!(dir.lookup("x").is_none());
+    }
+
+    #[test]
+    fn open_close_storm_in_one_directory() {
+        let s = stats();
+        let dir: Arc<DentryDir<CnaQSpinLock>> = Arc::new(DentryDir::new(s.clone()));
+        std::thread::scope(|scope| {
+            for t in 0..4 {
+                let dir = Arc::clone(&dir);
+                scope.spawn(move || {
+                    for i in 0..300 {
+                        let d = dir.d_alloc(&format!("t{t}-f{i}"));
+                        dir.dput(&d);
+                    }
+                });
+            }
+        });
+        assert_eq!(dir.children_count(), 0);
+        let report = s.report();
+        assert!(report.rows.iter().any(|r| r.lock == "lockref.lock"));
+    }
+}

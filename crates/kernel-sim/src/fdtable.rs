@@ -1,0 +1,192 @@
+//! The per-process file-descriptor table (`files_struct`).
+//!
+//! `struct files_struct` embeds a spin lock (`file_lock`) that serialises
+//! descriptor allocation (`__alloc_fd`) and release (`__close_fd`). It is the
+//! contention point of the `lock1`, `open1` and `open2` will-it-scale
+//! benchmarks (Table 1), because all threads of a process share one table.
+
+use std::sync::Arc;
+
+use sync_core::mutex::LockMutex;
+use sync_core::raw::RawLock;
+
+use crate::lockstat::LockStatRegistry;
+
+/// An open file description (the object an fd refers to).
+#[derive(Debug, PartialEq, Eq)]
+pub struct File {
+    /// Inode number of the opened file.
+    pub inode: u64,
+}
+
+#[derive(Debug, Default)]
+struct FdTableInner {
+    files: Vec<Option<Arc<File>>>,
+    next_fd: usize,
+    open_count: usize,
+}
+
+/// Errors returned by the fd table.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum FdError {
+    /// The descriptor is not open.
+    BadFd,
+    /// The table reached its configured maximum size.
+    TooManyOpenFiles,
+}
+
+/// A `files_struct`: the shared fd table of one process.
+pub struct FilesStruct<L: RawLock>
+where
+    L::Node: 'static,
+{
+    table: LockMutex<FdTableInner, L>,
+    max_fds: usize,
+    stats: Arc<LockStatRegistry>,
+}
+
+impl<L: RawLock> FilesStruct<L>
+where
+    L::Node: 'static,
+{
+    /// Creates an fd table bounded at `max_fds` descriptors, reporting
+    /// contention into `stats`.
+    pub fn new(max_fds: usize, stats: Arc<LockStatRegistry>) -> Self {
+        FilesStruct {
+            table: LockMutex::new(FdTableInner::default()),
+            max_fds: max_fds.max(1),
+            stats,
+        }
+    }
+
+    /// `__alloc_fd`: installs `file` at the lowest free descriptor.
+    pub fn alloc_fd(&self, file: Arc<File>) -> Result<usize, FdError> {
+        let site = self.stats.site("files_struct.file_lock", "__alloc_fd");
+        let start = std::time::Instant::now();
+        let mut guard = self.table.lock();
+        site.record(start.elapsed().as_nanos() > 200, start.elapsed().as_nanos() as u64);
+        // Lowest-free-descriptor search, as the kernel does.
+        let fd = (guard.next_fd..guard.files.len())
+            .find(|&fd| guard.files[fd].is_none())
+            .unwrap_or(guard.files.len());
+        if fd >= self.max_fds {
+            return Err(FdError::TooManyOpenFiles);
+        }
+        if fd == guard.files.len() {
+            guard.files.push(Some(file));
+        } else {
+            guard.files[fd] = Some(file);
+        }
+        guard.next_fd = fd + 1;
+        guard.open_count += 1;
+        Ok(fd)
+    }
+
+    /// `__close_fd`: releases descriptor `fd`.
+    pub fn close_fd(&self, fd: usize) -> Result<Arc<File>, FdError> {
+        let site = self.stats.site("files_struct.file_lock", "__close_fd");
+        let start = std::time::Instant::now();
+        let mut guard = self.table.lock();
+        site.record(start.elapsed().as_nanos() > 200, start.elapsed().as_nanos() as u64);
+        let slot = guard.files.get_mut(fd).ok_or(FdError::BadFd)?;
+        let file = slot.take().ok_or(FdError::BadFd)?;
+        guard.next_fd = guard.next_fd.min(fd);
+        guard.open_count -= 1;
+        Ok(file)
+    }
+
+    /// Looks up the file behind `fd` (the `fcntl` fast path takes the same
+    /// lock in the kernel when the fd table may be resized concurrently).
+    pub fn get(&self, fd: usize) -> Result<Arc<File>, FdError> {
+        let site = self.stats.site("files_struct.file_lock", "fcntl_setlk");
+        let start = std::time::Instant::now();
+        let guard = self.table.lock();
+        site.record(start.elapsed().as_nanos() > 200, start.elapsed().as_nanos() as u64);
+        guard
+            .files
+            .get(fd)
+            .and_then(|f| f.clone())
+            .ok_or(FdError::BadFd)
+    }
+
+    /// Number of currently open descriptors.
+    pub fn open_count(&self) -> usize {
+        self.table.lock().open_count
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use locks::McsLock;
+    use qspinlock::CnaQSpinLock;
+
+    fn registry() -> Arc<LockStatRegistry> {
+        Arc::new(LockStatRegistry::new())
+    }
+
+    #[test]
+    fn alloc_reuses_the_lowest_free_descriptor() {
+        let files: FilesStruct<McsLock> = FilesStruct::new(64, registry());
+        let fd0 = files.alloc_fd(Arc::new(File { inode: 1 })).unwrap();
+        let fd1 = files.alloc_fd(Arc::new(File { inode: 2 })).unwrap();
+        let fd2 = files.alloc_fd(Arc::new(File { inode: 3 })).unwrap();
+        assert_eq!((fd0, fd1, fd2), (0, 1, 2));
+        files.close_fd(fd1).unwrap();
+        let fd = files.alloc_fd(Arc::new(File { inode: 4 })).unwrap();
+        assert_eq!(fd, 1, "the lowest free fd is reused");
+        assert_eq!(files.open_count(), 3);
+    }
+
+    #[test]
+    fn close_and_get_validate_descriptors() {
+        let files: FilesStruct<McsLock> = FilesStruct::new(4, registry());
+        assert_eq!(files.close_fd(0), Err(FdError::BadFd));
+        let fd = files.alloc_fd(Arc::new(File { inode: 9 })).unwrap();
+        assert_eq!(files.get(fd).unwrap().inode, 9);
+        files.close_fd(fd).unwrap();
+        assert_eq!(files.get(fd), Err(FdError::BadFd));
+    }
+
+    #[test]
+    fn table_size_is_bounded() {
+        let files: FilesStruct<McsLock> = FilesStruct::new(2, registry());
+        files.alloc_fd(Arc::new(File { inode: 1 })).unwrap();
+        files.alloc_fd(Arc::new(File { inode: 2 })).unwrap();
+        assert_eq!(
+            files.alloc_fd(Arc::new(File { inode: 3 })),
+            Err(FdError::TooManyOpenFiles)
+        );
+    }
+
+    #[test]
+    fn concurrent_open_close_on_the_qspinlock() {
+        let stats = registry();
+        let files: Arc<FilesStruct<CnaQSpinLock>> = Arc::new(FilesStruct::new(1024, stats.clone()));
+        std::thread::scope(|s| {
+            for t in 0..4u64 {
+                let files = Arc::clone(&files);
+                s.spawn(move || {
+                    for i in 0..500u64 {
+                        let fd = files
+                            .alloc_fd(Arc::new(File { inode: t * 1_000 + i }))
+                            .unwrap();
+                        files.close_fd(fd).unwrap();
+                    }
+                });
+            }
+        });
+        assert_eq!(files.open_count(), 0);
+        let report = stats.report();
+        let total_file_lock_acquisitions: u64 = report
+            .rows
+            .iter()
+            .filter(|r| r.lock == "files_struct.file_lock")
+            .map(|r| r.acquisitions)
+            .sum();
+        assert!(
+            total_file_lock_acquisitions >= 4_000,
+            "alloc + close must each be recorded ({total_file_lock_acquisitions})"
+        );
+    }
+}

@@ -1,0 +1,32 @@
+//! Kernel-subsystem substrates and kernel benchmarks (§7.2 of the paper).
+//!
+//! The paper evaluates its qspinlock change with `locktorture` and with four
+//! `will-it-scale` micro-benchmarks whose hot spin locks live in the VFS
+//! layer (Table 1). This crate rebuilds those substrates in user space on
+//! top of the 4-byte [`qspinlock`](::qspinlock) (stock or CNA slow path):
+//!
+//! * [`fdtable`] — a per-process file-descriptor table guarded by
+//!   `files_struct.file_lock` (`__alloc_fd` / `__close_fd`).
+//! * [`filelock`] — POSIX record locks guarded by
+//!   `file_lock_context.flc_lock` (`posix_lock_inode`).
+//! * [`dentry`] — a directory-entry cache whose entries carry a `lockref`
+//!   (spinlock + refcount in one word pair), exercised by `dget`/`dput`.
+//! * [`lockstat`] — a lockstat-style contention registry that produces the
+//!   per-lock / per-call-site report of Table 1.
+//! * [`locktorture`] — the lock torture loop of Figures 13/14, with and
+//!   without the lockstat-style shared-data updates.
+//! * [`willitscale`] — the four benchmarks of Figure 15 driving the
+//!   substrates above.
+
+#![warn(missing_docs)]
+
+pub mod dentry;
+pub mod fdtable;
+pub mod filelock;
+pub mod lockstat;
+pub mod locktorture;
+pub mod willitscale;
+
+pub use lockstat::{LockStatRegistry, LockStatReport};
+pub use locktorture::{run_locktorture, LockTortureConfig, LockTortureReport};
+pub use willitscale::{run_will_it_scale, WisBenchmark, WisConfig, WisReport};

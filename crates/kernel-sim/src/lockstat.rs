@@ -1,0 +1,158 @@
+//! A lockstat-style contention registry (Table 1).
+//!
+//! The kernel's `lockstat` infrastructure records, per lock class and call
+//! site, how often a lock was taken and how often the acquirer had to wait.
+//! The paper uses it (a) to add shared-data writes to locktorture's critical
+//! sections and (b) to identify which spin locks the will-it-scale
+//! benchmarks contend on (Table 1). This module provides the same bookkeeping
+//! for the user-space substrates.
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+use std::sync::Mutex;
+
+/// Per-(lock, call-site) counters.
+#[derive(Debug, Default)]
+struct SiteCounters {
+    acquisitions: AtomicU64,
+    contended: AtomicU64,
+    wait_ns: AtomicU64,
+}
+
+/// A registry of contention events keyed by lock class and call site.
+#[derive(Debug, Default)]
+pub struct LockStatRegistry {
+    sites: Mutex<BTreeMap<(String, String), std::sync::Arc<SiteCountersHandle>>>,
+}
+
+/// Shared handle to one call site's counters.
+#[derive(Debug, Default)]
+pub struct SiteCountersHandle {
+    counters: SiteCounters,
+}
+
+impl SiteCountersHandle {
+    /// Records one acquisition; `contended` says whether the caller had to
+    /// wait, and `wait_ns` for how long.
+    pub fn record(&self, contended: bool, wait_ns: u64) {
+        self.counters.acquisitions.fetch_add(1, Ordering::Relaxed);
+        if contended {
+            self.counters.contended.fetch_add(1, Ordering::Relaxed);
+            self.counters.wait_ns.fetch_add(wait_ns, Ordering::Relaxed);
+        }
+    }
+}
+
+/// One row of the lockstat report.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct LockStatRow {
+    /// Lock class (e.g. `files_struct.file_lock`).
+    pub lock: String,
+    /// Call site (e.g. `__alloc_fd`).
+    pub call_site: String,
+    /// Total acquisitions through this call site.
+    pub acquisitions: u64,
+    /// Acquisitions that found the lock held.
+    pub contended: u64,
+    /// Total time spent waiting, nanoseconds.
+    pub wait_ns: u64,
+}
+
+/// A complete lockstat report.
+#[derive(Debug, Clone, Default)]
+pub struct LockStatReport {
+    /// Rows sorted by contention count, descending.
+    pub rows: Vec<LockStatRow>,
+}
+
+impl LockStatReport {
+    /// Rows whose contention exceeds `threshold` acquisitions — the
+    /// "contended spin locks" column of Table 1.
+    pub fn contended_locks(&self, threshold: u64) -> Vec<&LockStatRow> {
+        self.rows.iter().filter(|r| r.contended > threshold).collect()
+    }
+
+    /// Renders the report as an aligned text table.
+    pub fn render(&self) -> String {
+        let mut out = String::from(
+            "lock                                    call site                 acquisitions   contended\n",
+        );
+        for row in &self.rows {
+            out.push_str(&format!(
+                "{:<40}{:<28}{:>10}{:>12}\n",
+                row.lock, row.call_site, row.acquisitions, row.contended
+            ));
+        }
+        out
+    }
+}
+
+impl LockStatRegistry {
+    /// Creates an empty registry.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Returns (registering if needed) the counters for a lock/call-site
+    /// pair. Handles are cheap to clone and lock-free to update.
+    pub fn site(&self, lock: &str, call_site: &str) -> std::sync::Arc<SiteCountersHandle> {
+        let mut sites = self.sites.lock().expect("lockstat registry poisoned");
+        sites
+            .entry((lock.to_string(), call_site.to_string()))
+            .or_default()
+            .clone()
+    }
+
+    /// Produces the report, sorted by contention.
+    pub fn report(&self) -> LockStatReport {
+        let sites = self.sites.lock().expect("lockstat registry poisoned");
+        let mut rows: Vec<LockStatRow> = sites
+            .iter()
+            .map(|((lock, call_site), handle)| LockStatRow {
+                lock: lock.clone(),
+                call_site: call_site.clone(),
+                acquisitions: handle.counters.acquisitions.load(Ordering::Relaxed),
+                contended: handle.counters.contended.load(Ordering::Relaxed),
+                wait_ns: handle.counters.wait_ns.load(Ordering::Relaxed),
+            })
+            .collect();
+        rows.sort_by(|a, b| b.contended.cmp(&a.contended));
+        LockStatReport { rows }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn records_and_reports_by_contention() {
+        let reg = LockStatRegistry::new();
+        let alloc_fd = reg.site("files_struct.file_lock", "__alloc_fd");
+        let dput = reg.site("lockref.lock", "dput");
+        for _ in 0..100 {
+            alloc_fd.record(true, 50);
+        }
+        for _ in 0..10 {
+            dput.record(false, 0);
+        }
+        dput.record(true, 20);
+        let report = reg.report();
+        assert_eq!(report.rows.len(), 2);
+        assert_eq!(report.rows[0].call_site, "__alloc_fd");
+        assert_eq!(report.rows[0].contended, 100);
+        assert_eq!(report.rows[1].acquisitions, 11);
+        assert_eq!(report.contended_locks(50).len(), 1);
+        assert!(report.render().contains("__alloc_fd"));
+    }
+
+    #[test]
+    fn same_site_returns_the_same_handle() {
+        let reg = LockStatRegistry::new();
+        let a = reg.site("l", "s");
+        let b = reg.site("l", "s");
+        a.record(true, 5);
+        b.record(true, 5);
+        assert_eq!(reg.report().rows[0].contended, 2);
+    }
+}

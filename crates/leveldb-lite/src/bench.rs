@@ -1,0 +1,167 @@
+//! A `db_bench readrandom`-style driver (§7.1.2).
+//!
+//! As in the paper, the benchmark runs for a fixed time (rather than a fixed
+//! number of operations) and reports aggregate throughput; the database is
+//! either pre-filled (1M keys in the paper) or empty, which concentrates all
+//! contention on the global DB mutex.
+
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::{Duration, Instant};
+
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+use sync_core::raw::RawLock;
+use sync_core::CachePadded;
+
+use crate::db::Db;
+
+/// Configuration of a `readrandom` run.
+#[derive(Debug, Clone)]
+pub struct ReadRandomConfig {
+    /// Number of reader threads.
+    pub threads: usize,
+    /// Wall-clock duration of the measured interval.
+    pub duration: Duration,
+    /// Number of keys the database is pre-filled with (0 = empty DB).
+    pub prefill_keys: usize,
+    /// Key range the random reads draw from (usually ≥ `prefill_keys`).
+    pub key_range: usize,
+    /// Block cache capacity.
+    pub cache_capacity: usize,
+}
+
+impl Default for ReadRandomConfig {
+    fn default() -> Self {
+        ReadRandomConfig {
+            threads: 2,
+            duration: Duration::from_millis(50),
+            prefill_keys: 10_000,
+            key_range: 10_000,
+            cache_capacity: 4_096,
+        }
+    }
+}
+
+/// Result of a `readrandom` run.
+#[derive(Debug, Clone)]
+pub struct ReadRandomReport {
+    /// Lock algorithm used for the DB mutex and cache shards.
+    pub algorithm: String,
+    /// Operations completed per thread.
+    pub ops_per_thread: Vec<u64>,
+    /// Reads that found their key.
+    pub found: u64,
+    /// Wall-clock measurement interval.
+    pub elapsed: Duration,
+}
+
+impl ReadRandomReport {
+    /// Total completed operations.
+    pub fn total_ops(&self) -> u64 {
+        self.ops_per_thread.iter().sum()
+    }
+
+    /// Aggregate throughput in operations per millisecond.
+    pub fn throughput_ops_per_ms(&self) -> f64 {
+        self.total_ops() as f64 / self.elapsed.as_millis().max(1) as f64
+    }
+}
+
+/// Runs the `readrandom` workload against a fresh database protected by lock
+/// algorithm `L`.
+pub fn readrandom<L>(config: &ReadRandomConfig) -> ReadRandomReport
+where
+    L: RawLock + 'static,
+{
+    let db: Arc<Db<L>> = Arc::new(if config.prefill_keys > 0 {
+        Db::prefilled(config.prefill_keys, config.cache_capacity)
+    } else {
+        Db::new(config.cache_capacity)
+    });
+    let stop = Arc::new(AtomicBool::new(false));
+    let counts: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(
+        (0..config.threads)
+            .map(|_| CachePadded::new(AtomicU64::new(0)))
+            .collect(),
+    );
+    let found = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    std::thread::scope(|scope| {
+        for t in 0..config.threads {
+            let db = Arc::clone(&db);
+            let stop = Arc::clone(&stop);
+            let counts = Arc::clone(&counts);
+            let found = Arc::clone(&found);
+            let cfg = config.clone();
+            scope.spawn(move || {
+                let _socket =
+                    numa_topology::SocketOverrideGuard::new(t % 2);
+                let mut rng = SmallRng::seed_from_u64(0xDB + t as u64);
+                let mut ops = 0u64;
+                let mut local_found = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key_index = rng.gen_range(0..cfg.key_range.max(1));
+                    let key = Db::<L>::bench_key(key_index);
+                    if db.get(&key).is_some() {
+                        local_found += 1;
+                    }
+                    ops += 1;
+                    if ops % 32 == 0 {
+                        counts[t].store(ops, Ordering::Relaxed);
+                    }
+                }
+                counts[t].store(ops, Ordering::Relaxed);
+                found.fetch_add(local_found, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(config.duration);
+        stop.store(true, Ordering::Relaxed);
+    });
+    let elapsed = start.elapsed();
+
+    ReadRandomReport {
+        algorithm: L::NAME.to_string(),
+        ops_per_thread: counts.iter().map(|c| c.load(Ordering::Relaxed)).collect(),
+        found: found.load(Ordering::Relaxed),
+        elapsed,
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use cna::CnaLock;
+    use locks::McsLock;
+
+    #[test]
+    fn readrandom_on_prefilled_db_finds_keys() {
+        let cfg = ReadRandomConfig {
+            threads: 2,
+            duration: Duration::from_millis(30),
+            prefill_keys: 1_000,
+            key_range: 1_000,
+            cache_capacity: 512,
+        };
+        let report = readrandom::<CnaLock>(&cfg);
+        assert_eq!(report.algorithm, "CNA");
+        assert!(report.total_ops() > 0);
+        assert!(report.found > 0);
+        assert!(report.throughput_ops_per_ms() > 0.0);
+    }
+
+    #[test]
+    fn readrandom_on_empty_db_finds_nothing() {
+        let cfg = ReadRandomConfig {
+            threads: 2,
+            duration: Duration::from_millis(20),
+            prefill_keys: 0,
+            key_range: 1_000,
+            cache_capacity: 512,
+        };
+        let report = readrandom::<McsLock>(&cfg);
+        assert!(report.total_ops() > 0);
+        assert_eq!(report.found, 0);
+    }
+}

@@ -1,0 +1,210 @@
+//! A skiplist memtable, the in-memory sorted store leveldb searches first.
+//!
+//! The skiplist is written from scratch (no `std::collections` maps) to keep
+//! the search cost profile similar to leveldb's: a logarithmic pointer chase
+//! over heap nodes. It is not internally synchronised — like leveldb's
+//! memtable, writers serialise externally and readers work against an
+//! immutable snapshot reference.
+
+use bytes::Bytes;
+
+const MAX_HEIGHT: usize = 12;
+
+struct Node {
+    key: Bytes,
+    value: Bytes,
+    /// `next[h]` is the index of the next node at height `h`, or `usize::MAX`.
+    next: Vec<usize>,
+}
+
+const NIL: usize = usize::MAX;
+
+/// A single-writer, snapshot-readable skiplist memtable.
+pub struct MemTable {
+    /// Arena of nodes; index 0 is the head sentinel.
+    nodes: Vec<Node>,
+    height: usize,
+    len: usize,
+    rng_state: u64,
+    approximate_bytes: usize,
+}
+
+impl Default for MemTable {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl MemTable {
+    /// Creates an empty memtable.
+    pub fn new() -> Self {
+        MemTable {
+            nodes: vec![Node {
+                key: Bytes::new(),
+                value: Bytes::new(),
+                next: vec![NIL; MAX_HEIGHT],
+            }],
+            height: 1,
+            len: 0,
+            rng_state: 0x1234_5678_9abc_def1,
+            approximate_bytes: 0,
+        }
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.len
+    }
+
+    /// `true` when the memtable holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len == 0
+    }
+
+    /// Approximate memory usage in bytes (keys + values).
+    pub fn approximate_bytes(&self) -> usize {
+        self.approximate_bytes
+    }
+
+    fn random_height(&mut self) -> usize {
+        // Classic p = 1/4 geometric height distribution.
+        let mut h = 1;
+        let mut x = self.rng_state;
+        x ^= x << 13;
+        x ^= x >> 7;
+        x ^= x << 17;
+        self.rng_state = x;
+        while h < MAX_HEIGHT && (x & 0x3) == 0 {
+            h += 1;
+            x >>= 2;
+        }
+        h
+    }
+
+    /// Finds the predecessor node index at every height for `key`.
+    fn find_predecessors(&self, key: &[u8]) -> [usize; MAX_HEIGHT] {
+        let mut preds = [0usize; MAX_HEIGHT];
+        let mut current = 0usize;
+        for level in (0..self.height).rev() {
+            loop {
+                let next = self.nodes[current].next[level];
+                if next != NIL && self.nodes[next].key.as_ref() < key {
+                    current = next;
+                } else {
+                    break;
+                }
+            }
+            preds[level] = current;
+        }
+        preds
+    }
+
+    /// Inserts or overwrites `key`.
+    pub fn put(&mut self, key: &[u8], value: &[u8]) {
+        let preds = self.find_predecessors(key);
+        let candidate = self.nodes[preds[0]].next[0];
+        if candidate != NIL && self.nodes[candidate].key.as_ref() == key {
+            self.approximate_bytes += value.len();
+            self.approximate_bytes -= self.nodes[candidate].value.len().min(self.approximate_bytes);
+            self.nodes[candidate].value = Bytes::copy_from_slice(value);
+            return;
+        }
+        let height = self.random_height();
+        if height > self.height {
+            self.height = height;
+        }
+        let new_index = self.nodes.len();
+        let mut next = vec![NIL; MAX_HEIGHT];
+        #[allow(clippy::needless_range_loop)]
+        for level in 0..height {
+            let pred = preds[level];
+            next[level] = self.nodes[pred].next[level];
+            self.nodes[pred].next[level] = new_index;
+        }
+        self.nodes.push(Node {
+            key: Bytes::copy_from_slice(key),
+            value: Bytes::copy_from_slice(value),
+            next,
+        });
+        self.len += 1;
+        self.approximate_bytes += key.len() + value.len();
+    }
+
+    /// Looks up `key`, returning a cheap clone of the value.
+    pub fn get(&self, key: &[u8]) -> Option<Bytes> {
+        let preds = self.find_predecessors(key);
+        let candidate = self.nodes[preds[0]].next[0];
+        if candidate != NIL && self.nodes[candidate].key.as_ref() == key {
+            Some(self.nodes[candidate].value.clone())
+        } else {
+            None
+        }
+    }
+
+    /// Iterates entries in key order (used by tests and compaction-style
+    /// scans).
+    pub fn iter(&self) -> impl Iterator<Item = (&[u8], &[u8])> + '_ {
+        let mut current = self.nodes[0].next[0];
+        std::iter::from_fn(move || {
+            if current == NIL {
+                None
+            } else {
+                let node = &self.nodes[current];
+                current = node.next[0];
+                Some((node.key.as_ref(), node.value.as_ref()))
+            }
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn put_get_roundtrip() {
+        let mut m = MemTable::new();
+        assert!(m.is_empty());
+        m.put(b"k1", b"v1");
+        m.put(b"k2", b"v2");
+        assert_eq!(m.get(b"k1").as_deref(), Some(&b"v1"[..]));
+        assert_eq!(m.get(b"k2").as_deref(), Some(&b"v2"[..]));
+        assert_eq!(m.get(b"missing"), None);
+        assert_eq!(m.len(), 2);
+    }
+
+    #[test]
+    fn overwrite_updates_in_place() {
+        let mut m = MemTable::new();
+        m.put(b"k", b"a");
+        m.put(b"k", b"bb");
+        assert_eq!(m.get(b"k").as_deref(), Some(&b"bb"[..]));
+        assert_eq!(m.len(), 1);
+    }
+
+    #[test]
+    fn iteration_is_sorted() {
+        let mut m = MemTable::new();
+        for k in [b"d".as_ref(), b"a".as_ref(), b"c".as_ref(), b"b".as_ref()] {
+            m.put(k, b"x");
+        }
+        let keys: Vec<&[u8]> = m.iter().map(|(k, _)| k).collect();
+        assert_eq!(keys, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref(), b"d".as_ref()]);
+    }
+
+    #[test]
+    fn many_keys_remain_retrievable() {
+        let mut m = MemTable::new();
+        for i in 0..2_000u32 {
+            m.put(format!("key{i:06}").as_bytes(), &i.to_le_bytes());
+        }
+        assert_eq!(m.len(), 2_000);
+        for i in (0..2_000u32).step_by(37) {
+            assert_eq!(
+                m.get(format!("key{i:06}").as_bytes()).as_deref(),
+                Some(&i.to_le_bytes()[..])
+            );
+        }
+        assert!(m.approximate_bytes() > 2_000 * 10);
+    }
+}

@@ -1,0 +1,216 @@
+//! The CLH queue lock (Craig, Landin & Hagersten).
+//!
+//! Like MCS, CLH keeps one word of shared state (the queue tail) and spins
+//! locally, but each waiter spins on its *predecessor's* node rather than its
+//! own, and releasing threads recycle their predecessor's node. A
+//! hierarchical variant (HCLH) was an early NUMA-aware lock (§2 of the
+//! paper); the flat CLH here serves as an additional NUMA-oblivious baseline.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+
+use sync_core::raw::RawLock;
+use sync_core::spin::spin_until;
+
+/// Heap-allocated queue cell spun on by the successor.
+#[derive(Debug)]
+struct ClhQNode {
+    locked: AtomicBool,
+}
+
+impl ClhQNode {
+    fn alloc(locked: bool) -> *mut ClhQNode {
+        Box::into_raw(Box::new(ClhQNode {
+            locked: AtomicBool::new(locked),
+        }))
+    }
+}
+
+/// Per-thread acquisition context of the CLH lock.
+///
+/// Owns (at most) one queue cell while idle; during an acquisition it
+/// additionally remembers the predecessor cell it will recycle on release.
+#[derive(Debug)]
+pub struct ClhNode {
+    cur: AtomicPtr<ClhQNode>,
+    prev: AtomicPtr<ClhQNode>,
+}
+
+impl Default for ClhNode {
+    fn default() -> Self {
+        ClhNode {
+            cur: AtomicPtr::new(ptr::null_mut()),
+            prev: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+impl Drop for ClhNode {
+    fn drop(&mut self) {
+        let cur = self.cur.load(Ordering::Relaxed);
+        if !cur.is_null() {
+            // SAFETY: while idle (between acquisitions) the `cur` cell is
+            // owned exclusively by this context: it was either freshly
+            // allocated or recycled from a predecessor whose owner released
+            // it and will never touch it again.
+            unsafe { drop(Box::from_raw(cur)) };
+        }
+    }
+}
+
+/// The CLH queue lock: a single word pointing at the queue tail.
+#[derive(Debug)]
+pub struct ClhLock {
+    tail: AtomicPtr<ClhQNode>,
+}
+
+impl Default for ClhLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl ClhLock {
+    /// Creates an unlocked lock (allocates the initial dummy cell).
+    pub fn new() -> Self {
+        ClhLock {
+            tail: AtomicPtr::new(ClhQNode::alloc(false)),
+        }
+    }
+}
+
+impl Drop for ClhLock {
+    fn drop(&mut self) {
+        let tail = self.tail.load(Ordering::Relaxed);
+        if !tail.is_null() {
+            // SAFETY: dropping the lock requires that no acquisition is in
+            // flight; the cell left in `tail` (the last releaser's cell or
+            // the initial dummy) is then unreachable from any `ClhNode`.
+            unsafe { drop(Box::from_raw(tail)) };
+        }
+    }
+}
+
+// SAFETY: the queue protocol serialises all access to the heap cells.
+unsafe impl Send for ClhLock {}
+// SAFETY: as above.
+unsafe impl Sync for ClhLock {}
+
+impl RawLock for ClhLock {
+    type Node = ClhNode;
+    const NAME: &'static str = "CLH";
+
+    unsafe fn lock(&self, me: &ClhNode) {
+        let mut cur = me.cur.load(Ordering::Relaxed);
+        if cur.is_null() {
+            cur = ClhQNode::alloc(false);
+            me.cur.store(cur, Ordering::Relaxed);
+        }
+        // SAFETY: `cur` is owned by this context until it is published via
+        // the tail swap below.
+        unsafe {
+            (*cur).locked.store(true, Ordering::Relaxed);
+        }
+        let prev = self.tail.swap(cur, Ordering::AcqRel);
+        debug_assert!(!prev.is_null(), "CLH tail always points at a cell");
+        // SAFETY: `prev` stays allocated until we recycle it in `unlock`; its
+        // previous owner never dereferences it after the swap handed it to us.
+        spin_until(|| unsafe { !(*prev).locked.load(Ordering::Acquire) });
+        me.prev.store(prev, Ordering::Relaxed);
+    }
+
+    unsafe fn unlock(&self, me: &ClhNode) {
+        let cur = me.cur.load(Ordering::Relaxed);
+        let prev = me.prev.load(Ordering::Relaxed);
+        debug_assert!(!cur.is_null() && !prev.is_null());
+        // SAFETY: `cur` is our published cell; the successor (if any) spins
+        // on it and the release store is the hand-over.
+        unsafe {
+            (*cur).locked.store(false, Ordering::Release);
+        }
+        // Recycle the predecessor's cell as our own for the next acquisition.
+        me.cur.store(prev, Ordering::Relaxed);
+        me.prev.store(ptr::null_mut(), Ordering::Relaxed);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn lock_state_is_one_word() {
+        assert_eq!(std::mem::size_of::<ClhLock>(), std::mem::size_of::<*mut ()>());
+    }
+
+    #[test]
+    fn single_thread_roundtrip_recycles_cells() {
+        let lock = ClhLock::new();
+        let node = ClhNode::default();
+        for _ in 0..10_000 {
+            // SAFETY: pinned node, matched pair.
+            unsafe {
+                lock.lock(&node);
+                lock.unlock(&node);
+            }
+        }
+    }
+
+    #[test]
+    fn drop_without_use_is_clean() {
+        let lock = ClhLock::new();
+        drop(lock);
+        let node = ClhNode::default();
+        drop(node);
+    }
+
+    #[test]
+    fn mutual_exclusion() {
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        const THREADS: u64 = 4;
+        const ITERS: u64 = 3_000;
+        let lock = Arc::new(ClhLock::new());
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let node = ClhNode::default();
+                    for _ in 0..ITERS {
+                        // SAFETY: pinned node; counter only under the lock.
+                        unsafe {
+                            lock.lock(&node);
+                            *counter.0.get() += 1;
+                            lock.unlock(&node);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, THREADS * ITERS);
+    }
+
+    #[test]
+    fn works_through_lock_mutex_and_node_pool() {
+        use sync_core::LockMutex;
+        let m: LockMutex<u64, ClhLock> = LockMutex::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 3_000);
+    }
+}

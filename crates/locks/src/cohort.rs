@@ -1,0 +1,513 @@
+//! Cohort locks (Dice, Marathe & Shavit): NUMA-aware locks built from a
+//! *global* lock and one *local* lock per socket.
+//!
+//! A thread first acquires the local lock of its socket; whoever owns the
+//! local lock and does not already own the global one acquires the global
+//! lock on behalf of the whole cohort. On release, if another thread waits on
+//! the same socket and the cohort has not exceeded its hand-over budget, the
+//! local lock (and with it, implicitly, the global lock) is passed within the
+//! socket; otherwise the global lock is released first so another socket can
+//! take over.
+//!
+//! This module provides the generic [`CohortLock`] plus the three
+//! instantiations the paper evaluates:
+//!
+//! * [`CBoMcsLock`] — global backoff test-and-set, local MCS (the
+//!   best-performing Cohort variant in the paper, shown in every figure).
+//! * [`CTktTktLock`] — global ticket, local ticket.
+//! * [`CPtlTktLock`] — global partitioned ticket, local ticket.
+//!
+//! Note the memory cost the paper criticises: every instance embeds one
+//! cache-line-padded local lock *per socket* plus the global lock — compare
+//! with the single word of CNA.
+
+use std::ptr;
+use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+
+use sync_core::padded::CachePadded;
+use sync_core::raw::RawLock;
+use sync_core::spin::{cpu_relax, spin_until};
+
+use crate::backoff::TtasBackoffLock;
+use crate::ticket::{PartitionedTicketLock, PtlNode, TicketLock};
+
+/// Default number of intra-socket hand-overs before the global lock is
+/// released (the cohort "batch" budget). 64 follows the HMCS/Cohort papers'
+/// default; the paper configures all NUMA-aware locks with comparable
+/// settings.
+pub const DEFAULT_MAX_BATCH: u32 = 64;
+
+/// A local (per-socket) lock usable inside a [`CohortLock`].
+///
+/// Beyond mutual exclusion it must be able to tell whether another thread is
+/// waiting (*alone?* in the cohort paper's terms) and to release in two
+/// modes: passing global ownership to the next local waiter, or dropping it.
+///
+/// # Safety
+///
+/// Implementations must guarantee that a waiter observed by
+/// [`CohortLocal::has_waiters`] cannot abandon the queue, so that a
+/// subsequent [`CohortLocal::release_passing`] always finds a successor.
+pub unsafe trait CohortLocal: Default + Send + Sync {
+    /// Per-acquisition context.
+    type Node: Default + Send + Sync;
+
+    /// Acquires the local lock. Returns `true` when the previous local owner
+    /// passed global ownership to us.
+    ///
+    /// # Safety
+    ///
+    /// Same pinning contract as [`RawLock::lock`].
+    unsafe fn acquire(&self, node: &Self::Node) -> bool;
+
+    /// `true` when another thread currently waits on this local lock.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be the current owner's node.
+    unsafe fn has_waiters(&self, node: &Self::Node) -> bool;
+
+    /// Releases the local lock, passing global ownership to the next waiter.
+    ///
+    /// # Safety
+    ///
+    /// The caller must own the lock and must have observed
+    /// [`CohortLocal::has_waiters`] return `true` for this acquisition.
+    unsafe fn release_passing(&self, node: &Self::Node);
+
+    /// Releases the local lock without passing global ownership.
+    ///
+    /// # Safety
+    ///
+    /// The caller must own the lock.
+    unsafe fn release(&self, node: &Self::Node);
+}
+
+// ---------------------------------------------------------------------------
+// MCS local lock (used by C-BO-MCS)
+// ---------------------------------------------------------------------------
+
+const LOCAL_WAIT: usize = 0;
+const LOCAL_NO_GLOBAL: usize = 1;
+const LOCAL_GLOBAL_PASSED: usize = 2;
+
+/// Queue node of [`McsCohortLocal`].
+#[derive(Debug)]
+pub struct McsCohortNode {
+    status: AtomicUsize,
+    next: AtomicPtr<McsCohortNode>,
+}
+
+impl Default for McsCohortNode {
+    fn default() -> Self {
+        McsCohortNode {
+            status: AtomicUsize::new(LOCAL_WAIT),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+/// MCS lock extended with the cohort hand-over status word.
+#[derive(Debug, Default)]
+pub struct McsCohortLocal {
+    tail: AtomicPtr<McsCohortNode>,
+}
+
+// SAFETY: `has_waiters` returning true means the tail differs from the
+// owner's node; MCS waiters never abandon the queue, so a successor is
+// guaranteed for `release_passing`.
+unsafe impl CohortLocal for McsCohortLocal {
+    type Node = McsCohortNode;
+
+    unsafe fn acquire(&self, me: &McsCohortNode) -> bool {
+        me.next.store(ptr::null_mut(), Ordering::Relaxed);
+        me.status.store(LOCAL_WAIT, Ordering::Relaxed);
+        let me_ptr = me as *const McsCohortNode as *mut McsCohortNode;
+        let prev = self.tail.swap(me_ptr, Ordering::AcqRel);
+        if prev.is_null() {
+            // First of a new cohort: we must acquire the global lock.
+            return false;
+        }
+        // SAFETY: `prev` is the previous tail; its owner cannot recycle it
+        // before observing our link (its closing CAS fails while we are
+        // enqueued).
+        unsafe {
+            (*prev).next.store(me_ptr, Ordering::Release);
+        }
+        spin_until(|| me.status.load(Ordering::Acquire) != LOCAL_WAIT);
+        me.status.load(Ordering::Relaxed) == LOCAL_GLOBAL_PASSED
+    }
+
+    unsafe fn has_waiters(&self, me: &McsCohortNode) -> bool {
+        let me_ptr = me as *const McsCohortNode as *mut McsCohortNode;
+        self.tail.load(Ordering::Relaxed) != me_ptr
+    }
+
+    unsafe fn release_passing(&self, me: &McsCohortNode) {
+        // A successor exists but may not have completed its link yet.
+        spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+        let next = me.next.load(Ordering::Acquire);
+        // SAFETY: `next` is a live waiter spinning on its status.
+        unsafe {
+            (*next).status.store(LOCAL_GLOBAL_PASSED, Ordering::Release);
+        }
+    }
+
+    unsafe fn release(&self, me: &McsCohortNode) {
+        let me_ptr = me as *const McsCohortNode as *mut McsCohortNode;
+        let mut next = me.next.load(Ordering::Acquire);
+        if next.is_null() {
+            if self
+                .tail
+                .compare_exchange(me_ptr, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+            next = me.next.load(Ordering::Acquire);
+        }
+        // SAFETY: `next` is a live waiter.
+        unsafe {
+            (*next).status.store(LOCAL_NO_GLOBAL, Ordering::Release);
+        }
+    }
+}
+
+// ---------------------------------------------------------------------------
+// Ticket local lock (used by C-TKT-TKT and C-PTL-TKT)
+// ---------------------------------------------------------------------------
+
+/// Queue node of [`TktCohortLocal`]: remembers the drawn ticket.
+#[derive(Debug, Default)]
+pub struct TktCohortNode {
+    ticket: AtomicU64,
+}
+
+/// Ticket lock extended with a "global ownership passed" flag.
+#[derive(Debug, Default)]
+pub struct TktCohortLocal {
+    next_ticket: AtomicU64,
+    now_serving: AtomicU64,
+    pass_global: AtomicBool,
+}
+
+// SAFETY: ticket waiters never abandon the queue (the drawn ticket must be
+// served), so a waiter observed via `has_waiters` guarantees a successor.
+unsafe impl CohortLocal for TktCohortLocal {
+    type Node = TktCohortNode;
+
+    unsafe fn acquire(&self, me: &TktCohortNode) -> bool {
+        let ticket = self.next_ticket.fetch_add(1, Ordering::AcqRel);
+        me.ticket.store(ticket, Ordering::Relaxed);
+        let mut spins = 0u32;
+        while self.now_serving.load(Ordering::Acquire) != ticket {
+            cpu_relax();
+            spins = spins.wrapping_add(1);
+            if spins % 1024 == 0 {
+                // Keep over-subscribed hosts live: let the holder run.
+                std::thread::yield_now();
+            }
+        }
+        // `pass_global` was written by our releaser before it advanced
+        // `now_serving` (Release), so this read is ordered. An idle lock
+        // always has `pass_global == false` (a passing release requires a
+        // waiter, which would have consumed it immediately).
+        self.pass_global.load(Ordering::Relaxed)
+    }
+
+    unsafe fn has_waiters(&self, me: &TktCohortNode) -> bool {
+        let my_ticket = me.ticket.load(Ordering::Relaxed);
+        self.next_ticket.load(Ordering::Relaxed) > my_ticket + 1
+    }
+
+    unsafe fn release_passing(&self, me: &TktCohortNode) {
+        let my_ticket = me.ticket.load(Ordering::Relaxed);
+        self.pass_global.store(true, Ordering::Relaxed);
+        self.now_serving.store(my_ticket + 1, Ordering::Release);
+    }
+
+    unsafe fn release(&self, me: &TktCohortNode) {
+        let my_ticket = me.ticket.load(Ordering::Relaxed);
+        self.pass_global.store(false, Ordering::Relaxed);
+        self.now_serving.store(my_ticket + 1, Ordering::Release);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The generic cohort lock
+// ---------------------------------------------------------------------------
+
+/// Per-acquisition node of a [`CohortLock`]: the local lock's node plus the
+/// socket the acquisition ran on.
+#[derive(Debug, Default)]
+pub struct CohortNode<L: CohortLocal> {
+    local: L::Node,
+    socket: AtomicUsize,
+}
+
+/// Per-socket slot: the local lock and the cohort's hand-over budget counter,
+/// padded to its own cache line(s).
+#[derive(Debug, Default)]
+struct LocalSlot<L: CohortLocal> {
+    lock: L,
+    batch: AtomicU32,
+}
+
+/// Generic cohort lock combining a global lock `G` (which must be
+/// *thread-oblivious*: acquired and released by different threads) with one
+/// local lock `L` per socket.
+#[derive(Debug)]
+pub struct CohortLock<G: RawLock, L: CohortLocal> {
+    global: G,
+    /// The global lock's node. Only the current cohort owner touches it, so a
+    /// single shared instance is sufficient and keeps `G` generic.
+    global_node: G::Node,
+    locals: Box<[CachePadded<LocalSlot<L>>]>,
+    max_batch: u32,
+}
+
+impl<G: RawLock, L: CohortLocal> Default for CohortLock<G, L> {
+    fn default() -> Self {
+        let sockets = numa_topology::global_topology().sockets().max(1);
+        Self::with_sockets(sockets, DEFAULT_MAX_BATCH)
+    }
+}
+
+impl<G: RawLock, L: CohortLocal> CohortLock<G, L> {
+    /// Creates a cohort lock for `sockets` sockets with the given intra-socket
+    /// hand-over budget.
+    pub fn with_sockets(sockets: usize, max_batch: u32) -> Self {
+        let locals: Vec<CachePadded<LocalSlot<L>>> = (0..sockets.max(1))
+            .map(|_| CachePadded::new(LocalSlot::default()))
+            .collect();
+        CohortLock {
+            global: G::default(),
+            global_node: G::Node::default(),
+            locals: locals.into_boxed_slice(),
+            max_batch,
+        }
+    }
+
+    /// Number of per-socket local locks (for size accounting in benchmarks).
+    pub fn socket_slots(&self) -> usize {
+        self.locals.len()
+    }
+
+    /// Approximate memory footprint in bytes (the quantity Table-less §1/§8
+    /// of the paper argues about).
+    pub fn footprint_bytes(&self) -> usize {
+        std::mem::size_of::<Self>()
+            + self.locals.len() * std::mem::size_of::<CachePadded<LocalSlot<L>>>()
+    }
+
+    /// Acquires the cohort lock.
+    ///
+    /// # Safety
+    ///
+    /// Standard [`RawLock`] node contract for `node`.
+    pub unsafe fn lock_raw(&self, node: &CohortNode<L>) {
+        let socket = numa_topology::current_socket() % self.locals.len();
+        node.socket.store(socket, Ordering::Relaxed);
+        let slot = &self.locals[socket];
+        // SAFETY: forwarded node contract.
+        let global_passed = unsafe { slot.lock.acquire(&node.local) };
+        if !global_passed {
+            // SAFETY: the shared global node is only used by the cohort owner,
+            // which we are about to become; contract forwarded.
+            unsafe { self.global.lock(&self.global_node) };
+            slot.batch.store(0, Ordering::Relaxed);
+        }
+    }
+
+    /// Releases the cohort lock.
+    ///
+    /// # Safety
+    ///
+    /// Standard [`RawLock`] node contract; `node` must be the acquisition's
+    /// node.
+    pub unsafe fn unlock_raw(&self, node: &CohortNode<L>) {
+        let socket = node.socket.load(Ordering::Relaxed);
+        let slot = &self.locals[socket];
+        let batch = slot.batch.load(Ordering::Relaxed);
+        // SAFETY: we own the local lock; `has_waiters` contract.
+        let pass_within_socket =
+            batch < self.max_batch && unsafe { slot.lock.has_waiters(&node.local) };
+        if pass_within_socket {
+            slot.batch.store(batch + 1, Ordering::Relaxed);
+            // SAFETY: a waiter was observed; local waiters cannot abandon.
+            unsafe { slot.lock.release_passing(&node.local) };
+        } else {
+            // SAFETY: we are the cohort owner, releasing the global lock it
+            // acquired (possibly on a different thread — the global lock is
+            // thread-oblivious by construction).
+            unsafe { self.global.unlock(&self.global_node) };
+            // SAFETY: we own the local lock.
+            unsafe { slot.lock.release(&node.local) };
+        }
+    }
+}
+
+/// Declares a concrete, named cohort lock type implementing [`RawLock`].
+macro_rules! cohort_lock_type {
+    ($(#[$doc:meta])* $name:ident, $global:ty, $local:ty, $label:expr) => {
+        $(#[$doc])*
+        #[derive(Debug, Default)]
+        pub struct $name(CohortLock<$global, $local>);
+
+        impl $name {
+            /// Creates the lock for `sockets` sockets and an explicit
+            /// hand-over budget.
+            pub fn with_sockets(sockets: usize, max_batch: u32) -> Self {
+                $name(CohortLock::with_sockets(sockets, max_batch))
+            }
+
+            /// Approximate memory footprint in bytes.
+            pub fn footprint_bytes(&self) -> usize {
+                self.0.footprint_bytes()
+            }
+        }
+
+        impl RawLock for $name {
+            type Node = CohortNode<$local>;
+            const NAME: &'static str = $label;
+
+            unsafe fn lock(&self, node: &Self::Node) {
+                // SAFETY: forwarded contract.
+                unsafe { self.0.lock_raw(node) }
+            }
+
+            unsafe fn unlock(&self, node: &Self::Node) {
+                // SAFETY: forwarded contract.
+                unsafe { self.0.unlock_raw(node) }
+            }
+        }
+    };
+}
+
+cohort_lock_type!(
+    /// C-BO-MCS: global backoff test-and-set lock, per-socket MCS locks.
+    CBoMcsLock,
+    TtasBackoffLock,
+    McsCohortLocal,
+    "C-BO-MCS"
+);
+
+cohort_lock_type!(
+    /// C-TKT-TKT: global ticket lock, per-socket ticket locks.
+    CTktTktLock,
+    TicketLock,
+    TktCohortLocal,
+    "C-TKT-TKT"
+);
+
+cohort_lock_type!(
+    /// C-PTL-TKT: global partitioned ticket lock, per-socket ticket locks.
+    CPtlTktLock,
+    PartitionedTicketLock,
+    TktCohortLocal,
+    "C-PTL-TKT"
+);
+
+// `PtlNode` is part of the public surface via `CPtlTktLock`'s global node.
+const _: fn() = || {
+    let _ = std::mem::size_of::<PtlNode>();
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::SocketOverrideGuard;
+    use std::sync::Arc;
+
+    fn hammer<Lk>(make: impl Fn() -> Lk, threads: usize, iters: u64)
+    where
+        Lk: RawLock + 'static,
+    {
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        let lock = Arc::new(make());
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let _socket = SocketOverrideGuard::new(t % 2);
+                    let node = Lk::Node::default();
+                    for _ in 0..iters {
+                        // SAFETY: pinned node; counter only under the lock.
+                        unsafe {
+                            lock.lock(&node);
+                            *counter.0.get() += 1;
+                            lock.unlock(&node);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, threads as u64 * iters);
+    }
+
+    #[test]
+    fn c_bo_mcs_mutual_exclusion() {
+        hammer(|| CBoMcsLock::with_sockets(2, 8), 4, 2_000);
+    }
+
+    #[test]
+    fn c_tkt_tkt_mutual_exclusion() {
+        hammer(|| CTktTktLock::with_sockets(2, 8), 4, 2_000);
+    }
+
+    #[test]
+    fn c_ptl_tkt_mutual_exclusion() {
+        hammer(|| CPtlTktLock::with_sockets(2, 8), 4, 2_000);
+    }
+
+    #[test]
+    fn single_thread_roundtrip_all_variants() {
+        let bo = CBoMcsLock::with_sockets(4, 64);
+        let tkt = CTktTktLock::with_sockets(4, 64);
+        let ptl = CPtlTktLock::with_sockets(4, 64);
+        let n1 = <CBoMcsLock as RawLock>::Node::default();
+        let n2 = <CTktTktLock as RawLock>::Node::default();
+        let n3 = <CPtlTktLock as RawLock>::Node::default();
+        for _ in 0..1_000 {
+            // SAFETY: pinned nodes, matched pairs.
+            unsafe {
+                bo.lock(&n1);
+                bo.unlock(&n1);
+                tkt.lock(&n2);
+                tkt.unlock(&n2);
+                ptl.lock(&n3);
+                ptl.unlock(&n3);
+            }
+        }
+    }
+
+    #[test]
+    fn footprint_grows_with_sockets_unlike_cna() {
+        let two = CBoMcsLock::with_sockets(2, 64).footprint_bytes();
+        let eight = CBoMcsLock::with_sockets(8, 64).footprint_bytes();
+        assert!(eight > two);
+        assert!(two > std::mem::size_of::<usize>(), "far more than one word");
+    }
+
+    #[test]
+    fn batch_budget_zero_still_correct() {
+        // With a zero budget every release goes through the global lock.
+        hammer(|| CBoMcsLock::with_sockets(2, 0), 3, 1_000);
+    }
+
+    #[test]
+    fn names_are_stable() {
+        assert_eq!(CBoMcsLock::NAME, "C-BO-MCS");
+        assert_eq!(CTktTktLock::NAME, "C-TKT-TKT");
+        assert_eq!(CPtlTktLock::NAME, "C-PTL-TKT");
+    }
+}

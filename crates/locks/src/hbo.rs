@@ -1,0 +1,183 @@
+//! The hierarchical backoff lock (HBO, Radović & Hagersten 2003).
+//!
+//! HBO is the only prior single-word NUMA-aware lock the paper discusses
+//! (§2): the word stores the socket of the current holder (or "free"), and a
+//! thread that finds the lock taken backs off for a *short* interval when the
+//! holder is on its own socket and a *long* interval otherwise, biasing the
+//! next acquisition towards the holder's socket. It inherits the problems of
+//! global-spinning backoff locks: unfairness, possible starvation of remote
+//! threads, and sensitivity of the backoff tuning.
+
+use std::sync::atomic::{AtomicIsize, Ordering};
+
+use sync_core::raw::{RawLock, RawTryLock};
+use sync_core::spin::cpu_relax;
+
+/// Sentinel meaning "lock free".
+const FREE: isize = -1;
+
+/// The hierarchical backoff lock. One word of state: the holder's socket.
+#[derive(Debug)]
+pub struct HboLock {
+    holder_socket: AtomicIsize,
+}
+
+/// Backoff parameters of [`HboLock`].
+#[derive(Debug, Clone, Copy)]
+pub struct HboParams {
+    /// Initial backoff (pause iterations) when the holder is on our socket.
+    pub local_min: u32,
+    /// Maximum backoff when the holder is on our socket.
+    pub local_max: u32,
+    /// Initial backoff when the holder is on a remote socket.
+    pub remote_min: u32,
+    /// Maximum backoff when the holder is on a remote socket.
+    pub remote_max: u32,
+}
+
+impl Default for HboParams {
+    fn default() -> Self {
+        // Roughly the 1:4 local:remote ratio the original paper suggests.
+        HboParams {
+            local_min: 16,
+            local_max: 512,
+            remote_min: 64,
+            remote_max: 4096,
+        }
+    }
+}
+
+impl Default for HboLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl HboLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        HboLock {
+            holder_socket: AtomicIsize::new(FREE),
+        }
+    }
+
+    /// `true` when the lock is currently held (racy; diagnostics only).
+    pub fn is_locked(&self) -> bool {
+        self.holder_socket.load(Ordering::Relaxed) != FREE
+    }
+
+    fn try_acquire(&self, my_socket: isize) -> bool {
+        self.holder_socket
+            .compare_exchange(FREE, my_socket, Ordering::Acquire, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+impl RawLock for HboLock {
+    type Node = ();
+    const NAME: &'static str = "HBO";
+
+    unsafe fn lock(&self, _node: &()) {
+        let params = HboParams::default();
+        let my_socket = numa_topology::current_socket() as isize;
+        let mut local_window = params.local_min;
+        let mut remote_window = params.remote_min;
+        loop {
+            if self.try_acquire(my_socket) {
+                return;
+            }
+            let holder = self.holder_socket.load(Ordering::Relaxed);
+            if holder == my_socket {
+                for _ in 0..local_window {
+                    cpu_relax();
+                }
+                local_window = (local_window * 2).min(params.local_max);
+            } else {
+                for _ in 0..remote_window {
+                    cpu_relax();
+                }
+                remote_window = (remote_window * 2).min(params.remote_max);
+                // Occasionally give the scheduler a chance on over-subscribed
+                // hosts (the original algorithm has no such concern).
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    unsafe fn unlock(&self, _node: &()) {
+        self.holder_socket.store(FREE, Ordering::Release);
+    }
+}
+
+impl RawTryLock for HboLock {
+    unsafe fn try_lock(&self, _node: &()) -> bool {
+        self.try_acquire(numa_topology::current_socket() as isize)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use numa_topology::SocketOverrideGuard;
+    use std::sync::Arc;
+
+    #[test]
+    fn is_one_word() {
+        assert_eq!(std::mem::size_of::<HboLock>(), std::mem::size_of::<usize>());
+    }
+
+    #[test]
+    fn records_holder_socket() {
+        let lock = HboLock::new();
+        let _socket = SocketOverrideGuard::new(3);
+        // SAFETY: trivial node contract.
+        unsafe {
+            lock.lock(&());
+            assert_eq!(lock.holder_socket.load(Ordering::Relaxed), 3);
+            lock.unlock(&());
+        }
+        assert!(!lock.is_locked());
+    }
+
+    #[test]
+    fn try_lock_semantics() {
+        let lock = HboLock::new();
+        // SAFETY: trivial node contract.
+        unsafe {
+            assert!(lock.try_lock(&()));
+            assert!(!lock.try_lock(&()));
+            lock.unlock(&());
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion_across_sockets() {
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        let lock = Arc::new(HboLock::new());
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..4)
+            .map(|t| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let _socket = SocketOverrideGuard::new(t % 2);
+                    for _ in 0..2_000 {
+                        // SAFETY: counter only touched under the lock.
+                        unsafe {
+                            lock.lock(&());
+                            *counter.0.get() += 1;
+                            lock.unlock(&());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, 8_000);
+    }
+}

@@ -1,0 +1,50 @@
+//! Baseline and state-of-the-art comparison locks.
+//!
+//! The paper's user-space evaluation (§7.1) compares CNA against the MCS
+//! lock and against hierarchical NUMA-aware locks from the literature —
+//! Cohort locks (C-BO-MCS, C-TKT-TKT, C-PTL-TKT), HMCS and HYSHMCS — all
+//! driven through LiTL. This crate provides Rust implementations of those
+//! baselines (plus the simple spin locks discussed in §2) behind the same
+//! [`RawLock`](sync_core::RawLock) interface the CNA lock implements, so the
+//! benchmark harness can swap algorithms freely.
+//!
+//! | Lock | Module | Space (shared state) | NUMA-aware |
+//! |------|--------|----------------------|------------|
+//! | test-and-set (TAS) | `sync_core::spinlock` | 1 byte | no |
+//! | TTAS + backoff | [`backoff`] | 1 byte | no |
+//! | ticket | [`ticket`] | 8 bytes | no |
+//! | partitioned ticket (PTL) | [`ticket`] | 8 bytes + grant slots | no |
+//! | CLH | [`clh`] | 1 word | no |
+//! | MCS | [`mcs`] | 1 word | no |
+//! | HBO | [`hbo`] | 1 word | yes (backoff) |
+//! | C-BO-MCS, C-TKT-TKT, C-PTL-TKT | [`cohort`] | O(sockets) cache lines | yes |
+//! | HMCS | [`hmcs`] | O(sockets) cache lines | yes |
+//! | CNA | `cna` crate | 1 word | yes |
+//!
+//! HYSHMCS/CST are not implemented: the paper reports their performance is
+//! indistinguishable from HMCS in every experiment shown, and their lazy
+//! per-socket allocation does not change any reproduced figure (see
+//! DESIGN.md).
+
+#![warn(missing_docs)]
+
+pub mod backoff;
+pub mod clh;
+pub mod cohort;
+pub mod hbo;
+pub mod hmcs;
+pub mod mcs;
+pub mod ticket;
+
+pub use backoff::TtasBackoffLock;
+pub use clh::ClhLock;
+pub use cohort::{CBoMcsLock, CPtlTktLock, CTktTktLock};
+pub use hbo::HboLock;
+pub use hmcs::HmcsLock;
+pub use mcs::{McsLock, McsNode};
+pub use sync_core::spinlock::TestAndSetLock;
+pub use ticket::{PartitionedTicketLock, PtlNode, TicketLock};
+
+/// Re-export of the paper's lock for convenience, so callers can name every
+/// evaluated algorithm through this one crate.
+pub use cna::{CnaLock, CnaNode};

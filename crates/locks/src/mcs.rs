@@ -1,0 +1,217 @@
+//! The MCS queue lock (Mellor-Crummey & Scott, 1991).
+//!
+//! MCS is the NUMA-oblivious baseline of the paper and the lock CNA is
+//! derived from: one word of shared state (the queue tail), one atomic
+//! instruction to acquire, local spinning on the waiter's own node, strict
+//! FIFO admission.
+
+use std::ptr;
+use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+
+use sync_core::raw::RawLock;
+use sync_core::spin::spin_until;
+
+/// `spin` value while the waiter has not been granted the lock.
+const WAITING: usize = 0;
+/// `spin` value once the lock has been granted.
+const GRANTED: usize = 1;
+
+/// Per-acquisition queue node of the MCS lock.
+#[derive(Debug)]
+pub struct McsNode {
+    spin: AtomicUsize,
+    next: AtomicPtr<McsNode>,
+}
+
+impl Default for McsNode {
+    fn default() -> Self {
+        McsNode {
+            spin: AtomicUsize::new(WAITING),
+            next: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+impl McsNode {
+    /// Creates a fresh node ready for an acquisition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+// SAFETY: all fields are atomics; access is mediated by the queue protocol.
+unsafe impl Send for McsNode {}
+// SAFETY: as above.
+unsafe impl Sync for McsNode {}
+
+/// The MCS queue spin lock: a single word pointing at the queue tail.
+#[derive(Debug, Default)]
+pub struct McsLock {
+    tail: AtomicPtr<McsNode>,
+}
+
+impl McsLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        McsLock {
+            tail: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+
+    /// `true` when a thread holds or queues for the lock (racy; diagnostics
+    /// only).
+    pub fn is_contended_or_held(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+}
+
+impl RawLock for McsLock {
+    type Node = McsNode;
+    const NAME: &'static str = "MCS";
+
+    unsafe fn lock(&self, me: &McsNode) {
+        me.next.store(ptr::null_mut(), Ordering::Relaxed);
+        me.spin.store(WAITING, Ordering::Relaxed);
+        let me_ptr = me as *const McsNode as *mut McsNode;
+
+        let prev = self.tail.swap(me_ptr, Ordering::AcqRel);
+        if prev.is_null() {
+            return;
+        }
+        // SAFETY: `prev` is the previous tail; its owner cannot finish its
+        // unlock (and reuse the node) before observing our link, because its
+        // closing CAS on the tail must fail while we are enqueued.
+        unsafe {
+            (*prev).next.store(me_ptr, Ordering::Release);
+        }
+        spin_until(|| me.spin.load(Ordering::Acquire) != WAITING);
+    }
+
+    unsafe fn unlock(&self, me: &McsNode) {
+        let me_ptr = me as *const McsNode as *mut McsNode;
+        let mut next = me.next.load(Ordering::Acquire);
+        if next.is_null() {
+            if self
+                .tail
+                .compare_exchange(me_ptr, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+            next = me.next.load(Ordering::Acquire);
+        }
+        // SAFETY: `next` is a live waiter spinning on its own node.
+        unsafe {
+            (*next).spin.store(GRANTED, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_state_is_one_word() {
+        assert_eq!(std::mem::size_of::<McsLock>(), std::mem::size_of::<*mut ()>());
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let lock = McsLock::new();
+        let node = McsNode::new();
+        for _ in 0..10_000 {
+            // SAFETY: pinned node, matched pair.
+            unsafe {
+                lock.lock(&node);
+                lock.unlock(&node);
+            }
+        }
+        assert!(!lock.is_contended_or_held());
+    }
+
+    #[test]
+    fn mutual_exclusion() {
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        const THREADS: u64 = 4;
+        const ITERS: u64 = 3_000;
+        let lock = Arc::new(McsLock::new());
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let node = McsNode::new();
+                    for _ in 0..ITERS {
+                        // SAFETY: pinned node, matched pair, counter under lock.
+                        unsafe {
+                            lock.lock(&node);
+                            *counter.0.get() += 1;
+                            lock.unlock(&node);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, THREADS * ITERS);
+    }
+
+    #[test]
+    fn admission_is_fifo() {
+        let lock = Arc::new(McsLock::new());
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let holder_node = McsNode::new();
+        // SAFETY: pinned node; matching unlock below.
+        unsafe { lock.lock(&holder_node) };
+
+        let mut handles = Vec::new();
+        for id in 1..=4 {
+            let thread_lock = Arc::clone(&lock);
+            let order = Arc::clone(&order);
+            let before = lock.tail.load(Ordering::Relaxed);
+            handles.push(std::thread::spawn(move || {
+                let node = McsNode::new();
+                // SAFETY: pinned node; matched pair.
+                unsafe {
+                    thread_lock.lock(&node);
+                    order.lock().unwrap().push(id);
+                    thread_lock.unlock(&node);
+                }
+            }));
+            while lock.tail.load(Ordering::Relaxed) == before {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: matching unlock for the acquisition above.
+        unsafe { lock.unlock(&holder_node) };
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(*order.lock().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    #[test]
+    fn works_through_lock_mutex() {
+        use sync_core::LockMutex;
+        let m: LockMutex<u32, McsLock> = LockMutex::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 3_000);
+    }
+}

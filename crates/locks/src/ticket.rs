@@ -1,0 +1,286 @@
+//! Ticket locks: the classic two-counter ticket lock and Dice's partitioned
+//! ticket lock (PTL).
+//!
+//! Ticket locks are FIFO like MCS but spin globally on the `now_serving`
+//! counter; PTL spreads that spinning over a small array of grant slots so
+//! that a hand-over invalidates only one slot. Both are used as building
+//! blocks of the Cohort locks evaluated in the paper (C-TKT-TKT, C-PTL-TKT).
+
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sync_core::padded::CachePadded;
+use sync_core::raw::{RawLock, RawTryLock};
+use sync_core::spin::cpu_relax;
+
+/// The classic ticket lock: a `next` counter handed to arrivals and an
+/// `owner` counter advanced on release.
+#[derive(Debug, Default)]
+pub struct TicketLock {
+    /// Low 32 bits: owner (now serving); high 32 bits: next free ticket.
+    /// A single word keeps `try_lock` a single CAS.
+    state: AtomicU64,
+}
+
+const OWNER_MASK: u64 = 0xffff_ffff;
+const TICKET_UNIT: u64 = 1 << 32;
+
+impl TicketLock {
+    /// Creates an unlocked lock.
+    pub const fn new() -> Self {
+        TicketLock {
+            state: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of threads currently waiting (racy; diagnostics only).
+    pub fn waiters(&self) -> u64 {
+        let s = self.state.load(Ordering::Relaxed);
+        let next = s >> 32;
+        let owner = s & OWNER_MASK;
+        next.saturating_sub(owner).saturating_sub(1)
+    }
+
+    fn my_turn(state: u64, ticket: u64) -> bool {
+        (state & OWNER_MASK) == ticket
+    }
+}
+
+impl RawLock for TicketLock {
+    type Node = ();
+    const NAME: &'static str = "Ticket";
+
+    unsafe fn lock(&self, _node: &()) {
+        let prev = self.state.fetch_add(TICKET_UNIT, Ordering::AcqRel);
+        let ticket = prev >> 32;
+        if Self::my_turn(prev, ticket) {
+            return;
+        }
+        loop {
+            let s = self.state.load(Ordering::Acquire);
+            if Self::my_turn(s, ticket) {
+                return;
+            }
+            // Proportional backoff: wait longer the further our ticket is
+            // from the currently served one.
+            let distance = ticket.saturating_sub(s & OWNER_MASK).max(1);
+            for _ in 0..distance * 8 {
+                cpu_relax();
+            }
+            // Keep over-subscribed hosts live: let the holder run.
+            std::thread::yield_now();
+        }
+    }
+
+    unsafe fn unlock(&self, _node: &()) {
+        // Only the owner increments the low half, so a plain add is safe.
+        self.state.fetch_add(1, Ordering::Release);
+    }
+}
+
+impl RawTryLock for TicketLock {
+    unsafe fn try_lock(&self, _node: &()) -> bool {
+        let s = self.state.load(Ordering::Relaxed);
+        let owner = s & OWNER_MASK;
+        let next = s >> 32;
+        if owner != next {
+            return false;
+        }
+        self.state
+            .compare_exchange(s, s + TICKET_UNIT, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+}
+
+/// Number of grant slots of the partitioned ticket lock. 16 padded slots
+/// comfortably cover the socket counts of the machines the paper targets
+/// while keeping the lock small.
+const PTL_SLOTS: usize = 16;
+
+/// Per-acquisition node of the partitioned ticket lock: remembers the
+/// ticket drawn at acquisition so the release knows which slot to grant next.
+#[derive(Debug, Default)]
+pub struct PtlNode {
+    ticket: AtomicU64,
+}
+
+/// Dice's partitioned ticket lock: FIFO like a ticket lock, but waiters spin
+/// on `grants[ticket % PTL_SLOTS]`, so a release invalidates only the cache
+/// line of its successor's slot.
+#[derive(Debug)]
+pub struct PartitionedTicketLock {
+    next: AtomicU64,
+    grants: Box<[CachePadded<AtomicU64>]>,
+}
+
+impl Default for PartitionedTicketLock {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl PartitionedTicketLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        // Slot 0 starts granted to ticket 0; every other slot starts with a
+        // value no ticket will ever equal before the slot is legitimately
+        // written by a release.
+        let grants: Vec<CachePadded<AtomicU64>> = (0..PTL_SLOTS)
+            .map(|i| CachePadded::new(AtomicU64::new(if i == 0 { 0 } else { u64::MAX })))
+            .collect();
+        PartitionedTicketLock {
+            next: AtomicU64::new(0),
+            grants: grants.into_boxed_slice(),
+        }
+    }
+
+    fn slot(ticket: u64) -> usize {
+        (ticket as usize) % PTL_SLOTS
+    }
+
+    /// Number of threads currently waiting (racy; diagnostics only).
+    pub fn waiters(&self) -> u64 {
+        let next = self.next.load(Ordering::Relaxed);
+        let served = (0..PTL_SLOTS)
+            .map(|i| self.grants[i].load(Ordering::Relaxed))
+            .filter(|&g| g != u64::MAX)
+            .max()
+            .unwrap_or(0);
+        next.saturating_sub(served).saturating_sub(1)
+    }
+}
+
+impl RawLock for PartitionedTicketLock {
+    type Node = PtlNode;
+    const NAME: &'static str = "PTL";
+
+    unsafe fn lock(&self, node: &PtlNode) {
+        let ticket = self.next.fetch_add(1, Ordering::AcqRel);
+        node.ticket.store(ticket, Ordering::Relaxed);
+        let slot = &self.grants[Self::slot(ticket)];
+        let mut spins = 0u32;
+        while slot.load(Ordering::Acquire) != ticket {
+            cpu_relax();
+            spins = spins.wrapping_add(1);
+            if spins % 1024 == 0 {
+                // Keep over-subscribed hosts live: let the holder run.
+                std::thread::yield_now();
+            }
+        }
+    }
+
+    unsafe fn unlock(&self, node: &PtlNode) {
+        let ticket = node.ticket.load(Ordering::Relaxed);
+        let next_ticket = ticket.wrapping_add(1);
+        self.grants[Self::slot(next_ticket)].store(next_ticket, Ordering::Release);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::Arc;
+
+    #[test]
+    fn ticket_lock_is_two_counters_in_one_word() {
+        assert_eq!(std::mem::size_of::<TicketLock>(), 8);
+    }
+
+    #[test]
+    fn ticket_try_lock() {
+        let lock = TicketLock::new();
+        // SAFETY: `()` node, trivial contract.
+        unsafe {
+            assert!(lock.try_lock(&()));
+            assert!(!lock.try_lock(&()));
+            lock.unlock(&());
+            assert!(lock.try_lock(&()));
+            lock.unlock(&());
+        }
+    }
+
+    #[test]
+    fn ticket_mutual_exclusion() {
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        let lock = Arc::new(TicketLock::new());
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..4)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    for _ in 0..3_000 {
+                        // SAFETY: counter only touched under the lock.
+                        unsafe {
+                            lock.lock(&());
+                            *counter.0.get() += 1;
+                            lock.unlock(&());
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, 12_000);
+        assert_eq!(lock.waiters(), 0);
+    }
+
+    #[test]
+    fn ptl_single_thread_roundtrip() {
+        let lock = PartitionedTicketLock::new();
+        let node = PtlNode::default();
+        for _ in 0..(PTL_SLOTS * 5) {
+            // SAFETY: pinned node, matched pair.
+            unsafe {
+                lock.lock(&node);
+                lock.unlock(&node);
+            }
+        }
+        assert_eq!(lock.waiters(), 0);
+    }
+
+    #[test]
+    fn ptl_mutual_exclusion_and_slot_wraparound() {
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        const THREADS: u64 = 4;
+        const ITERS: u64 = 2_000; // far more acquisitions than slots
+        let lock = Arc::new(PartitionedTicketLock::new());
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let node = PtlNode::default();
+                    for _ in 0..ITERS {
+                        // SAFETY: pinned node; counter only under the lock.
+                        unsafe {
+                            lock.lock(&node);
+                            *counter.0.get() += 1;
+                            lock.unlock(&node);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, THREADS * ITERS);
+    }
+
+    #[test]
+    fn ptl_grant_slots_are_padded() {
+        let lock = PartitionedTicketLock::new();
+        let a = &lock.grants[0] as *const _ as usize;
+        let b = &lock.grants[1] as *const _ as usize;
+        assert!(b - a >= 128);
+    }
+}

@@ -1,0 +1,569 @@
+//! The discrete-event simulation engine.
+
+use std::cmp::Reverse;
+use std::collections::BinaryHeap;
+
+use crate::cost::CostModel;
+use crate::lock_model::{Grant, LockAlgorithm, LockModel, Waiter};
+use crate::machine::MachineConfig;
+use crate::rng::SimRng;
+use crate::stats::{LockStats, SimResult};
+use crate::workload::{Step, Workload};
+
+/// A configured simulation run (builder style).
+#[derive(Debug)]
+pub struct Simulation {
+    machine: MachineConfig,
+    cost: CostModel,
+    algorithm: LockAlgorithm,
+    workload: Workload,
+    threads: usize,
+    duration_ns: u64,
+    seed: u64,
+}
+
+impl Simulation {
+    /// Creates a simulation of `algorithm` running `workload` on `machine`.
+    pub fn new(
+        machine: MachineConfig,
+        cost: CostModel,
+        algorithm: LockAlgorithm,
+        workload: Workload,
+    ) -> Self {
+        Simulation {
+            machine,
+            cost,
+            algorithm,
+            workload,
+            threads: 1,
+            duration_ns: 10_000_000,
+            seed: 1,
+        }
+    }
+
+    /// Sets the number of simulated threads.
+    pub fn threads(mut self, threads: usize) -> Self {
+        self.threads = threads.max(1);
+        self
+    }
+
+    /// Sets the simulated (virtual-time) duration in milliseconds.
+    pub fn virtual_duration_ms(mut self, ms: u64) -> Self {
+        self.duration_ns = ms.max(1) * 1_000_000;
+        self
+    }
+
+    /// Sets the simulated duration in nanoseconds.
+    pub fn virtual_duration_ns(mut self, ns: u64) -> Self {
+        self.duration_ns = ns.max(1);
+        self
+    }
+
+    /// Sets the RNG seed (runs with equal seeds are bit-identical).
+    pub fn seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Runs the simulation to completion and returns its statistics.
+    pub fn run(self) -> SimResult {
+        Engine::new(&self).run()
+    }
+}
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// The thread is ready to execute its current step.
+    ThreadReady(usize),
+    /// The thread finishes the critical section it holds on `lock`.
+    Release { thread: usize, lock: usize },
+    /// A backoff-style lock re-checks whether a parked waiter can be granted.
+    Recheck(usize),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct LockState {
+    model: Box<dyn LockModel>,
+    held: bool,
+    holder_socket: usize,
+    last_holder_socket: usize,
+    line_owner: Vec<usize>,
+    recheck_pending: bool,
+    stats: LockStats,
+}
+
+struct ThreadState {
+    socket: usize,
+    steps: Vec<Step>,
+    step_idx: usize,
+    ops: u64,
+    waiting_since: u64,
+}
+
+struct Engine<'a> {
+    sim: &'a Simulation,
+    rng: SimRng,
+    heap: BinaryHeap<Reverse<Scheduled>>,
+    seq: u64,
+    locks: Vec<LockState>,
+    threads: Vec<ThreadState>,
+    remote_transfers: u64,
+    local_accesses: u64,
+}
+
+impl<'a> Engine<'a> {
+    fn new(sim: &'a Simulation) -> Self {
+        let locks = sim
+            .workload
+            .locks
+            .iter()
+            .map(|spec| LockState {
+                model: sim.algorithm.build(sim.machine.sockets, &sim.cost),
+                held: false,
+                holder_socket: 0,
+                last_holder_socket: 0,
+                line_owner: vec![0; spec.data_lines.max(1)],
+                recheck_pending: false,
+                stats: LockStats {
+                    name: spec.name.clone(),
+                    ..LockStats::default()
+                },
+            })
+            .collect();
+        Engine {
+            sim,
+            rng: SimRng::new(sim.seed),
+            heap: BinaryHeap::new(),
+            seq: 0,
+            locks,
+            threads: Vec::new(),
+            remote_transfers: 0,
+            local_accesses: 0,
+        }
+    }
+
+    fn schedule(&mut self, time: u64, event: Event) {
+        self.seq += 1;
+        self.heap.push(Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    fn run(mut self) -> SimResult {
+        for i in 0..self.sim.threads {
+            let mut rng = SimRng::new(self.sim.seed.wrapping_add(i as u64 * 7919));
+            let steps = self.sim.workload.generate_op(&mut rng);
+            self.threads.push(ThreadState {
+                socket: self.sim.machine.socket_of_thread(i),
+                steps,
+                step_idx: 0,
+                ops: 0,
+                waiting_since: 0,
+            });
+            // Stagger starts by a few ns so thread 0 does not always win ties.
+            self.schedule(i as u64, Event::ThreadReady(i));
+        }
+
+        while let Some(Reverse(next)) = self.heap.pop() {
+            if next.time > self.sim.duration_ns {
+                break;
+            }
+            match next.event {
+                Event::ThreadReady(t) => self.advance_thread(t, next.time),
+                Event::Release { thread, lock } => self.handle_release(thread, lock, next.time),
+                Event::Recheck(lock) => self.handle_recheck(lock, next.time),
+            }
+        }
+
+        let ops_per_thread: Vec<u64> = self.threads.iter().map(|t| t.ops).collect();
+        SimResult {
+            algorithm: self.sim.algorithm.name().to_string(),
+            workload: self.sim.workload.name.clone(),
+            machine: self.sim.machine.label.to_string(),
+            threads: self.sim.threads,
+            duration_ns: self.sim.duration_ns,
+            total_ops: ops_per_thread.iter().sum(),
+            ops_per_thread,
+            remote_transfers: self.remote_transfers,
+            local_accesses: self.local_accesses,
+            locks: self
+                .locks
+                .iter()
+                .map(|l| {
+                    let mut s = l.stats.clone();
+                    s.queue_alterations = l.model.queue_alterations();
+                    s
+                })
+                .collect(),
+        }
+    }
+
+    /// Executes the thread's current step (and, for zero-cost steps, keeps
+    /// going) starting at time `now`.
+    fn advance_thread(&mut self, t: usize, now: u64) {
+        loop {
+            // Op finished?
+            if self.threads[t].step_idx >= self.threads[t].steps.len() {
+                self.threads[t].ops += 1;
+                let mut rng = SimRng::new(
+                    self.sim
+                        .seed
+                        .wrapping_add(t as u64 * 7919)
+                        .wrapping_add(self.threads[t].ops.wrapping_mul(104_729)),
+                );
+                self.threads[t].steps = self.sim.workload.generate_op(&mut rng);
+                self.threads[t].step_idx = 0;
+            }
+            let step = self.threads[t].steps[self.threads[t].step_idx].clone();
+            match step {
+                Step::Think { ns } => {
+                    self.threads[t].step_idx += 1;
+                    if ns == 0 {
+                        continue;
+                    }
+                    self.schedule(now + ns, Event::ThreadReady(t));
+                    return;
+                }
+                Step::Critical { lock, .. } => {
+                    if !self.locks[lock].held {
+                        self.grant(t, lock, now, None, 0);
+                    } else {
+                        let waiter = Waiter {
+                            thread: t,
+                            socket: self.threads[t].socket,
+                            arrival_ns: now,
+                        };
+                        self.threads[t].waiting_since = now;
+                        self.locks[lock].model.on_arrival(waiter);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Grants `lock` to thread `t` at time `now`. `handover_from` carries the
+    /// releasing thread's socket for a contended hand-over; `extra_ns` is the
+    /// queue-maintenance cost reported by the policy model.
+    fn grant(&mut self, t: usize, lock: usize, now: u64, handover_from: Option<usize>, extra_ns: u64) {
+        let socket = self.threads[t].socket;
+        let (service_ns, reads, writes) =
+            match self.threads[t].steps[self.threads[t].step_idx] {
+                Step::Critical {
+                    service_ns,
+                    reads,
+                    writes,
+                    ..
+                } => (service_ns, reads, writes),
+                Step::Think { .. } => unreachable!("grant on a non-critical step"),
+            };
+
+        let cost = &self.sim.cost;
+        let state = &mut self.locks[lock];
+
+        let acquire_ns = match handover_from {
+            Some(from) => {
+                if from == socket {
+                    state.stats.local_handovers += 1;
+                    self.local_accesses += 1;
+                } else {
+                    state.stats.remote_handovers += 1;
+                    self.remote_transfers += 1;
+                }
+                state.stats.wait_time_ns += now.saturating_sub(self.threads[t].waiting_since);
+                cost.handover_ns(from, socket) + cost.contended_overhead_ns
+            }
+            None => {
+                state.stats.uncontended += 1;
+                if cost.is_remote(state.last_holder_socket, socket) {
+                    self.remote_transfers += 1;
+                } else {
+                    self.local_accesses += 1;
+                }
+                cost.uncontended_acquire_ns
+                    + cost.line_access_ns(state.last_holder_socket, socket)
+            }
+        } + extra_ns;
+
+        // Critical-section data accesses against the lock's data region.
+        let lines = state.line_owner.len() as u64;
+        let mut data_ns = 0;
+        for i in 0..(reads + writes) {
+            let line = self.rng.next_below(lines) as usize;
+            let owner = state.line_owner[line];
+            data_ns += cost.line_access_ns(owner, socket);
+            if cost.is_remote(owner, socket) {
+                self.remote_transfers += 1;
+            } else {
+                self.local_accesses += 1;
+            }
+            if i >= reads {
+                // This is a write: the line migrates to our socket.
+                state.line_owner[line] = socket;
+            }
+        }
+
+        state.held = true;
+        state.holder_socket = socket;
+        state.stats.acquisitions += 1;
+        state.stats.hold_time_ns += service_ns + data_ns;
+
+        let total = acquire_ns + service_ns + data_ns;
+        self.schedule(now + total.max(1), Event::Release { thread: t, lock });
+    }
+
+    fn handle_release(&mut self, t: usize, lock: usize, now: u64) {
+        {
+            let state = &mut self.locks[lock];
+            state.held = false;
+            state.last_holder_socket = state.holder_socket;
+        }
+        // Hand the lock over first: a queue lock's waiters cannot be barged
+        // by the releasing thread coming back around. (Barging for
+        // backoff-style locks is still possible because their policy may
+        // decline the grant, leaving the lock free during the recheck
+        // window.)
+        self.try_handover(lock, now);
+
+        // Then the releasing thread moves on to its next step.
+        self.threads[t].step_idx += 1;
+        self.advance_thread(t, now);
+    }
+
+    fn try_handover(&mut self, lock: usize, now: u64) {
+        if self.locks[lock].held {
+            return;
+        }
+        let releaser_socket = self.locks[lock].last_holder_socket;
+        let grant = self.locks[lock].model.pick_next(releaser_socket, &mut self.rng);
+        match grant {
+            Some(Grant { waiter, extra_ns }) => {
+                self.grant(waiter.thread, lock, now, Some(releaser_socket), extra_ns);
+            }
+            None => {
+                if self.locks[lock].model.has_waiters() && !self.locks[lock].recheck_pending {
+                    self.locks[lock].recheck_pending = true;
+                    let delay = self.locks[lock].model.recheck_delay_ns();
+                    self.schedule(now + delay, Event::Recheck(lock));
+                }
+            }
+        }
+    }
+
+    fn handle_recheck(&mut self, lock: usize, now: u64) {
+        self.locks[lock].recheck_pending = false;
+        self.try_handover(lock, now);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::workload::Workload;
+
+    fn run(algorithm: LockAlgorithm, threads: usize, machine: MachineConfig) -> SimResult {
+        Simulation::new(
+            machine,
+            CostModel::two_socket_xeon(),
+            algorithm,
+            Workload::kv_map_no_external_work(),
+        )
+        .threads(threads)
+        .virtual_duration_ms(5)
+        .seed(42)
+        .run()
+    }
+
+    #[test]
+    fn single_thread_throughput_is_algorithm_independent() {
+        let mcs = run(LockAlgorithm::Mcs, 1, MachineConfig::two_socket_paper());
+        let cna = run(LockAlgorithm::Cna, 1, MachineConfig::two_socket_paper());
+        let rel = (mcs.throughput_ops_per_us() - cna.throughput_ops_per_us()).abs()
+            / mcs.throughput_ops_per_us();
+        assert!(
+            rel < 0.05,
+            "CNA must match MCS with one thread (MCS {:.2}, CNA {:.2})",
+            mcs.throughput_ops_per_us(),
+            cna.throughput_ops_per_us()
+        );
+    }
+
+    #[test]
+    fn single_thread_throughput_is_near_the_paper_anchor() {
+        let mcs = run(LockAlgorithm::Mcs, 1, MachineConfig::two_socket_paper());
+        let tp = mcs.throughput_ops_per_us();
+        assert!(tp > 2.5 && tp < 9.0, "throughput {tp:.2} ops/us");
+    }
+
+    #[test]
+    fn mcs_collapses_between_one_and_two_threads() {
+        let one = run(LockAlgorithm::Mcs, 1, MachineConfig::two_socket_paper());
+        let two = run(LockAlgorithm::Mcs, 2, MachineConfig::two_socket_paper());
+        assert!(
+            two.throughput_ops_per_us() < one.throughput_ops_per_us() * 0.7,
+            "expected a collapse: 1T {:.2} vs 2T {:.2}",
+            one.throughput_ops_per_us(),
+            two.throughput_ops_per_us()
+        );
+    }
+
+    #[test]
+    fn cna_outperforms_mcs_under_contention() {
+        let mcs = run(LockAlgorithm::Mcs, 32, MachineConfig::two_socket_paper());
+        let cna = run(LockAlgorithm::Cna, 32, MachineConfig::two_socket_paper());
+        assert!(
+            cna.throughput_ops_per_us() > mcs.throughput_ops_per_us() * 1.2,
+            "CNA {:.2} should beat MCS {:.2} by a clear margin",
+            cna.throughput_ops_per_us(),
+            mcs.throughput_ops_per_us()
+        );
+    }
+
+    #[test]
+    fn cna_advantage_grows_on_the_four_socket_machine() {
+        let m2 = MachineConfig::two_socket_paper();
+        let m4 = MachineConfig::four_socket_paper();
+        let speedup2 = run(LockAlgorithm::Cna, 32, m2.clone()).throughput_ops_per_us()
+            / run(LockAlgorithm::Mcs, 32, m2).throughput_ops_per_us();
+        let four_cost = CostModel::four_socket_xeon();
+        let run4 = |algo| {
+            Simulation::new(
+                MachineConfig::four_socket_paper(),
+                four_cost,
+                algo,
+                Workload::kv_map_no_external_work(),
+            )
+            .threads(32)
+            .virtual_duration_ms(5)
+            .seed(42)
+            .run()
+            .throughput_ops_per_us()
+        };
+        let speedup4 = run4(LockAlgorithm::Cna) / run4(LockAlgorithm::Mcs);
+        let _ = m4;
+        assert!(
+            speedup4 > speedup2,
+            "4-socket speedup {speedup4:.2} should exceed 2-socket speedup {speedup2:.2}"
+        );
+    }
+
+    #[test]
+    fn mcs_is_fair_and_cna_preserves_long_term_fairness() {
+        let mcs = run(LockAlgorithm::Mcs, 16, MachineConfig::two_socket_paper());
+        assert!(mcs.fairness_factor() < 0.55, "MCS fairness {:.3}", mcs.fairness_factor());
+        // The paper's THRESHOLD (0xffff) flushes the secondary queue roughly
+        // once per 65k hand-overs — far less often than a short simulated
+        // window contains, exactly like a short wall-clock sample of the real
+        // lock. A faster-flushing configuration shows the long-term behaviour
+        // within a small window.
+        let fair_cna = Simulation::new(
+            MachineConfig::two_socket_paper(),
+            CostModel::two_socket_xeon(),
+            LockAlgorithm::CnaThreshold(0x3ff),
+            Workload::kv_map_no_external_work(),
+        )
+        .threads(16)
+        .virtual_duration_ms(20)
+        .seed(42)
+        .run();
+        assert!(
+            fair_cna.fairness_factor() < 0.65,
+            "CNA (1/1024 flushes) fairness {:.3}",
+            fair_cna.fairness_factor()
+        );
+        // The unfair backoff-based cohort global shows the opposite extreme.
+        let cbomcs = run(LockAlgorithm::CBoMcs, 16, MachineConfig::two_socket_paper());
+        assert!(
+            cbomcs.fairness_factor() > mcs.fairness_factor(),
+            "C-BO-MCS ({:.3}) should be less fair than MCS ({:.3})",
+            cbomcs.fairness_factor(),
+            mcs.fairness_factor()
+        );
+    }
+
+    #[test]
+    fn cna_llc_miss_rate_is_lower_than_mcs() {
+        let mcs = run(LockAlgorithm::Mcs, 32, MachineConfig::two_socket_paper());
+        let cna = run(LockAlgorithm::Cna, 32, MachineConfig::two_socket_paper());
+        assert!(
+            cna.llc_misses_per_us() < mcs.llc_misses_per_us(),
+            "CNA misses {:.2}/us vs MCS {:.2}/us",
+            cna.llc_misses_per_us(),
+            mcs.llc_misses_per_us()
+        );
+    }
+
+    #[test]
+    fn cna_keeps_most_handovers_local_under_contention() {
+        let cna = run(LockAlgorithm::Cna, 32, MachineConfig::two_socket_paper());
+        assert!(
+            cna.local_handover_fraction() > 0.9,
+            "local fraction {:.3}",
+            cna.local_handover_fraction()
+        );
+        let mcs = run(LockAlgorithm::Mcs, 32, MachineConfig::two_socket_paper());
+        assert!(mcs.local_handover_fraction() < 0.7);
+    }
+
+    #[test]
+    fn single_socket_machine_removes_the_cna_advantage() {
+        let machine = MachineConfig::single_socket(36);
+        let mcs = run(LockAlgorithm::Mcs, 16, machine.clone());
+        let cna = run(LockAlgorithm::Cna, 16, machine);
+        let rel = (mcs.throughput_ops_per_us() - cna.throughput_ops_per_us()).abs()
+            / mcs.throughput_ops_per_us();
+        assert!(rel < 0.1, "on one socket CNA ≈ MCS (rel diff {rel:.3})");
+    }
+
+    #[test]
+    fn runs_are_deterministic_for_a_seed() {
+        let a = run(LockAlgorithm::CBoMcs, 8, MachineConfig::two_socket_paper());
+        let b = run(LockAlgorithm::CBoMcs, 8, MachineConfig::two_socket_paper());
+        assert_eq!(a.total_ops, b.total_ops);
+        assert_eq!(a.remote_transfers, b.remote_transfers);
+    }
+
+    #[test]
+    fn every_algorithm_completes_work_under_contention() {
+        for algo in [
+            LockAlgorithm::Mcs,
+            LockAlgorithm::Ticket,
+            LockAlgorithm::Tas,
+            LockAlgorithm::Hbo,
+            LockAlgorithm::Cna,
+            LockAlgorithm::CnaOpt,
+            LockAlgorithm::CBoMcs,
+            LockAlgorithm::CTktTkt,
+            LockAlgorithm::CPtlTkt,
+            LockAlgorithm::Hmcs,
+        ] {
+            let r = run(algo, 8, MachineConfig::two_socket_paper());
+            assert!(r.total_ops > 1_000, "{} only completed {} ops", algo.name(), r.total_ops);
+            // Nobody may be starved outright in 5 virtual ms except by the
+            // explicitly unfair locks.
+            if matches!(algo, LockAlgorithm::Mcs | LockAlgorithm::Cna | LockAlgorithm::Hmcs) {
+                assert!(r.ops_per_thread.iter().all(|&o| o > 0), "{}", algo.name());
+            }
+        }
+    }
+}

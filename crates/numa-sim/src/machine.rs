@@ -1,0 +1,143 @@
+//! Simulated machine configurations.
+
+/// A virtual multi-socket machine: socket count, logical CPUs per socket, and
+//  the placement of benchmark threads onto sockets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct MachineConfig {
+    /// Number of sockets (NUMA nodes).
+    pub sockets: usize,
+    /// Logical CPUs per socket.
+    pub cpus_per_socket: usize,
+    /// How benchmark threads are placed onto sockets.
+    pub placement: ThreadPlacement,
+    /// Human-readable label used in experiment output.
+    pub label: &'static str,
+}
+
+/// Placement of the n-th benchmark thread.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum ThreadPlacement {
+    /// Threads alternate across sockets (what an idle Linux scheduler does
+    /// with unpinned threads, and what the paper's unpinned runs look like).
+    Interleaved,
+    /// Threads fill one socket before the next (numactl-style binding).
+    Blocked,
+}
+
+impl MachineConfig {
+    /// The paper's 2-socket machine: 2 × Intel Xeon E5-2699 v3, 18
+    /// hyper-threaded cores per socket, 72 logical CPUs.
+    pub fn two_socket_paper() -> Self {
+        MachineConfig {
+            sockets: 2,
+            cpus_per_socket: 36,
+            placement: ThreadPlacement::Interleaved,
+            label: "2-socket (72 CPUs)",
+        }
+    }
+
+    /// The paper's 4-socket machine: 4 × Intel Xeon E7-8895 v3, 144 logical
+    /// CPUs.
+    pub fn four_socket_paper() -> Self {
+        MachineConfig {
+            sockets: 4,
+            cpus_per_socket: 36,
+            placement: ThreadPlacement::Interleaved,
+            label: "4-socket (144 CPUs)",
+        }
+    }
+
+    /// A single-socket machine (useful as a sanity baseline: every
+    /// NUMA-aware policy must degenerate to FIFO-like behaviour).
+    pub fn single_socket(cpus: usize) -> Self {
+        MachineConfig {
+            sockets: 1,
+            cpus_per_socket: cpus.max(1),
+            placement: ThreadPlacement::Interleaved,
+            label: "1-socket",
+        }
+    }
+
+    /// Total logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        self.sockets * self.cpus_per_socket
+    }
+
+    /// The thread counts the paper sweeps on this machine (1 … CPUs − 2,
+    /// leaving spare CPUs for the OS, as §7 describes).
+    pub fn paper_thread_counts(&self) -> Vec<usize> {
+        let max = self.logical_cpus().saturating_sub(2).max(1);
+        let mut counts = vec![1, 2, 4, 8, 16, 24, 36, 48, 64, 70, 96, 128, 142];
+        counts.retain(|&c| c <= max);
+        if counts.last() != Some(&max) && max > *counts.last().unwrap_or(&1) {
+            counts.push(max);
+        }
+        counts
+    }
+
+    /// Socket of the `thread_index`-th benchmark thread.
+    pub fn socket_of_thread(&self, thread_index: usize) -> usize {
+        match self.placement {
+            ThreadPlacement::Interleaved => thread_index % self.sockets,
+            ThreadPlacement::Blocked => {
+                (thread_index / self.cpus_per_socket.max(1)) % self.sockets
+            }
+        }
+    }
+
+    /// Returns a copy with blocked placement.
+    pub fn with_blocked_placement(mut self) -> Self {
+        self.placement = ThreadPlacement::Blocked;
+        self
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn paper_machines_match_the_hardware_description() {
+        let two = MachineConfig::two_socket_paper();
+        assert_eq!(two.logical_cpus(), 72);
+        let four = MachineConfig::four_socket_paper();
+        assert_eq!(four.logical_cpus(), 144);
+        assert_eq!(four.sockets, 4);
+    }
+
+    #[test]
+    fn interleaved_placement_alternates() {
+        let m = MachineConfig::two_socket_paper();
+        assert_eq!(m.socket_of_thread(0), 0);
+        assert_eq!(m.socket_of_thread(1), 1);
+        assert_eq!(m.socket_of_thread(2), 0);
+    }
+
+    #[test]
+    fn blocked_placement_fills_sockets() {
+        let m = MachineConfig::two_socket_paper().with_blocked_placement();
+        assert_eq!(m.socket_of_thread(0), 0);
+        assert_eq!(m.socket_of_thread(35), 0);
+        assert_eq!(m.socket_of_thread(36), 1);
+        assert_eq!(m.socket_of_thread(71), 1);
+        assert_eq!(m.socket_of_thread(72), 0, "wraps for over-subscription");
+    }
+
+    #[test]
+    fn thread_counts_respect_the_spare_cpu_rule() {
+        let two = MachineConfig::two_socket_paper();
+        assert_eq!(*two.paper_thread_counts().last().unwrap(), 70);
+        let four = MachineConfig::four_socket_paper();
+        assert_eq!(*four.paper_thread_counts().last().unwrap(), 142);
+        let one = MachineConfig::single_socket(4);
+        assert!(one.paper_thread_counts().iter().all(|&c| c <= 2));
+    }
+
+    #[test]
+    fn single_socket_maps_everything_to_zero() {
+        let m = MachineConfig::single_socket(8);
+        for i in 0..20 {
+            assert_eq!(m.socket_of_thread(i), 0);
+        }
+    }
+}

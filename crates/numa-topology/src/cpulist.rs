@@ -1,0 +1,164 @@
+//! Parsing and formatting of Linux `cpulist` strings (e.g. `"0-17,36-53"`).
+//!
+//! These strings appear in `/sys/devices/system/node/node*/cpulist` and are
+//! the portable way Linux describes which logical CPUs belong to a NUMA node.
+
+use std::fmt;
+
+/// Error returned by [`parse_cpulist`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct CpuListError {
+    /// The fragment of the input that could not be parsed.
+    pub fragment: String,
+}
+
+impl fmt::Display for CpuListError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "invalid cpulist fragment {:?}", self.fragment)
+    }
+}
+
+impl std::error::Error for CpuListError {}
+
+/// Parses a Linux cpulist string into a sorted, de-duplicated list of CPU ids.
+///
+/// Accepts comma-separated single ids (`"3"`) and inclusive ranges
+/// (`"0-17"`). Whitespace around fragments is ignored; an empty string yields
+/// an empty list.
+///
+/// # Errors
+///
+/// Returns [`CpuListError`] when a fragment is not a number or a
+/// low-to-high range.
+///
+/// # Examples
+///
+/// ```
+/// let cpus = numa_topology::parse_cpulist("0-2,5, 7").unwrap();
+/// assert_eq!(cpus, vec![0, 1, 2, 5, 7]);
+/// ```
+pub fn parse_cpulist(input: &str) -> Result<Vec<usize>, CpuListError> {
+    let mut cpus = Vec::new();
+    for raw in input.split(',') {
+        let frag = raw.trim();
+        if frag.is_empty() {
+            continue;
+        }
+        match frag.split_once('-') {
+            Some((lo, hi)) => {
+                let lo: usize = lo.trim().parse().map_err(|_| CpuListError {
+                    fragment: frag.to_string(),
+                })?;
+                let hi: usize = hi.trim().parse().map_err(|_| CpuListError {
+                    fragment: frag.to_string(),
+                })?;
+                if lo > hi {
+                    return Err(CpuListError {
+                        fragment: frag.to_string(),
+                    });
+                }
+                cpus.extend(lo..=hi);
+            }
+            None => {
+                let cpu: usize = frag.parse().map_err(|_| CpuListError {
+                    fragment: frag.to_string(),
+                })?;
+                cpus.push(cpu);
+            }
+        }
+    }
+    cpus.sort_unstable();
+    cpus.dedup();
+    Ok(cpus)
+}
+
+/// Formats a list of CPU ids back into compact cpulist form.
+///
+/// The input does not need to be sorted; the output always is.
+///
+/// # Examples
+///
+/// ```
+/// assert_eq!(numa_topology::format_cpulist(&[7, 0, 1, 2, 5]), "0-2,5,7");
+/// ```
+pub fn format_cpulist(cpus: &[usize]) -> String {
+    let mut sorted: Vec<usize> = cpus.to_vec();
+    sorted.sort_unstable();
+    sorted.dedup();
+    let mut out = String::new();
+    let mut i = 0;
+    while i < sorted.len() {
+        let start = sorted[i];
+        let mut end = start;
+        while i + 1 < sorted.len() && sorted[i + 1] == end + 1 {
+            end = sorted[i + 1];
+            i += 1;
+        }
+        if !out.is_empty() {
+            out.push(',');
+        }
+        if start == end {
+            out.push_str(&start.to_string());
+        } else {
+            out.push_str(&format!("{start}-{end}"));
+        }
+        i += 1;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn parses_single_ids_and_ranges() {
+        assert_eq!(parse_cpulist("0").unwrap(), vec![0]);
+        assert_eq!(parse_cpulist("0-3").unwrap(), vec![0, 1, 2, 3]);
+        assert_eq!(parse_cpulist("0-1,4-5,9").unwrap(), vec![0, 1, 4, 5, 9]);
+    }
+
+    #[test]
+    fn parses_real_xeon_layout() {
+        // Socket 0 of the paper's 2-socket E5-2699 v3 box.
+        let cpus = parse_cpulist("0-17,36-53").unwrap();
+        assert_eq!(cpus.len(), 36);
+        assert!(cpus.contains(&17));
+        assert!(cpus.contains(&36));
+        assert!(!cpus.contains(&18));
+    }
+
+    #[test]
+    fn tolerates_whitespace_and_empty_fragments() {
+        assert_eq!(parse_cpulist("").unwrap(), Vec::<usize>::new());
+        assert_eq!(parse_cpulist(" 1 , 3 ,, 5 ").unwrap(), vec![1, 3, 5]);
+        assert_eq!(parse_cpulist("\n").unwrap(), Vec::<usize>::new());
+    }
+
+    #[test]
+    fn deduplicates_and_sorts() {
+        assert_eq!(parse_cpulist("3,1,2,2,0-2").unwrap(), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn rejects_garbage() {
+        assert!(parse_cpulist("a").is_err());
+        assert!(parse_cpulist("1-").is_err());
+        assert!(parse_cpulist("5-2").is_err());
+        assert!(parse_cpulist("1,x-3").is_err());
+    }
+
+    #[test]
+    fn format_roundtrips() {
+        for input in ["0-17,36-53", "0", "0-1,3", "2,4,6"] {
+            let cpus = parse_cpulist(input).unwrap();
+            assert_eq!(format_cpulist(&cpus), input);
+        }
+    }
+
+    #[test]
+    fn format_handles_unsorted_input() {
+        assert_eq!(format_cpulist(&[5, 3, 4, 1]), "1,3-5");
+        assert_eq!(format_cpulist(&[]), "");
+    }
+}

@@ -1,0 +1,178 @@
+//! Best-effort detection of the machine topology.
+//!
+//! Resolution order (first hit wins):
+//!
+//! 1. Environment overrides (`CNA_SOCKETS`, `CNA_CORES_PER_SOCKET`,
+//!    `CNA_SMT`) — used by the benchmark harness to emulate the paper's
+//!    2- and 4-socket machines on arbitrary hosts.
+//! 2. `/sys/devices/system/node/node*/cpulist` on Linux.
+//! 3. A single-socket fallback sized by `std::thread::available_parallelism`.
+
+use std::path::Path;
+
+use crate::cpulist::parse_cpulist;
+use crate::topology::{Topology, TopologyError};
+use crate::{ENV_CORES_PER_SOCKET, ENV_SMT, ENV_SOCKETS};
+
+/// How the topology returned by [`detect`] was obtained.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum DetectOutcome {
+    /// Built from `CNA_SOCKETS` / `CNA_CORES_PER_SOCKET` / `CNA_SMT`.
+    Environment,
+    /// Read from `/sys/devices/system/node`.
+    Sysfs,
+    /// Single-socket fallback sized by available parallelism.
+    Fallback,
+}
+
+/// Detects the topology of the current machine.
+///
+/// Never fails: if the environment overrides are malformed or sysfs is
+/// unavailable the single-socket fallback is returned.
+pub fn detect() -> (Topology, DetectOutcome) {
+    if let Some(topo) = topology_from_env() {
+        return (topo, DetectOutcome::Environment);
+    }
+    if let Some(topo) = topology_from_sysfs(Path::new("/sys/devices/system/node")) {
+        return (topo, DetectOutcome::Sysfs);
+    }
+    (fallback_topology(), DetectOutcome::Fallback)
+}
+
+/// Builds a topology from the `CNA_*` environment variables, if the socket
+/// count is set. Missing cores-per-socket defaults to dividing the available
+/// parallelism evenly; missing SMT defaults to 1.
+pub(crate) fn topology_from_env() -> Option<Topology> {
+    let sockets = parse_env_usize(ENV_SOCKETS)?;
+    let available = available_cpus();
+    let cores = parse_env_usize(ENV_CORES_PER_SOCKET)
+        .unwrap_or_else(|| (available / sockets.max(1)).max(1));
+    let smt = parse_env_usize(ENV_SMT).unwrap_or(1);
+    Topology::try_virtual_topology(sockets, cores, smt).ok()
+}
+
+fn parse_env_usize(var: &str) -> Option<usize> {
+    std::env::var(var).ok()?.trim().parse::<usize>().ok().filter(|v| *v > 0)
+}
+
+/// Reads `node*/cpulist` files from a sysfs-style directory.
+///
+/// Returns `None` when the directory does not exist, cannot be read, or
+/// describes no usable node.
+pub(crate) fn topology_from_sysfs(root: &Path) -> Option<Topology> {
+    let entries = std::fs::read_dir(root).ok()?;
+    let mut nodes: Vec<(usize, Vec<usize>)> = Vec::new();
+    for entry in entries.flatten() {
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        let Some(rest) = name.strip_prefix("node") else {
+            continue;
+        };
+        let Ok(node_id) = rest.parse::<usize>() else {
+            continue;
+        };
+        let cpulist_path = entry.path().join("cpulist");
+        let Ok(contents) = std::fs::read_to_string(&cpulist_path) else {
+            continue;
+        };
+        let Ok(cpus) = parse_cpulist(contents.trim()) else {
+            continue;
+        };
+        if !cpus.is_empty() {
+            nodes.push((node_id, cpus));
+        }
+    }
+    if nodes.is_empty() {
+        return None;
+    }
+    nodes.sort_by_key(|(id, _)| *id);
+    let per_socket: Vec<Vec<usize>> = nodes.into_iter().map(|(_, cpus)| cpus).collect();
+    match Topology::from_socket_cpus(per_socket) {
+        Ok(topo) => Some(topo),
+        Err(TopologyError::DuplicateCpu(_)) | Err(_) => None,
+    }
+}
+
+fn available_cpus() -> usize {
+    std::thread::available_parallelism().map_or(1, |n| n.get())
+}
+
+fn fallback_topology() -> Topology {
+    Topology::single_socket(available_cpus())
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn write_sysfs_node(root: &Path, node: usize, cpulist: &str) {
+        let dir = root.join(format!("node{node}"));
+        std::fs::create_dir_all(&dir).unwrap();
+        std::fs::write(dir.join("cpulist"), cpulist).unwrap();
+    }
+
+    fn temp_dir(tag: &str) -> std::path::PathBuf {
+        let dir = std::env::temp_dir().join(format!(
+            "numa-topology-test-{tag}-{}",
+            std::process::id()
+        ));
+        let _ = std::fs::remove_dir_all(&dir);
+        std::fs::create_dir_all(&dir).unwrap();
+        dir
+    }
+
+    #[test]
+    fn sysfs_two_socket_layout_is_parsed() {
+        let root = temp_dir("two-socket");
+        write_sysfs_node(&root, 0, "0-17,36-53\n");
+        write_sysfs_node(&root, 1, "18-35,54-71\n");
+        let topo = topology_from_sysfs(&root).expect("topology");
+        assert_eq!(topo.sockets(), 2);
+        assert_eq!(topo.logical_cpus(), 72);
+        assert_eq!(topo.socket_of_cpu(17), Some(0));
+        assert_eq!(topo.socket_of_cpu(18), Some(1));
+        assert_eq!(topo.socket_of_cpu(54), Some(1));
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sysfs_missing_directory_returns_none() {
+        let root = std::env::temp_dir().join("numa-topology-does-not-exist-xyz");
+        assert!(topology_from_sysfs(&root).is_none());
+    }
+
+    #[test]
+    fn sysfs_ignores_unrelated_entries_and_bad_nodes() {
+        let root = temp_dir("mixed");
+        write_sysfs_node(&root, 0, "0-3");
+        std::fs::create_dir_all(root.join("cpu0")).unwrap();
+        std::fs::create_dir_all(root.join("nodeX")).unwrap();
+        // A node directory without a cpulist file is skipped.
+        std::fs::create_dir_all(root.join("node7")).unwrap();
+        let topo = topology_from_sysfs(&root).expect("topology");
+        assert_eq!(topo.sockets(), 1);
+        assert_eq!(topo.logical_cpus(), 4);
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn sysfs_empty_directory_returns_none() {
+        let root = temp_dir("empty");
+        assert!(topology_from_sysfs(&root).is_none());
+        std::fs::remove_dir_all(&root).unwrap();
+    }
+
+    #[test]
+    fn detect_always_returns_a_usable_topology() {
+        let (topo, _outcome) = detect();
+        assert!(topo.sockets() >= 1);
+        assert!(topo.logical_cpus() >= 1);
+    }
+
+    #[test]
+    fn fallback_has_one_socket() {
+        let topo = fallback_topology();
+        assert_eq!(topo.sockets(), 1);
+        assert!(topo.logical_cpus() >= 1);
+    }
+}

@@ -1,0 +1,175 @@
+//! Process-global topology and per-thread socket lookup.
+//!
+//! The lock implementations call [`current_socket`] on their slow path; it
+//! must therefore be cheap (a thread-local read) and must never block. The
+//! answer is allowed to be stale or even wrong — as the paper notes, a
+//! migrated thread only loses a little locality, never correctness.
+
+use std::cell::Cell;
+use std::sync::atomic::{AtomicUsize, Ordering};
+use std::sync::{Arc, Mutex, OnceLock};
+
+use crate::placement::Placement;
+use crate::topology::{SocketId, Topology};
+
+static GLOBAL_TOPOLOGY: OnceLock<Mutex<Arc<Topology>>> = OnceLock::new();
+static NEXT_THREAD_INDEX: AtomicUsize = AtomicUsize::new(0);
+
+thread_local! {
+    static THREAD_INDEX: Cell<Option<usize>> = const { Cell::new(None) };
+    static SOCKET_OVERRIDE: Cell<Option<SocketId>> = const { Cell::new(None) };
+    static CACHED_SOCKET: Cell<Option<SocketId>> = const { Cell::new(None) };
+}
+
+fn global_cell() -> &'static Mutex<Arc<Topology>> {
+    GLOBAL_TOPOLOGY.get_or_init(|| {
+        let (topo, _outcome) = crate::detect();
+        Mutex::new(Arc::new(topo))
+    })
+}
+
+/// Returns the process-global topology, detecting it on first use.
+pub fn global_topology() -> Arc<Topology> {
+    global_cell().lock().expect("topology mutex poisoned").clone()
+}
+
+/// Replaces the process-global topology (e.g. with a virtual 4-socket
+/// machine before starting a benchmark) and invalidates per-thread caches of
+/// the *calling* thread.
+///
+/// Threads that already cached a socket id keep using it until they refresh;
+/// this mirrors the paper's tolerance for stale socket information.
+pub fn set_global_topology(topo: Topology) {
+    *global_cell().lock().expect("topology mutex poisoned") = Arc::new(topo);
+    CACHED_SOCKET.with(|c| c.set(None));
+}
+
+/// Registers the calling thread (idempotent) and returns its dense index.
+///
+/// Indices are handed out in registration order and are never reused; they
+/// feed the [`Placement`] policy that assigns sockets to threads.
+pub fn register_current_thread() -> usize {
+    THREAD_INDEX.with(|cell| {
+        if let Some(idx) = cell.get() {
+            idx
+        } else {
+            let idx = NEXT_THREAD_INDEX.fetch_add(1, Ordering::Relaxed);
+            cell.set(Some(idx));
+            idx
+        }
+    })
+}
+
+/// Returns the calling thread's registration index, registering it if needed.
+pub fn current_thread_index() -> usize {
+    register_current_thread()
+}
+
+/// Returns the socket the calling thread is considered to be running on.
+///
+/// Resolution order: an active [`SocketOverrideGuard`] or
+/// [`with_socket_override`] closure, then the cached placement-derived
+/// socket, then a fresh placement computation
+/// (`CNA_PLACEMENT` policy over the global topology).
+pub fn current_socket() -> SocketId {
+    if let Some(s) = SOCKET_OVERRIDE.with(Cell::get) {
+        return s;
+    }
+    if let Some(s) = CACHED_SOCKET.with(Cell::get) {
+        return s;
+    }
+    let topo = global_topology();
+    let placement = Placement::from_env();
+    let socket = placement.socket_for_thread(&topo, register_current_thread());
+    CACHED_SOCKET.with(|c| c.set(Some(socket)));
+    socket
+}
+
+/// Runs `f` with the calling thread's socket forced to `socket`.
+///
+/// Used by the benchmark harness to emulate specific thread placements and
+/// by tests to exercise cross-socket code paths deterministically.
+pub fn with_socket_override<R>(socket: SocketId, f: impl FnOnce() -> R) -> R {
+    let _guard = SocketOverrideGuard::new(socket);
+    f()
+}
+
+/// RAII guard forcing the calling thread's socket until dropped.
+///
+/// Guards nest: dropping an inner guard restores the outer override.
+#[derive(Debug)]
+pub struct SocketOverrideGuard {
+    previous: Option<SocketId>,
+}
+
+impl SocketOverrideGuard {
+    /// Forces the calling thread's apparent socket to `socket`.
+    pub fn new(socket: SocketId) -> Self {
+        let previous = SOCKET_OVERRIDE.with(|c| c.replace(Some(socket)));
+        SocketOverrideGuard { previous }
+    }
+}
+
+impl Drop for SocketOverrideGuard {
+    fn drop(&mut self) {
+        SOCKET_OVERRIDE.with(|c| c.set(self.previous));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn registration_is_idempotent_per_thread() {
+        let a = register_current_thread();
+        let b = register_current_thread();
+        assert_eq!(a, b);
+        assert_eq!(current_thread_index(), a);
+    }
+
+    #[test]
+    fn distinct_threads_get_distinct_indices() {
+        let here = register_current_thread();
+        let other = std::thread::spawn(register_current_thread).join().unwrap();
+        assert_ne!(here, other);
+    }
+
+    #[test]
+    fn socket_override_nests_and_restores() {
+        let base = current_socket();
+        {
+            let _g1 = SocketOverrideGuard::new(base + 7);
+            assert_eq!(current_socket(), base + 7);
+            {
+                let _g2 = SocketOverrideGuard::new(base + 9);
+                assert_eq!(current_socket(), base + 9);
+            }
+            assert_eq!(current_socket(), base + 7);
+        }
+        assert_eq!(current_socket(), base);
+    }
+
+    #[test]
+    fn with_socket_override_scopes_the_change() {
+        let base = current_socket();
+        let inside = with_socket_override(base + 3, current_socket);
+        assert_eq!(inside, base + 3);
+        assert_eq!(current_socket(), base);
+    }
+
+    #[test]
+    fn global_topology_is_usable() {
+        let topo = global_topology();
+        assert!(topo.sockets() >= 1);
+        assert!(topo.logical_cpus() >= 1);
+    }
+
+    #[test]
+    fn current_socket_is_within_topology_or_overridden() {
+        // Without an override the socket must be a valid socket id.
+        let topo = global_topology();
+        let s = current_socket();
+        assert!(s < topo.sockets() || s == 0);
+    }
+}

@@ -1,0 +1,67 @@
+//! NUMA topology discovery, virtual topologies and thread-to-socket placement.
+//!
+//! The CNA lock (and every hierarchical NUMA-aware lock it is compared
+//! against) only needs a cheap, stable answer to one question: *which socket
+//! is the current thread running on?*  The paper obtains it from `rdtscp` or
+//! a periodically refreshed thread-local variable and explicitly tolerates
+//! stale answers (they affect performance, never correctness).
+//!
+//! This crate provides:
+//!
+//! * [`Topology`] — an immutable description of a machine as `sockets ×
+//!   cores_per_socket × smt` logical CPUs, either detected from
+//!   `/sys/devices/system/node` (when running on a real Linux NUMA machine),
+//!   built from environment variables, or constructed programmatically for
+//!   simulations and tests.
+//! * [`Placement`] — policies mapping the *n*-th registered thread to a
+//!   logical CPU (and therefore a socket): blocked, interleaved, or an
+//!   explicit per-thread table.
+//! * A process-global [registry](global_topology) that hands out thread
+//!   indices and caches the per-thread socket id in thread-local storage,
+//!   mirroring the "cache the socket number and refresh it periodically"
+//!   optimisation of §6 of the paper.
+//!
+//! # Examples
+//!
+//! ```
+//! use numa_topology::{Topology, Placement};
+//!
+//! // A virtual 2-socket machine with 18 hyper-threaded cores per socket,
+//! // matching the paper's 72-logical-CPU evaluation box.
+//! let topo = Topology::virtual_topology(2, 18, 2);
+//! assert_eq!(topo.logical_cpus(), 72);
+//! assert_eq!(topo.socket_of_cpu(0), Some(0));
+//! assert_eq!(topo.socket_of_cpu(71), Some(1));
+//!
+//! // Interleaved placement alternates sockets for consecutive threads.
+//! let placement = Placement::Interleaved;
+//! assert_eq!(placement.socket_for_thread(&topo, 0), 0);
+//! assert_eq!(placement.socket_for_thread(&topo, 1), 1);
+//! ```
+
+#![warn(missing_docs)]
+
+mod cpulist;
+mod detect;
+mod global;
+mod placement;
+mod topology;
+
+pub use cpulist::{format_cpulist, parse_cpulist, CpuListError};
+pub use detect::{detect, DetectOutcome};
+pub use global::{
+    current_socket, current_thread_index, global_topology, register_current_thread,
+    set_global_topology, with_socket_override, SocketOverrideGuard,
+};
+pub use placement::Placement;
+pub use topology::{SocketId, Topology, TopologyError};
+
+/// Environment variable selecting the number of virtual sockets.
+pub const ENV_SOCKETS: &str = "CNA_SOCKETS";
+/// Environment variable selecting the number of cores per virtual socket.
+pub const ENV_CORES_PER_SOCKET: &str = "CNA_CORES_PER_SOCKET";
+/// Environment variable selecting the SMT (hyper-threading) degree.
+pub const ENV_SMT: &str = "CNA_SMT";
+/// Environment variable selecting the thread placement policy
+/// (`blocked`, `interleaved`).
+pub const ENV_PLACEMENT: &str = "CNA_PLACEMENT";

@@ -1,0 +1,140 @@
+//! Thread placement policies: which socket does the *n*-th thread land on?
+//!
+//! The paper does not pin threads ("we do not pin threads to cores, relying
+//! on the OS to make its choices"); on an otherwise idle machine Linux
+//! spreads threads across sockets, which is what [`Placement::Interleaved`]
+//! models. [`Placement::Blocked`] models a `numactl --cpunodebind`-style fill
+//! of one socket before the next, and [`Placement::Explicit`] allows tests
+//! and the simulator to craft arbitrary scenarios.
+
+use crate::topology::{SocketId, Topology};
+
+/// A policy assigning registered threads to sockets.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Placement {
+    /// Thread `i` goes to socket `i % sockets` (OS-like spread).
+    Interleaved,
+    /// Threads fill socket 0 completely (all its logical CPUs), then socket 1,
+    /// and so on, wrapping around when every CPU is taken.
+    Blocked,
+    /// Thread `i` goes to `sockets[i % len]` of the provided table.
+    Explicit(Vec<SocketId>),
+}
+
+impl Default for Placement {
+    fn default() -> Self {
+        Placement::Interleaved
+    }
+}
+
+impl Placement {
+    /// Parses a placement name as accepted by the `CNA_PLACEMENT`
+    /// environment variable. Unknown names return `None`.
+    pub fn from_name(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "interleaved" | "interleave" | "rr" | "round-robin" => Some(Placement::Interleaved),
+            "blocked" | "block" | "compact" | "fill" => Some(Placement::Blocked),
+            _ => None,
+        }
+    }
+
+    /// Reads the placement policy from the `CNA_PLACEMENT` environment
+    /// variable, defaulting to [`Placement::Interleaved`].
+    pub fn from_env() -> Self {
+        std::env::var(crate::ENV_PLACEMENT)
+            .ok()
+            .and_then(|v| Self::from_name(&v))
+            .unwrap_or_default()
+    }
+
+    /// The socket the `thread_index`-th registered thread is placed on under
+    /// this policy for the given topology.
+    pub fn socket_for_thread(&self, topo: &Topology, thread_index: usize) -> SocketId {
+        let sockets = topo.sockets().max(1);
+        match self {
+            Placement::Interleaved => thread_index % sockets,
+            Placement::Blocked => {
+                let total = topo.logical_cpus().max(1);
+                let slot = thread_index % total;
+                // Walk sockets in order until the slot falls inside one.
+                let mut remaining = slot;
+                for s in 0..sockets {
+                    let cpus = topo.cpus_on_socket(s);
+                    if remaining < cpus {
+                        return s;
+                    }
+                    remaining -= cpus;
+                }
+                sockets - 1
+            }
+            Placement::Explicit(table) => {
+                if table.is_empty() {
+                    0
+                } else {
+                    table[thread_index % table.len()].min(sockets - 1)
+                }
+            }
+        }
+    }
+
+    /// Expands the policy into an explicit socket table for `threads` threads.
+    pub fn socket_table(&self, topo: &Topology, threads: usize) -> Vec<SocketId> {
+        (0..threads)
+            .map(|i| self.socket_for_thread(topo, i))
+            .collect()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn interleaved_round_robins_across_sockets() {
+        let topo = Topology::virtual_topology(4, 2, 1);
+        let p = Placement::Interleaved;
+        assert_eq!(p.socket_table(&topo, 6), vec![0, 1, 2, 3, 0, 1]);
+    }
+
+    #[test]
+    fn blocked_fills_a_socket_before_moving_on() {
+        let topo = Topology::virtual_topology(2, 3, 1);
+        let p = Placement::Blocked;
+        assert_eq!(p.socket_table(&topo, 8), vec![0, 0, 0, 1, 1, 1, 0, 0]);
+    }
+
+    #[test]
+    fn blocked_respects_uneven_sockets() {
+        let topo = Topology::from_socket_cpus(vec![vec![0], vec![1, 2, 3]]).unwrap();
+        let p = Placement::Blocked;
+        assert_eq!(p.socket_table(&topo, 5), vec![0, 1, 1, 1, 0]);
+    }
+
+    #[test]
+    fn explicit_wraps_and_clamps() {
+        let topo = Topology::virtual_topology(2, 2, 1);
+        let p = Placement::Explicit(vec![1, 1, 0, 9]);
+        assert_eq!(p.socket_table(&topo, 5), vec![1, 1, 0, 1, 1]);
+        let empty = Placement::Explicit(vec![]);
+        assert_eq!(empty.socket_for_thread(&topo, 3), 0);
+    }
+
+    #[test]
+    fn names_parse_case_insensitively() {
+        assert_eq!(Placement::from_name("Interleaved"), Some(Placement::Interleaved));
+        assert_eq!(Placement::from_name("RR"), Some(Placement::Interleaved));
+        assert_eq!(Placement::from_name("blocked"), Some(Placement::Blocked));
+        assert_eq!(Placement::from_name("compact"), Some(Placement::Blocked));
+        assert_eq!(Placement::from_name("garbage"), None);
+    }
+
+    #[test]
+    fn single_socket_always_maps_to_zero() {
+        let topo = Topology::single_socket(4);
+        for policy in [Placement::Interleaved, Placement::Blocked] {
+            for i in 0..10 {
+                assert_eq!(policy.socket_for_thread(&topo, i), 0);
+            }
+        }
+    }
+}

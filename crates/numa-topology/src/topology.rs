@@ -1,0 +1,321 @@
+//! The [`Topology`] type: an immutable description of a NUMA machine.
+
+use std::fmt;
+
+/// Identifier of a NUMA node (socket). Socket ids are dense, starting at 0.
+pub type SocketId = usize;
+
+/// Errors produced when constructing a [`Topology`].
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum TopologyError {
+    /// A topology must have at least one socket.
+    NoSockets,
+    /// A socket must contain at least one logical CPU.
+    EmptySocket(SocketId),
+    /// A logical CPU id appears in more than one socket.
+    DuplicateCpu(usize),
+    /// An environment variable contained a value that could not be parsed.
+    BadEnvValue {
+        /// Name of the offending environment variable.
+        var: &'static str,
+        /// The raw value found in the environment.
+        value: String,
+    },
+}
+
+impl fmt::Display for TopologyError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            TopologyError::NoSockets => write!(f, "topology must have at least one socket"),
+            TopologyError::EmptySocket(s) => write!(f, "socket {s} has no logical CPUs"),
+            TopologyError::DuplicateCpu(c) => {
+                write!(f, "logical CPU {c} is assigned to more than one socket")
+            }
+            TopologyError::BadEnvValue { var, value } => {
+                write!(f, "environment variable {var} has unparsable value {value:?}")
+            }
+        }
+    }
+}
+
+impl std::error::Error for TopologyError {}
+
+/// An immutable description of a machine: which logical CPUs belong to which
+/// socket, and (for virtual topologies) how the CPUs are laid out.
+///
+/// The distance matrix follows the ACPI SLIT convention: local distance is
+/// 10, remote distances are larger (21 is typical of 2-socket Xeons).
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Topology {
+    /// `cpus_per_socket[s]` lists the logical CPU ids that belong to socket `s`.
+    sockets: Vec<Vec<usize>>,
+    /// `socket_of[cpu]` maps a logical CPU id to its socket (dense cpu ids).
+    socket_of: Vec<Option<SocketId>>,
+    /// SLIT-style distance matrix, `distance[a][b]`.
+    distances: Vec<Vec<u32>>,
+    /// True when this topology was synthesised rather than detected.
+    synthetic: bool,
+}
+
+impl Topology {
+    /// Builds a topology from an explicit per-socket CPU list.
+    ///
+    /// # Errors
+    ///
+    /// Returns an error if there are no sockets, a socket is empty, or a CPU
+    /// id appears twice.
+    pub fn from_socket_cpus(sockets: Vec<Vec<usize>>) -> Result<Self, TopologyError> {
+        if sockets.is_empty() {
+            return Err(TopologyError::NoSockets);
+        }
+        let max_cpu = sockets
+            .iter()
+            .flat_map(|cpus| cpus.iter().copied())
+            .max()
+            .ok_or(TopologyError::NoSockets)?;
+        let mut socket_of: Vec<Option<SocketId>> = vec![None; max_cpu + 1];
+        for (sid, cpus) in sockets.iter().enumerate() {
+            if cpus.is_empty() {
+                return Err(TopologyError::EmptySocket(sid));
+            }
+            for &cpu in cpus {
+                if socket_of[cpu].is_some() {
+                    return Err(TopologyError::DuplicateCpu(cpu));
+                }
+                socket_of[cpu] = Some(sid);
+            }
+        }
+        let distances = default_distances(sockets.len());
+        Ok(Topology {
+            sockets,
+            socket_of,
+            distances,
+            synthetic: false,
+        })
+    }
+
+    /// Builds a synthetic topology of `sockets × cores_per_socket × smt`
+    /// logical CPUs.
+    ///
+    /// CPU ids are assigned the way Linux enumerates most x86 servers: the
+    /// first `sockets × cores_per_socket` ids are the primary hardware
+    /// threads round-robined across sockets in blocks, and the second half
+    /// (when `smt > 1`) are their SMT siblings. For the purposes of this
+    /// crate only the cpu→socket mapping matters.
+    ///
+    /// # Panics
+    ///
+    /// Panics if any argument is zero; use [`Topology::try_virtual_topology`]
+    /// for a fallible variant.
+    pub fn virtual_topology(sockets: usize, cores_per_socket: usize, smt: usize) -> Self {
+        Self::try_virtual_topology(sockets, cores_per_socket, smt)
+            .expect("virtual topology dimensions must be non-zero")
+    }
+
+    /// Fallible variant of [`Topology::virtual_topology`].
+    ///
+    /// # Errors
+    ///
+    /// Returns [`TopologyError::NoSockets`] if any dimension is zero.
+    pub fn try_virtual_topology(
+        sockets: usize,
+        cores_per_socket: usize,
+        smt: usize,
+    ) -> Result<Self, TopologyError> {
+        if sockets == 0 || cores_per_socket == 0 || smt == 0 {
+            return Err(TopologyError::NoSockets);
+        }
+        let physical = sockets * cores_per_socket;
+        let mut per_socket: Vec<Vec<usize>> = vec![Vec::new(); sockets];
+        for cpu in 0..physical * smt {
+            let physical_index = cpu % physical;
+            let socket = physical_index / cores_per_socket;
+            per_socket[socket].push(cpu);
+        }
+        let mut topo = Self::from_socket_cpus(per_socket)?;
+        topo.synthetic = true;
+        Ok(topo)
+    }
+
+    /// A single-socket topology with `cpus` logical CPUs (the fallback when
+    /// nothing about the machine is known).
+    pub fn single_socket(cpus: usize) -> Self {
+        Self::virtual_topology(1, cpus.max(1), 1)
+    }
+
+    /// Number of sockets.
+    pub fn sockets(&self) -> usize {
+        self.sockets.len()
+    }
+
+    /// Total number of logical CPUs.
+    pub fn logical_cpus(&self) -> usize {
+        self.sockets.iter().map(Vec::len).sum()
+    }
+
+    /// Number of logical CPUs on socket `socket`, or 0 for an unknown socket.
+    pub fn cpus_on_socket(&self, socket: SocketId) -> usize {
+        self.sockets.get(socket).map_or(0, Vec::len)
+    }
+
+    /// The logical CPU ids belonging to `socket`.
+    pub fn socket_cpus(&self, socket: SocketId) -> &[usize] {
+        self.sockets.get(socket).map_or(&[], Vec::as_slice)
+    }
+
+    /// The socket of logical CPU `cpu`, if the CPU exists.
+    pub fn socket_of_cpu(&self, cpu: usize) -> Option<SocketId> {
+        self.socket_of.get(cpu).copied().flatten()
+    }
+
+    /// True when this topology was synthesised (virtual) rather than detected
+    /// from the running machine.
+    pub fn is_synthetic(&self) -> bool {
+        self.synthetic
+    }
+
+    /// SLIT-style distance between two sockets (local = 10, remote = 21 by
+    /// default). Unknown sockets report the remote distance.
+    pub fn distance(&self, from: SocketId, to: SocketId) -> u32 {
+        self.distances
+            .get(from)
+            .and_then(|row| row.get(to))
+            .copied()
+            .unwrap_or(21)
+    }
+
+    /// Replaces the distance matrix. Rows/columns beyond the socket count are
+    /// ignored; missing entries keep their defaults.
+    pub fn with_distances(mut self, distances: Vec<Vec<u32>>) -> Self {
+        let n = self.sockets.len();
+        for (i, row) in distances.into_iter().enumerate().take(n) {
+            for (j, d) in row.into_iter().enumerate().take(n) {
+                self.distances[i][j] = d;
+            }
+        }
+        self
+    }
+
+    /// Iterates over `(cpu, socket)` pairs in CPU id order.
+    pub fn iter_cpus(&self) -> impl Iterator<Item = (usize, SocketId)> + '_ {
+        self.socket_of
+            .iter()
+            .enumerate()
+            .filter_map(|(cpu, socket)| socket.map(|s| (cpu, s)))
+    }
+}
+
+impl fmt::Display for Topology {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{} socket(s), {} logical CPUs{}",
+            self.sockets(),
+            self.logical_cpus(),
+            if self.synthetic { " (virtual)" } else { "" }
+        )
+    }
+}
+
+fn default_distances(sockets: usize) -> Vec<Vec<u32>> {
+    (0..sockets)
+        .map(|i| (0..sockets).map(|j| if i == j { 10 } else { 21 }).collect())
+        .collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn virtual_topology_dimensions() {
+        let topo = Topology::virtual_topology(2, 18, 2);
+        assert_eq!(topo.sockets(), 2);
+        assert_eq!(topo.logical_cpus(), 72);
+        assert_eq!(topo.cpus_on_socket(0), 36);
+        assert_eq!(topo.cpus_on_socket(1), 36);
+    }
+
+    #[test]
+    fn virtual_topology_socket_mapping_matches_linux_enumeration() {
+        // 2 sockets x 2 cores, SMT 2: cpus 0,1 on socket 0; 2,3 on socket 1;
+        // SMT siblings 4,5 on socket 0 and 6,7 on socket 1.
+        let topo = Topology::virtual_topology(2, 2, 2);
+        assert_eq!(topo.socket_of_cpu(0), Some(0));
+        assert_eq!(topo.socket_of_cpu(1), Some(0));
+        assert_eq!(topo.socket_of_cpu(2), Some(1));
+        assert_eq!(topo.socket_of_cpu(3), Some(1));
+        assert_eq!(topo.socket_of_cpu(4), Some(0));
+        assert_eq!(topo.socket_of_cpu(6), Some(1));
+        assert_eq!(topo.socket_of_cpu(8), None);
+    }
+
+    #[test]
+    fn from_socket_cpus_detects_duplicates() {
+        let err = Topology::from_socket_cpus(vec![vec![0, 1], vec![1, 2]]).unwrap_err();
+        assert_eq!(err, TopologyError::DuplicateCpu(1));
+    }
+
+    #[test]
+    fn from_socket_cpus_rejects_empty() {
+        assert_eq!(
+            Topology::from_socket_cpus(vec![]).unwrap_err(),
+            TopologyError::NoSockets
+        );
+        assert_eq!(
+            Topology::from_socket_cpus(vec![vec![0], vec![]]).unwrap_err(),
+            TopologyError::EmptySocket(1)
+        );
+    }
+
+    #[test]
+    fn zero_dimensions_are_rejected() {
+        assert!(Topology::try_virtual_topology(0, 1, 1).is_err());
+        assert!(Topology::try_virtual_topology(1, 0, 1).is_err());
+        assert!(Topology::try_virtual_topology(1, 1, 0).is_err());
+    }
+
+    #[test]
+    fn distances_default_to_slit_values() {
+        let topo = Topology::virtual_topology(4, 4, 1);
+        assert_eq!(topo.distance(0, 0), 10);
+        assert_eq!(topo.distance(0, 3), 21);
+        assert_eq!(topo.distance(7, 0), 21, "out-of-range sockets are remote");
+    }
+
+    #[test]
+    fn distances_can_be_overridden() {
+        let topo =
+            Topology::virtual_topology(2, 2, 1).with_distances(vec![vec![10, 31], vec![31, 10]]);
+        assert_eq!(topo.distance(0, 1), 31);
+        assert_eq!(topo.distance(1, 0), 31);
+        assert_eq!(topo.distance(1, 1), 10);
+    }
+
+    #[test]
+    fn single_socket_never_panics() {
+        let topo = Topology::single_socket(0);
+        assert_eq!(topo.sockets(), 1);
+        assert_eq!(topo.logical_cpus(), 1);
+    }
+
+    #[test]
+    fn iter_cpus_yields_every_cpu_once() {
+        let topo = Topology::virtual_topology(2, 3, 2);
+        let pairs: Vec<_> = topo.iter_cpus().collect();
+        assert_eq!(pairs.len(), topo.logical_cpus());
+        let mut seen = std::collections::HashSet::new();
+        for (cpu, socket) in pairs {
+            assert!(seen.insert(cpu));
+            assert_eq!(topo.socket_of_cpu(cpu), Some(socket));
+        }
+    }
+
+    #[test]
+    fn display_mentions_virtual() {
+        let topo = Topology::virtual_topology(2, 2, 1);
+        let s = format!("{topo}");
+        assert!(s.contains("2 socket(s)"));
+        assert!(s.contains("virtual"));
+    }
+}

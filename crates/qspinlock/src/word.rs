@@ -1,0 +1,94 @@
+//! Layout of the four-byte qspinlock word.
+//!
+//! ```text
+//!  31            18 17  16 15        9   8   7          0
+//! +----------------+------+-----------+---+-------------+
+//! |  tail CPU + 1  | idx  |  (unused) | P |  locked byte |
+//! +----------------+------+-----------+---+-------------+
+//! ```
+//!
+//! This matches the kernel's `NR_CPUS < 16k` layout: locked byte in bits
+//! 0–7, pending bit 8, tail nesting index in bits 16–17 and tail CPU (+1, so
+//! that 0 means "no tail") from bit 18 up.
+
+/// Value of the locked byte when the lock is held.
+pub const LOCKED: u32 = 0x0000_0001;
+/// Mask of the locked byte.
+pub const LOCKED_MASK: u32 = 0x0000_00ff;
+/// The pending bit.
+pub const PENDING: u32 = 0x0000_0100;
+/// First bit of the tail encoding.
+pub const TAIL_SHIFT: u32 = 16;
+/// Mask of the whole tail (index + CPU).
+pub const TAIL_MASK: u32 = 0xffff_0000;
+/// Mask of the nesting index inside the tail.
+pub const TAIL_IDX_MASK: u32 = 0x0003_0000;
+/// First bit of the CPU number inside the tail.
+pub const TAIL_CPU_SHIFT: u32 = 18;
+
+/// Encodes a (CPU, nesting index) pair into the tail bits of the lock word.
+///
+/// # Panics
+///
+/// Panics if `idx` exceeds the kernel's nesting limit or the CPU does not fit
+/// in the available bits.
+pub fn encode_tail(cpu: usize, idx: usize) -> u32 {
+    assert!(idx < crate::MAX_NESTING, "nesting index {idx} out of range");
+    assert!(
+        cpu + 1 < (1 << (32 - TAIL_CPU_SHIFT)),
+        "cpu {cpu} does not fit in the tail encoding"
+    );
+    (((cpu + 1) as u32) << TAIL_CPU_SHIFT) | ((idx as u32) << TAIL_SHIFT)
+}
+
+/// Decodes the CPU number from a tail value. Returns `None` for an empty
+/// tail.
+pub fn decode_tail_cpu(tail: u32) -> Option<usize> {
+    let cpu_plus_one = (tail & TAIL_MASK) >> TAIL_CPU_SHIFT;
+    if cpu_plus_one == 0 {
+        None
+    } else {
+        Some(cpu_plus_one as usize - 1)
+    }
+}
+
+/// Decodes the nesting index from a tail value.
+pub fn decode_tail_idx(tail: u32) -> usize {
+    ((tail & TAIL_IDX_MASK) >> TAIL_SHIFT) as usize
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn roundtrip_all_nesting_levels() {
+        for cpu in [0usize, 1, 7, 71, 143, 1023] {
+            for idx in 0..crate::MAX_NESTING {
+                let tail = encode_tail(cpu, idx);
+                assert_eq!(decode_tail_cpu(tail), Some(cpu));
+                assert_eq!(decode_tail_idx(tail), idx);
+                assert_eq!(tail & !TAIL_MASK, 0, "tail must not touch low bits");
+            }
+        }
+    }
+
+    #[test]
+    fn empty_tail_decodes_to_none() {
+        assert_eq!(decode_tail_cpu(0), None);
+        assert_eq!(decode_tail_cpu(LOCKED | PENDING), None);
+    }
+
+    #[test]
+    fn flags_do_not_overlap() {
+        assert_eq!(LOCKED & PENDING, 0);
+        assert_eq!((LOCKED | PENDING) & TAIL_MASK, 0);
+        assert_eq!(LOCKED & LOCKED_MASK, LOCKED);
+    }
+
+    #[test]
+    #[should_panic(expected = "nesting index")]
+    fn nesting_overflow_panics() {
+        let _ = encode_tail(0, crate::MAX_NESTING);
+    }
+}

@@ -1,0 +1,121 @@
+//! Per-thread pools of boxed queue nodes.
+//!
+//! Queue locks need a node per in-flight acquisition whose address stays
+//! stable while other threads point at it. LiTL keeps such nodes in
+//! thread-local arrays and the Linux kernel in per-CPU arrays (four per CPU,
+//! one per nesting context). This module is the user-space equivalent: a
+//! thread-local free list of boxed nodes, keyed by node type, so the safe
+//! [`LockMutex`](crate::mutex::LockMutex) wrapper performs no allocation in
+//! steady state.
+//!
+//! Nodes handed out by the pool may contain stale data from a previous
+//! acquisition; every lock algorithm in this workspace (like the paper's
+//! pseudo-code, Fig. 3 lines 2–4) fully re-initialises its node at the start
+//! of `lock`, so this is safe.
+
+use std::any::{Any, TypeId};
+use std::cell::RefCell;
+use std::collections::HashMap;
+
+/// Maximum number of nodes of one type kept per thread. Four matches the
+/// kernel's nesting limit; we keep a few more because user-space code may
+/// hold several different locks of the same type at once.
+const MAX_POOLED_PER_TYPE: usize = 16;
+
+thread_local! {
+    static POOLS: RefCell<HashMap<TypeId, Vec<Box<dyn Any>>>> = RefCell::new(HashMap::new());
+}
+
+/// Takes a node of type `N` from the calling thread's pool, or allocates one.
+///
+/// The returned node may hold stale contents; callers (lock implementations)
+/// must initialise every field they rely on.
+pub fn acquire<N: Default + Any>() -> Box<N> {
+    POOLS.with(|pools| {
+        let mut pools = pools.borrow_mut();
+        if let Some(list) = pools.get_mut(&TypeId::of::<N>()) {
+            while let Some(any_node) = list.pop() {
+                match any_node.downcast::<N>() {
+                    Ok(node) => return node,
+                    // A downcast failure cannot happen (entries are keyed by
+                    // TypeId), but dropping the stray box is the safe
+                    // response if it ever did.
+                    Err(_) => continue,
+                }
+            }
+        }
+        Box::new(N::default())
+    })
+}
+
+/// Returns a node to the calling thread's pool for reuse.
+///
+/// Nodes beyond the per-type cap are simply dropped.
+pub fn release<N: Any>(node: Box<N>) {
+    POOLS.with(|pools| {
+        let mut pools = pools.borrow_mut();
+        let list = pools.entry(TypeId::of::<N>()).or_default();
+        if list.len() < MAX_POOLED_PER_TYPE {
+            list.push(node as Box<dyn Any>);
+        }
+    });
+}
+
+/// Number of pooled nodes of type `N` on the calling thread (for tests).
+pub fn pooled_count<N: Any>() -> usize {
+    POOLS.with(|pools| {
+        pools
+            .borrow()
+            .get(&TypeId::of::<N>())
+            .map_or(0, Vec::len)
+    })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[derive(Default, Debug, PartialEq)]
+    struct NodeA {
+        value: u64,
+    }
+
+    #[derive(Default)]
+    struct NodeB;
+
+    #[test]
+    fn acquire_release_reuses_the_same_allocation() {
+        let mut node = acquire::<NodeA>();
+        node.value = 7;
+        let addr = &*node as *const NodeA as usize;
+        release(node);
+        let node2 = acquire::<NodeA>();
+        assert_eq!(&*node2 as *const NodeA as usize, addr, "node is reused");
+        assert_eq!(node2.value, 7, "pool does not clear nodes; locks must");
+        release(node2);
+    }
+
+    #[test]
+    fn pools_are_per_type() {
+        release(acquire::<NodeA>());
+        release(acquire::<NodeB>());
+        assert!(pooled_count::<NodeA>() >= 1);
+        assert!(pooled_count::<NodeB>() >= 1);
+    }
+
+    #[test]
+    fn pool_size_is_capped() {
+        let nodes: Vec<Box<NodeA>> = (0..MAX_POOLED_PER_TYPE + 10).map(|_| Box::default()).collect();
+        for n in nodes {
+            release(n);
+        }
+        assert!(pooled_count::<NodeA>() <= MAX_POOLED_PER_TYPE);
+    }
+
+    #[test]
+    fn pools_are_thread_local() {
+        release(acquire::<NodeA>());
+        let other = std::thread::spawn(|| pooled_count::<NodeA>()).join().unwrap();
+        assert_eq!(other, 0, "a fresh thread starts with an empty pool");
+    }
+}

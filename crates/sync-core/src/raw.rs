@@ -1,0 +1,90 @@
+//! The [`RawLock`] trait: one interface for every lock algorithm.
+
+/// A mutual-exclusion lock with an explicit per-acquisition queue node.
+///
+/// The node is the algorithm's scratch space for one acquisition. For simple
+/// locks (test-and-set, ticket) it is `()`; for queue locks (MCS, CNA, CLH,
+/// Cohort, HMCS) it is the record other waiters link to and spin on.
+///
+/// # Safety contract of `lock`/`unlock`
+///
+/// The node-passing methods are `unsafe` because the compiler cannot enforce
+/// the queueing protocol. Callers must uphold all of:
+///
+/// 1. The node passed to [`RawLock::unlock`] is the same node that was passed
+///    to the matching [`RawLock::lock`] (or the [`RawTryLock::try_lock`] that
+///    returned `true`).
+/// 2. The node is not moved, dropped, or reused for another acquisition
+///    between `lock` and the return of `unlock` — other threads may hold
+///    pointers to it for that entire window.
+/// 3. `unlock` is called exactly once per successful acquisition, by the
+///    thread that acquired the lock.
+///
+/// The safe wrappers in [`crate::mutex`] uphold this contract for you.
+pub trait RawLock: Default + Send + Sync {
+    /// Per-acquisition context. `Default` must produce a node ready for use.
+    type Node: Default + Send + Sync;
+
+    /// Short human-readable algorithm name (e.g. `"MCS"`, `"CNA"`), used by
+    /// the benchmark harness for table headers.
+    const NAME: &'static str;
+
+    /// Acquires the lock, blocking (spinning) until it is held.
+    ///
+    /// # Safety
+    ///
+    /// See the [trait-level contract](RawLock#safety-contract-of-lockunlock):
+    /// `node` must stay pinned and unused elsewhere until the matching
+    /// [`RawLock::unlock`] returns.
+    unsafe fn lock(&self, node: &Self::Node);
+
+    /// Releases the lock.
+    ///
+    /// # Safety
+    ///
+    /// `node` must be the node used for the acquisition being released, the
+    /// caller must hold the lock, and this must be the only release for that
+    /// acquisition. See the [trait-level
+    /// contract](RawLock#safety-contract-of-lockunlock).
+    unsafe fn unlock(&self, node: &Self::Node);
+}
+
+/// Locks that additionally support a non-blocking acquisition attempt.
+///
+/// Queue locks whose acquisition unconditionally enqueues (plain MCS/CNA as
+/// published) do not implement this; the Linux qspinlock fast path and the
+/// simple spin locks do.
+pub trait RawTryLock: RawLock {
+    /// Attempts to acquire the lock without blocking.
+    ///
+    /// Returns `true` when the lock was acquired, in which case the caller
+    /// owns it and must eventually call [`RawLock::unlock`] with `node`.
+    ///
+    /// # Safety
+    ///
+    /// Same contract as [`RawLock::lock`] when the attempt succeeds; when it
+    /// returns `false` the node is left untouched and may be reused freely.
+    unsafe fn try_lock(&self, node: &Self::Node) -> bool;
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::spinlock::TestAndSetLock;
+
+    #[test]
+    fn trait_objectsafety_is_not_required_but_generics_work() {
+        fn exercise<L: RawLock>(lock: &L) {
+            let node = L::Node::default();
+            // SAFETY: `node` lives on this stack frame for the whole
+            // acquisition and is passed to the matching unlock.
+            unsafe {
+                lock.lock(&node);
+                lock.unlock(&node);
+            }
+        }
+        let lock = TestAndSetLock::default();
+        exercise(&lock);
+        assert_eq!(TestAndSetLock::NAME, "TAS");
+    }
+}

@@ -1,0 +1,49 @@
+//! Run the kernel benchmarks (§7.2) against the user-space qspinlock
+//! reproduction: locktorture and the four will-it-scale benchmarks, with the
+//! stock (MCS) and CNA slow paths, plus the Table-1-style lockstat report.
+//!
+//! Run with: `cargo run --release --example kernel_workloads`
+
+use std::time::Duration;
+
+use cna_locks::kernel_sim::{
+    run_locktorture, run_will_it_scale, LockTortureConfig, WisBenchmark, WisConfig,
+};
+use cna_locks::qspinlock::{CnaQSpinLock, StockQSpinLock};
+
+fn main() {
+    let torture_cfg = LockTortureConfig {
+        threads: 4,
+        duration: Duration::from_millis(300),
+        lockstat: true,
+    };
+    println!("locktorture (lockstat enabled), 4 threads, {:?}:", torture_cfg.duration);
+    let stock = run_locktorture::<StockQSpinLock>(&torture_cfg);
+    let cna = run_locktorture::<CnaQSpinLock>(&torture_cfg);
+    println!(
+        "  stock qspinlock: {:>9} ops    CNA qspinlock: {:>9} ops\n",
+        stock.total_ops(),
+        cna.total_ops()
+    );
+
+    let wis_cfg = WisConfig {
+        threads: 4,
+        duration: Duration::from_millis(200),
+    };
+    println!("will-it-scale (threads mode), 4 threads, {:?} each:", wis_cfg.duration);
+    for bench in WisBenchmark::all() {
+        let stock = run_will_it_scale::<StockQSpinLock>(bench, &wis_cfg);
+        let cna = run_will_it_scale::<CnaQSpinLock>(bench, &wis_cfg);
+        println!(
+            "  {:<15} stock: {:>9} iters   CNA: {:>9} iters",
+            stock.benchmark,
+            stock.total_ops(),
+            cna.total_ops()
+        );
+    }
+
+    println!("\nTable-1-style lockstat report for open1_threads (stock qspinlock):");
+    let report = run_will_it_scale::<StockQSpinLock>(WisBenchmark::Open1, &wis_cfg);
+    println!("{}", report.lockstat.render());
+    println!("(wall-clock numbers on this host; the paper-shaped curves come from `cargo bench`)");
+}

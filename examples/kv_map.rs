@@ -1,0 +1,76 @@
+//! The paper's key-value map microbenchmark (§7.1.1) run for real on this
+//! machine, comparing a few lock algorithms.
+//!
+//! Run with: `cargo run --release --example kv_map`
+
+use std::collections::BTreeMap;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::Arc;
+use std::time::Duration;
+
+use cna_locks::locks::{CBoMcsLock, HmcsLock, McsLock};
+use cna_locks::sync_core::{LockMutex, RawLock};
+use rand::rngs::SmallRng;
+use rand::{Rng, SeedableRng};
+
+const KEY_RANGE: u64 = 1024;
+const THREADS: usize = 4;
+const RUN: Duration = Duration::from_millis(300);
+
+/// One benchmark run: a BTree map behind a single lock of type `L`,
+/// 80 % lookups / 20 % updates, keys uniform in `0..KEY_RANGE`.
+fn run<L: RawLock + 'static>() -> (String, u64) {
+    let map: Arc<LockMutex<BTreeMap<u64, u64>, L>> = Arc::new(LockMutex::new(
+        (0..KEY_RANGE / 2).map(|k| (k * 2, k)).collect(),
+    ));
+    let stop = Arc::new(AtomicBool::new(false));
+    let total = Arc::new(AtomicU64::new(0));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let map = Arc::clone(&map);
+            let stop = Arc::clone(&stop);
+            let total = Arc::clone(&total);
+            s.spawn(move || {
+                let _socket = cna_locks::numa_topology::SocketOverrideGuard::new(t % 2);
+                let mut rng = SmallRng::seed_from_u64(t as u64 + 1);
+                let mut ops = 0u64;
+                while !stop.load(Ordering::Relaxed) {
+                    let key = rng.gen_range(0..KEY_RANGE);
+                    let update: bool = rng.gen_bool(0.2);
+                    let mut guard = map.lock();
+                    if update {
+                        if rng.gen_bool(0.5) {
+                            guard.insert(key, ops);
+                        } else {
+                            guard.remove(&key);
+                        }
+                    } else {
+                        let _ = guard.get(&key);
+                    }
+                    drop(guard);
+                    ops += 1;
+                }
+                total.fetch_add(ops, Ordering::Relaxed);
+            });
+        }
+        std::thread::sleep(RUN);
+        stop.store(true, Ordering::Relaxed);
+    });
+    (L::NAME.to_string(), total.load(Ordering::Relaxed))
+}
+
+fn main() {
+    println!(
+        "key-value map microbenchmark: {THREADS} threads, {KEY_RANGE}-key range, {:?} per lock\n",
+        RUN
+    );
+    println!("(wall-clock numbers on this host; the NUMA figures come from `cargo bench`)\n");
+    for (name, ops) in [
+        run::<McsLock>(),
+        run::<cna_locks::cna::CnaLock>(),
+        run::<CBoMcsLock>(),
+        run::<HmcsLock>(),
+    ] {
+        println!("{name:>10}: {ops:>10} ops ({:.2} ops/us)", ops as f64 / RUN.as_micros() as f64);
+    }
+}

@@ -1,0 +1,137 @@
+//! Cross-crate integration tests: every lock algorithm in the workspace is
+//! exercised through the same safe API under real concurrency, and the
+//! paper's structural claims (lock sizes, single-word state) are checked.
+
+use std::sync::Arc;
+use std::time::Duration;
+
+use cna_locks::cna::{CnaConfig, CnaLock, CnaMutex};
+use cna_locks::harness::{run_real_contention, RealRunConfig};
+use cna_locks::locks::{
+    CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, HboLock, HmcsLock, McsLock,
+    PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
+};
+use cna_locks::qspinlock::{CnaQSpinLock, StockQSpinLock};
+use cna_locks::sync_core::{LockMutex, RawLock};
+
+fn exercise<L: RawLock + 'static>() {
+    const THREADS: usize = 3;
+    const ITERS: u64 = 1_500;
+    let m: Arc<LockMutex<u64, L>> = Arc::new(LockMutex::new(0));
+    std::thread::scope(|s| {
+        for t in 0..THREADS {
+            let m = Arc::clone(&m);
+            s.spawn(move || {
+                let _socket = cna_locks::numa_topology::SocketOverrideGuard::new(t % 2);
+                for _ in 0..ITERS {
+                    *m.lock() += 1;
+                }
+            });
+        }
+    });
+    assert_eq!(*m.lock(), THREADS as u64 * ITERS, "{} lost updates", L::NAME);
+}
+
+#[test]
+fn every_lock_in_the_workspace_provides_mutual_exclusion() {
+    exercise::<TestAndSetLock>();
+    exercise::<TtasBackoffLock>();
+    exercise::<TicketLock>();
+    exercise::<PartitionedTicketLock>();
+    exercise::<ClhLock>();
+    exercise::<McsLock>();
+    exercise::<HboLock>();
+    exercise::<CBoMcsLock>();
+    exercise::<CTktTktLock>();
+    exercise::<CPtlTktLock>();
+    exercise::<HmcsLock>();
+    exercise::<CnaLock>();
+    exercise::<cna_locks::cna::raw::CnaLockOpt>();
+    exercise::<StockQSpinLock>();
+    exercise::<CnaQSpinLock>();
+}
+
+#[test]
+fn compact_locks_are_compact_and_hierarchical_locks_are_not() {
+    // The paper's space argument, checked in code.
+    let word = std::mem::size_of::<usize>();
+    assert_eq!(std::mem::size_of::<CnaLock>(), word);
+    assert_eq!(std::mem::size_of::<McsLock>(), word);
+    assert_eq!(std::mem::size_of::<ClhLock>(), word);
+    assert_eq!(std::mem::size_of::<HboLock>(), word);
+    assert_eq!(std::mem::size_of::<StockQSpinLock>(), 4);
+    assert_eq!(std::mem::size_of::<CnaQSpinLock>(), 4);
+    // Hierarchical NUMA-aware locks grow with the socket count and pad each
+    // per-socket structure to cache lines.
+    assert!(CBoMcsLock::with_sockets(2, 64).footprint_bytes() >= 2 * 128);
+    assert!(
+        CBoMcsLock::with_sockets(8, 64).footprint_bytes()
+            > CBoMcsLock::with_sockets(2, 64).footprint_bytes()
+    );
+    assert!(
+        HmcsLock::with_sockets(8, 64).footprint_bytes()
+            > HmcsLock::with_sockets(2, 64).footprint_bytes()
+    );
+}
+
+#[test]
+fn cna_mutex_guards_compose_with_std_collections() {
+    let m = CnaMutex::new(std::collections::HashMap::<String, u32>::new());
+    std::thread::scope(|s| {
+        for t in 0..3u32 {
+            let m = &m;
+            s.spawn(move || {
+                for i in 0..200u32 {
+                    m.lock().insert(format!("k-{t}-{i}"), i);
+                }
+            });
+        }
+    });
+    assert_eq!(m.lock().len(), 600);
+}
+
+#[test]
+fn tunable_cna_configurations_all_work_under_contention() {
+    for config in [
+        CnaConfig::paper_default(),
+        CnaConfig::with_shuffle_reduction(),
+        CnaConfig::always_flush(),
+        CnaConfig::never_flush(),
+        CnaConfig::default().keep_local_mask(0xf),
+    ] {
+        let m = Arc::new(cna_locks::cna::mutex::tunable_mutex(config, 0u64));
+        std::thread::scope(|s| {
+            for t in 0..3 {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    let _socket = cna_locks::numa_topology::SocketOverrideGuard::new(t % 2);
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 3_000, "config {config:?} lost updates");
+    }
+}
+
+#[test]
+fn harness_real_runs_cover_cna_and_the_strongest_baselines() {
+    let cfg = RealRunConfig {
+        threads: 3,
+        duration: Duration::from_millis(40),
+        critical_work: 16,
+        non_critical_work: 16,
+        virtual_sockets: 2,
+    };
+    for result in [
+        run_real_contention::<McsLock>(&cfg),
+        run_real_contention::<CnaLock>(&cfg),
+        run_real_contention::<CBoMcsLock>(&cfg),
+        run_real_contention::<HmcsLock>(&cfg),
+        run_real_contention::<CnaQSpinLock>(&cfg),
+    ] {
+        assert!(result.total_ops() > 0, "{} made no progress", result.algorithm);
+        assert!(result.fairness_factor() <= 1.0);
+    }
+}

@@ -1,0 +1,145 @@
+//! Integration tests asserting that the simulator reproduces the *shape* of
+//! the paper's headline results across workloads (who wins, roughly by how
+//! much, and where the behaviour changes).
+
+use cna_locks::numa_sim::lock_model::LockAlgorithm;
+use cna_locks::numa_sim::workloads::{
+    kv_map, kyoto_wicked, leveldb_readrandom, locktorture, will_it_scale, WillItScale,
+};
+use cna_locks::numa_sim::{CostModel, MachineConfig, SimResult, Simulation, Workload};
+
+fn simulate(
+    workload: Workload,
+    algo: LockAlgorithm,
+    threads: usize,
+    machine: MachineConfig,
+    cost: CostModel,
+) -> SimResult {
+    Simulation::new(machine, cost, algo, workload)
+        .threads(threads)
+        .virtual_duration_ms(6)
+        .seed(2026)
+        .run()
+}
+
+fn two_socket(workload: Workload, algo: LockAlgorithm, threads: usize) -> SimResult {
+    simulate(
+        workload,
+        algo,
+        threads,
+        MachineConfig::two_socket_paper(),
+        CostModel::two_socket_xeon(),
+    )
+}
+
+#[test]
+fn figure6_shape_cna_beats_mcs_and_tracks_the_hierarchical_locks() {
+    let mcs = two_socket(kv_map(0, 0.2), LockAlgorithm::Mcs, 48);
+    let cna = two_socket(kv_map(0, 0.2), LockAlgorithm::Cna, 48);
+    let hmcs = two_socket(kv_map(0, 0.2), LockAlgorithm::Hmcs, 48);
+    assert!(cna.throughput_ops_per_us() > mcs.throughput_ops_per_us() * 1.25);
+    // CNA should be in the same league as HMCS, not an order of magnitude
+    // apart in either direction. The simulator charges every read of a
+    // remotely-owned line as a remote transfer (no shared-state caching), so
+    // socket-rotating locks like HMCS pay more for data re-warming than on
+    // real hardware; see EXPERIMENTS.md "Known modelling gaps".
+    let ratio = cna.throughput_ops_per_us() / hmcs.throughput_ops_per_us();
+    assert!(ratio > 0.6 && ratio < 2.0, "CNA/HMCS ratio {ratio:.2}");
+}
+
+#[test]
+fn update_only_workload_grows_the_cna_advantage() {
+    let mixed_gain = two_socket(kv_map(0, 0.2), LockAlgorithm::Cna, 48).throughput_ops_per_us()
+        / two_socket(kv_map(0, 0.2), LockAlgorithm::Mcs, 48).throughput_ops_per_us();
+    let update_gain = two_socket(kv_map(0, 1.0), LockAlgorithm::Cna, 48).throughput_ops_per_us()
+        / two_socket(kv_map(0, 1.0), LockAlgorithm::Mcs, 48).throughput_ops_per_us();
+    assert!(
+        update_gain > mixed_gain * 0.95,
+        "update-only gain {update_gain:.2} should be at least the 20%-update gain {mixed_gain:.2}"
+    );
+}
+
+#[test]
+fn figure10_shape_four_socket_machine_amplifies_the_gap() {
+    let gain2 = two_socket(kv_map(0, 0.2), LockAlgorithm::Cna, 64).throughput_ops_per_us()
+        / two_socket(kv_map(0, 0.2), LockAlgorithm::Mcs, 64).throughput_ops_per_us();
+    let m4 = MachineConfig::four_socket_paper();
+    let c4 = CostModel::four_socket_xeon();
+    let gain4 = simulate(kv_map(0, 0.2), LockAlgorithm::Cna, 128, m4.clone(), c4)
+        .throughput_ops_per_us()
+        / simulate(kv_map(0, 0.2), LockAlgorithm::Mcs, 128, m4, c4).throughput_ops_per_us();
+    assert!(gain4 > gain2, "4-socket gain {gain4:.2} vs 2-socket gain {gain2:.2}");
+}
+
+#[test]
+fn figure11_shape_empty_db_behaves_like_the_microbenchmark() {
+    // Both configurations end up bounded by the global DB mutex; with the
+    // empty DB there is no per-op search or LRU work, so the benchmark hits
+    // that bound at far fewer threads and CNA's hand-over policy matters
+    // more (the paper notes (b) behaves like the no-external-work
+    // microbenchmark of Fig. 6).
+    let pre_cna = two_socket(leveldb_readrandom(true), LockAlgorithm::Cna, 48);
+    let pre_mcs = two_socket(leveldb_readrandom(true), LockAlgorithm::Mcs, 48);
+    let empty_cna = two_socket(leveldb_readrandom(false), LockAlgorithm::Cna, 48);
+    let empty_mcs = two_socket(leveldb_readrandom(false), LockAlgorithm::Mcs, 48);
+    assert!(pre_cna.throughput_ops_per_us() > pre_mcs.throughput_ops_per_us());
+    assert!(empty_cna.throughput_ops_per_us() > empty_mcs.throughput_ops_per_us() * 1.2);
+    // The empty-DB configuration scales worse: at a low thread count the
+    // pre-filled DB (which has real work outside the mutex) is further from
+    // saturation than the empty one is from its own low-thread throughput.
+    let pre_low = two_socket(leveldb_readrandom(true), LockAlgorithm::Mcs, 4);
+    let empty_low = two_socket(leveldb_readrandom(false), LockAlgorithm::Mcs, 4);
+    let pre_scaling = pre_mcs.throughput_ops_per_us() / pre_low.throughput_ops_per_us();
+    let empty_scaling = empty_mcs.throughput_ops_per_us() / empty_low.throughput_ops_per_us();
+    assert!(
+        pre_scaling >= empty_scaling * 0.9,
+        "pre-filled scaling {pre_scaling:.2} vs empty scaling {empty_scaling:.2}"
+    );
+}
+
+#[test]
+fn figure12_shape_kyoto_contention_favours_cna() {
+    let mcs = two_socket(kyoto_wicked(), LockAlgorithm::Mcs, 36);
+    let cna = two_socket(kyoto_wicked(), LockAlgorithm::Cna, 36);
+    assert!(cna.throughput_ops_per_us() > mcs.throughput_ops_per_us() * 1.1);
+}
+
+#[test]
+fn figure13_shape_lockstat_widens_the_kernel_gap() {
+    let gap = |lockstat: bool| {
+        two_socket(locktorture(lockstat), LockAlgorithm::Cna, 48).throughput_ops_per_us()
+            / two_socket(locktorture(lockstat), LockAlgorithm::Mcs, 48).throughput_ops_per_us()
+    };
+    let without = gap(false);
+    let with = gap(true);
+    assert!(without > 1.0, "CNA should win even without lockstat ({without:.2})");
+    assert!(with > without, "lockstat gap {with:.2} should exceed {without:.2}");
+}
+
+#[test]
+fn figure15_shape_cna_wins_every_will_it_scale_benchmark_under_contention() {
+    for bench in WillItScale::all() {
+        let mcs = two_socket(will_it_scale(bench), LockAlgorithm::Mcs, 64);
+        let cna = two_socket(will_it_scale(bench), LockAlgorithm::Cna, 64);
+        assert!(
+            cna.throughput_ops_per_us() > mcs.throughput_ops_per_us(),
+            "{}: CNA {:.3} vs stock {:.3}",
+            bench.name(),
+            cna.throughput_ops_per_us(),
+            mcs.throughput_ops_per_us()
+        );
+    }
+}
+
+#[test]
+fn low_thread_counts_keep_cna_close_to_mcs() {
+    // §7.1.1: CNA matches MCS at 1 and 2 threads (no overhead when the
+    // NUMA-awareness cannot help).
+    for threads in [1usize, 2] {
+        let mcs = two_socket(kv_map(0, 0.2), LockAlgorithm::Mcs, threads);
+        let cna = two_socket(kv_map(0, 0.2), LockAlgorithm::Cna, threads);
+        let rel = (cna.throughput_ops_per_us() - mcs.throughput_ops_per_us()).abs()
+            / mcs.throughput_ops_per_us();
+        assert!(rel < 0.12, "at {threads} threads CNA deviates {rel:.2} from MCS");
+    }
+}

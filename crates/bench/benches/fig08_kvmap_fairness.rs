@@ -18,7 +18,10 @@ fn main() {
     for sweep in run_figure(&specs) {
         // MCS is strictly FIFO: its fairness factor stays at 0.5.
         if let Some(mcs) = sweep.final_value("MCS") {
-            assert!(mcs < 0.55, "MCS fairness factor should be ~0.5, got {mcs:.3}");
+            assert!(
+                mcs < 0.55,
+                "MCS fairness factor should be ~0.5, got {mcs:.3}"
+            );
         }
         // The backoff-based cohort lock is the unfair extreme.
         if let (Some(cbo), Some(mcs)) = (sweep.final_value("C-BO-MCS"), sweep.final_value("MCS")) {

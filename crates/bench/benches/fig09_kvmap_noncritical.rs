@@ -21,9 +21,6 @@ fn main() {
         let opt = sweep.final_value("CNA (opt)").unwrap_or(0.0);
         let mcs = sweep.final_value("MCS").unwrap_or(f64::MAX);
         assert!(cna > mcs, "CNA ({cna:.2}) should beat MCS ({mcs:.2})");
-        assert!(
-            opt > mcs,
-            "CNA (opt) ({opt:.2}) should beat MCS ({mcs:.2})"
-        );
+        assert!(opt > mcs, "CNA (opt) ({opt:.2}) should beat MCS ({mcs:.2})");
     }
 }

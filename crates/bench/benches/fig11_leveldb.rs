@@ -45,7 +45,6 @@ fn main() {
         prefill_keys: 20_000,
         key_range: 20_000,
         cache_capacity: 4_096,
-        ..ReadRandomConfig::default()
     });
     println!(
         "leveldb-lite substrate check: {} ops in {:?} with the {} lock ({} found)",

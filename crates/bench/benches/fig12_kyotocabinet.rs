@@ -28,7 +28,10 @@ fn main() {
         );
         let cna = sweep.final_value("CNA").unwrap_or(0.0);
         let mcs = sweep.final_value("MCS").unwrap_or(f64::MAX);
-        assert!(cna > mcs, "CNA ({cna:.3}) should beat MCS ({mcs:.3}) under contention");
+        assert!(
+            cna > mcs,
+            "CNA ({cna:.3}) should beat MCS ({mcs:.3}) under contention"
+        );
     }
 
     let report = wicked::<cna::CnaLock>(&WickedConfig {

@@ -22,7 +22,10 @@ fn main() {
         .map(|(id, bench)| {
             two_socket_spec(
                 id,
-                &format!("Figure 15: will-it-scale {} (ops/us), stock vs CNA", bench.name()),
+                &format!(
+                    "Figure 15: will-it-scale {} (ops/us), stock vs CNA",
+                    bench.name()
+                ),
                 will_it_scale(*bench),
                 kernel_locks(),
                 Metric::ThroughputOpsPerUs,

@@ -30,9 +30,18 @@ fn expected(bench: WisBenchmark) -> Vec<(&'static str, &'static str)> {
 
 fn main() {
     println!("## Table 1: contention in the will-it-scale benchmarks\n");
-    let cfg = WisConfig {
-        threads: 4,
-        duration: Duration::from_millis(60),
+    // The smoke scale (BENCH_SMOKE=1 / SCALE=smoke) keeps the CI gate fast:
+    // just long enough for every expected call site to fire at least once.
+    let cfg = if harness::Scale::from_env().is_smoke() {
+        WisConfig {
+            threads: 2,
+            duration: Duration::from_millis(10),
+        }
+    } else {
+        WisConfig {
+            threads: 4,
+            duration: Duration::from_millis(60),
+        }
     };
     let mut rows: Vec<Vec<String>> = Vec::new();
     for bench in WisBenchmark::all() {
@@ -51,7 +60,11 @@ fn main() {
                 "{}: expected call site {site} on {lock} was not observed",
                 bench.name()
             );
-            rows.push(vec![bench.name().to_string(), lock.to_string(), site.to_string()]);
+            rows.push(vec![
+                bench.name().to_string(),
+                lock.to_string(),
+                site.to_string(),
+            ]);
         }
         println!("{}:\n{}", bench.name(), report.lockstat.render());
     }
@@ -61,6 +74,9 @@ fn main() {
         "contended spin lock".to_string(),
         "call site".to_string(),
     ];
-    println!("{}", harness::render_table("Table 1 (reproduced)", &header, &rows));
+    println!(
+        "{}",
+        harness::render_table("Table 1 (reproduced)", &header, &rows)
+    );
     harness::write_csv("table1_contention", &header, &rows);
 }

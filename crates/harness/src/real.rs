@@ -47,6 +47,7 @@ impl RealRunConfig {
     /// A configuration sized for the current `SCALE` (CI keeps runs short).
     pub fn for_scale(threads: usize) -> Self {
         let duration = match Scale::from_env() {
+            Scale::Smoke => Duration::from_millis(5),
             Scale::Ci => Duration::from_millis(40),
             Scale::Paper => Duration::from_secs(2),
         };
@@ -152,7 +153,7 @@ where
                     local_ops += 1;
                     // Publish progress occasionally so the main thread's stop
                     // signal is honoured promptly.
-                    if local_ops % 64 == 0 {
+                    if local_ops.is_multiple_of(64) {
                         counts[t].store(local_ops, Ordering::Relaxed);
                     }
                 }

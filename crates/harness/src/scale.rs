@@ -1,8 +1,12 @@
-//! Experiment scale selection (`SCALE=ci` vs `SCALE=paper`).
+//! Experiment scale selection (`SCALE=smoke|ci|paper`, `BENCH_SMOKE=1`).
 
 /// How big an experiment run should be.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub enum Scale {
+    /// One tiny iteration per experiment: only checks the bench still runs.
+    /// Selected by `SCALE=smoke` or `BENCH_SMOKE=1`; used by the CI smoke
+    /// step so `cargo bench` can gate pull requests in seconds.
+    Smoke,
     /// Quick runs suitable for `cargo bench` on a small host (default).
     Ci,
     /// The paper's full thread ranges and longer (virtual) durations.
@@ -10,17 +14,32 @@ pub enum Scale {
 }
 
 impl Scale {
-    /// Reads the `SCALE` environment variable (`ci` or `paper`).
+    /// Reads the `SCALE` environment variable (`smoke`, `ci` or `paper`);
+    /// `BENCH_SMOKE=1` forces [`Scale::Smoke`] whatever `SCALE` says.
     pub fn from_env() -> Self {
+        if std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0") {
+            return Scale::Smoke;
+        }
         match std::env::var("SCALE").as_deref() {
             Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
+            Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
             _ => Scale::Ci,
         }
+    }
+
+    /// Whether this is the single-iteration smoke scale.
+    pub fn is_smoke(self) -> bool {
+        self == Scale::Smoke
     }
 
     /// The concrete knobs for this scale.
     pub fn config(self) -> ScaleConfig {
         match self {
+            Scale::Smoke => ScaleConfig {
+                virtual_duration_ms: 1,
+                repetitions: 1,
+                thread_cap: 8,
+            },
             Scale::Ci => ScaleConfig {
                 virtual_duration_ms: 8,
                 repetitions: 1,
@@ -62,11 +81,15 @@ mod tests {
     use super::*;
 
     #[test]
-    fn ci_is_smaller_than_paper() {
+    fn scales_are_ordered_smoke_ci_paper() {
+        let smoke = Scale::Smoke.config();
         let ci = Scale::Ci.config();
         let paper = Scale::Paper.config();
+        assert!(smoke.virtual_duration_ms < ci.virtual_duration_ms);
+        assert!(smoke.thread_cap < ci.thread_cap);
         assert!(ci.virtual_duration_ms < paper.virtual_duration_ms);
         assert!(ci.repetitions < paper.repetitions);
+        assert!(Scale::Smoke.is_smoke() && !Scale::Ci.is_smoke());
     }
 
     #[test]
@@ -81,8 +104,8 @@ mod tests {
 
     #[test]
     fn from_env_defaults_to_ci() {
-        // The test environment does not set SCALE=paper.
-        if std::env::var("SCALE").is_err() {
+        // Only meaningful when the ambient environment does not override it.
+        if std::env::var("SCALE").is_err() && std::env::var("BENCH_SMOKE").is_err() {
             assert_eq!(Scale::from_env(), Scale::Ci);
         }
     }

@@ -113,7 +113,11 @@ impl Sweep {
         }
         Sweep {
             id: spec.id.clone(),
-            algorithms: spec.algorithms.iter().map(|a| a.name().to_string()).collect(),
+            algorithms: spec
+                .algorithms
+                .iter()
+                .map(|a| a.name().to_string())
+                .collect(),
             rows,
             metric: spec.metric,
         }

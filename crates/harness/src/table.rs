@@ -21,7 +21,13 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
         cells
             .iter()
             .enumerate()
-            .map(|(i, c)| format!("{:>width$}", c, width = widths.get(i).copied().unwrap_or(c.len())))
+            .map(|(i, c)| {
+                format!(
+                    "{:>width$}",
+                    c,
+                    width = widths.get(i).copied().unwrap_or(c.len())
+                )
+            })
             .collect::<Vec<_>>()
             .join("  ")
     };
@@ -37,12 +43,28 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
 }
 
 /// Directory where experiment CSV files are written.
+///
+/// Defaults to `target/experiments` under the **workspace root** (found by
+/// walking up from the current directory to the outermost `Cargo.lock`), so
+/// benches — which cargo runs with the member crate as working directory —
+/// and examples agree on one location. `EXPERIMENTS_DIR` overrides it.
 pub fn experiments_dir() -> PathBuf {
     let dir = std::env::var("EXPERIMENTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| PathBuf::from("target/experiments"));
+        .unwrap_or_else(|_| workspace_root().join("target/experiments"));
     let _ = fs::create_dir_all(&dir);
     dir
+}
+
+/// The nearest ancestor of the current directory containing a `Cargo.lock`
+/// (how cargo itself resolves the workspace), or the current directory when
+/// none is found.
+fn workspace_root() -> PathBuf {
+    let cwd = std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."));
+    cwd.ancestors()
+        .find(|dir| dir.join("Cargo.lock").is_file())
+        .map(PathBuf::from)
+        .unwrap_or(cwd)
 }
 
 /// Writes rows as CSV under `target/experiments/<name>.csv`, returning the

@@ -37,9 +37,10 @@ where
     }
 
     fn record(&self, call_site: &str, start: std::time::Instant) {
-        self.stats
-            .site(self.name, call_site)
-            .record(start.elapsed().as_nanos() > 200, start.elapsed().as_nanos() as u64);
+        self.stats.site(self.name, call_site).record(
+            start.elapsed().as_nanos() > 200,
+            start.elapsed().as_nanos() as u64,
+        );
     }
 
     /// `lockref_get`: unconditionally takes a reference.

@@ -64,7 +64,10 @@ where
         let site = self.stats.site("files_struct.file_lock", "__alloc_fd");
         let start = std::time::Instant::now();
         let mut guard = self.table.lock();
-        site.record(start.elapsed().as_nanos() > 200, start.elapsed().as_nanos() as u64);
+        site.record(
+            start.elapsed().as_nanos() > 200,
+            start.elapsed().as_nanos() as u64,
+        );
         // Lowest-free-descriptor search, as the kernel does.
         let fd = (guard.next_fd..guard.files.len())
             .find(|&fd| guard.files[fd].is_none())
@@ -87,7 +90,10 @@ where
         let site = self.stats.site("files_struct.file_lock", "__close_fd");
         let start = std::time::Instant::now();
         let mut guard = self.table.lock();
-        site.record(start.elapsed().as_nanos() > 200, start.elapsed().as_nanos() as u64);
+        site.record(
+            start.elapsed().as_nanos() > 200,
+            start.elapsed().as_nanos() as u64,
+        );
         let slot = guard.files.get_mut(fd).ok_or(FdError::BadFd)?;
         let file = slot.take().ok_or(FdError::BadFd)?;
         guard.next_fd = guard.next_fd.min(fd);
@@ -101,7 +107,10 @@ where
         let site = self.stats.site("files_struct.file_lock", "fcntl_setlk");
         let start = std::time::Instant::now();
         let guard = self.table.lock();
-        site.record(start.elapsed().as_nanos() > 200, start.elapsed().as_nanos() as u64);
+        site.record(
+            start.elapsed().as_nanos() > 200,
+            start.elapsed().as_nanos() as u64,
+        );
         guard
             .files
             .get(fd)
@@ -169,7 +178,9 @@ mod tests {
                 s.spawn(move || {
                     for i in 0..500u64 {
                         let fd = files
-                            .alloc_fd(Arc::new(File { inode: t * 1_000 + i }))
+                            .alloc_fd(Arc::new(File {
+                                inode: t * 1_000 + i,
+                            }))
                             .unwrap();
                         files.close_fd(fd).unwrap();
                     }

@@ -62,13 +62,18 @@ where
     /// `posix_lock_inode` with `F_SETLK`: tries to acquire a record lock for
     /// `owner` over `[start, end]`.
     pub fn posix_lock(&self, owner: u64, start: u64, end: u64, exclusive: bool) -> LockOutcome {
-        let site = self.stats.site("file_lock_context.flc_lock", "posix_lock_inode");
+        let site = self
+            .stats
+            .site("file_lock_context.flc_lock", "posix_lock_inode");
         let t0 = std::time::Instant::now();
         let mut guard = self.locks.lock();
-        site.record(t0.elapsed().as_nanos() > 200, t0.elapsed().as_nanos() as u64);
-        let conflict = guard.iter().any(|l| {
-            l.owner != owner && l.overlaps(start, end) && (l.exclusive || exclusive)
-        });
+        site.record(
+            t0.elapsed().as_nanos() > 200,
+            t0.elapsed().as_nanos() as u64,
+        );
+        let conflict = guard
+            .iter()
+            .any(|l| l.owner != owner && l.overlaps(start, end) && (l.exclusive || exclusive));
         if conflict {
             return LockOutcome::Conflict;
         }
@@ -86,10 +91,15 @@ where
     /// `posix_lock_inode` with `F_UNLCK`: drops `owner`'s locks overlapping
     /// `[start, end]`.
     pub fn posix_unlock(&self, owner: u64, start: u64, end: u64) {
-        let site = self.stats.site("file_lock_context.flc_lock", "posix_lock_inode");
+        let site = self
+            .stats
+            .site("file_lock_context.flc_lock", "posix_lock_inode");
         let t0 = std::time::Instant::now();
         let mut guard = self.locks.lock();
-        site.record(t0.elapsed().as_nanos() > 200, t0.elapsed().as_nanos() as u64);
+        site.record(
+            t0.elapsed().as_nanos() > 200,
+            t0.elapsed().as_nanos() as u64,
+        );
         guard.retain(|l| !(l.owner == owner && l.overlaps(start, end)));
     }
 
@@ -158,7 +168,10 @@ mod tests {
                         // Each owner uses its own disjoint range, like
                         // lock2_threads does.
                         let start = t * 1_000;
-                        assert_eq!(c.posix_lock(t, start, start + 10, true), LockOutcome::Granted);
+                        assert_eq!(
+                            c.posix_lock(t, start, start + 10, true),
+                            LockOutcome::Granted
+                        );
                         c.posix_unlock(t, start, start + 10);
                     }
                 });

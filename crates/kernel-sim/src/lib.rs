@@ -3,7 +3,7 @@
 //! The paper evaluates its qspinlock change with `locktorture` and with four
 //! `will-it-scale` micro-benchmarks whose hot spin locks live in the VFS
 //! layer (Table 1). This crate rebuilds those substrates in user space on
-//! top of the 4-byte [`qspinlock`](::qspinlock) (stock or CNA slow path):
+//! top of the 4-byte [`qspinlock`] (stock or CNA slow path):
 //!
 //! * [`fdtable`] — a per-process file-descriptor table guarded by
 //!   `files_struct.file_lock` (`__alloc_fd` / `__close_fd`).

@@ -69,7 +69,10 @@ impl LockStatReport {
     /// Rows whose contention exceeds `threshold` acquisitions — the
     /// "contended spin locks" column of Table 1.
     pub fn contended_locks(&self, threshold: u64) -> Vec<&LockStatRow> {
-        self.rows.iter().filter(|r| r.contended > threshold).collect()
+        self.rows
+            .iter()
+            .filter(|r| r.contended > threshold)
+            .collect()
     }
 
     /// Renders the report as an aligned text table.
@@ -116,7 +119,7 @@ impl LockStatRegistry {
                 wait_ns: handle.counters.wait_ns.load(Ordering::Relaxed),
             })
             .collect();
-        rows.sort_by(|a, b| b.contended.cmp(&a.contended));
+        rows.sort_by_key(|row| std::cmp::Reverse(row.contended));
         LockStatReport { rows }
     }
 }

@@ -141,7 +141,7 @@ where
                     // code" outside the lock).
                     busy_ns(200, &mut rng);
                     ops += 1;
-                    if ops % 64 == 0 {
+                    if ops.is_multiple_of(64) {
                         counts[t].store(ops, Ordering::Relaxed);
                     }
                 }

@@ -173,7 +173,7 @@ where
                         }
                     }
                     ops += 1;
-                    if ops % 64 == 0 {
+                    if ops.is_multiple_of(64) {
                         counts[t].store(ops, Ordering::Relaxed);
                     }
                 }

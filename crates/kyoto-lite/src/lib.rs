@@ -211,7 +211,7 @@ where
                     let key = rng.gen_range(0..cfg.key_range.max(1));
                     db.execute(op, key);
                     ops += 1;
-                    if ops % 32 == 0 {
+                    if ops.is_multiple_of(32) {
                         counts[t].store(ops, Ordering::Relaxed);
                     }
                 }

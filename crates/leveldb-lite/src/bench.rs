@@ -96,8 +96,7 @@ where
             let found = Arc::clone(&found);
             let cfg = config.clone();
             scope.spawn(move || {
-                let _socket =
-                    numa_topology::SocketOverrideGuard::new(t % 2);
+                let _socket = numa_topology::SocketOverrideGuard::new(t % 2);
                 let mut rng = SmallRng::seed_from_u64(0xDB + t as u64);
                 let mut ops = 0u64;
                 let mut local_found = 0u64;
@@ -108,7 +107,7 @@ where
                         local_found += 1;
                     }
                     ops += 1;
-                    if ops % 32 == 0 {
+                    if ops.is_multiple_of(32) {
                         counts[t].store(ops, Ordering::Relaxed);
                     }
                 }

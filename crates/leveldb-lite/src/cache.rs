@@ -58,7 +58,13 @@ impl Shard {
     fn insert(&mut self, key: u64, value: Bytes) {
         self.clock += 1;
         let clock = self.clock;
-        self.map.insert(key, Entry { value, stamp: clock });
+        self.map.insert(
+            key,
+            Entry {
+                value,
+                stamp: clock,
+            },
+        );
         if self.map.len() > self.capacity {
             // Evict the least recently used entry.
             if let Some((&victim, _)) = self.map.iter().min_by_key(|(_, e)| e.stamp) {
@@ -164,7 +170,10 @@ mod tests {
         // keys that land in the same shard to exercise eviction order.
         let base = 0u64;
         let same_shard: Vec<u64> = (0..10_000u64)
-            .filter(|k| ShardedLruCache::<TestAndSetLock>::shard_of(*k) == ShardedLruCache::<TestAndSetLock>::shard_of(base))
+            .filter(|k| {
+                ShardedLruCache::<TestAndSetLock>::shard_of(*k)
+                    == ShardedLruCache::<TestAndSetLock>::shard_of(base)
+            })
             .take(3)
             .collect();
         let (a, b, c) = (same_shard[0], same_shard[1], same_shard[2]);
@@ -175,7 +184,10 @@ mod tests {
         cache.insert(c, Bytes::from_static(b"c"));
         assert!(cache.lookup(a).is_some());
         assert!(cache.lookup(c).is_some());
-        assert!(cache.lookup(b).is_none(), "least recently used entry evicted");
+        assert!(
+            cache.lookup(b).is_none(),
+            "least recently used entry evicted"
+        );
     }
 
     #[test]

@@ -105,7 +105,10 @@ impl MemTable {
         let candidate = self.nodes[preds[0]].next[0];
         if candidate != NIL && self.nodes[candidate].key.as_ref() == key {
             self.approximate_bytes += value.len();
-            self.approximate_bytes -= self.nodes[candidate].value.len().min(self.approximate_bytes);
+            self.approximate_bytes -= self.nodes[candidate]
+                .value
+                .len()
+                .min(self.approximate_bytes);
             self.nodes[candidate].value = Bytes::copy_from_slice(value);
             return;
         }
@@ -189,7 +192,10 @@ mod tests {
             m.put(k, b"x");
         }
         let keys: Vec<&[u8]> = m.iter().map(|(k, _)| k).collect();
-        assert_eq!(keys, vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref(), b"d".as_ref()]);
+        assert_eq!(
+            keys,
+            vec![b"a".as_ref(), b"b".as_ref(), b"c".as_ref(), b"d".as_ref()]
+        );
     }
 
     #[test]

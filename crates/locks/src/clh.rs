@@ -141,7 +141,10 @@ mod tests {
 
     #[test]
     fn lock_state_is_one_word() {
-        assert_eq!(std::mem::size_of::<ClhLock>(), std::mem::size_of::<*mut ()>());
+        assert_eq!(
+            std::mem::size_of::<ClhLock>(),
+            std::mem::size_of::<*mut ()>()
+        );
     }
 
     #[test]

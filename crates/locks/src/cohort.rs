@@ -204,7 +204,7 @@ unsafe impl CohortLocal for TktCohortLocal {
         while self.now_serving.load(Ordering::Acquire) != ticket {
             cpu_relax();
             spins = spins.wrapping_add(1);
-            if spins % 1024 == 0 {
+            if spins.is_multiple_of(1024) {
                 // Keep over-subscribed hosts live: let the holder run.
                 std::thread::yield_now();
             }

@@ -23,8 +23,7 @@
 //!
 //! HYSHMCS/CST are not implemented: the paper reports their performance is
 //! indistinguishable from HMCS in every experiment shown, and their lazy
-//! per-socket allocation does not change any reproduced figure (see
-//! DESIGN.md).
+//! per-socket allocation does not change any reproduced figure.
 
 #![warn(missing_docs)]
 

@@ -115,7 +115,10 @@ mod tests {
 
     #[test]
     fn lock_state_is_one_word() {
-        assert_eq!(std::mem::size_of::<McsLock>(), std::mem::size_of::<*mut ()>());
+        assert_eq!(
+            std::mem::size_of::<McsLock>(),
+            std::mem::size_of::<*mut ()>()
+        );
     }
 
     #[test]

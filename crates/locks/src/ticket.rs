@@ -161,7 +161,7 @@ impl RawLock for PartitionedTicketLock {
         while slot.load(Ordering::Acquire) != ticket {
             cpu_relax();
             spins = spins.wrapping_add(1);
-            if spins % 1024 == 0 {
+            if spins.is_multiple_of(1024) {
                 // Keep over-subscribed hosts live: let the holder run.
                 std::thread::yield_now();
             }

@@ -5,8 +5,7 @@
 //! reproduces the anchor points the paper reports for the key-value map
 //! microbenchmark (≈ 5.3 ops/µs at one thread, ≈ 1.7 ops/µs for MCS at two
 //! threads on two sockets, 6.2 → 1.5 ops/µs on the 4-socket machine whose
-//! remote transfers are more expensive). See EXPERIMENTS.md for the
-//! calibration notes.
+//! remote transfers are more expensive).
 
 /// Latency parameters of the simulated memory hierarchy (nanoseconds).
 #[derive(Debug, Clone, Copy, PartialEq)]

@@ -265,18 +265,24 @@ impl<'a> Engine<'a> {
     /// Grants `lock` to thread `t` at time `now`. `handover_from` carries the
     /// releasing thread's socket for a contended hand-over; `extra_ns` is the
     /// queue-maintenance cost reported by the policy model.
-    fn grant(&mut self, t: usize, lock: usize, now: u64, handover_from: Option<usize>, extra_ns: u64) {
+    fn grant(
+        &mut self,
+        t: usize,
+        lock: usize,
+        now: u64,
+        handover_from: Option<usize>,
+        extra_ns: u64,
+    ) {
         let socket = self.threads[t].socket;
-        let (service_ns, reads, writes) =
-            match self.threads[t].steps[self.threads[t].step_idx] {
-                Step::Critical {
-                    service_ns,
-                    reads,
-                    writes,
-                    ..
-                } => (service_ns, reads, writes),
-                Step::Think { .. } => unreachable!("grant on a non-critical step"),
-            };
+        let (service_ns, reads, writes) = match self.threads[t].steps[self.threads[t].step_idx] {
+            Step::Critical {
+                service_ns,
+                reads,
+                writes,
+                ..
+            } => (service_ns, reads, writes),
+            Step::Think { .. } => unreachable!("grant on a non-critical step"),
+        };
 
         let cost = &self.sim.cost;
         let state = &mut self.locks[lock];
@@ -300,8 +306,7 @@ impl<'a> Engine<'a> {
                 } else {
                     self.local_accesses += 1;
                 }
-                cost.uncontended_acquire_ns
-                    + cost.line_access_ns(state.last_holder_socket, socket)
+                cost.uncontended_acquire_ns + cost.line_access_ns(state.last_holder_socket, socket)
             }
         } + extra_ns;
 
@@ -355,7 +360,9 @@ impl<'a> Engine<'a> {
             return;
         }
         let releaser_socket = self.locks[lock].last_holder_socket;
-        let grant = self.locks[lock].model.pick_next(releaser_socket, &mut self.rng);
+        let grant = self.locks[lock]
+            .model
+            .pick_next(releaser_socket, &mut self.rng);
         match grant {
             Some(Grant { waiter, extra_ns }) => {
                 self.grant(waiter.thread, lock, now, Some(releaser_socket), extra_ns);
@@ -470,7 +477,11 @@ mod tests {
     #[test]
     fn mcs_is_fair_and_cna_preserves_long_term_fairness() {
         let mcs = run(LockAlgorithm::Mcs, 16, MachineConfig::two_socket_paper());
-        assert!(mcs.fairness_factor() < 0.55, "MCS fairness {:.3}", mcs.fairness_factor());
+        assert!(
+            mcs.fairness_factor() < 0.55,
+            "MCS fairness {:.3}",
+            mcs.fairness_factor()
+        );
         // The paper's THRESHOLD (0xffff) flushes the secondary queue roughly
         // once per 65k hand-overs — far less often than a short simulated
         // window contains, exactly like a short wall-clock sample of the real
@@ -558,10 +569,18 @@ mod tests {
             LockAlgorithm::Hmcs,
         ] {
             let r = run(algo, 8, MachineConfig::two_socket_paper());
-            assert!(r.total_ops > 1_000, "{} only completed {} ops", algo.name(), r.total_ops);
+            assert!(
+                r.total_ops > 1_000,
+                "{} only completed {} ops",
+                algo.name(),
+                r.total_ops
+            );
             // Nobody may be starved outright in 5 virtual ms except by the
             // explicitly unfair locks.
-            if matches!(algo, LockAlgorithm::Mcs | LockAlgorithm::Cna | LockAlgorithm::Hmcs) {
+            if matches!(
+                algo,
+                LockAlgorithm::Mcs | LockAlgorithm::Cna | LockAlgorithm::Hmcs
+            ) {
                 assert!(r.ops_per_thread.iter().all(|&o| o > 0), "{}", algo.name());
             }
         }

@@ -395,11 +395,7 @@ impl LockModel for CnaModel {
         }
         // Search the main queue for a waiter on the releasing socket, moving
         // the skipped prefix to the secondary queue.
-        if let Some(pos) = self
-            .main
-            .iter()
-            .position(|w| w.socket == releaser_socket)
-        {
+        if let Some(pos) = self.main.iter().position(|w| w.socket == releaser_socket) {
             let moved = pos as u64;
             for _ in 0..pos {
                 let skipped = self.main.pop_front().expect("skipped waiter");
@@ -623,7 +619,10 @@ mod tests {
         m.on_arrival(waiter(3, 0, 3));
         let g1 = m.pick_next(0, &mut rng).unwrap();
         assert_eq!(g1.waiter.thread, 1, "skips the remote head");
-        assert!(g1.extra_ns > 0, "charged for moving t0 to the secondary queue");
+        assert!(
+            g1.extra_ns > 0,
+            "charged for moving t0 to the secondary queue"
+        );
         let g2 = m.pick_next(0, &mut rng).unwrap();
         assert_eq!(g2.waiter.thread, 3);
         // No socket-0 waiters left: the secondary queue is flushed in order.

@@ -79,9 +79,7 @@ impl MachineConfig {
     pub fn socket_of_thread(&self, thread_index: usize) -> usize {
         match self.placement {
             ThreadPlacement::Interleaved => thread_index % self.sockets,
-            ThreadPlacement::Blocked => {
-                (thread_index / self.cpus_per_socket.max(1)) % self.sockets
-            }
+            ThreadPlacement::Blocked => (thread_index / self.cpus_per_socket.max(1)) % self.sockets,
         }
     }
 

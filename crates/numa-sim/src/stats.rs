@@ -1,9 +1,7 @@
 //! Simulation results and the statistics the paper reports.
 
-use serde::Serialize;
-
 /// Per-lock statistics accumulated by the engine.
-#[derive(Debug, Clone, Default, Serialize)]
+#[derive(Debug, Clone, Default)]
 pub struct LockStats {
     /// Lock name from the workload.
     pub name: String,
@@ -24,7 +22,7 @@ pub struct LockStats {
 }
 
 /// The result of one simulation run.
-#[derive(Debug, Clone, Serialize)]
+#[derive(Debug, Clone)]
 pub struct SimResult {
     /// Algorithm label.
     pub algorithm: String,

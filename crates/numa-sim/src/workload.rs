@@ -219,7 +219,10 @@ mod tests {
                     weight: 1.0,
                     label: "fixed",
                     steps: vec![
-                        StepTemplate::Think { ns: 100, jitter: 0.5 },
+                        StepTemplate::Think {
+                            ns: 100,
+                            jitter: 0.5,
+                        },
                         StepTemplate::Critical {
                             lock: LockChoice::Fixed(0),
                             service_ns: 200,
@@ -253,7 +256,11 @@ mod tests {
         for _ in 0..100 {
             let op = w.generate_op(&mut rng);
             match op.last().unwrap() {
-                Step::Critical { lock: 0, service_ns, .. } => {
+                Step::Critical {
+                    lock: 0,
+                    service_ns,
+                    ..
+                } => {
                     saw_fixed = true;
                     assert_eq!(*service_ns, 200, "no jitter requested");
                     assert_eq!(op.len(), 2);

@@ -2,8 +2,8 @@
 //!
 //! The parameters (service times, think times, lines touched) are chosen so
 //! that the simulated single-thread throughput and the contention behaviour
-//! match the anchors the paper reports; see EXPERIMENTS.md for the
-//! calibration notes and the measured-vs-paper comparison.
+//! match the anchors the paper reports (the calibration targets are listed
+//! in [`crate::cost`]).
 
 use crate::workload::{LockChoice, LockSpec, OpTemplate, StepTemplate, Workload};
 
@@ -18,7 +18,13 @@ fn think(ns: u64, jitter: f64) -> StepTemplate {
     StepTemplate::Think { ns, jitter }
 }
 
-fn crit(lock: LockChoice, service_ns: u64, jitter: f64, reads: usize, writes: usize) -> StepTemplate {
+fn crit(
+    lock: LockChoice,
+    service_ns: u64,
+    jitter: f64,
+    reads: usize,
+    writes: usize,
+) -> StepTemplate {
     StepTemplate::Critical {
         lock,
         service_ns,
@@ -118,10 +124,7 @@ pub fn leveldb_readrandom(prefilled: bool) -> Workload {
             vec![OpTemplate {
                 weight: 1.0,
                 label: "get-miss",
-                steps: vec![
-                    think(260, 0.4),
-                    crit(LockChoice::Fixed(0), 150, 0.2, 3, 2),
-                ],
+                steps: vec![think(260, 0.4), crit(LockChoice::Fixed(0), 150, 0.2, 3, 2)],
             }],
         )
     }
@@ -280,10 +283,10 @@ pub fn will_it_scale(bench: WillItScale) -> Workload {
                 label: "open-close",
                 steps: vec![
                     think(1_250, 0.3),
-                    crit(fd, 110, 0.3, 2, 2),                    // __alloc_fd
-                    crit(LockChoice::Fixed(1), 90, 0.3, 1, 1),   // d_alloc / lockref_get
-                    crit(LockChoice::Fixed(1), 90, 0.3, 1, 1),   // dput
-                    crit(fd, 110, 0.3, 2, 2),                    // __close_fd
+                    crit(fd, 110, 0.3, 2, 2),                  // __alloc_fd
+                    crit(LockChoice::Fixed(1), 90, 0.3, 1, 1), // d_alloc / lockref_get
+                    crit(LockChoice::Fixed(1), 90, 0.3, 1, 1), // dput
+                    crit(fd, 110, 0.3, 2, 2),                  // __close_fd
                 ],
             }],
         ),

@@ -52,7 +52,12 @@ pub(crate) fn topology_from_env() -> Option<Topology> {
 }
 
 fn parse_env_usize(var: &str) -> Option<usize> {
-    std::env::var(var).ok()?.trim().parse::<usize>().ok().filter(|v| *v > 0)
+    std::env::var(var)
+        .ok()?
+        .trim()
+        .parse::<usize>()
+        .ok()
+        .filter(|v| *v > 0)
 }
 
 /// Reads `node*/cpulist` files from a sysfs-style directory.
@@ -112,10 +117,8 @@ mod tests {
     }
 
     fn temp_dir(tag: &str) -> std::path::PathBuf {
-        let dir = std::env::temp_dir().join(format!(
-            "numa-topology-test-{tag}-{}",
-            std::process::id()
-        ));
+        let dir =
+            std::env::temp_dir().join(format!("numa-topology-test-{tag}-{}", std::process::id()));
         let _ = std::fs::remove_dir_all(&dir);
         std::fs::create_dir_all(&dir).unwrap();
         dir

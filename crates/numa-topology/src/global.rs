@@ -30,7 +30,10 @@ fn global_cell() -> &'static Mutex<Arc<Topology>> {
 
 /// Returns the process-global topology, detecting it on first use.
 pub fn global_topology() -> Arc<Topology> {
-    global_cell().lock().expect("topology mutex poisoned").clone()
+    global_cell()
+        .lock()
+        .expect("topology mutex poisoned")
+        .clone()
 }
 
 /// Replaces the process-global topology (e.g. with a virtual 4-socket

@@ -10,21 +10,16 @@
 use crate::topology::{SocketId, Topology};
 
 /// A policy assigning registered threads to sockets.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq, Eq, Default)]
 pub enum Placement {
     /// Thread `i` goes to socket `i % sockets` (OS-like spread).
+    #[default]
     Interleaved,
     /// Threads fill socket 0 completely (all its logical CPUs), then socket 1,
     /// and so on, wrapping around when every CPU is taken.
     Blocked,
     /// Thread `i` goes to `sockets[i % len]` of the provided table.
     Explicit(Vec<SocketId>),
-}
-
-impl Default for Placement {
-    fn default() -> Self {
-        Placement::Interleaved
-    }
 }
 
 impl Placement {
@@ -121,7 +116,10 @@ mod tests {
 
     #[test]
     fn names_parse_case_insensitively() {
-        assert_eq!(Placement::from_name("Interleaved"), Some(Placement::Interleaved));
+        assert_eq!(
+            Placement::from_name("Interleaved"),
+            Some(Placement::Interleaved)
+        );
         assert_eq!(Placement::from_name("RR"), Some(Placement::Interleaved));
         assert_eq!(Placement::from_name("blocked"), Some(Placement::Blocked));
         assert_eq!(Placement::from_name("compact"), Some(Placement::Blocked));

@@ -32,7 +32,10 @@ impl fmt::Display for TopologyError {
                 write!(f, "logical CPU {c} is assigned to more than one socket")
             }
             TopologyError::BadEnvValue { var, value } => {
-                write!(f, "environment variable {var} has unparsable value {value:?}")
+                write!(
+                    f,
+                    "environment variable {var} has unparsable value {value:?}"
+                )
             }
         }
     }

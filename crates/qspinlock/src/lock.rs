@@ -14,7 +14,8 @@ use crate::word::{LOCKED, LOCKED_MASK, PENDING, TAIL_MASK};
 /// policy.
 ///
 /// The lock is exactly four bytes; queue nodes live in the global per-CPU
-/// table (see [`crate::percpu`]), so it can be embedded in space-conscious
+/// table (the private `percpu` module), so it can be embedded in
+/// space-conscious
 /// structures (inodes, page frames) exactly like the kernel's `spinlock_t`.
 #[derive(Debug)]
 pub struct QSpinLock<P: SlowPathPolicy = McsPolicy> {

@@ -74,7 +74,11 @@ pub struct PerCpu {
 
 fn table() -> &'static [CachePadded<PerCpu>] {
     static TABLE: OnceLock<Box<[CachePadded<PerCpu>]>> = OnceLock::new();
-    TABLE.get_or_init(|| (0..MAX_CPUS).map(|_| CachePadded::new(PerCpu::default())).collect())
+    TABLE.get_or_init(|| {
+        (0..MAX_CPUS)
+            .map(|_| CachePadded::new(PerCpu::default()))
+            .collect()
+    })
 }
 
 /// Free list of emulated CPU ids, so that short-lived threads (benchmark
@@ -188,7 +192,8 @@ mod tests {
         let cpu = current_cpu();
         let (node, tail) = claim_node(cpu);
         node.locked.store(7, Ordering::Relaxed);
-        node.next.store(node as *const _ as *mut _, Ordering::Relaxed);
+        node.next
+            .store(node as *const _ as *mut _, Ordering::Relaxed);
         node.reset(tail);
         assert_eq!(node.locked.load(Ordering::Relaxed), 0);
         assert!(node.next.load(Ordering::Relaxed).is_null());

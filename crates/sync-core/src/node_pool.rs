@@ -63,12 +63,7 @@ pub fn release<N: Any>(node: Box<N>) {
 
 /// Number of pooled nodes of type `N` on the calling thread (for tests).
 pub fn pooled_count<N: Any>() -> usize {
-    POOLS.with(|pools| {
-        pools
-            .borrow()
-            .get(&TypeId::of::<N>())
-            .map_or(0, Vec::len)
-    })
+    POOLS.with(|pools| pools.borrow().get(&TypeId::of::<N>()).map_or(0, Vec::len))
 }
 
 #[cfg(test)]
@@ -105,7 +100,9 @@ mod tests {
 
     #[test]
     fn pool_size_is_capped() {
-        let nodes: Vec<Box<NodeA>> = (0..MAX_POOLED_PER_TYPE + 10).map(|_| Box::default()).collect();
+        let nodes: Vec<Box<NodeA>> = (0..MAX_POOLED_PER_TYPE + 10)
+            .map(|_| Box::default())
+            .collect();
         for n in nodes {
             release(n);
         }
@@ -115,7 +112,7 @@ mod tests {
     #[test]
     fn pools_are_thread_local() {
         release(acquire::<NodeA>());
-        let other = std::thread::spawn(|| pooled_count::<NodeA>()).join().unwrap();
+        let other = std::thread::spawn(pooled_count::<NodeA>).join().unwrap();
         assert_eq!(other, 0, "a fresh thread starts with an empty pool");
     }
 }

@@ -93,7 +93,7 @@ pub fn spin_until(mut condition: impl FnMut() -> bool) {
         // busy-wait can livelock (the lock holder never gets scheduled), so
         // yield to the OS occasionally. On the paper's hardware this branch
         // is essentially never taken under sensible thread counts.
-        if spins % 4096 == 0 {
+        if spins.is_multiple_of(4096) {
             std::thread::yield_now();
         }
     }

@@ -17,7 +17,10 @@ fn main() {
         duration: Duration::from_millis(300),
         lockstat: true,
     };
-    println!("locktorture (lockstat enabled), 4 threads, {:?}:", torture_cfg.duration);
+    println!(
+        "locktorture (lockstat enabled), 4 threads, {:?}:",
+        torture_cfg.duration
+    );
     let stock = run_locktorture::<StockQSpinLock>(&torture_cfg);
     let cna = run_locktorture::<CnaQSpinLock>(&torture_cfg);
     println!(
@@ -30,7 +33,10 @@ fn main() {
         threads: 4,
         duration: Duration::from_millis(200),
     };
-    println!("will-it-scale (threads mode), 4 threads, {:?} each:", wis_cfg.duration);
+    println!(
+        "will-it-scale (threads mode), 4 threads, {:?} each:",
+        wis_cfg.duration
+    );
     for bench in WisBenchmark::all() {
         let stock = run_will_it_scale::<StockQSpinLock>(bench, &wis_cfg);
         let cna = run_will_it_scale::<CnaQSpinLock>(bench, &wis_cfg);

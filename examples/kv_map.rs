@@ -71,6 +71,9 @@ fn main() {
         run::<CBoMcsLock>(),
         run::<HmcsLock>(),
     ] {
-        println!("{name:>10}: {ops:>10} ops ({:.2} ops/us)", ops as f64 / RUN.as_micros() as f64);
+        println!(
+            "{name:>10}: {ops:>10} ops ({:.2} ops/us)",
+            ops as f64 / RUN.as_micros() as f64
+        );
     }
 }

@@ -53,5 +53,5 @@ fn main() {
         println!();
     }
     println!("Compare with the paper: CNA beats MCS by ~40% on 2 sockets and ~100% on 4 sockets,");
-    println!("while matching MCS at a single thread; see EXPERIMENTS.md for the full record.");
+    println!("while matching MCS at a single thread (paper §7.1, Figures 6 and 10).");
 }

@@ -19,7 +19,10 @@ fn main() {
         key_range: 50_000,
         cache_capacity: 8_192,
     };
-    println!("leveldb-lite db_bench readrandom ({} keys):", db_cfg.prefill_keys);
+    println!(
+        "leveldb-lite db_bench readrandom ({} keys):",
+        db_cfg.prefill_keys
+    );
     let mcs = readrandom::<McsLock>(&db_cfg);
     let cna = readrandom::<CnaLock>(&db_cfg);
     println!(
@@ -35,7 +38,10 @@ fn main() {
         duration: Duration::from_millis(300),
         key_range: 100_000,
     };
-    println!("kyoto-lite kccachetest wicked ({}-key range):", kc_cfg.key_range);
+    println!(
+        "kyoto-lite kccachetest wicked ({}-key range):",
+        kc_cfg.key_range
+    );
     let mcs = wicked::<McsLock>(&kc_cfg);
     let cna = wicked::<CnaLock>(&kc_cfg);
     println!(
@@ -45,5 +51,7 @@ fn main() {
         cna.total_ops(),
         cna.throughput_ops_per_ms(),
     );
-    println!("\n(wall-clock numbers on this host; the paper-shaped curves come from `cargo bench`)");
+    println!(
+        "\n(wall-clock numbers on this host; the paper-shaped curves come from `cargo bench`)"
+    );
 }

@@ -1,0 +1,159 @@
+//! Offline stand-in for the subset of the [`bytes`](https://crates.io/crates/bytes)
+//! API this workspace uses.
+//!
+//! Provides a cheaply cloneable, immutable byte container. Unlike the real
+//! crate there is no `BytesMut`, no zero-copy `slice()` views and no vtable
+//! tricks — `leveldb-lite` only needs shared ownership of immutable keys and
+//! values, which an `Arc<[u8]>` (plus an allocation-free static variant)
+//! covers.
+
+#![warn(missing_docs)]
+
+use std::borrow::Borrow;
+use std::fmt;
+use std::hash::{Hash, Hasher};
+use std::ops::Deref;
+use std::sync::Arc;
+
+/// A cheaply cloneable immutable byte buffer.
+#[derive(Clone, Default)]
+pub struct Bytes(Repr);
+
+#[derive(Clone)]
+enum Repr {
+    Static(&'static [u8]),
+    Shared(Arc<[u8]>),
+}
+
+impl Default for Repr {
+    fn default() -> Self {
+        Repr::Static(&[])
+    }
+}
+
+impl Bytes {
+    /// Creates an empty `Bytes` without allocating.
+    pub const fn new() -> Self {
+        Bytes(Repr::Static(&[]))
+    }
+
+    /// Wraps a static slice without allocating.
+    pub const fn from_static(bytes: &'static [u8]) -> Self {
+        Bytes(Repr::Static(bytes))
+    }
+
+    /// Copies the slice into a new shared buffer.
+    pub fn copy_from_slice(data: &[u8]) -> Self {
+        Bytes(Repr::Shared(Arc::from(data)))
+    }
+
+    /// The number of bytes in the buffer.
+    pub fn len(&self) -> usize {
+        self.as_slice().len()
+    }
+
+    /// Whether the buffer is empty.
+    pub fn is_empty(&self) -> bool {
+        self.as_slice().is_empty()
+    }
+
+    fn as_slice(&self) -> &[u8] {
+        match &self.0 {
+            Repr::Static(s) => s,
+            Repr::Shared(s) => s,
+        }
+    }
+}
+
+impl Deref for Bytes {
+    type Target = [u8];
+
+    fn deref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl AsRef<[u8]> for Bytes {
+    fn as_ref(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl Borrow<[u8]> for Bytes {
+    fn borrow(&self) -> &[u8] {
+        self.as_slice()
+    }
+}
+
+impl From<Vec<u8>> for Bytes {
+    fn from(v: Vec<u8>) -> Self {
+        Bytes(Repr::Shared(Arc::from(v)))
+    }
+}
+
+impl From<&[u8]> for Bytes {
+    fn from(v: &[u8]) -> Self {
+        Bytes::copy_from_slice(v)
+    }
+}
+
+impl PartialEq for Bytes {
+    fn eq(&self, other: &Self) -> bool {
+        self.as_slice() == other.as_slice()
+    }
+}
+
+impl Eq for Bytes {}
+
+impl PartialEq<[u8]> for Bytes {
+    fn eq(&self, other: &[u8]) -> bool {
+        self.as_slice() == other
+    }
+}
+
+impl PartialOrd for Bytes {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+impl Ord for Bytes {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        self.as_slice().cmp(other.as_slice())
+    }
+}
+
+impl Hash for Bytes {
+    fn hash<H: Hasher>(&self, state: &mut H) {
+        self.as_slice().hash(state)
+    }
+}
+
+impl fmt::Debug for Bytes {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "b\"")?;
+        for &b in self.as_slice() {
+            for esc in std::ascii::escape_default(b) {
+                write!(f, "{}", esc as char)?;
+            }
+        }
+        write!(f, "\"")
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn construction_and_equality() {
+        assert_eq!(Bytes::new().len(), 0);
+        assert!(Bytes::new().is_empty());
+        let a = Bytes::from_static(b"hello");
+        let b = Bytes::copy_from_slice(b"hello");
+        assert_eq!(a, b);
+        assert_eq!(&a[..], b"hello");
+        assert_eq!(a.clone(), a);
+        assert!(a < Bytes::from_static(b"world"));
+    }
+}

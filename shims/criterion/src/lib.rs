@@ -1,0 +1,199 @@
+//! Offline stand-in for the subset of the
+//! [`criterion`](https://crates.io/crates/criterion) API this workspace uses.
+//!
+//! The build hosts have no network access, so this shim provides the
+//! `Criterion` builder, `Bencher::iter` and the `criterion_group!` /
+//! `criterion_main!` macros with a simple warm-up + sampling measurement
+//! loop. It reports mean and minimum ns/iteration per benchmark — enough to
+//! compare lock algorithms on one host, without criterion's statistical
+//! machinery, HTML reports or plotting.
+//!
+//! Two escape hatches keep CI fast:
+//!
+//! * `BENCH_SMOKE=1` in the environment, or
+//! * a `--test` CLI argument (as passed by `cargo test --benches`),
+//!
+//! switch every benchmark to a single-iteration smoke run that only checks
+//! the benchmark executes.
+
+#![warn(missing_docs)]
+
+use std::time::{Duration, Instant};
+
+pub use std::hint::black_box;
+
+/// Returns true when benchmarks should run one iteration only (CI smoke).
+pub fn smoke_mode() -> bool {
+    std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0")
+        || std::env::args().any(|a| a == "--test")
+}
+
+/// The benchmark driver (mirrors `criterion::Criterion`).
+pub struct Criterion {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+}
+
+impl Default for Criterion {
+    fn default() -> Self {
+        Criterion {
+            sample_size: 100,
+            measurement_time: Duration::from_secs(5),
+            warm_up_time: Duration::from_secs(3),
+        }
+    }
+}
+
+impl Criterion {
+    /// Sets the number of measurement samples per benchmark.
+    pub fn sample_size(mut self, n: usize) -> Self {
+        assert!(n >= 2, "sample size must be at least 2");
+        self.sample_size = n;
+        self
+    }
+
+    /// Sets the total measurement budget per benchmark.
+    pub fn measurement_time(mut self, t: Duration) -> Self {
+        self.measurement_time = t;
+        self
+    }
+
+    /// Sets the warm-up budget per benchmark.
+    pub fn warm_up_time(mut self, t: Duration) -> Self {
+        self.warm_up_time = t;
+        self
+    }
+
+    /// Runs one benchmark and prints its timing summary.
+    pub fn bench_function<F>(&mut self, name: &str, mut routine: F) -> &mut Self
+    where
+        F: FnMut(&mut Bencher),
+    {
+        let mut bencher = Bencher {
+            config: BenchConfig {
+                sample_size: self.sample_size,
+                measurement_time: self.measurement_time,
+                warm_up_time: self.warm_up_time,
+                smoke: smoke_mode(),
+            },
+            summary: None,
+        };
+        routine(&mut bencher);
+        match bencher.summary {
+            Some(s) if !bencher.config.smoke => println!(
+                "{name:<40} mean {:>12.1} ns/iter   min {:>12.1} ns/iter   ({} samples)",
+                s.mean_ns, s.min_ns, s.samples
+            ),
+            _ => println!("{name:<40} smoke ok"),
+        }
+        self
+    }
+}
+
+struct BenchConfig {
+    sample_size: usize,
+    measurement_time: Duration,
+    warm_up_time: Duration,
+    smoke: bool,
+}
+
+#[derive(Clone, Copy)]
+struct Summary {
+    mean_ns: f64,
+    min_ns: f64,
+    samples: usize,
+}
+
+/// Times a closure (mirrors `criterion::Bencher`).
+pub struct Bencher {
+    config: BenchConfig,
+    summary: Option<Summary>,
+}
+
+impl Bencher {
+    /// Measures the closure over warm-up plus `sample_size` samples.
+    pub fn iter<O, R>(&mut self, mut routine: R)
+    where
+        R: FnMut() -> O,
+    {
+        if self.config.smoke {
+            black_box(routine());
+            return;
+        }
+
+        // Warm-up, counting iterations to estimate the per-iteration cost.
+        let warm_up_start = Instant::now();
+        let mut warm_up_iters: u64 = 0;
+        while warm_up_start.elapsed() < self.config.warm_up_time {
+            black_box(routine());
+            warm_up_iters += 1;
+        }
+        let per_iter = warm_up_start.elapsed().as_secs_f64() / warm_up_iters.max(1) as f64;
+
+        // Size each sample so all samples together fill the measurement time.
+        let sample_budget =
+            self.config.measurement_time.as_secs_f64() / self.config.sample_size as f64;
+        let iters_per_sample = ((sample_budget / per_iter.max(1e-9)) as u64).max(1);
+
+        let mut samples_ns = Vec::with_capacity(self.config.sample_size);
+        for _ in 0..self.config.sample_size {
+            let start = Instant::now();
+            for _ in 0..iters_per_sample {
+                black_box(routine());
+            }
+            samples_ns.push(start.elapsed().as_nanos() as f64 / iters_per_sample as f64);
+        }
+
+        let mean_ns = samples_ns.iter().sum::<f64>() / samples_ns.len() as f64;
+        let min_ns = samples_ns.iter().copied().fold(f64::INFINITY, f64::min);
+        self.summary = Some(Summary {
+            mean_ns,
+            min_ns,
+            samples: samples_ns.len(),
+        });
+    }
+}
+
+/// Declares a group of benchmark functions (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_group {
+    (name = $name:ident; config = $config:expr; targets = $($target:path),+ $(,)?) => {
+        pub fn $name() {
+            let mut criterion = $config;
+            $( $target(&mut criterion); )+
+        }
+    };
+    ($name:ident, $($target:path),+ $(,)?) => {
+        $crate::criterion_group!(
+            name = $name;
+            config = $crate::Criterion::default();
+            targets = $($target),+
+        );
+    };
+}
+
+/// Generates `fn main` running the given groups (mirrors criterion's macro).
+#[macro_export]
+macro_rules! criterion_main {
+    ($($group:path),+ $(,)?) => {
+        fn main() {
+            $( $group(); )+
+        }
+    };
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn bencher_produces_a_summary() {
+        let mut c = Criterion::default()
+            .sample_size(2)
+            .measurement_time(Duration::from_millis(10))
+            .warm_up_time(Duration::from_millis(2));
+        // Route through bench_function to exercise the whole path.
+        c.bench_function("noop", |b| b.iter(|| black_box(1 + 1)));
+    }
+}

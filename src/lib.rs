@@ -17,8 +17,8 @@
 //! * [`leveldb_lite`], [`kyoto_lite`], [`kernel_sim`] — the application and
 //!   kernel substrates of §7.
 //!
-//! See `README.md` for a tour and `EXPERIMENTS.md` for the reproduced
-//! numbers.
+//! See `README.md` for the workspace map, the verify commands and how to
+//! run the examples and figure benches.
 
 pub use cna;
 pub use harness;
@@ -41,6 +41,9 @@ mod tests {
         let m: super::CnaMutex<u32> = super::CnaMutex::new(1);
         *m.lock() += 1;
         assert_eq!(*m.lock(), 2);
-        assert_eq!(std::mem::size_of::<cna::CnaLock>(), std::mem::size_of::<usize>());
+        assert_eq!(
+            std::mem::size_of::<cna::CnaLock>(),
+            std::mem::size_of::<usize>()
+        );
     }
 }

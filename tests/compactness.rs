@@ -1,0 +1,44 @@
+//! The paper's compactness claims, pinned as tests so refactors cannot
+//! silently bloat the lock words (Table in §1 / §3 of the paper).
+
+use std::mem::{align_of, size_of};
+
+use cna_locks::cna::CnaLock;
+use cna_locks::locks::{CBoMcsLock, ClhLock, HmcsLock, McsLock, TestAndSetLock};
+use cna_locks::qspinlock::{CnaQSpinLock, StockQSpinLock};
+
+/// CNA's headline claim: the lock itself is a single word (the tail
+/// pointer), no matter how many sockets the machine has.
+#[test]
+fn cna_lock_is_one_word() {
+    assert_eq!(size_of::<CnaLock>(), size_of::<usize>());
+    assert!(align_of::<CnaLock>() <= size_of::<usize>());
+}
+
+/// The Linux qspinlock must stay four bytes — it is embedded in billions of
+/// kernel objects — and the paper's whole point is that the CNA slow path
+/// preserves that size exactly.
+#[test]
+fn qspinlock_variants_are_exactly_four_bytes() {
+    assert_eq!(size_of::<StockQSpinLock>(), 4);
+    assert_eq!(size_of::<CnaQSpinLock>(), 4);
+    assert_eq!(align_of::<StockQSpinLock>(), 4);
+    assert_eq!(align_of::<CnaQSpinLock>(), 4);
+}
+
+/// MCS and CLH, like CNA, keep one word of shared state; the contrast with
+/// the hierarchical NUMA-aware locks below is the paper's Table 1 argument.
+#[test]
+fn queue_lock_baselines_are_one_word() {
+    assert_eq!(size_of::<McsLock>(), size_of::<usize>());
+    assert_eq!(size_of::<ClhLock>(), size_of::<usize>());
+    assert_eq!(size_of::<TestAndSetLock>(), 1);
+}
+
+/// The hierarchical NUMA-aware baselines pay O(sockets) cache lines of
+/// shared state — the space overhead CNA exists to avoid.
+#[test]
+fn hierarchical_locks_are_not_compact() {
+    assert!(size_of::<CBoMcsLock>() > size_of::<CnaLock>());
+    assert!(size_of::<HmcsLock>() > size_of::<CnaLock>());
+}

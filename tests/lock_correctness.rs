@@ -29,7 +29,12 @@ fn exercise<L: RawLock + 'static>() {
             });
         }
     });
-    assert_eq!(*m.lock(), THREADS as u64 * ITERS, "{} lost updates", L::NAME);
+    assert_eq!(
+        *m.lock(),
+        THREADS as u64 * ITERS,
+        "{} lost updates",
+        L::NAME
+    );
 }
 
 #[test]
@@ -131,7 +136,11 @@ fn harness_real_runs_cover_cna_and_the_strongest_baselines() {
         run_real_contention::<HmcsLock>(&cfg),
         run_real_contention::<CnaQSpinLock>(&cfg),
     ] {
-        assert!(result.total_ops() > 0, "{} made no progress", result.algorithm);
+        assert!(
+            result.total_ops() > 0,
+            "{} made no progress",
+            result.algorithm
+        );
         assert!(result.fairness_factor() <= 1.0);
     }
 }

@@ -42,7 +42,7 @@ fn figure6_shape_cna_beats_mcs_and_tracks_the_hierarchical_locks() {
     // apart in either direction. The simulator charges every read of a
     // remotely-owned line as a remote transfer (no shared-state caching), so
     // socket-rotating locks like HMCS pay more for data re-warming than on
-    // real hardware; see EXPERIMENTS.md "Known modelling gaps".
+    // real hardware.
     let ratio = cna.throughput_ops_per_us() / hmcs.throughput_ops_per_us();
     assert!(ratio > 0.6 && ratio < 2.0, "CNA/HMCS ratio {ratio:.2}");
 }
@@ -68,7 +68,10 @@ fn figure10_shape_four_socket_machine_amplifies_the_gap() {
     let gain4 = simulate(kv_map(0, 0.2), LockAlgorithm::Cna, 128, m4.clone(), c4)
         .throughput_ops_per_us()
         / simulate(kv_map(0, 0.2), LockAlgorithm::Mcs, 128, m4, c4).throughput_ops_per_us();
-    assert!(gain4 > gain2, "4-socket gain {gain4:.2} vs 2-socket gain {gain2:.2}");
+    assert!(
+        gain4 > gain2,
+        "4-socket gain {gain4:.2} vs 2-socket gain {gain2:.2}"
+    );
 }
 
 #[test]
@@ -112,8 +115,14 @@ fn figure13_shape_lockstat_widens_the_kernel_gap() {
     };
     let without = gap(false);
     let with = gap(true);
-    assert!(without > 1.0, "CNA should win even without lockstat ({without:.2})");
-    assert!(with > without, "lockstat gap {with:.2} should exceed {without:.2}");
+    assert!(
+        without > 1.0,
+        "CNA should win even without lockstat ({without:.2})"
+    );
+    assert!(
+        with > without,
+        "lockstat gap {with:.2} should exceed {without:.2}"
+    );
 }
 
 #[test]
@@ -140,6 +149,9 @@ fn low_thread_counts_keep_cna_close_to_mcs() {
         let cna = two_socket(kv_map(0, 0.2), LockAlgorithm::Cna, threads);
         let rel = (cna.throughput_ops_per_us() - mcs.throughput_ops_per_us()).abs()
             / mcs.throughput_ops_per_us();
-        assert!(rel < 0.12, "at {threads} threads CNA deviates {rel:.2} from MCS");
+        assert!(
+            rel < 0.12,
+            "at {threads} threads CNA deviates {rel:.2} from MCS"
+        );
     }
 }

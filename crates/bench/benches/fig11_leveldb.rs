@@ -6,12 +6,11 @@
 //! store (with the real CNA lock) is also executed as a sanity check of the
 //! substrate itself.
 
-use std::time::Duration;
-
 use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks_with_opt};
 use harness::sweep::Metric;
-use leveldb_lite::{readrandom, ReadRandomConfig};
+use leveldb_lite::{readrandom_dyn, ReadRandomConfig};
 use numa_sim::workloads::leveldb_readrandom;
+use registry::LockId;
 
 fn main() {
     let specs = vec![
@@ -38,14 +37,19 @@ fn main() {
     }
 
     // Substrate sanity check: the real leveldb-lite store on the real CNA
-    // lock completes reads and finds pre-filled keys.
-    let report = readrandom::<cna::CnaLock>(&ReadRandomConfig {
-        threads: 2,
-        duration: Duration::from_millis(60),
-        prefill_keys: 20_000,
-        key_range: 20_000,
-        cache_capacity: 4_096,
-    });
+    // lock (selected through the registry) completes reads and finds
+    // pre-filled keys.
+    let sizing = harness::Scale::from_env().substrate_run();
+    let report = readrandom_dyn(
+        LockId::Cna,
+        &ReadRandomConfig {
+            threads: sizing.threads,
+            duration: sizing.duration,
+            prefill_keys: 20_000,
+            key_range: 20_000,
+            cache_capacity: 4_096,
+        },
+    );
     println!(
         "leveldb-lite substrate check: {} ops in {:?} with the {} lock ({} found)",
         report.total_ops(),

@@ -1,12 +1,11 @@
 //! Figure 12: Kyoto Cabinet `kccachetest` in wicked mode (fixed 10M key
 //! range), plus a real-thread sanity run of the `kyoto-lite` substrate.
 
-use std::time::Duration;
-
 use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks_with_opt};
 use harness::sweep::Metric;
-use kyoto_lite::{wicked, WickedConfig};
+use kyoto_lite::{wicked_dyn, WickedConfig};
 use numa_sim::workloads::kyoto_wicked;
+use registry::LockId;
 
 fn main() {
     let specs = vec![two_socket_spec(
@@ -34,11 +33,15 @@ fn main() {
         );
     }
 
-    let report = wicked::<cna::CnaLock>(&WickedConfig {
-        threads: 2,
-        duration: Duration::from_millis(60),
-        key_range: 100_000,
-    });
+    let sizing = harness::Scale::from_env().substrate_run();
+    let report = wicked_dyn(
+        LockId::Cna,
+        &WickedConfig {
+            threads: sizing.threads,
+            duration: sizing.duration,
+            key_range: 100_000,
+        },
+    );
     println!(
         "kyoto-lite substrate check: {} wicked ops in {:?} with the {} lock",
         report.total_ops(),

@@ -6,13 +6,10 @@
 //! A real-thread run of the user-space qspinlock reproduction (4-byte lock,
 //! per-CPU nodes) is also executed as a substrate sanity check.
 
-use std::time::Duration;
-
-use bench::{kernel_locks, print_cna_vs_mcs_summary, run_figure, two_socket_spec};
+use bench::{kernel_lock_ids, kernel_locks, print_cna_vs_mcs_summary, run_figure, two_socket_spec};
 use harness::sweep::Metric;
-use kernel_sim::{run_locktorture, LockTortureConfig};
+use kernel_sim::{run_locktorture_dyn, LockTortureConfig};
 use numa_sim::workloads::locktorture;
-use qspinlock::{CnaQSpinLock, StockQSpinLock};
 
 fn main() {
     let specs = vec![
@@ -48,18 +45,21 @@ fn main() {
         "the lockstat configuration should widen the CNA advantage"
     );
 
-    // Substrate sanity check with the real qspinlock implementations.
+    // Substrate sanity check with the real qspinlock implementations,
+    // selected through the registry (both slow paths).
+    let sizing = harness::Scale::from_env().substrate_run();
     let cfg = LockTortureConfig {
-        threads: 2,
-        duration: Duration::from_millis(50),
+        threads: sizing.threads,
+        duration: sizing.duration,
         lockstat: true,
     };
-    let stock = run_locktorture::<StockQSpinLock>(&cfg);
-    let cna = run_locktorture::<CnaQSpinLock>(&cfg);
-    println!(
-        "qspinlock substrate check: stock {} ops, CNA {} ops (wall-clock, single-CPU host)",
-        stock.total_ops(),
-        cna.total_ops()
-    );
-    assert!(stock.total_ops() > 0 && cna.total_ops() > 0);
+    for id in kernel_lock_ids() {
+        let report = run_locktorture_dyn(id, &cfg);
+        println!(
+            "qspinlock substrate check: {} completed {} ops (wall-clock, single-CPU host)",
+            id,
+            report.total_ops()
+        );
+        assert!(report.total_ops() > 0);
+    }
 }

@@ -2,13 +2,11 @@
 //! open2), stock vs CNA qspinlock, plus a real-thread sanity run of each
 //! benchmark against the user-space VFS substrates.
 
-use std::time::Duration;
-
 use bench::{kernel_locks, print_cna_vs_mcs_summary, run_figure, two_socket_spec};
 use harness::sweep::Metric;
-use kernel_sim::{run_will_it_scale, WisBenchmark, WisConfig};
+use kernel_sim::{run_will_it_scale_dyn, WisBenchmark, WisConfig};
 use numa_sim::workloads::{will_it_scale, WillItScale};
-use qspinlock::CnaQSpinLock;
+use registry::LockId;
 
 fn main() {
     let panels = [
@@ -44,13 +42,16 @@ fn main() {
     }
 
     // Substrate sanity check: every benchmark makes progress on the real
-    // CNA qspinlock against the real fd-table / file-lock / dentry code.
+    // CNA qspinlock (selected through the registry) against the real
+    // fd-table / file-lock / dentry code.
+    let sizing = harness::Scale::from_env().substrate_run();
     for bench in WisBenchmark::all() {
-        let report = run_will_it_scale::<CnaQSpinLock>(
+        let report = run_will_it_scale_dyn(
+            LockId::QSpinCna,
             bench,
             &WisConfig {
-                threads: 2,
-                duration: Duration::from_millis(40),
+                threads: sizing.threads,
+                duration: sizing.duration,
             },
         );
         println!(

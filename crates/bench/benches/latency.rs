@@ -1,44 +1,32 @@
 //! Criterion micro-benchmarks: single-thread acquire/release latency of the
-//! real lock implementations.
+//! real lock implementations, driven through the lock registry.
 //!
 //! This is the wall-clock counterpart of the paper's single-thread claim:
 //! CNA adds no overhead over MCS when uncontended (one atomic swap on
 //! acquire, no atomic on release), while the hierarchical NUMA-aware locks
 //! pay for multiple atomic operations per acquisition.
+//!
+//! Every registered algorithm is measured through the same type-erased
+//! [`DynLock`](sync_core::DynLock) token path, so the erased-adapter cost
+//! (one virtual call plus a pooled-node round trip) is a constant added to
+//! every series and relative comparisons match the generic path.
 
 use criterion::{criterion_group, criterion_main, Criterion};
-use sync_core::raw::RawLock;
-
-fn bench_uncontended<L: RawLock + 'static>(c: &mut Criterion, name: &str) {
-    let lock = L::default();
-    let node = L::Node::default();
-    c.bench_function(name, |b| {
-        b.iter(|| {
-            // SAFETY: the node is pinned on this frame and each iteration
-            // performs a matched lock/unlock pair.
-            unsafe {
-                lock.lock(std::hint::black_box(&node));
-                lock.unlock(std::hint::black_box(&node));
-            }
-        })
-    });
-}
+use registry::LockId;
 
 fn uncontended_latency(c: &mut Criterion) {
-    bench_uncontended::<cna::CnaLock>(c, "uncontended/CNA");
-    bench_uncontended::<cna::raw::CnaLockOpt>(c, "uncontended/CNA-opt");
-    bench_uncontended::<locks::McsLock>(c, "uncontended/MCS");
-    bench_uncontended::<locks::ClhLock>(c, "uncontended/CLH");
-    bench_uncontended::<locks::TicketLock>(c, "uncontended/Ticket");
-    bench_uncontended::<locks::TestAndSetLock>(c, "uncontended/TAS");
-    bench_uncontended::<locks::TtasBackoffLock>(c, "uncontended/TTAS-BO");
-    bench_uncontended::<locks::HboLock>(c, "uncontended/HBO");
-    bench_uncontended::<locks::CBoMcsLock>(c, "uncontended/C-BO-MCS");
-    bench_uncontended::<locks::CTktTktLock>(c, "uncontended/C-TKT-TKT");
-    bench_uncontended::<locks::CPtlTktLock>(c, "uncontended/C-PTL-TKT");
-    bench_uncontended::<locks::HmcsLock>(c, "uncontended/HMCS");
-    bench_uncontended::<qspinlock::StockQSpinLock>(c, "uncontended/qspinlock-stock");
-    bench_uncontended::<qspinlock::CnaQSpinLock>(c, "uncontended/qspinlock-CNA");
+    for id in LockId::ALL {
+        let lock = id.build();
+        c.bench_function(&format!("uncontended/{id}"), |b| {
+            b.iter(|| {
+                // SAFETY: matched raw_lock/raw_unlock pair on this thread.
+                unsafe {
+                    let token = lock.raw_lock();
+                    lock.raw_unlock(std::hint::black_box(token));
+                }
+            })
+        });
+    }
 }
 
 fn configure() -> Criterion {

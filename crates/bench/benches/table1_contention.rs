@@ -2,10 +2,8 @@
 //! benchmark, produced by running the real VFS substrates under the
 //! lockstat-style registry and reporting which locks saw contention.
 
-use std::time::Duration;
-
-use kernel_sim::{run_will_it_scale, WisBenchmark, WisConfig};
-use qspinlock::StockQSpinLock;
+use kernel_sim::{run_will_it_scale_dyn, WisBenchmark, WisConfig};
+use registry::LockId;
 
 /// The expected (lock, call-site) pairs from the paper's Table 1.
 fn expected(bench: WisBenchmark) -> Vec<(&'static str, &'static str)> {
@@ -30,22 +28,16 @@ fn expected(bench: WisBenchmark) -> Vec<(&'static str, &'static str)> {
 
 fn main() {
     println!("## Table 1: contention in the will-it-scale benchmarks\n");
-    // The smoke scale (BENCH_SMOKE=1 / SCALE=smoke) keeps the CI gate fast:
+    // The smoke sizing (BENCH_SMOKE=1 / SCALE=smoke) keeps the CI gate fast:
     // just long enough for every expected call site to fire at least once.
-    let cfg = if harness::Scale::from_env().is_smoke() {
-        WisConfig {
-            threads: 2,
-            duration: Duration::from_millis(10),
-        }
-    } else {
-        WisConfig {
-            threads: 4,
-            duration: Duration::from_millis(60),
-        }
+    let sizing = harness::Scale::from_env().substrate_run();
+    let cfg = WisConfig {
+        threads: sizing.threads,
+        duration: sizing.duration,
     };
     let mut rows: Vec<Vec<String>> = Vec::new();
     for bench in WisBenchmark::all() {
-        let report = run_will_it_scale::<StockQSpinLock>(bench, &cfg);
+        let report = run_will_it_scale_dyn(LockId::QSpinStock, bench, &cfg);
         let observed: Vec<(String, String)> = report
             .lockstat
             .rows

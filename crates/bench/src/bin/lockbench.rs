@@ -1,0 +1,38 @@
+//! `lockbench`: run any registered lock algorithm against any workload.
+//!
+//! ```text
+//! cargo run --release -p bench --bin lockbench -- list
+//! cargo run --release -p bench --bin lockbench -- run --lock cna,mcs --workload kvmap --scale smoke
+//! ```
+//!
+//! All logic lives in [`bench::cli`]; this binary only forwards the
+//! arguments and converts the outcome into an exit code.
+
+use bench::cli::{self, Command};
+use registry::LockId;
+
+fn main() {
+    let command = match cli::parse_args(std::env::args().skip(1)) {
+        Ok(command) => command,
+        Err(message) => {
+            eprintln!("error: {message}\n\n{}", cli::usage());
+            std::process::exit(2);
+        }
+    };
+    match command {
+        Command::Help => println!("{}", cli::usage()),
+        Command::List { names_only } => {
+            if names_only {
+                for id in LockId::ALL {
+                    println!("{id}");
+                }
+            } else {
+                println!("{}", cli::render_list());
+            }
+        }
+        Command::Run(args) => {
+            let rows = cli::execute_run(&args);
+            println!("{}", cli::report_run(&args, &rows));
+        }
+    }
+}

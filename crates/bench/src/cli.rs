@@ -1,0 +1,539 @@
+//! The `lockbench` command line: any algorithm × workload × scale in one
+//! command.
+//!
+//! This is the front door to the lock registry: `lockbench list` prints the
+//! registered algorithms and `lockbench run` drives any of them — by name —
+//! through the real-thread workloads, without a new source file per
+//! combination:
+//!
+//! ```text
+//! cargo run -p bench --bin lockbench -- list
+//! cargo run -p bench --bin lockbench -- run --lock cna,mcs --workload kvmap --scale smoke
+//! cargo run -p bench --bin lockbench -- run --lock all --workload kvmap,leveldb --scale ci
+//! ```
+//!
+//! Parsing and execution live in this library module so they are unit
+//! tested; the binary (`src/bin/lockbench.rs`) only forwards `std::env::args`
+//! and converts the outcome into an exit code.
+
+use std::time::Duration;
+
+use harness::real::{run_real_contention_dyn, RealRunConfig};
+use harness::{render_table, write_csv, Scale};
+use kernel_sim::{
+    run_locktorture_dyn, run_will_it_scale_dyn, LockTortureConfig, WisBenchmark, WisConfig,
+};
+use kyoto_lite::{wicked_dyn, WickedConfig};
+use leveldb_lite::{readrandom_dyn, ReadRandomConfig};
+use registry::LockId;
+
+/// A parsed `lockbench` invocation.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Command {
+    /// `lockbench list`: print the registry table (`--names` for a plain
+    /// newline-separated name list, for shell loops).
+    List {
+        /// Print canonical names only.
+        names_only: bool,
+    },
+    /// `lockbench run`: execute workloads over registered locks.
+    Run(RunArgs),
+    /// `lockbench help` / `--help`.
+    Help,
+}
+
+/// Arguments of `lockbench run`.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct RunArgs {
+    /// Algorithms to run (`--lock cna,mcs` or `--lock all`).
+    pub locks: Vec<LockId>,
+    /// Workloads to run (`--workload kvmap,leveldb` or `all`).
+    pub workloads: Vec<WorkloadKind>,
+    /// Run sizing (`--scale smoke|ci|paper`; default `ci`).
+    pub scale: Scale,
+    /// Optional worker-thread override (`--threads N`).
+    pub threads: Option<usize>,
+    /// Optional duration override in milliseconds (`--duration-ms N`).
+    pub duration_ms: Option<u64>,
+}
+
+/// The real-thread workloads `lockbench run` can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum WorkloadKind {
+    /// Key-value-map-style contention loop (`harness::real`).
+    KvMap,
+    /// `leveldb-lite` `db_bench readrandom` (§7.1.2).
+    Leveldb,
+    /// `kyoto-lite` `kccachetest wicked` (§7.1.3).
+    Kyoto,
+    /// Kernel `locktorture` with lockstat updates (§7.2, Figures 13/14).
+    LockTorture,
+    /// The four `will-it-scale` VFS benchmarks (§7.2, Figure 15).
+    Wis,
+}
+
+impl WorkloadKind {
+    /// All workloads, in `run --workload all` order.
+    pub const ALL: [WorkloadKind; 5] = [
+        WorkloadKind::KvMap,
+        WorkloadKind::Leveldb,
+        WorkloadKind::Kyoto,
+        WorkloadKind::LockTorture,
+        WorkloadKind::Wis,
+    ];
+
+    /// The `--workload` token.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WorkloadKind::KvMap => "kvmap",
+            WorkloadKind::Leveldb => "leveldb",
+            WorkloadKind::Kyoto => "kyoto",
+            WorkloadKind::LockTorture => "locktorture",
+            WorkloadKind::Wis => "wis",
+        }
+    }
+
+    /// Parses one `--workload` token.
+    pub fn parse(name: &str) -> Result<WorkloadKind, String> {
+        let normalized = name.trim().to_ascii_lowercase();
+        WorkloadKind::ALL
+            .into_iter()
+            .find(|w| w.name() == normalized)
+            .ok_or_else(|| {
+                format!(
+                    "unknown workload {name:?} (known: {})",
+                    WorkloadKind::ALL.map(|w| w.name()).join(", ")
+                )
+            })
+    }
+
+    /// Parses a comma-separated `--workload` list (`all` = every workload).
+    pub fn parse_list(list: &str) -> Result<Vec<WorkloadKind>, String> {
+        if list.trim().eq_ignore_ascii_case("all") {
+            return Ok(WorkloadKind::ALL.to_vec());
+        }
+        list.split(',')
+            .filter(|part| !part.trim().is_empty())
+            .map(WorkloadKind::parse)
+            .collect()
+    }
+}
+
+/// The `lockbench` usage text.
+pub fn usage() -> String {
+    format!(
+        "lockbench — drive any registered lock algorithm through any workload\n\
+         \n\
+         USAGE:\n\
+         \x20 lockbench list [--names]\n\
+         \x20 lockbench run --lock <names|all> --workload <names|all>\n\
+         \x20               [--scale smoke|ci|paper] [--threads N] [--duration-ms N]\n\
+         \n\
+         WORKLOADS: {}\n\
+         LOCKS:     {}\n\
+         \n\
+         EXAMPLES:\n\
+         \x20 lockbench run --lock cna,mcs --workload kvmap --scale smoke\n\
+         \x20 lockbench run --lock all --workload kvmap --scale smoke   # CI lock matrix\n\
+         \x20 lockbench run --lock qspinlock-cna --workload wis --scale ci",
+        WorkloadKind::ALL.map(|w| w.name()).join(", "),
+        LockId::names().join(", ")
+    )
+}
+
+/// Parses the arguments following the binary name.
+pub fn parse_args<I>(args: I) -> Result<Command, String>
+where
+    I: IntoIterator<Item = String>,
+{
+    let mut args = args.into_iter().peekable();
+    let subcommand = match args.next() {
+        None => return Ok(Command::Help),
+        Some(s) => s,
+    };
+    match subcommand.as_str() {
+        "help" | "--help" | "-h" => Ok(Command::Help),
+        "list" => {
+            let mut names_only = false;
+            for flag in args {
+                match flag.as_str() {
+                    "--names" => names_only = true,
+                    other => return Err(format!("unknown `list` flag {other:?}")),
+                }
+            }
+            Ok(Command::List { names_only })
+        }
+        "run" => {
+            let mut locks: Option<Vec<LockId>> = None;
+            let mut workloads: Option<Vec<WorkloadKind>> = None;
+            let mut scale = Scale::from_env();
+            let mut threads = None;
+            let mut duration_ms = None;
+            while let Some(flag) = args.next() {
+                let mut value_of = |flag: &str| {
+                    args.next()
+                        .ok_or_else(|| format!("flag {flag} expects a value"))
+                };
+                match flag.as_str() {
+                    "--lock" | "--locks" => {
+                        let value = value_of(&flag)?;
+                        locks = Some(LockId::parse_list(&value).map_err(|e| e.to_string())?);
+                    }
+                    "--workload" | "--workloads" => {
+                        let value = value_of(&flag)?;
+                        workloads = Some(WorkloadKind::parse_list(&value)?);
+                    }
+                    "--scale" => {
+                        let value = value_of(&flag)?;
+                        scale = Scale::parse(&value)
+                            .ok_or_else(|| format!("unknown scale {value:?}"))?;
+                    }
+                    "--threads" => {
+                        let value = value_of(&flag)?;
+                        let parsed: usize = value
+                            .parse()
+                            .map_err(|_| format!("--threads expects a number, got {value:?}"))?;
+                        if parsed == 0 {
+                            return Err("--threads must be at least 1".to_string());
+                        }
+                        threads = Some(parsed);
+                    }
+                    "--duration-ms" => {
+                        let value = value_of(&flag)?;
+                        duration_ms = Some(value.parse().map_err(|_| {
+                            format!("--duration-ms expects a number, got {value:?}")
+                        })?);
+                    }
+                    other => return Err(format!("unknown `run` flag {other:?}")),
+                }
+            }
+            let locks = locks.ok_or("`run` requires --lock <names|all>")?;
+            let workloads = workloads.ok_or("`run` requires --workload <names|all>")?;
+            if locks.is_empty() {
+                return Err("--lock selected no algorithms".to_string());
+            }
+            if workloads.is_empty() {
+                return Err("--workload selected no workloads".to_string());
+            }
+            Ok(Command::Run(RunArgs {
+                locks,
+                workloads,
+                scale,
+                threads,
+                duration_ms,
+            }))
+        }
+        other => Err(format!(
+            "unknown subcommand {other:?}; try `lockbench help`"
+        )),
+    }
+}
+
+/// Renders the `lockbench list` registry table.
+pub fn render_list() -> String {
+    let header: Vec<String> = [
+        "name",
+        "label",
+        "NUMA",
+        "compact",
+        "try",
+        "sim model",
+        "description",
+    ]
+    .map(String::from)
+    .to_vec();
+    let yes_no = |b: bool| if b { "yes" } else { "no" }.to_string();
+    let rows: Vec<Vec<String>> = LockId::ALL
+        .iter()
+        .map(|id| {
+            vec![
+                id.name().to_string(),
+                id.raw_name().to_string(),
+                yes_no(id.is_numa_aware()),
+                yes_no(id.is_compact()),
+                yes_no(id.supports_try_lock()),
+                id.sim_algorithm().name().to_string(),
+                id.description().to_string(),
+            ]
+        })
+        .collect();
+    render_table(
+        &format!("Registered lock algorithms ({})", LockId::ALL.len()),
+        &header,
+        &rows,
+    )
+}
+
+/// One result row of `lockbench run`.
+#[derive(Debug, Clone)]
+pub struct RunRow {
+    /// Workload name (`wis` rows carry the sub-benchmark, e.g.
+    /// `wis/lock2_threads`).
+    pub workload: String,
+    /// Canonical lock name.
+    pub lock: &'static str,
+    /// Worker threads.
+    pub threads: usize,
+    /// Completed operations.
+    pub total_ops: u64,
+    /// Throughput in operations per millisecond.
+    pub ops_per_ms: f64,
+}
+
+/// Executes one workload × lock combination and returns its result rows
+/// (one row, except `wis` which yields one per sub-benchmark).
+pub fn run_one(workload: WorkloadKind, id: LockId, args: &RunArgs) -> Vec<RunRow> {
+    let sizing = args.scale.substrate_run();
+    let threads = args.threads.unwrap_or(sizing.threads);
+    let duration = args
+        .duration_ms
+        .map(Duration::from_millis)
+        .unwrap_or(sizing.duration);
+    let row = |workload: String, total_ops: u64, elapsed: Duration| RunRow {
+        workload,
+        lock: id.name(),
+        threads,
+        total_ops,
+        // Fractional milliseconds: at smoke durations (~10 ms) integer
+        // truncation would skew the reported throughput by double digits.
+        ops_per_ms: total_ops as f64 / (elapsed.as_secs_f64() * 1e3).max(f64::MIN_POSITIVE),
+    };
+    match workload {
+        WorkloadKind::KvMap => {
+            let report = run_real_contention_dyn(
+                id,
+                &RealRunConfig {
+                    threads,
+                    duration,
+                    ..RealRunConfig::default()
+                },
+            );
+            vec![row(
+                workload.name().to_string(),
+                report.total_ops(),
+                report.elapsed,
+            )]
+        }
+        WorkloadKind::Leveldb => {
+            let report = readrandom_dyn(
+                id,
+                &ReadRandomConfig {
+                    threads,
+                    duration,
+                    ..ReadRandomConfig::default()
+                },
+            );
+            vec![row(
+                workload.name().to_string(),
+                report.total_ops(),
+                report.elapsed,
+            )]
+        }
+        WorkloadKind::Kyoto => {
+            let report = wicked_dyn(
+                id,
+                &WickedConfig {
+                    threads,
+                    duration,
+                    ..WickedConfig::default()
+                },
+            );
+            vec![row(
+                workload.name().to_string(),
+                report.total_ops(),
+                report.elapsed,
+            )]
+        }
+        WorkloadKind::LockTorture => {
+            let report = run_locktorture_dyn(
+                id,
+                &LockTortureConfig {
+                    threads,
+                    duration,
+                    lockstat: true,
+                },
+            );
+            vec![row(
+                workload.name().to_string(),
+                report.total_ops(),
+                report.elapsed,
+            )]
+        }
+        WorkloadKind::Wis => WisBenchmark::all()
+            .into_iter()
+            .map(|bench| {
+                let report = run_will_it_scale_dyn(id, bench, &WisConfig { threads, duration });
+                row(
+                    format!("{}/{}", workload.name(), report.benchmark),
+                    report.total_ops(),
+                    report.elapsed,
+                )
+            })
+            .collect(),
+    }
+}
+
+/// Executes a full `lockbench run` and returns all result rows.
+pub fn execute_run(args: &RunArgs) -> Vec<RunRow> {
+    let mut rows = Vec::new();
+    for &workload in &args.workloads {
+        for &id in &args.locks {
+            rows.extend(run_one(workload, id, args));
+        }
+    }
+    rows
+}
+
+/// Renders `lockbench run` results and writes the CSV under
+/// `target/experiments/lockbench_run.csv`.
+pub fn report_run(args: &RunArgs, rows: &[RunRow]) -> String {
+    let header: Vec<String> = ["workload", "lock", "threads", "ops", "ops/ms"]
+        .map(String::from)
+        .to_vec();
+    let cells: Vec<Vec<String>> = rows
+        .iter()
+        .map(|r| {
+            vec![
+                r.workload.clone(),
+                r.lock.to_string(),
+                r.threads.to_string(),
+                r.total_ops.to_string(),
+                format!("{:.1}", r.ops_per_ms),
+            ]
+        })
+        .collect();
+    write_csv("lockbench_run", &header, &cells);
+    render_table(
+        &format!(
+            "lockbench run ({:?} scale, wall-clock on this host)",
+            args.scale
+        ),
+        &header,
+        &cells,
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn strings(args: &[&str]) -> Vec<String> {
+        args.iter().map(|s| s.to_string()).collect()
+    }
+
+    #[test]
+    fn parses_list_and_help() {
+        assert_eq!(
+            parse_args(strings(&["list"])).unwrap(),
+            Command::List { names_only: false }
+        );
+        assert_eq!(
+            parse_args(strings(&["list", "--names"])).unwrap(),
+            Command::List { names_only: true }
+        );
+        assert_eq!(parse_args(strings(&["--help"])).unwrap(), Command::Help);
+        assert_eq!(parse_args(Vec::new()).unwrap(), Command::Help);
+        assert!(parse_args(strings(&["frobnicate"])).is_err());
+    }
+
+    #[test]
+    fn parses_a_full_run_command() {
+        let cmd = parse_args(strings(&[
+            "run",
+            "--lock",
+            "cna,mcs",
+            "--workload",
+            "kvmap,kyoto",
+            "--scale",
+            "smoke",
+            "--threads",
+            "3",
+            "--duration-ms",
+            "7",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(args) => {
+                assert_eq!(args.locks, vec![LockId::Cna, LockId::Mcs]);
+                assert_eq!(
+                    args.workloads,
+                    vec![WorkloadKind::KvMap, WorkloadKind::Kyoto]
+                );
+                assert_eq!(args.scale, Scale::Smoke);
+                assert_eq!(args.threads, Some(3));
+                assert_eq!(args.duration_ms, Some(7));
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_requires_lock_and_workload() {
+        assert!(parse_args(strings(&["run"])).is_err());
+        assert!(parse_args(strings(&["run", "--lock", "cna"])).is_err());
+        assert!(parse_args(strings(&["run", "--workload", "kvmap"])).is_err());
+        assert!(parse_args(strings(&["run", "--lock", "bogus", "--workload", "kvmap"])).is_err());
+        assert!(parse_args(strings(&["run", "--lock", "cna", "--workload", "bogus"])).is_err());
+        assert!(parse_args(strings(&[
+            "run",
+            "--lock",
+            "cna",
+            "--workload",
+            "kvmap",
+            "--threads",
+            "0"
+        ]))
+        .is_err());
+    }
+
+    #[test]
+    fn lock_and_workload_all_expand_to_everything() {
+        let cmd = parse_args(strings(&["run", "--lock", "all", "--workload", "all"])).unwrap();
+        match cmd {
+            Command::Run(args) => {
+                assert_eq!(args.locks, LockId::ALL.to_vec());
+                assert_eq!(args.workloads, WorkloadKind::ALL.to_vec());
+            }
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn list_table_mentions_every_registered_lock() {
+        let table = render_list();
+        for id in LockId::ALL {
+            assert!(table.contains(id.name()), "list misses {}", id.name());
+        }
+        assert!(usage().contains("lockbench run"));
+    }
+
+    #[test]
+    fn smoke_run_produces_a_row_per_lock() {
+        let args = RunArgs {
+            locks: vec![LockId::Mcs, LockId::Cna],
+            workloads: vec![WorkloadKind::KvMap],
+            scale: Scale::Smoke,
+            threads: Some(2),
+            duration_ms: Some(5),
+        };
+        let rows = execute_run(&args);
+        assert_eq!(rows.len(), 2);
+        assert!(rows.iter().all(|r| r.total_ops > 0));
+        let report = report_run(&args, &rows);
+        assert!(report.contains("kvmap") && report.contains("cna"));
+    }
+
+    #[test]
+    fn wis_expands_to_one_row_per_sub_benchmark() {
+        let args = RunArgs {
+            locks: vec![LockId::QSpinStock],
+            workloads: vec![WorkloadKind::Wis],
+            scale: Scale::Smoke,
+            threads: Some(2),
+            duration_ms: Some(5),
+        };
+        let rows = execute_run(&args);
+        assert_eq!(rows.len(), WisBenchmark::all().len());
+        assert!(rows.iter().all(|r| r.workload.starts_with("wis/")));
+    }
+}

@@ -8,32 +8,53 @@
 
 #![warn(missing_docs)]
 
+pub mod cli;
+
 use harness::sweep::{FigureSpec, Metric, Sweep};
 use harness::{Scale, ScaleConfig};
 use numa_sim::lock_model::LockAlgorithm;
 use numa_sim::{CostModel, MachineConfig, Workload};
+use registry::LockId;
 
-/// The lock set shown in the paper's user-space figures.
-pub fn user_space_locks() -> Vec<LockAlgorithm> {
-    vec![
-        LockAlgorithm::Mcs,
-        LockAlgorithm::Cna,
-        LockAlgorithm::CBoMcs,
-        LockAlgorithm::Hmcs,
-    ]
+/// The registry ids shown in the paper's user-space figures.
+pub fn user_space_lock_ids() -> Vec<LockId> {
+    vec![LockId::Mcs, LockId::Cna, LockId::CBoMcs, LockId::Hmcs]
 }
 
-/// The user-space lock set plus the CNA (opt) shuffle-reduction variant
+/// The user-space set plus the CNA (opt) shuffle-reduction variant
 /// (Figure 9 and Figure 11).
-pub fn user_space_locks_with_opt() -> Vec<LockAlgorithm> {
-    let mut locks = user_space_locks();
-    locks.insert(2, LockAlgorithm::CnaOpt);
-    locks
+pub fn user_space_lock_ids_with_opt() -> Vec<LockId> {
+    let mut ids = user_space_lock_ids();
+    ids.insert(2, LockId::CnaOpt);
+    ids
 }
 
 /// The kernel comparison: stock qspinlock (MCS slow path) vs CNA slow path.
+pub fn kernel_lock_ids() -> Vec<LockId> {
+    vec![LockId::QSpinStock, LockId::QSpinCna]
+}
+
+/// Maps registry ids onto their simulator policy models (what the sweeps
+/// consume).
+pub fn sim_algorithms(ids: &[LockId]) -> Vec<LockAlgorithm> {
+    ids.iter().map(|id| id.sim_algorithm()).collect()
+}
+
+/// The simulator lock set of the paper's user-space figures.
+pub fn user_space_locks() -> Vec<LockAlgorithm> {
+    sim_algorithms(&user_space_lock_ids())
+}
+
+/// The user-space simulator set plus the CNA (opt) shuffle-reduction
+/// variant (Figure 9 and Figure 11).
+pub fn user_space_locks_with_opt() -> Vec<LockAlgorithm> {
+    sim_algorithms(&user_space_lock_ids_with_opt())
+}
+
+/// The kernel comparison set on the simulator: the stock qspinlock admits
+/// like MCS, the patched slow path like CNA.
 pub fn kernel_locks() -> Vec<LockAlgorithm> {
-    vec![LockAlgorithm::Mcs, LockAlgorithm::Cna]
+    sim_algorithms(&kernel_lock_ids())
 }
 
 /// Builds a [`FigureSpec`] for a user-space experiment on the 2-socket
@@ -111,6 +132,16 @@ mod tests {
         assert_eq!(user_space_locks().len(), 4);
         assert_eq!(user_space_locks_with_opt().len(), 5);
         assert_eq!(kernel_locks(), vec![LockAlgorithm::Mcs, LockAlgorithm::Cna]);
+    }
+
+    #[test]
+    fn figure_lock_sets_are_registry_driven() {
+        assert_eq!(sim_algorithms(&user_space_lock_ids()), user_space_locks());
+        assert_eq!(
+            kernel_lock_ids(),
+            vec![registry::LockId::QSpinStock, registry::LockId::QSpinCna]
+        );
+        assert!(user_space_lock_ids_with_opt().contains(&registry::LockId::CnaOpt));
     }
 
     #[test]

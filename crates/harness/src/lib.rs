@@ -21,7 +21,7 @@ pub mod scale;
 pub mod sweep;
 pub mod table;
 
-pub use real::{run_real_contention, RealRunConfig, RealRunResult};
-pub use scale::{Scale, ScaleConfig};
+pub use real::{run_real_contention, run_real_contention_dyn, RealRunConfig, RealRunResult};
+pub use scale::{Scale, ScaleConfig, SubstrateRun};
 pub use sweep::{FigureSpec, Row, Sweep};
 pub use table::{render_table, write_csv};

@@ -11,6 +11,7 @@ use std::sync::Arc;
 use std::time::{Duration, Instant};
 
 use numa_topology::SocketOverrideGuard;
+use registry::LockId;
 use sync_core::raw::RawLock;
 use sync_core::CachePadded;
 
@@ -181,6 +182,23 @@ where
     }
 }
 
+/// Registry-driven counterpart of [`run_real_contention`]: the algorithm is
+/// chosen by [`LockId`] at runtime.
+///
+/// Reuses the generic measurement loop, instantiated once with
+/// [`registry::AmbientLock`], so every registered algorithm shares one
+/// compiled loop and dispatches per acquisition through the type-erased
+/// adapter. The erased path adds one virtual call and a pooled-node round
+/// trip per acquisition — the same constant for every algorithm, so
+/// cross-algorithm comparisons remain meaningful. Runs serialize on the
+/// process-wide ambient scope.
+pub fn run_real_contention_dyn(id: LockId, config: &RealRunConfig) -> RealRunResult {
+    let mut result =
+        registry::with_ambient(id, || run_real_contention::<registry::AmbientLock>(config));
+    result.algorithm = id.name().to_string();
+    result
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -215,6 +233,35 @@ mod tests {
         };
         let result = run_real_contention::<McsLock>(&cfg);
         assert_eq!(result.algorithm, "MCS");
+        assert!(result.total_ops() > 0);
+    }
+
+    #[test]
+    fn dyn_run_matches_the_generic_run_shape() {
+        let cfg = RealRunConfig {
+            threads: 2,
+            duration: Duration::from_millis(25),
+            critical_work: 8,
+            non_critical_work: 8,
+            virtual_sockets: 2,
+        };
+        let result = run_real_contention_dyn(LockId::Cna, &cfg);
+        assert_eq!(result.algorithm, "cna");
+        assert!(result.total_ops() > 0);
+        assert!((0.5..=1.0).contains(&result.fairness_factor()));
+    }
+
+    #[test]
+    fn dyn_run_works_for_a_qspinlock_id() {
+        let cfg = RealRunConfig {
+            threads: 2,
+            duration: Duration::from_millis(20),
+            critical_work: 4,
+            non_critical_work: 4,
+            virtual_sockets: 2,
+        };
+        let result = run_real_contention_dyn(LockId::QSpinStock, &cfg);
+        assert_eq!(result.algorithm, "qspinlock-stock");
         assert!(result.total_ops() > 0);
     }
 

@@ -20,10 +20,48 @@ impl Scale {
         if std::env::var_os("BENCH_SMOKE").is_some_and(|v| v != "0") {
             return Scale::Smoke;
         }
-        match std::env::var("SCALE").as_deref() {
-            Ok("paper") | Ok("PAPER") | Ok("full") => Scale::Paper,
-            Ok("smoke") | Ok("SMOKE") => Scale::Smoke,
-            _ => Scale::Ci,
+        match std::env::var("SCALE")
+            .ok()
+            .and_then(|value| Scale::parse(&value))
+        {
+            Some(scale) => scale,
+            None => Scale::Ci,
+        }
+    }
+
+    /// Parses a scale name (`smoke`, `ci`, `paper`/`full`), as used by the
+    /// `SCALE` environment variable and the `lockbench --scale` flag.
+    pub fn parse(name: &str) -> Option<Self> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "smoke" => Some(Scale::Smoke),
+            "ci" => Some(Scale::Ci),
+            "paper" | "full" => Some(Scale::Paper),
+            _ => None,
+        }
+    }
+
+    /// Sizing of a short real-thread substrate run (the wall-clock sanity
+    /// checks the figure benches execute next to their simulator sweeps, and
+    /// the `lockbench` workloads).
+    ///
+    /// This hoists the per-bench `if smoke { .. } else { .. }` config
+    /// branching into one place so every bench agrees on what each scale
+    /// means.
+    pub fn substrate_run(self) -> SubstrateRun {
+        use std::time::Duration;
+        match self {
+            Scale::Smoke => SubstrateRun {
+                threads: 2,
+                duration: Duration::from_millis(10),
+            },
+            Scale::Ci => SubstrateRun {
+                threads: 4,
+                duration: Duration::from_millis(60),
+            },
+            Scale::Paper => SubstrateRun {
+                threads: 8,
+                duration: Duration::from_millis(500),
+            },
         }
     }
 
@@ -52,6 +90,16 @@ impl Scale {
             },
         }
     }
+}
+
+/// Thread count and wall-clock duration of a real-thread substrate run at
+/// one [`Scale`] (see [`Scale::substrate_run`]).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct SubstrateRun {
+    /// Number of worker threads.
+    pub threads: usize,
+    /// Wall-clock measurement interval.
+    pub duration: std::time::Duration,
 }
 
 /// Concrete experiment sizing.
@@ -100,6 +148,24 @@ mod tests {
             thread_cap: 8,
         };
         assert_eq!(cfg.cap_threads(&[1, 4, 8, 16, 70]), vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn parse_accepts_the_env_var_spellings() {
+        assert_eq!(Scale::parse("smoke"), Some(Scale::Smoke));
+        assert_eq!(Scale::parse("CI"), Some(Scale::Ci));
+        assert_eq!(Scale::parse(" paper "), Some(Scale::Paper));
+        assert_eq!(Scale::parse("full"), Some(Scale::Paper));
+        assert_eq!(Scale::parse("huge"), None);
+    }
+
+    #[test]
+    fn substrate_runs_grow_with_the_scale() {
+        let smoke = Scale::Smoke.substrate_run();
+        let ci = Scale::Ci.substrate_run();
+        let paper = Scale::Paper.substrate_run();
+        assert!(smoke.duration < ci.duration && ci.duration < paper.duration);
+        assert!(smoke.threads <= ci.threads && ci.threads <= paper.threads);
     }
 
     #[test]

@@ -28,5 +28,7 @@ pub mod locktorture;
 pub mod willitscale;
 
 pub use lockstat::{LockStatRegistry, LockStatReport};
-pub use locktorture::{run_locktorture, LockTortureConfig, LockTortureReport};
-pub use willitscale::{run_will_it_scale, WisBenchmark, WisConfig, WisReport};
+pub use locktorture::{run_locktorture, run_locktorture_dyn, LockTortureConfig, LockTortureReport};
+pub use willitscale::{
+    run_will_it_scale, run_will_it_scale_dyn, WisBenchmark, WisConfig, WisReport,
+};

@@ -171,6 +171,20 @@ where
     }
 }
 
+/// Registry-driven counterpart of [`run_locktorture`]: the lock algorithm is
+/// chosen by [`LockId`](registry::LockId) at runtime.
+///
+/// The torture loop is instantiated once with [`registry::AmbientLock`] —
+/// the LiTL-style process-wide selection — so every registered algorithm
+/// shares one compiled loop and dispatches per acquisition through the
+/// type-erased adapter.
+pub fn run_locktorture_dyn(id: registry::LockId, config: &LockTortureConfig) -> LockTortureReport {
+    let mut report =
+        registry::with_ambient(id, || run_locktorture::<registry::AmbientLock>(config));
+    report.algorithm = id.name().to_string();
+    report
+}
+
 fn busy_ns(ns: u64, rng: &mut SmallRng) {
     // A rough calibration-free busy wait: a handful of RNG steps per ~25ns.
     let iters = ns / 25 + 1;
@@ -196,6 +210,20 @@ mod tests {
         assert_eq!(report.algorithm, "stock");
         assert!(report.total_ops() > 0);
         assert!(!report.lockstat);
+    }
+
+    #[test]
+    fn locktorture_dyn_runs_any_registered_algorithm() {
+        let report = run_locktorture_dyn(
+            registry::LockId::Cna,
+            &LockTortureConfig {
+                threads: 2,
+                duration: Duration::from_millis(25),
+                lockstat: true,
+            },
+        );
+        assert_eq!(report.algorithm, "cna");
+        assert!(report.total_ops() > 0);
     }
 
     #[test]

@@ -194,6 +194,26 @@ where
     }
 }
 
+/// Registry-driven counterpart of [`run_will_it_scale`]: the spin-lock
+/// algorithm behind every kernel substrate is chosen by
+/// [`LockId`](registry::LockId) at runtime.
+///
+/// The VFS substrates (`FilesStruct<L>`, `FileLockContext<L>`,
+/// `DentryDir<L>`) construct their locks internally, so the selection rides
+/// on [`registry::AmbientLock`] — every lock they create inside the scope
+/// dispatches to the registered algorithm of `id`.
+pub fn run_will_it_scale_dyn(
+    id: registry::LockId,
+    benchmark: WisBenchmark,
+    config: &WisConfig,
+) -> WisReport {
+    let mut report = registry::with_ambient(id, || {
+        run_will_it_scale::<registry::AmbientLock>(benchmark, config)
+    });
+    report.algorithm = id.name().to_string();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -212,6 +232,23 @@ mod tests {
             let report = run_will_it_scale::<StockQSpinLock>(bench, &cfg());
             assert!(report.total_ops() > 0, "{} made no progress", bench.name());
             assert_eq!(report.algorithm, "stock");
+        }
+    }
+
+    #[test]
+    fn every_benchmark_completes_iterations_on_a_dyn_selected_lock() {
+        for (id, bench) in [
+            (registry::LockId::QSpinCna, WisBenchmark::Lock1),
+            (registry::LockId::Mcs, WisBenchmark::Open2),
+        ] {
+            let report = run_will_it_scale_dyn(id, bench, &cfg());
+            assert_eq!(report.algorithm, id.name());
+            assert!(
+                report.total_ops() > 0,
+                "{} on {} made no progress",
+                bench.name(),
+                id
+            );
         }
     }
 

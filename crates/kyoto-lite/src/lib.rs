@@ -230,6 +230,18 @@ where
     }
 }
 
+/// Registry-driven counterpart of [`wicked`]: the database mutex algorithm
+/// is chosen by [`LockId`](registry::LockId) at runtime.
+///
+/// `CacheDb<L>` constructs its mutex internally, so the selection rides on
+/// [`registry::AmbientLock`] — the LiTL-style process-wide interposition the
+/// paper uses to put the evaluated locks underneath Kyoto Cabinet.
+pub fn wicked_dyn(id: registry::LockId, config: &WickedConfig) -> WickedReport {
+    let mut report = registry::with_ambient(id, || wicked::<registry::AmbientLock>(config));
+    report.algorithm = id.name().to_string();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -259,6 +271,18 @@ mod tests {
         assert!(db.is_empty());
         db.execute(WickedOp::Scan, 0);
         assert_eq!(db.total_ops(), 5);
+    }
+
+    #[test]
+    fn wicked_dyn_runs_a_registry_selected_lock() {
+        let cfg = WickedConfig {
+            threads: 2,
+            duration: Duration::from_millis(25),
+            key_range: 10_000,
+        };
+        let report = wicked_dyn(registry::LockId::CBoMcs, &cfg);
+        assert_eq!(report.algorithm, "c-bo-mcs");
+        assert!(report.total_ops() > 0);
     }
 
     #[test]

@@ -128,6 +128,19 @@ where
     }
 }
 
+/// Registry-driven counterpart of [`readrandom`]: the DB mutex and cache
+/// shard algorithm is chosen by [`LockId`](registry::LockId) at runtime.
+///
+/// `Db<L>` constructs its locks internally, so the selection rides on
+/// [`registry::AmbientLock`] (the LiTL-style process-wide interposition):
+/// every mutex the store creates inside the scope dispatches to the
+/// registered algorithm of `id`.
+pub fn readrandom_dyn(id: registry::LockId, config: &ReadRandomConfig) -> ReadRandomReport {
+    let mut report = registry::with_ambient(id, || readrandom::<registry::AmbientLock>(config));
+    report.algorithm = id.name().to_string();
+    report
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -148,6 +161,21 @@ mod tests {
         assert!(report.total_ops() > 0);
         assert!(report.found > 0);
         assert!(report.throughput_ops_per_ms() > 0.0);
+    }
+
+    #[test]
+    fn readrandom_dyn_runs_a_registry_selected_lock() {
+        let cfg = ReadRandomConfig {
+            threads: 2,
+            duration: Duration::from_millis(25),
+            prefill_keys: 500,
+            key_range: 500,
+            cache_capacity: 256,
+        };
+        let report = readrandom_dyn(registry::LockId::Hmcs, &cfg);
+        assert_eq!(report.algorithm, "hmcs");
+        assert!(report.total_ops() > 0);
+        assert!(report.found > 0);
     }
 
     #[test]

@@ -23,7 +23,7 @@ pub mod cache;
 pub mod db;
 pub mod memtable;
 
-pub use bench::{readrandom, ReadRandomConfig, ReadRandomReport};
+pub use bench::{readrandom, readrandom_dyn, ReadRandomConfig, ReadRandomReport};
 pub use cache::ShardedLruCache;
 pub use db::{Db, DbStats};
 pub use memtable::MemTable;

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod erased;
 pub mod mutex;
 pub mod node_pool;
 pub mod padded;
@@ -35,6 +36,7 @@ pub mod raw;
 pub mod spin;
 pub mod spinlock;
 
+pub use erased::{DynLock, DynLockGuard, DynLockMutex, DynMutexGuard, ErasedLock, LockToken};
 pub use mutex::{LockGuard, LockMutex};
 pub use padded::CachePadded;
 pub use raw::{RawLock, RawTryLock};

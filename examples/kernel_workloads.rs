@@ -1,17 +1,21 @@
 //! Run the kernel benchmarks (§7.2) against the user-space qspinlock
 //! reproduction: locktorture and the four will-it-scale benchmarks, with the
-//! stock (MCS) and CNA slow paths, plus the Table-1-style lockstat report.
+//! stock (MCS) and CNA slow paths selected by registry name, plus the
+//! Table-1-style lockstat report.
 //!
 //! Run with: `cargo run --release --example kernel_workloads`
 
 use std::time::Duration;
 
 use cna_locks::kernel_sim::{
-    run_locktorture, run_will_it_scale, LockTortureConfig, WisBenchmark, WisConfig,
+    run_locktorture_dyn, run_will_it_scale_dyn, LockTortureConfig, WisBenchmark, WisConfig,
 };
-use cna_locks::qspinlock::{CnaQSpinLock, StockQSpinLock};
+use cna_locks::registry::LockId;
 
 fn main() {
+    // The kernel comparison: both qspinlock slow paths, by name.
+    let slow_paths = [LockId::QSpinStock, LockId::QSpinCna];
+
     let torture_cfg = LockTortureConfig {
         threads: 4,
         duration: Duration::from_millis(300),
@@ -21,25 +25,22 @@ fn main() {
         "locktorture (lockstat enabled), 4 threads, {:?}:",
         torture_cfg.duration
     );
-    let stock = run_locktorture::<StockQSpinLock>(&torture_cfg);
-    let cna = run_locktorture::<CnaQSpinLock>(&torture_cfg);
-    println!(
-        "  stock qspinlock: {:>9} ops    CNA qspinlock: {:>9} ops\n",
-        stock.total_ops(),
-        cna.total_ops()
-    );
+    for id in slow_paths {
+        let report = run_locktorture_dyn(id, &torture_cfg);
+        println!("  {:>15}: {:>9} ops", id.name(), report.total_ops());
+    }
 
     let wis_cfg = WisConfig {
         threads: 4,
         duration: Duration::from_millis(200),
     };
     println!(
-        "will-it-scale (threads mode), 4 threads, {:?} each:",
+        "\nwill-it-scale (threads mode), 4 threads, {:?} each:",
         wis_cfg.duration
     );
     for bench in WisBenchmark::all() {
-        let stock = run_will_it_scale::<StockQSpinLock>(bench, &wis_cfg);
-        let cna = run_will_it_scale::<CnaQSpinLock>(bench, &wis_cfg);
+        let stock = run_will_it_scale_dyn(LockId::QSpinStock, bench, &wis_cfg);
+        let cna = run_will_it_scale_dyn(LockId::QSpinCna, bench, &wis_cfg);
         println!(
             "  {:<15} stock: {:>9} iters   CNA: {:>9} iters",
             stock.benchmark,
@@ -49,7 +50,7 @@ fn main() {
     }
 
     println!("\nTable-1-style lockstat report for open1_threads (stock qspinlock):");
-    let report = run_will_it_scale::<StockQSpinLock>(WisBenchmark::Open1, &wis_cfg);
+    let report = run_will_it_scale_dyn(LockId::QSpinStock, WisBenchmark::Open1, &wis_cfg);
     println!("{}", report.lockstat.render());
     println!("(wall-clock numbers on this host; the paper-shaped curves come from `cargo bench`)");
 }

@@ -1,5 +1,6 @@
 //! The paper's key-value map microbenchmark (§7.1.1) run for real on this
-//! machine, comparing a few lock algorithms.
+//! machine, with the lock algorithms selected by name through the registry —
+//! the same way LiTL swaps locks under an unchanged workload.
 //!
 //! Run with: `cargo run --release --example kv_map`
 
@@ -8,8 +9,8 @@ use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::Duration;
 
-use cna_locks::locks::{CBoMcsLock, HmcsLock, McsLock};
-use cna_locks::sync_core::{LockMutex, RawLock};
+use cna_locks::registry::LockId;
+use cna_locks::sync_core::DynLockMutex;
 use rand::rngs::SmallRng;
 use rand::{Rng, SeedableRng};
 
@@ -17,10 +18,11 @@ const KEY_RANGE: u64 = 1024;
 const THREADS: usize = 4;
 const RUN: Duration = Duration::from_millis(300);
 
-/// One benchmark run: a BTree map behind a single lock of type `L`,
+/// One benchmark run: a BTree map behind a single registry-selected lock,
 /// 80 % lookups / 20 % updates, keys uniform in `0..KEY_RANGE`.
-fn run<L: RawLock + 'static>() -> (String, u64) {
-    let map: Arc<LockMutex<BTreeMap<u64, u64>, L>> = Arc::new(LockMutex::new(
+fn run(id: LockId) -> (LockId, u64) {
+    let map: Arc<DynLockMutex<BTreeMap<u64, u64>>> = Arc::new(DynLockMutex::new(
+        id.build(),
         (0..KEY_RANGE / 2).map(|k| (k * 2, k)).collect(),
     ));
     let stop = Arc::new(AtomicBool::new(false));
@@ -56,7 +58,7 @@ fn run<L: RawLock + 'static>() -> (String, u64) {
         std::thread::sleep(RUN);
         stop.store(true, Ordering::Relaxed);
     });
-    (L::NAME.to_string(), total.load(Ordering::Relaxed))
+    (id, total.load(Ordering::Relaxed))
 }
 
 fn main() {
@@ -65,14 +67,15 @@ fn main() {
         RUN
     );
     println!("(wall-clock numbers on this host; the NUMA figures come from `cargo bench`)\n");
-    for (name, ops) in [
-        run::<McsLock>(),
-        run::<cna_locks::cna::CnaLock>(),
-        run::<CBoMcsLock>(),
-        run::<HmcsLock>(),
-    ] {
+    // The paper's user-space comparison set, addressed by registry name.
+    let ids: Vec<LockId> = ["mcs", "cna", "c-bo-mcs", "hmcs"]
+        .iter()
+        .map(|name| name.parse().expect("registered lock name"))
+        .collect();
+    for (id, ops) in ids.into_iter().map(run) {
         println!(
-            "{name:>10}: {ops:>10} ops ({:.2} ops/us)",
+            "{:>10}: {ops:>10} ops ({:.2} ops/us)",
+            id.name(),
             ops as f64 / RUN.as_micros() as f64
         );
     }

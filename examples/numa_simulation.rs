@@ -6,6 +6,7 @@
 
 use cna_locks::numa_sim::lock_model::LockAlgorithm;
 use cna_locks::numa_sim::{CostModel, MachineConfig, Simulation, Workload};
+use cna_locks::registry::LockId;
 
 fn run(machine: MachineConfig, cost: CostModel, threads: usize, algo: LockAlgorithm) -> f64 {
     Simulation::new(machine, cost, algo, Workload::kv_map_no_external_work())
@@ -17,12 +18,16 @@ fn run(machine: MachineConfig, cost: CostModel, threads: usize, algo: LockAlgori
 }
 
 fn main() {
-    let algorithms = [
-        LockAlgorithm::Mcs,
-        LockAlgorithm::Cna,
-        LockAlgorithm::CBoMcs,
-        LockAlgorithm::Hmcs,
-    ];
+    // The registry maps every lock name onto its simulator policy model, so
+    // the simulated comparison set is addressed the same way as the real one.
+    let algorithms: Vec<LockAlgorithm> = ["mcs", "cna", "c-bo-mcs", "hmcs"]
+        .iter()
+        .map(|name| {
+            name.parse::<LockId>()
+                .expect("registered lock name")
+                .sim_algorithm()
+        })
+        .collect();
 
     for (label, machine, cost, threads) in [
         (
@@ -42,7 +47,7 @@ fn main() {
         let mcs_1 = run(machine.clone(), cost, 1, LockAlgorithm::Mcs);
         println!("  single thread (any lock): {mcs_1:.2} ops/us");
         let mcs = run(machine.clone(), cost, threads, LockAlgorithm::Mcs);
-        for algo in algorithms {
+        for &algo in &algorithms {
             let tp = run(machine.clone(), cost, threads, algo);
             println!(
                 "  {:<10} {tp:5.2} ops/us   ({:+.0}% vs MCS)",

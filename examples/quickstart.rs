@@ -1,10 +1,12 @@
-//! Quickstart: use the CNA lock as a drop-in mutex and through the raw API.
+//! Quickstart: use the CNA lock as a drop-in mutex, through the raw API, and
+//! by name through the lock registry.
 //!
 //! Run with: `cargo run --release --example quickstart`
 
 use std::sync::Arc;
 
 use cna_locks::cna::{CnaLock, CnaMutex, CnaNode};
+use cna_locks::registry::LockId;
 use cna_locks::sync_core::RawLock;
 
 fn main() {
@@ -41,4 +43,18 @@ fn main() {
         );
         lock.unlock(&node);
     }
+
+    // 3. The registry: every evaluated algorithm is addressable by name and
+    //    usable through the type-erased DynLock — how the benches and the
+    //    `lockbench` CLI swap algorithms without recompiling.
+    let id: LockId = "cna".parse().expect("registered lock name");
+    let dyn_lock = id.build();
+    let guard = dyn_lock.lock();
+    println!(
+        "registry lookup {:?} -> {} (one of {} registered algorithms; see `lockbench list`)",
+        id.name(),
+        dyn_lock.name(),
+        LockId::ALL.len()
+    );
+    drop(guard);
 }

@@ -1,17 +1,19 @@
 //! Drive the leveldb-lite and kyoto-lite substrates (§7.1.2, §7.1.3) with
-//! different lock algorithms, mirroring how the paper interposes locks under
-//! unmodified applications through LiTL.
+//! lock algorithms selected by name through the registry, mirroring how the
+//! paper interposes locks under unmodified applications through LiTL.
 //!
 //! Run with: `cargo run --release --example storage_engines`
 
 use std::time::Duration;
 
-use cna_locks::cna::CnaLock;
-use cna_locks::kyoto_lite::{wicked, WickedConfig};
-use cna_locks::leveldb_lite::{readrandom, ReadRandomConfig};
-use cna_locks::locks::McsLock;
+use cna_locks::kyoto_lite::{wicked_dyn, WickedConfig};
+use cna_locks::leveldb_lite::{readrandom_dyn, ReadRandomConfig};
+use cna_locks::registry::LockId;
 
 fn main() {
+    // The head-to-head the paper's storage figures focus on.
+    let comparison = [LockId::Mcs, LockId::Cna];
+
     let db_cfg = ReadRandomConfig {
         threads: 4,
         duration: Duration::from_millis(300),
@@ -23,15 +25,15 @@ fn main() {
         "leveldb-lite db_bench readrandom ({} keys):",
         db_cfg.prefill_keys
     );
-    let mcs = readrandom::<McsLock>(&db_cfg);
-    let cna = readrandom::<CnaLock>(&db_cfg);
-    println!(
-        "  MCS: {:>8} ops ({:.1} ops/ms)   CNA: {:>8} ops ({:.1} ops/ms)\n",
-        mcs.total_ops(),
-        mcs.throughput_ops_per_ms(),
-        cna.total_ops(),
-        cna.throughput_ops_per_ms(),
-    );
+    for id in comparison {
+        let report = readrandom_dyn(id, &db_cfg);
+        println!(
+            "  {:>4}: {:>8} ops ({:.1} ops/ms)",
+            id.name(),
+            report.total_ops(),
+            report.throughput_ops_per_ms(),
+        );
+    }
 
     let kc_cfg = WickedConfig {
         threads: 4,
@@ -39,19 +41,20 @@ fn main() {
         key_range: 100_000,
     };
     println!(
-        "kyoto-lite kccachetest wicked ({}-key range):",
+        "\nkyoto-lite kccachetest wicked ({}-key range):",
         kc_cfg.key_range
     );
-    let mcs = wicked::<McsLock>(&kc_cfg);
-    let cna = wicked::<CnaLock>(&kc_cfg);
+    for id in comparison {
+        let report = wicked_dyn(id, &kc_cfg);
+        println!(
+            "  {:>4}: {:>8} ops ({:.1} ops/ms)",
+            id.name(),
+            report.total_ops(),
+            report.throughput_ops_per_ms(),
+        );
+    }
     println!(
-        "  MCS: {:>8} ops ({:.1} ops/ms)   CNA: {:>8} ops ({:.1} ops/ms)",
-        mcs.total_ops(),
-        mcs.throughput_ops_per_ms(),
-        cna.total_ops(),
-        cna.throughput_ops_per_ms(),
-    );
-    println!(
-        "\n(wall-clock numbers on this host; the paper-shaped curves come from `cargo bench`)"
+        "\n(wall-clock numbers on this host; the paper-shaped curves come from `cargo bench`.\n\
+         Any other registered algorithm works too: see `lockbench list`.)"
     );
 }

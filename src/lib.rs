@@ -13,6 +13,9 @@
 //! * [`numa_topology`] — socket discovery and virtual topologies.
 //! * [`numa_sim`] — the discrete-event NUMA machine simulator behind the
 //!   reproduced figures.
+//! * [`registry`] — the name-addressable lock registry (`LockId`, the
+//!   `LockId → DynLock` factory and the simulator-model mapping) behind the
+//!   `lockbench` CLI.
 //! * [`harness`] — measurement harness (real threads + simulator sweeps).
 //! * [`leveldb_lite`], [`kyoto_lite`], [`kernel_sim`] — the application and
 //!   kernel substrates of §7.
@@ -29,6 +32,7 @@ pub use locks;
 pub use numa_sim;
 pub use numa_topology;
 pub use qspinlock;
+pub use registry;
 pub use sync_core;
 
 /// A convenient alias: a mutex protected by the paper's CNA lock.

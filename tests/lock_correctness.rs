@@ -6,13 +6,14 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cna_locks::cna::{CnaConfig, CnaLock, CnaMutex};
-use cna_locks::harness::{run_real_contention, RealRunConfig};
+use cna_locks::harness::{run_real_contention, run_real_contention_dyn, RealRunConfig};
 use cna_locks::locks::{
     CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, HboLock, HmcsLock, McsLock,
     PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
 };
 use cna_locks::qspinlock::{CnaQSpinLock, StockQSpinLock};
-use cna_locks::sync_core::{LockMutex, RawLock};
+use cna_locks::registry::LockId;
+use cna_locks::sync_core::{DynLockMutex, LockMutex, RawLock, RawTryLock};
 
 fn exercise<L: RawLock + 'static>() {
     const THREADS: usize = 3;
@@ -54,6 +55,92 @@ fn every_lock_in_the_workspace_provides_mutual_exclusion() {
     exercise::<cna_locks::cna::raw::CnaLockOpt>();
     exercise::<StockQSpinLock>();
     exercise::<CnaQSpinLock>();
+}
+
+/// The erased counterpart of
+/// [`every_lock_in_the_workspace_provides_mutual_exclusion`]: the same
+/// contended-counter exercise, but with every algorithm selected through the
+/// registry at runtime and driven through `DynLock`.
+#[test]
+fn every_registered_lock_provides_mutual_exclusion_through_dynlock() {
+    const THREADS: usize = 3;
+    const ITERS: u64 = 1_000;
+    for id in LockId::ALL {
+        let m = Arc::new(DynLockMutex::new(id.build(), 0u64));
+        std::thread::scope(|s| {
+            for t in 0..THREADS {
+                let m = Arc::clone(&m);
+                s.spawn(move || {
+                    let _socket = cna_locks::numa_topology::SocketOverrideGuard::new(t % 2);
+                    for _ in 0..ITERS {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), THREADS as u64 * ITERS, "{id} lost updates");
+    }
+}
+
+/// The erased `try_lock` must agree with the generic `RawTryLock` semantics:
+/// where the concrete lock has a non-blocking path, so does the erased one
+/// (and it fails while the lock is held); where it does not, the erased
+/// `try_lock` reports unsupported instead of inventing one.
+#[test]
+fn erased_try_lock_agrees_with_raw_try_lock() {
+    fn check_generic_try<L: RawTryLock + 'static>() {
+        let lock = L::default();
+        let node = L::Node::default();
+        let other = L::Node::default();
+        // SAFETY: matched pairs, nodes pinned on this frame.
+        unsafe {
+            assert!(lock.try_lock(&node), "{}: free lock", L::NAME);
+            assert!(!lock.try_lock(&other), "{}: held lock", L::NAME);
+            lock.unlock(&node);
+        }
+    }
+    // Generic reference semantics for the try-capable algorithms…
+    check_generic_try::<TestAndSetLock>();
+    check_generic_try::<TtasBackoffLock>();
+    check_generic_try::<TicketLock>();
+    check_generic_try::<HboLock>();
+    check_generic_try::<StockQSpinLock>();
+    check_generic_try::<CnaQSpinLock>();
+    // …and the erased path must match them, id by id.
+    for id in LockId::ALL {
+        let lock = id.build();
+        assert_eq!(
+            lock.supports_try_lock(),
+            id.supports_try_lock(),
+            "{id}: erased try support drifted from the registry"
+        );
+        if id.supports_try_lock() {
+            let guard = lock.lock();
+            assert!(lock.try_lock().is_none(), "{id}: try while held");
+            drop(guard);
+            assert!(lock.try_lock().is_some(), "{id}: try on a free lock");
+        } else {
+            assert!(lock.try_lock().is_none(), "{id}: unsupported try");
+        }
+    }
+}
+
+/// The registry-driven harness entry point exercises every registered
+/// algorithm through one compiled loop.
+#[test]
+fn harness_dyn_runs_cover_the_whole_registry() {
+    let cfg = RealRunConfig {
+        threads: 2,
+        duration: Duration::from_millis(10),
+        critical_work: 8,
+        non_critical_work: 8,
+        virtual_sockets: 2,
+    };
+    for id in LockId::ALL {
+        let result = run_real_contention_dyn(id, &cfg);
+        assert_eq!(result.algorithm, id.name());
+        assert!(result.total_ops() > 0, "{id} made no progress");
+    }
 }
 
 #[test]

@@ -2,8 +2,8 @@
 //! (2-socket machine, key range 1024, 80 % lookups / 20 % updates, no
 //! external work), plus the update-only variant discussed in §7.1.1.
 
-use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks};
-use harness::sweep::Metric;
+use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_lock_ids};
+use harness::experiments::Metric;
 use numa_sim::workloads::kv_map;
 
 fn main() {
@@ -12,14 +12,14 @@ fn main() {
             "fig06_kvmap_throughput",
             "Figure 6: key-value map throughput (ops/us), 2-socket, no external work",
             kv_map(0, 0.2),
-            user_space_locks(),
+            user_space_lock_ids(),
             Metric::ThroughputOpsPerUs,
         ),
         two_socket_spec(
             "fig06_kvmap_update_only",
             "Figure 6 (text): update-only variant (100 % updates)",
             kv_map(0, 1.0),
-            user_space_locks(),
+            user_space_lock_ids(),
             Metric::ThroughputOpsPerUs,
         ),
     ];

@@ -1,8 +1,8 @@
 //! Figure 7: LLC load-miss rate for the key-value map microbenchmark
 //! (same runs as Figure 6; the simulator counts remote LLC transfers).
 
-use bench::{run_figure, two_socket_spec, user_space_locks};
-use harness::sweep::Metric;
+use bench::{run_figure, two_socket_spec, user_space_lock_ids};
+use harness::experiments::Metric;
 use numa_sim::workloads::kv_map;
 
 fn main() {
@@ -10,7 +10,7 @@ fn main() {
         "fig07_kvmap_llc_misses",
         "Figure 7: LLC load-miss rate (remote transfers/us), key-value map, 2-socket",
         kv_map(0, 0.2),
-        user_space_locks(),
+        user_space_lock_ids(),
         Metric::LlcMissesPerUs,
     )];
     for sweep in run_figure(&specs) {

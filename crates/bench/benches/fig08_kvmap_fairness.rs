@@ -3,8 +3,8 @@
 //! The fairness factor is the fraction of all operations completed by the
 //! better-served half of the threads: 0.5 = strictly fair, ≈1.0 = starvation.
 
-use bench::{run_figure, two_socket_spec, user_space_locks};
-use harness::sweep::Metric;
+use bench::{run_figure, two_socket_spec, user_space_lock_ids};
+use harness::experiments::Metric;
 use numa_sim::workloads::kv_map;
 
 fn main() {
@@ -12,7 +12,7 @@ fn main() {
         "fig08_kvmap_fairness",
         "Figure 8: long-term fairness factor, key-value map, 2-socket",
         kv_map(0, 0.2),
-        user_space_locks(),
+        user_space_lock_ids(),
         Metric::FairnessFactor,
     )];
     for sweep in run_figure(&specs) {

@@ -1,8 +1,8 @@
 //! Figure 9: key-value map throughput with non-critical (external) work,
 //! including the CNA (opt) shuffle-reduction variant of §6.
 
-use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks_with_opt};
-use harness::sweep::Metric;
+use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_lock_ids_with_opt};
+use harness::experiments::Metric;
 use numa_sim::workloads::kv_map;
 
 fn main() {
@@ -10,7 +10,7 @@ fn main() {
         "fig09_kvmap_noncritical",
         "Figure 9: key-value map throughput with non-critical work (ops/us), 2-socket",
         kv_map(1_800, 0.2),
-        user_space_locks_with_opt(),
+        user_space_lock_ids_with_opt(),
         Metric::ThroughputOpsPerUs,
     )];
     for sweep in run_figure(&specs) {

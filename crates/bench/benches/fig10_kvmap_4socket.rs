@@ -1,8 +1,8 @@
 //! Figure 10: key-value map throughput on the 4-socket machine (same
 //! workload as Figure 6, higher remote-transfer cost, threads up to 142).
 
-use bench::{four_socket_spec, print_cna_vs_mcs_summary, run_figure, user_space_locks};
-use harness::sweep::Metric;
+use bench::{four_socket_spec, print_cna_vs_mcs_summary, run_figure, user_space_lock_ids};
+use harness::experiments::Metric;
 use numa_sim::workloads::kv_map;
 
 fn main() {
@@ -10,7 +10,7 @@ fn main() {
         "fig10_kvmap_4socket",
         "Figure 10: key-value map throughput (ops/us), 4-socket machine",
         kv_map(0, 0.2),
-        user_space_locks(),
+        user_space_lock_ids(),
         Metric::ThroughputOpsPerUs,
     )];
     for sweep in run_figure(&specs) {

@@ -6,8 +6,8 @@
 //! store (with the real CNA lock) is also executed as a sanity check of the
 //! substrate itself.
 
-use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks_with_opt};
-use harness::sweep::Metric;
+use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_lock_ids_with_opt};
+use harness::experiments::Metric;
 use leveldb_lite::{readrandom_dyn, ReadRandomConfig};
 use numa_sim::workloads::leveldb_readrandom;
 use registry::LockId;
@@ -18,14 +18,14 @@ fn main() {
             "fig11a_leveldb_prefilled",
             "Figure 11 (a): leveldb readrandom, pre-filled DB (ops/us), 2-socket",
             leveldb_readrandom(true),
-            user_space_locks_with_opt(),
+            user_space_lock_ids_with_opt(),
             Metric::ThroughputOpsPerUs,
         ),
         two_socket_spec(
             "fig11b_leveldb_empty",
             "Figure 11 (b): leveldb readrandom, empty DB (ops/us), 2-socket",
             leveldb_readrandom(false),
-            user_space_locks_with_opt(),
+            user_space_lock_ids_with_opt(),
             Metric::ThroughputOpsPerUs,
         ),
     ];

@@ -1,8 +1,8 @@
 //! Figure 12: Kyoto Cabinet `kccachetest` in wicked mode (fixed 10M key
 //! range), plus a real-thread sanity run of the `kyoto-lite` substrate.
 
-use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_locks_with_opt};
-use harness::sweep::Metric;
+use bench::{print_cna_vs_mcs_summary, run_figure, two_socket_spec, user_space_lock_ids_with_opt};
+use harness::experiments::Metric;
 use kyoto_lite::{wicked_dyn, WickedConfig};
 use numa_sim::workloads::kyoto_wicked;
 use registry::LockId;
@@ -12,7 +12,7 @@ fn main() {
         "fig12_kyotocabinet",
         "Figure 12: Kyoto Cabinet kccachetest wicked (ops/us), 2-socket",
         kyoto_wicked(),
-        user_space_locks_with_opt(),
+        user_space_lock_ids_with_opt(),
         Metric::ThroughputOpsPerUs,
     )];
     for sweep in run_figure(&specs) {

@@ -6,8 +6,8 @@
 //! A real-thread run of the user-space qspinlock reproduction (4-byte lock,
 //! per-CPU nodes) is also executed as a substrate sanity check.
 
-use bench::{kernel_lock_ids, kernel_locks, print_cna_vs_mcs_summary, run_figure, two_socket_spec};
-use harness::sweep::Metric;
+use bench::{kernel_lock_ids, print_cna_vs_mcs_summary, run_figure, two_socket_spec};
+use harness::experiments::Metric;
 use kernel_sim::{run_locktorture_dyn, LockTortureConfig};
 use numa_sim::workloads::locktorture;
 
@@ -17,14 +17,14 @@ fn main() {
             "fig13a_locktorture",
             "Figure 13 (a): locktorture, 2-socket, lockstat disabled (ops/us)",
             locktorture(false),
-            kernel_locks(),
+            kernel_lock_ids(),
             Metric::ThroughputOpsPerUs,
         ),
         two_socket_spec(
             "fig13b_locktorture_lockstat",
             "Figure 13 (b): locktorture, 2-socket, lockstat enabled (ops/us)",
             locktorture(true),
-            kernel_locks(),
+            kernel_lock_ids(),
             Metric::ThroughputOpsPerUs,
         ),
     ];
@@ -37,7 +37,7 @@ fn main() {
     }
     // The lockstat configuration adds shared data to the critical section, so
     // the CNA-vs-stock gap must widen (32% vs 14% at 70 threads in the paper).
-    let gap = |s: &harness::sweep::Sweep| {
+    let gap = |s: &harness::experiments::SweepResult| {
         s.final_value("CNA").unwrap_or(0.0) / s.final_value("MCS").unwrap_or(1.0)
     };
     assert!(

@@ -2,8 +2,8 @@
 //! and enabled (b). The CNA-vs-stock gap is larger than on 2 sockets because
 //! remote cache misses are more expensive.
 
-use bench::{four_socket_spec, kernel_locks, print_cna_vs_mcs_summary, run_figure};
-use harness::sweep::Metric;
+use bench::{four_socket_spec, kernel_lock_ids, print_cna_vs_mcs_summary, run_figure};
+use harness::experiments::Metric;
 use numa_sim::workloads::locktorture;
 
 fn main() {
@@ -12,14 +12,14 @@ fn main() {
             "fig14a_locktorture_4socket",
             "Figure 14 (a): locktorture, 4-socket, lockstat disabled (ops/us)",
             locktorture(false),
-            kernel_locks(),
+            kernel_lock_ids(),
             Metric::ThroughputOpsPerUs,
         ),
         four_socket_spec(
             "fig14b_locktorture_4socket_lockstat",
             "Figure 14 (b): locktorture, 4-socket, lockstat enabled (ops/us)",
             locktorture(true),
-            kernel_locks(),
+            kernel_lock_ids(),
             Metric::ThroughputOpsPerUs,
         ),
     ];

@@ -2,8 +2,8 @@
 //! open2), stock vs CNA qspinlock, plus a real-thread sanity run of each
 //! benchmark against the user-space VFS substrates.
 
-use bench::{kernel_locks, print_cna_vs_mcs_summary, run_figure, two_socket_spec};
-use harness::sweep::Metric;
+use bench::{kernel_lock_ids, print_cna_vs_mcs_summary, run_figure, two_socket_spec};
+use harness::experiments::Metric;
 use kernel_sim::{run_will_it_scale_dyn, WisBenchmark, WisConfig};
 use numa_sim::workloads::{will_it_scale, WillItScale};
 use registry::LockId;
@@ -25,19 +25,18 @@ fn main() {
                     bench.name()
                 ),
                 will_it_scale(*bench),
-                kernel_locks(),
+                kernel_lock_ids(),
                 Metric::ThroughputOpsPerUs,
             )
         })
         .collect();
-    for sweep in run_figure(&specs) {
-        print_cna_vs_mcs_summary(&sweep);
+    for (sweep, (id, _)) in run_figure(&specs).iter().zip(&panels) {
+        print_cna_vs_mcs_summary(sweep);
         let cna = sweep.final_value("CNA").unwrap_or(0.0);
         let stock = sweep.final_value("MCS").unwrap_or(f64::MAX);
         assert!(
             cna > stock,
-            "[{}] CNA ({cna:.3}) should beat stock ({stock:.3}) at the largest thread count",
-            sweep.id
+            "[{id}] CNA ({cna:.3}) should beat stock ({stock:.3}) at the largest thread count",
         );
     }
 

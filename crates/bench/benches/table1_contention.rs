@@ -70,5 +70,8 @@ fn main() {
         "{}",
         harness::render_table("Table 1 (reproduced)", &header, &rows)
     );
-    harness::write_csv("table1_contention", &header, &rows);
+    match harness::write_csv("table1_contention", &header, &rows) {
+        Ok(path) => println!("(csv written to {})", path.display()),
+        Err(err) => eprintln!("warning: {err}"),
+    }
 }

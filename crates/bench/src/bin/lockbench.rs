@@ -1,15 +1,18 @@
-//! `lockbench`: run any registered lock algorithm against any workload.
+//! `lockbench`: run any registered lock algorithm against any workload, and
+//! diff experiment reports against stored baselines.
 //!
 //! ```text
 //! cargo run --release -p bench --bin lockbench -- list
-//! cargo run --release -p bench --bin lockbench -- run --lock cna,mcs --workload kvmap --scale smoke
+//! cargo run --release -p bench --bin lockbench -- sweep --lock cna,mcs \
+//!     --workload sim,kvmap --threads 1,2,4 --scale smoke
+//! cargo run --release -p bench --bin lockbench -- diff baseline.csv current.csv
 //! ```
 //!
 //! All logic lives in [`bench::cli`]; this binary only forwards the
-//! arguments and converts the outcome into an exit code.
+//! arguments and converts the outcome into an exit code (0 = success, 1 =
+//! regression found by `diff`, 2 = usage or runtime error).
 
-use bench::cli::{self, Command};
-use registry::LockId;
+use bench::cli;
 
 fn main() {
     let command = match cli::parse_args(std::env::args().skip(1)) {
@@ -19,20 +22,11 @@ fn main() {
             std::process::exit(2);
         }
     };
-    match command {
-        Command::Help => println!("{}", cli::usage()),
-        Command::List { names_only } => {
-            if names_only {
-                for id in LockId::ALL {
-                    println!("{id}");
-                }
-            } else {
-                println!("{}", cli::render_list());
-            }
-        }
-        Command::Run(args) => {
-            let rows = cli::execute_run(&args);
-            println!("{}", cli::report_run(&args, &rows));
+    match cli::execute(&command) {
+        Ok(code) => std::process::exit(code),
+        Err(message) => {
+            eprintln!("error: {message}");
+            std::process::exit(2);
         }
     }
 }

@@ -1,34 +1,38 @@
-//! The `lockbench` command line: any algorithm × workload × scale in one
-//! command.
+//! The `lockbench` command line: any algorithm × workload × thread sweep ×
+//! scale in one command, over the unified experiment API.
 //!
-//! This is the front door to the lock registry: `lockbench list` prints the
-//! registered algorithms and `lockbench run` drives any of them — by name —
-//! through the real-thread workloads, without a new source file per
-//! combination:
+//! This is the front door to the lock registry and the experiments module:
 //!
 //! ```text
 //! cargo run -p bench --bin lockbench -- list
-//! cargo run -p bench --bin lockbench -- run --lock cna,mcs --workload kvmap --scale smoke
-//! cargo run -p bench --bin lockbench -- run --lock all --workload kvmap,leveldb --scale ci
+//! cargo run -p bench --bin lockbench -- run   --lock cna,mcs --workload kvmap --scale smoke
+//! cargo run -p bench --bin lockbench -- sweep --lock cna,mcs --workload sim,kvmap \
+//!                                             --threads 1,2,4 --scale smoke
+//! cargo run -p bench --bin lockbench -- diff baseline.csv target/experiments/lockbench_sweep.csv
 //! ```
 //!
+//! `run` and `sweep` both execute an
+//! [`ExperimentSpec`](harness::experiments::ExperimentSpec) grid and write
+//! CSV + JSON reports under `target/experiments/`; `sweep` exists as the
+//! spec-driven spelling with a configurable report id, `run` keeps the
+//! historical default (`lockbench_run`). `diff` compares two stored reports
+//! and fails (exit code 1) on threshold regressions — the CI hook for
+//! baseline comparisons.
+//!
 //! Parsing and execution live in this library module so they are unit
-//! tested; the binary (`src/bin/lockbench.rs`) only forwards `std::env::args`
-//! and converts the outcome into an exit code.
+//! tested; the binary (`src/bin/lockbench.rs`) only forwards
+//! `std::env::args` and converts the outcome into an exit code.
 
-use std::time::Duration;
+use std::path::Path;
 
-use harness::real::{run_real_contention_dyn, RealRunConfig};
-use harness::{render_table, write_csv, Scale};
-use kernel_sim::{
-    run_locktorture_dyn, run_will_it_scale_dyn, LockTortureConfig, WisBenchmark, WisConfig,
+use harness::experiments::{
+    parse_thread_list, DiffThreshold, ExperimentSpec, Metric, RunReport, WorkloadId,
 };
-use kyoto_lite::{wicked_dyn, WickedConfig};
-use leveldb_lite::{readrandom_dyn, ReadRandomConfig};
+use harness::{render_table, Scale};
 use registry::LockId;
 
 /// A parsed `lockbench` invocation.
-#[derive(Debug, Clone, PartialEq, Eq)]
+#[derive(Debug, Clone, PartialEq)]
 pub enum Command {
     /// `lockbench list`: print the registry table (`--names` for a plain
     /// newline-separated name list, for shell loops).
@@ -36,87 +40,47 @@ pub enum Command {
         /// Print canonical names only.
         names_only: bool,
     },
-    /// `lockbench run`: execute workloads over registered locks.
-    Run(RunArgs),
+    /// `lockbench run`: execute a grid with the historical report id.
+    Run(SweepArgs),
+    /// `lockbench sweep`: execute a spec-driven grid.
+    Sweep(SweepArgs),
+    /// `lockbench diff`: compare two stored reports.
+    Diff(DiffArgs),
     /// `lockbench help` / `--help`.
     Help,
 }
 
-/// Arguments of `lockbench run`.
-#[derive(Debug, Clone, PartialEq, Eq)]
-pub struct RunArgs {
+/// Arguments of `lockbench run` / `lockbench sweep` — one experiment grid.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepArgs {
+    /// Report id (`--id`; names the files under `target/experiments/`).
+    pub id: String,
     /// Algorithms to run (`--lock cna,mcs` or `--lock all`).
     pub locks: Vec<LockId>,
-    /// Workloads to run (`--workload kvmap,leveldb` or `all`).
-    pub workloads: Vec<WorkloadKind>,
-    /// Run sizing (`--scale smoke|ci|paper`; default `ci`).
+    /// Workloads to run (`--workload sim,kvmap` or `all`).
+    pub workloads: Vec<WorkloadId>,
+    /// Thread sweep (`--threads 1,2,4` / `1-8` / `2-16/2`); empty = the
+    /// scale's default sizing.
+    pub threads: Vec<usize>,
+    /// Run sizing (`--scale smoke|ci|paper`; default from `SCALE`).
     pub scale: Scale,
-    /// Optional worker-thread override (`--threads N`).
-    pub threads: Option<usize>,
-    /// Optional duration override in milliseconds (`--duration-ms N`).
+    /// Measured quantity (`--metric throughput|llc-misses|fairness`).
+    pub metric: Metric,
+    /// Repetitions per data point (`--rep N`; 0 = scale default).
+    pub repetitions: usize,
+    /// Optional wall-clock override per substrate run (`--duration-ms N`).
     pub duration_ms: Option<u64>,
 }
 
-/// The real-thread workloads `lockbench run` can drive.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum WorkloadKind {
-    /// Key-value-map-style contention loop (`harness::real`).
-    KvMap,
-    /// `leveldb-lite` `db_bench readrandom` (§7.1.2).
-    Leveldb,
-    /// `kyoto-lite` `kccachetest wicked` (§7.1.3).
-    Kyoto,
-    /// Kernel `locktorture` with lockstat updates (§7.2, Figures 13/14).
-    LockTorture,
-    /// The four `will-it-scale` VFS benchmarks (§7.2, Figure 15).
-    Wis,
-}
-
-impl WorkloadKind {
-    /// All workloads, in `run --workload all` order.
-    pub const ALL: [WorkloadKind; 5] = [
-        WorkloadKind::KvMap,
-        WorkloadKind::Leveldb,
-        WorkloadKind::Kyoto,
-        WorkloadKind::LockTorture,
-        WorkloadKind::Wis,
-    ];
-
-    /// The `--workload` token.
-    pub const fn name(self) -> &'static str {
-        match self {
-            WorkloadKind::KvMap => "kvmap",
-            WorkloadKind::Leveldb => "leveldb",
-            WorkloadKind::Kyoto => "kyoto",
-            WorkloadKind::LockTorture => "locktorture",
-            WorkloadKind::Wis => "wis",
-        }
-    }
-
-    /// Parses one `--workload` token.
-    pub fn parse(name: &str) -> Result<WorkloadKind, String> {
-        let normalized = name.trim().to_ascii_lowercase();
-        WorkloadKind::ALL
-            .into_iter()
-            .find(|w| w.name() == normalized)
-            .ok_or_else(|| {
-                format!(
-                    "unknown workload {name:?} (known: {})",
-                    WorkloadKind::ALL.map(|w| w.name()).join(", ")
-                )
-            })
-    }
-
-    /// Parses a comma-separated `--workload` list (`all` = every workload).
-    pub fn parse_list(list: &str) -> Result<Vec<WorkloadKind>, String> {
-        if list.trim().eq_ignore_ascii_case("all") {
-            return Ok(WorkloadKind::ALL.to_vec());
-        }
-        list.split(',')
-            .filter(|part| !part.trim().is_empty())
-            .map(WorkloadKind::parse)
-            .collect()
-    }
+/// Arguments of `lockbench diff`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DiffArgs {
+    /// Baseline report CSV path.
+    pub baseline: String,
+    /// Current report CSV path.
+    pub current: String,
+    /// Tolerated relative move in the bad direction (`--tolerance 0.25`).
+    pub tolerance: f64,
 }
 
 /// The `lockbench` usage text.
@@ -126,17 +90,30 @@ pub fn usage() -> String {
          \n\
          USAGE:\n\
          \x20 lockbench list [--names]\n\
-         \x20 lockbench run --lock <names|all> --workload <names|all>\n\
-         \x20               [--scale smoke|ci|paper] [--threads N] [--duration-ms N]\n\
+         \x20 lockbench run   --lock <names|all> --workload <names|all> [options]\n\
+         \x20 lockbench sweep --lock <names|all> --workload <names|all> [options]\n\
+         \x20 lockbench diff <baseline.csv> <current.csv> [--tolerance 0.25]\n\
+         \n\
+         OPTIONS (run/sweep):\n\
+         \x20 --threads 1,2,4 | 1-8 | 2-16/2   thread sweep (default: scale sizing)\n\
+         \x20 --scale smoke|ci|paper           run sizing (default: $SCALE or ci)\n\
+         \x20 --metric throughput|llc-misses|fairness\n\
+         \x20 --rep N                          repetitions per point (default: scale)\n\
+         \x20 --duration-ms N                  substrate wall-clock override\n\
+         \x20 --id NAME                        report file name (defaults:\n\
+         \x20                                  lockbench_run / lockbench_sweep)\n\
          \n\
          WORKLOADS: {}\n\
          LOCKS:     {}\n\
          \n\
+         Reports land in target/experiments/<id>.csv and <id>.json\n\
+         ($EXPERIMENTS_DIR overrides the directory).\n\
+         \n\
          EXAMPLES:\n\
-         \x20 lockbench run --lock cna,mcs --workload kvmap --scale smoke\n\
          \x20 lockbench run --lock all --workload kvmap --scale smoke   # CI lock matrix\n\
-         \x20 lockbench run --lock qspinlock-cna --workload wis --scale ci",
-        WorkloadKind::ALL.map(|w| w.name()).join(", "),
+         \x20 lockbench sweep --lock cna,mcs --workload sim,kvmap --threads 1,2,4 --scale smoke\n\
+         \x20 lockbench diff baselines/smoke.csv target/experiments/lockbench_sweep.csv",
+        WorkloadId::ALL.map(|w| w.name()).join(", "),
         LockId::names().join(", ")
     )
 }
@@ -163,70 +140,140 @@ where
             }
             Ok(Command::List { names_only })
         }
-        "run" => {
-            let mut locks: Option<Vec<LockId>> = None;
-            let mut workloads: Option<Vec<WorkloadKind>> = None;
-            let mut scale = Scale::from_env();
-            let mut threads = None;
-            let mut duration_ms = None;
-            while let Some(flag) = args.next() {
-                let mut value_of = |flag: &str| {
-                    args.next()
-                        .ok_or_else(|| format!("flag {flag} expects a value"))
-                };
-                match flag.as_str() {
-                    "--lock" | "--locks" => {
-                        let value = value_of(&flag)?;
-                        locks = Some(LockId::parse_list(&value).map_err(|e| e.to_string())?);
+        "run" => Ok(Command::Run(parse_sweep_args(args, "lockbench_run")?)),
+        "sweep" => Ok(Command::Sweep(parse_sweep_args(args, "lockbench_sweep")?)),
+        "diff" => {
+            let mut positional: Vec<String> = Vec::new();
+            let mut tolerance = DiffThreshold::default().max_regression;
+            let mut args = args;
+            while let Some(arg) = args.next() {
+                match arg.as_str() {
+                    "--tolerance" | "--threshold" => {
+                        let value = args
+                            .next()
+                            .ok_or_else(|| format!("flag {arg} expects a value"))?;
+                        tolerance = value
+                            .parse::<f64>()
+                            .ok()
+                            .filter(|t| *t >= 0.0 && t.is_finite())
+                            .ok_or_else(|| {
+                                format!("{arg} expects a non-negative fraction, got {value:?}")
+                            })?;
                     }
-                    "--workload" | "--workloads" => {
-                        let value = value_of(&flag)?;
-                        workloads = Some(WorkloadKind::parse_list(&value)?);
+                    other if other.starts_with("--") => {
+                        return Err(format!("unknown `diff` flag {other:?}"))
                     }
-                    "--scale" => {
-                        let value = value_of(&flag)?;
-                        scale = Scale::parse(&value)
-                            .ok_or_else(|| format!("unknown scale {value:?}"))?;
-                    }
-                    "--threads" => {
-                        let value = value_of(&flag)?;
-                        let parsed: usize = value
-                            .parse()
-                            .map_err(|_| format!("--threads expects a number, got {value:?}"))?;
-                        if parsed == 0 {
-                            return Err("--threads must be at least 1".to_string());
-                        }
-                        threads = Some(parsed);
-                    }
-                    "--duration-ms" => {
-                        let value = value_of(&flag)?;
-                        duration_ms = Some(value.parse().map_err(|_| {
-                            format!("--duration-ms expects a number, got {value:?}")
-                        })?);
-                    }
-                    other => return Err(format!("unknown `run` flag {other:?}")),
+                    _ => positional.push(arg),
                 }
             }
-            let locks = locks.ok_or("`run` requires --lock <names|all>")?;
-            let workloads = workloads.ok_or("`run` requires --workload <names|all>")?;
-            if locks.is_empty() {
-                return Err("--lock selected no algorithms".to_string());
+            match <[String; 2]>::try_from(positional) {
+                Ok([baseline, current]) => Ok(Command::Diff(DiffArgs {
+                    baseline,
+                    current,
+                    tolerance,
+                })),
+                Err(_) => Err("`diff` expects exactly two report paths: \
+                               lockbench diff <baseline.csv> <current.csv>"
+                    .to_string()),
             }
-            if workloads.is_empty() {
-                return Err("--workload selected no workloads".to_string());
-            }
-            Ok(Command::Run(RunArgs {
-                locks,
-                workloads,
-                scale,
-                threads,
-                duration_ms,
-            }))
         }
         other => Err(format!(
             "unknown subcommand {other:?}; try `lockbench help`"
         )),
     }
+}
+
+fn parse_sweep_args<I>(mut args: I, default_id: &str) -> Result<SweepArgs, String>
+where
+    I: Iterator<Item = String>,
+{
+    let mut locks: Option<Vec<LockId>> = None;
+    let mut workloads: Option<Vec<WorkloadId>> = None;
+    let mut threads: Vec<usize> = Vec::new();
+    let mut scale = Scale::from_env();
+    let mut metric = Metric::ThroughputOpsPerUs;
+    let mut repetitions = 0usize;
+    let mut duration_ms = None;
+    let mut id = default_id.to_string();
+    while let Some(flag) = args.next() {
+        let mut value_of = |flag: &str| {
+            args.next()
+                .ok_or_else(|| format!("flag {flag} expects a value"))
+        };
+        match flag.as_str() {
+            "--lock" | "--locks" => {
+                let value = value_of(&flag)?;
+                locks = Some(LockId::parse_list(&value).map_err(|e| e.to_string())?);
+            }
+            "--workload" | "--workloads" => {
+                let value = value_of(&flag)?;
+                workloads = Some(WorkloadId::parse_list(&value)?);
+            }
+            "--threads" => {
+                let value = value_of(&flag)?;
+                threads = parse_thread_list(&value).map_err(|e| e.to_string())?;
+            }
+            "--scale" => {
+                let value = value_of(&flag)?;
+                scale = Scale::parse(&value).ok_or_else(|| format!("unknown scale {value:?}"))?;
+            }
+            "--metric" => {
+                let value = value_of(&flag)?;
+                metric =
+                    Metric::parse(&value).ok_or_else(|| format!("unknown metric {value:?}"))?;
+            }
+            "--rep" | "--repetitions" => {
+                let value = value_of(&flag)?;
+                repetitions = value
+                    .parse()
+                    .map_err(|_| format!("--rep expects a number, got {value:?}"))?;
+            }
+            "--duration-ms" => {
+                let value = value_of(&flag)?;
+                duration_ms = Some(
+                    value
+                        .parse()
+                        .map_err(|_| format!("--duration-ms expects a number, got {value:?}"))?,
+                );
+            }
+            "--id" => {
+                let value = value_of(&flag)?;
+                // Letters/digits/._- only: the id names the report files and
+                // becomes a CSV field, so path separators and commas would
+                // produce a report `lockbench diff` can never read back.
+                if value.is_empty()
+                    || !value
+                        .chars()
+                        .all(|c| c.is_ascii_alphanumeric() || matches!(c, '.' | '_' | '-'))
+                {
+                    return Err(format!(
+                        "--id must be a plain file stem (letters, digits, '.', '_', '-'), \
+                         got {value:?}"
+                    ));
+                }
+                id = value;
+            }
+            other => return Err(format!("unknown `run`/`sweep` flag {other:?}")),
+        }
+    }
+    let locks = locks.ok_or("`run`/`sweep` requires --lock <names|all>")?;
+    let workloads = workloads.ok_or("`run`/`sweep` requires --workload <names|all>")?;
+    if locks.is_empty() {
+        return Err("--lock selected no algorithms".to_string());
+    }
+    if workloads.is_empty() {
+        return Err("--workload selected no workloads".to_string());
+    }
+    Ok(SweepArgs {
+        id,
+        locks,
+        workloads,
+        threads,
+        scale,
+        metric,
+        repetitions,
+        duration_ms,
+    })
 }
 
 /// Renders the `lockbench list` registry table.
@@ -236,6 +283,8 @@ pub fn render_list() -> String {
         "label",
         "NUMA",
         "compact",
+        "bytes",
+        "fairness",
         "try",
         "sim model",
         "description",
@@ -251,6 +300,8 @@ pub fn render_list() -> String {
                 id.raw_name().to_string(),
                 yes_no(id.is_numa_aware()),
                 yes_no(id.is_compact()),
+                id.compactness().to_string(),
+                id.fairness_class().to_string(),
                 yes_no(id.supports_try_lock()),
                 id.sim_algorithm().name().to_string(),
                 id.description().to_string(),
@@ -264,153 +315,81 @@ pub fn render_list() -> String {
     )
 }
 
-/// One result row of `lockbench run`.
-#[derive(Debug, Clone)]
-pub struct RunRow {
-    /// Workload name (`wis` rows carry the sub-benchmark, e.g.
-    /// `wis/lock2_threads`).
-    pub workload: String,
-    /// Canonical lock name.
-    pub lock: &'static str,
-    /// Worker threads.
-    pub threads: usize,
-    /// Completed operations.
-    pub total_ops: u64,
-    /// Throughput in operations per millisecond.
-    pub ops_per_ms: f64,
-}
-
-/// Executes one workload × lock combination and returns its result rows
-/// (one row, except `wis` which yields one per sub-benchmark).
-pub fn run_one(workload: WorkloadKind, id: LockId, args: &RunArgs) -> Vec<RunRow> {
-    let sizing = args.scale.substrate_run();
-    let threads = args.threads.unwrap_or(sizing.threads);
-    let duration = args
-        .duration_ms
-        .map(Duration::from_millis)
-        .unwrap_or(sizing.duration);
-    let row = |workload: String, total_ops: u64, elapsed: Duration| RunRow {
-        workload,
-        lock: id.name(),
-        threads,
-        total_ops,
-        // Fractional milliseconds: at smoke durations (~10 ms) integer
-        // truncation would skew the reported throughput by double digits.
-        ops_per_ms: total_ops as f64 / (elapsed.as_secs_f64() * 1e3).max(f64::MIN_POSITIVE),
-    };
-    match workload {
-        WorkloadKind::KvMap => {
-            let report = run_real_contention_dyn(
-                id,
-                &RealRunConfig {
-                    threads,
-                    duration,
-                    ..RealRunConfig::default()
-                },
-            );
-            vec![row(
-                workload.name().to_string(),
-                report.total_ops(),
-                report.elapsed,
-            )]
-        }
-        WorkloadKind::Leveldb => {
-            let report = readrandom_dyn(
-                id,
-                &ReadRandomConfig {
-                    threads,
-                    duration,
-                    ..ReadRandomConfig::default()
-                },
-            );
-            vec![row(
-                workload.name().to_string(),
-                report.total_ops(),
-                report.elapsed,
-            )]
-        }
-        WorkloadKind::Kyoto => {
-            let report = wicked_dyn(
-                id,
-                &WickedConfig {
-                    threads,
-                    duration,
-                    ..WickedConfig::default()
-                },
-            );
-            vec![row(
-                workload.name().to_string(),
-                report.total_ops(),
-                report.elapsed,
-            )]
-        }
-        WorkloadKind::LockTorture => {
-            let report = run_locktorture_dyn(
-                id,
-                &LockTortureConfig {
-                    threads,
-                    duration,
-                    lockstat: true,
-                },
-            );
-            vec![row(
-                workload.name().to_string(),
-                report.total_ops(),
-                report.elapsed,
-            )]
-        }
-        WorkloadKind::Wis => WisBenchmark::all()
-            .into_iter()
-            .map(|bench| {
-                let report = run_will_it_scale_dyn(id, bench, &WisConfig { threads, duration });
-                row(
-                    format!("{}/{}", workload.name(), report.benchmark),
-                    report.total_ops(),
-                    report.elapsed,
-                )
-            })
-            .collect(),
+/// Builds the [`ExperimentSpec`] a `run`/`sweep` invocation describes.
+pub fn build_spec(args: &SweepArgs) -> ExperimentSpec {
+    let mut spec = ExperimentSpec::new(&args.id)
+        .title(format!(
+            "lockbench {} ({} scale)",
+            args.id,
+            args.scale.name()
+        ))
+        .locks(args.locks.clone())
+        .workloads(args.workloads.iter().map(|w| w.to_spec()).collect())
+        .threads(args.threads.clone())
+        .scale(args.scale)
+        .metric(args.metric)
+        .repetitions(args.repetitions);
+    if let Some(ms) = args.duration_ms {
+        spec = spec.duration_ms(ms);
     }
+    spec
 }
 
-/// Executes a full `lockbench run` and returns all result rows.
-pub fn execute_run(args: &RunArgs) -> Vec<RunRow> {
-    let mut rows = Vec::new();
-    for &workload in &args.workloads {
-        for &id in &args.locks {
-            rows.extend(run_one(workload, id, args));
+/// Executes a `run`/`sweep` grid and returns the report (no I/O, no
+/// printing — used by tests and by [`execute`]).
+pub fn execute_sweep(args: &SweepArgs) -> Result<RunReport, String> {
+    build_spec(args).run().map_err(|e| e.to_string())
+}
+
+/// Executes a parsed [`Command`], printing results to stdout.
+///
+/// Returns the process exit code: 0 on success, 1 when `diff` found a
+/// regression. Runtime failures come back as `Err` (exit code 2 in the
+/// binary).
+pub fn execute(command: &Command) -> Result<i32, String> {
+    match command {
+        Command::Help => println!("{}", usage()),
+        Command::List { names_only } => {
+            if *names_only {
+                for id in LockId::ALL {
+                    println!("{id}");
+                }
+            } else {
+                println!("{}", render_list());
+            }
+        }
+        Command::Run(args) | Command::Sweep(args) => {
+            let report = execute_sweep(args)?;
+            for sweep in report.sweeps() {
+                println!(
+                    "{}",
+                    sweep.render(&format!(
+                        "{} — {} [{}]",
+                        report.title, sweep.workload, sweep.metric
+                    ))
+                );
+            }
+            let (csv, json) = report.write_files().map_err(|e| e.to_string())?;
+            println!("reports: {} {}", csv.display(), json.display());
+        }
+        Command::Diff(args) => {
+            let baseline =
+                RunReport::load_csv(Path::new(&args.baseline)).map_err(|e| e.to_string())?;
+            let current =
+                RunReport::load_csv(Path::new(&args.current)).map_err(|e| e.to_string())?;
+            let diff = current.diff_against(
+                &baseline,
+                DiffThreshold {
+                    max_regression: args.tolerance,
+                },
+            );
+            println!("{}", diff.render());
+            if diff.has_regressions() {
+                return Ok(1);
+            }
         }
     }
-    rows
-}
-
-/// Renders `lockbench run` results and writes the CSV under
-/// `target/experiments/lockbench_run.csv`.
-pub fn report_run(args: &RunArgs, rows: &[RunRow]) -> String {
-    let header: Vec<String> = ["workload", "lock", "threads", "ops", "ops/ms"]
-        .map(String::from)
-        .to_vec();
-    let cells: Vec<Vec<String>> = rows
-        .iter()
-        .map(|r| {
-            vec![
-                r.workload.clone(),
-                r.lock.to_string(),
-                r.threads.to_string(),
-                r.total_ops.to_string(),
-                format!("{:.1}", r.ops_per_ms),
-            ]
-        })
-        .collect();
-    write_csv("lockbench_run", &header, &cells);
-    render_table(
-        &format!(
-            "lockbench run ({:?} scale, wall-clock on this host)",
-            args.scale
-        ),
-        &header,
-        &cells,
-    )
+    Ok(0)
 }
 
 #[cfg(test)]
@@ -437,53 +416,101 @@ mod tests {
     }
 
     #[test]
-    fn parses_a_full_run_command() {
+    fn parses_a_full_sweep_command() {
         let cmd = parse_args(strings(&[
-            "run",
+            "sweep",
             "--lock",
             "cna,mcs",
             "--workload",
-            "kvmap,kyoto",
+            "sim,kvmap",
+            "--threads",
+            "1,2,4",
             "--scale",
             "smoke",
-            "--threads",
-            "3",
+            "--metric",
+            "fairness",
+            "--rep",
+            "2",
             "--duration-ms",
             "7",
+            "--id",
+            "my_report",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(args) => {
+                assert_eq!(args.locks, vec![LockId::Cna, LockId::Mcs]);
+                assert_eq!(args.workloads, vec![WorkloadId::Sim, WorkloadId::KvMap]);
+                assert_eq!(args.threads, vec![1, 2, 4]);
+                assert_eq!(args.scale, Scale::Smoke);
+                assert_eq!(args.metric, Metric::FairnessFactor);
+                assert_eq!(args.repetitions, 2);
+                assert_eq!(args.duration_ms, Some(7));
+                assert_eq!(args.id, "my_report");
+            }
+            other => panic!("expected Sweep, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn run_gains_thread_sweeps_and_the_sim_workload() {
+        let cmd = parse_args(strings(&[
+            "run",
+            "--lock",
+            "cna",
+            "--workload",
+            "sim",
+            "--threads",
+            "1,2,4",
         ]))
         .unwrap();
         match cmd {
             Command::Run(args) => {
-                assert_eq!(args.locks, vec![LockId::Cna, LockId::Mcs]);
-                assert_eq!(
-                    args.workloads,
-                    vec![WorkloadKind::KvMap, WorkloadKind::Kyoto]
-                );
-                assert_eq!(args.scale, Scale::Smoke);
-                assert_eq!(args.threads, Some(3));
-                assert_eq!(args.duration_ms, Some(7));
+                assert_eq!(args.id, "lockbench_run");
+                assert_eq!(args.workloads, vec![WorkloadId::Sim]);
+                assert_eq!(args.threads, vec![1, 2, 4]);
             }
             other => panic!("expected Run, got {other:?}"),
         }
     }
 
     #[test]
-    fn run_requires_lock_and_workload() {
+    fn run_requires_lock_and_workload_and_valid_threads() {
         assert!(parse_args(strings(&["run"])).is_err());
         assert!(parse_args(strings(&["run", "--lock", "cna"])).is_err());
         assert!(parse_args(strings(&["run", "--workload", "kvmap"])).is_err());
         assert!(parse_args(strings(&["run", "--lock", "bogus", "--workload", "kvmap"])).is_err());
         assert!(parse_args(strings(&["run", "--lock", "cna", "--workload", "bogus"])).is_err());
-        assert!(parse_args(strings(&[
-            "run",
-            "--lock",
-            "cna",
-            "--workload",
-            "kvmap",
-            "--threads",
-            "0"
-        ]))
-        .is_err());
+        for bad_threads in ["0", "1,1", "x", "4-1"] {
+            assert!(
+                parse_args(strings(&[
+                    "run",
+                    "--lock",
+                    "cna",
+                    "--workload",
+                    "kvmap",
+                    "--threads",
+                    bad_threads,
+                ]))
+                .is_err(),
+                "--threads {bad_threads} should be rejected"
+            );
+        }
+        for bad_id in ["a/b", "a,b", "a b", ""] {
+            assert!(
+                parse_args(strings(&[
+                    "sweep",
+                    "--lock",
+                    "cna",
+                    "--workload",
+                    "kvmap",
+                    "--id",
+                    bad_id,
+                ]))
+                .is_err(),
+                "--id {bad_id:?} should be rejected"
+            );
+        }
     }
 
     #[test]
@@ -492,48 +519,103 @@ mod tests {
         match cmd {
             Command::Run(args) => {
                 assert_eq!(args.locks, LockId::ALL.to_vec());
-                assert_eq!(args.workloads, WorkloadKind::ALL.to_vec());
+                assert_eq!(args.workloads, WorkloadId::ALL.to_vec());
             }
             other => panic!("expected Run, got {other:?}"),
         }
     }
 
     #[test]
-    fn list_table_mentions_every_registered_lock() {
+    fn diff_parses_paths_and_tolerance() {
+        let cmd = parse_args(strings(&["diff", "a.csv", "b.csv"])).unwrap();
+        assert_eq!(
+            cmd,
+            Command::Diff(DiffArgs {
+                baseline: "a.csv".to_string(),
+                current: "b.csv".to_string(),
+                tolerance: DiffThreshold::default().max_regression,
+            })
+        );
+        let cmd = parse_args(strings(&["diff", "--tolerance", "0.5", "a.csv", "b.csv"])).unwrap();
+        match cmd {
+            Command::Diff(args) => assert_eq!(args.tolerance, 0.5),
+            other => panic!("expected Diff, got {other:?}"),
+        }
+        assert!(parse_args(strings(&["diff", "a.csv"])).is_err());
+        assert!(parse_args(strings(&["diff", "a", "b", "c"])).is_err());
+        assert!(parse_args(strings(&["diff", "--tolerance", "-1", "a", "b"])).is_err());
+        assert!(parse_args(strings(&["diff", "--bogus", "a", "b"])).is_err());
+    }
+
+    #[test]
+    fn list_table_mentions_every_registered_lock_and_its_metadata() {
         let table = render_list();
         for id in LockId::ALL {
             assert!(table.contains(id.name()), "list misses {}", id.name());
         }
-        assert!(usage().contains("lockbench run"));
+        assert!(table.contains("fairness"));
+        assert!(table.contains("epoch-bounded"));
+        assert!(usage().contains("lockbench sweep"));
+        assert!(usage().contains("lockbench diff"));
     }
 
     #[test]
-    fn smoke_run_produces_a_row_per_lock() {
-        let args = RunArgs {
+    fn smoke_sweep_produces_the_full_grid() {
+        let args = SweepArgs {
+            id: "unit_cli_sweep".to_string(),
             locks: vec![LockId::Mcs, LockId::Cna],
-            workloads: vec![WorkloadKind::KvMap],
+            workloads: vec![WorkloadId::Sim, WorkloadId::KvMap],
+            threads: vec![1, 2],
             scale: Scale::Smoke,
-            threads: Some(2),
+            metric: Metric::ThroughputOpsPerUs,
+            repetitions: 1,
             duration_ms: Some(5),
         };
-        let rows = execute_run(&args);
-        assert_eq!(rows.len(), 2);
-        assert!(rows.iter().all(|r| r.total_ops > 0));
-        let report = report_run(&args, &rows);
-        assert!(report.contains("kvmap") && report.contains("cna"));
+        let report = execute_sweep(&args).unwrap();
+        // 2 workloads × 2 thread counts × 2 locks × 1 rep.
+        assert_eq!(report.samples.len(), 8);
+        assert_eq!(report.scale, "smoke");
+        let sweeps = report.sweeps();
+        assert_eq!(sweeps.len(), 2);
+        assert!(sweeps
+            .iter()
+            .all(|s| s.rows.len() == 2 && s.locks.len() == 2));
+        assert!(report.samples.iter().all(|s| s.value > 0.0));
     }
 
     #[test]
-    fn wis_expands_to_one_row_per_sub_benchmark() {
-        let args = RunArgs {
+    fn wis_expands_to_one_sample_per_sub_benchmark() {
+        let args = SweepArgs {
+            id: "unit_cli_wis".to_string(),
             locks: vec![LockId::QSpinStock],
-            workloads: vec![WorkloadKind::Wis],
+            workloads: vec![WorkloadId::Wis],
+            threads: vec![2],
             scale: Scale::Smoke,
-            threads: Some(2),
+            metric: Metric::ThroughputOpsPerUs,
+            repetitions: 1,
             duration_ms: Some(5),
         };
-        let rows = execute_run(&args);
-        assert_eq!(rows.len(), WisBenchmark::all().len());
-        assert!(rows.iter().all(|r| r.workload.starts_with("wis/")));
+        let report = execute_sweep(&args).unwrap();
+        assert_eq!(report.samples.len(), 4);
+        assert!(report
+            .samples
+            .iter()
+            .all(|s| s.workload.starts_with("wis/")));
+    }
+
+    #[test]
+    fn unsupported_metric_surfaces_as_a_cli_error() {
+        let args = SweepArgs {
+            id: "unit_cli_bad_metric".to_string(),
+            locks: vec![LockId::Cna],
+            workloads: vec![WorkloadId::KvMap],
+            threads: vec![1],
+            scale: Scale::Smoke,
+            metric: Metric::LlcMissesPerUs,
+            repetitions: 1,
+            duration_ms: Some(2),
+        };
+        let err = execute_sweep(&args).unwrap_err();
+        assert!(err.contains("llc-misses"), "got: {err}");
     }
 }

@@ -1,19 +1,19 @@
 //! Shared helpers for the figure-regeneration benchmarks.
 //!
 //! Each `[[bench]]` target in this crate regenerates one table or figure of
-//! the paper's evaluation: it builds one or more [`FigureSpec`]s, runs the
-//! simulator sweep at the current `SCALE`, prints the series the paper plots
-//! and writes a CSV under `target/experiments/`. The helpers here keep each
-//! bench file down to the experiment description itself.
+//! the paper's evaluation: it builds one or more
+//! [`ExperimentSpec`](harness::experiments::ExperimentSpec)s — the same
+//! unified experiment API the `lockbench` CLI drives — runs them at the
+//! current `SCALE`, prints the series the paper plots and writes CSV + JSON
+//! reports under `target/experiments/`. The helpers here keep each bench
+//! file down to the experiment description itself.
 
 #![warn(missing_docs)]
 
 pub mod cli;
 
-use harness::sweep::{FigureSpec, Metric, Sweep};
-use harness::{Scale, ScaleConfig};
-use numa_sim::lock_model::LockAlgorithm;
-use numa_sim::{CostModel, MachineConfig, Workload};
+use harness::experiments::{ExperimentSpec, Metric, SimSweep, SweepResult, WorkloadSpec};
+use numa_sim::Workload;
 use registry::LockId;
 
 /// The registry ids shown in the paper's user-space figures.
@@ -34,89 +34,79 @@ pub fn kernel_lock_ids() -> Vec<LockId> {
     vec![LockId::QSpinStock, LockId::QSpinCna]
 }
 
-/// Maps registry ids onto their simulator policy models (what the sweeps
-/// consume).
-pub fn sim_algorithms(ids: &[LockId]) -> Vec<LockAlgorithm> {
-    ids.iter().map(|id| id.sim_algorithm()).collect()
-}
-
-/// The simulator lock set of the paper's user-space figures.
-pub fn user_space_locks() -> Vec<LockAlgorithm> {
-    sim_algorithms(&user_space_lock_ids())
-}
-
-/// The user-space simulator set plus the CNA (opt) shuffle-reduction
-/// variant (Figure 9 and Figure 11).
-pub fn user_space_locks_with_opt() -> Vec<LockAlgorithm> {
-    sim_algorithms(&user_space_lock_ids_with_opt())
-}
-
-/// The kernel comparison set on the simulator: the stock qspinlock admits
-/// like MCS, the patched slow path like CNA.
-pub fn kernel_locks() -> Vec<LockAlgorithm> {
-    sim_algorithms(&kernel_lock_ids())
-}
-
-/// Builds a [`FigureSpec`] for a user-space experiment on the 2-socket
-/// machine.
+/// Builds an [`ExperimentSpec`] for a simulator experiment on the paper's
+/// 2-socket machine: the full paper thread sweep (capped by the ambient
+/// `SCALE`), scale-default repetitions. The scale itself comes from the
+/// `ExperimentSpec::new` default (`SCALE` env var). The sweep is labelled
+/// with the figure id so summaries and samples attribute their panel.
 pub fn two_socket_spec(
     id: &str,
     title: &str,
     workload: Workload,
-    algorithms: Vec<LockAlgorithm>,
+    locks: Vec<LockId>,
     metric: Metric,
-) -> FigureSpec {
-    FigureSpec {
-        id: id.to_string(),
-        title: title.to_string(),
-        machine: MachineConfig::two_socket_paper(),
-        cost: CostModel::two_socket_xeon(),
-        workload,
-        algorithms,
-        metric,
-        thread_counts: vec![],
-    }
+) -> ExperimentSpec {
+    ExperimentSpec::new(id)
+        .title(title)
+        .locks(locks)
+        .workload(WorkloadSpec::Sim(SimSweep::two_socket(id, workload)))
+        .metric(metric)
 }
 
-/// Builds a [`FigureSpec`] for an experiment on the 4-socket machine.
+/// Builds an [`ExperimentSpec`] for a simulator experiment on the paper's
+/// 4-socket machine.
 pub fn four_socket_spec(
     id: &str,
     title: &str,
     workload: Workload,
-    algorithms: Vec<LockAlgorithm>,
+    locks: Vec<LockId>,
     metric: Metric,
-) -> FigureSpec {
-    FigureSpec {
-        id: id.to_string(),
-        title: title.to_string(),
-        machine: MachineConfig::four_socket_paper(),
-        cost: CostModel::four_socket_xeon(),
-        workload,
-        algorithms,
-        metric,
-        thread_counts: vec![],
-    }
+) -> ExperimentSpec {
+    ExperimentSpec::new(id)
+        .title(title)
+        .locks(locks)
+        .workload(WorkloadSpec::Sim(SimSweep::four_socket(id, workload)))
+        .metric(metric)
 }
 
-/// Runs the specs of one figure at the ambient `SCALE` and returns the
-/// resulting sweeps (benches use them for shape assertions).
-pub fn run_figure(specs: &[FigureSpec]) -> Vec<Sweep> {
-    let scale: ScaleConfig = Scale::from_env().config();
-    specs
-        .iter()
-        .map(|spec| Sweep::run_and_report(spec, &scale))
-        .collect()
+/// Runs the specs of one figure, prints each sweep table, writes the
+/// CSV/JSON reports and returns one aggregated [`SweepResult`] per spec
+/// (benches use them for shape assertions).
+pub fn run_figure(specs: &[ExperimentSpec]) -> Vec<SweepResult> {
+    let mut sweeps = Vec::new();
+    for spec in specs {
+        let report = spec
+            .run()
+            .unwrap_or_else(|err| panic!("experiment {} failed: {err}", spec.id));
+        // Figure specs hold exactly one workload, so this is one sweep.
+        let spec_sweeps = report.sweeps();
+        for sweep in &spec_sweeps {
+            println!("{}", sweep.render(&spec.title));
+        }
+        match report.write_files() {
+            Ok((csv, json)) => {
+                println!(
+                    "(reports written to {} and {})\n",
+                    csv.display(),
+                    json.display()
+                );
+            }
+            Err(err) => eprintln!("warning: {err}"),
+        }
+        sweeps.extend(spec_sweeps);
+    }
+    sweeps
 }
 
 /// Prints a short "who wins" summary comparing CNA to MCS at the largest
 /// thread count of a sweep, mirroring the speedup numbers quoted in the
 /// paper's text.
-pub fn print_cna_vs_mcs_summary(sweep: &Sweep) {
+pub fn print_cna_vs_mcs_summary(sweep: &SweepResult) {
     if let (Some(cna), Some(mcs)) = (sweep.final_value("CNA"), sweep.final_value("MCS")) {
         if mcs > 0.0 {
             println!(
                 "[{}] CNA vs MCS at the largest thread count: {:+.1}%\n",
-                sweep.id,
+                sweep.workload,
                 (cna / mcs - 1.0) * 100.0
             );
         }
@@ -126,22 +116,24 @@ pub fn print_cna_vs_mcs_summary(sweep: &Sweep) {
 #[cfg(test)]
 mod tests {
     use super::*;
+    use harness::Scale;
+    use numa_sim::lock_model::LockAlgorithm;
 
     #[test]
     fn lock_sets_contain_the_expected_algorithms() {
-        assert_eq!(user_space_locks().len(), 4);
-        assert_eq!(user_space_locks_with_opt().len(), 5);
-        assert_eq!(kernel_locks(), vec![LockAlgorithm::Mcs, LockAlgorithm::Cna]);
-    }
-
-    #[test]
-    fn figure_lock_sets_are_registry_driven() {
-        assert_eq!(sim_algorithms(&user_space_lock_ids()), user_space_locks());
+        assert_eq!(user_space_lock_ids().len(), 4);
+        assert_eq!(user_space_lock_ids_with_opt().len(), 5);
+        assert!(user_space_lock_ids_with_opt().contains(&LockId::CnaOpt));
         assert_eq!(
             kernel_lock_ids(),
-            vec![registry::LockId::QSpinStock, registry::LockId::QSpinCna]
+            vec![LockId::QSpinStock, LockId::QSpinCna]
         );
-        assert!(user_space_lock_ids_with_opt().contains(&registry::LockId::CnaOpt));
+        // The kernel ids map onto the stock-vs-CNA simulator comparison.
+        let models: Vec<LockAlgorithm> = kernel_lock_ids()
+            .iter()
+            .map(|id| id.sim_algorithm())
+            .collect();
+        assert_eq!(models, vec![LockAlgorithm::Mcs, LockAlgorithm::Cna]);
     }
 
     #[test]
@@ -150,18 +142,42 @@ mod tests {
             "t",
             "t",
             Workload::kv_map_no_external_work(),
-            user_space_locks(),
+            user_space_lock_ids(),
             Metric::ThroughputOpsPerUs,
         );
-        assert_eq!(two.machine.sockets, 2);
         let four = four_socket_spec(
             "f",
             "f",
             Workload::kv_map_no_external_work(),
-            user_space_locks(),
+            user_space_lock_ids(),
             Metric::ThroughputOpsPerUs,
         );
-        assert_eq!(four.machine.sockets, 4);
-        assert!(four.cost.remote_line_ns > two.cost.remote_line_ns);
+        let machine = |spec: &ExperimentSpec| match &spec.workloads[0] {
+            WorkloadSpec::Sim(sweep) => (sweep.machine.sockets, sweep.cost.remote_line_ns),
+            other => panic!("figure specs are simulator specs, got {other:?}"),
+        };
+        assert_eq!(machine(&two).0, 2);
+        assert_eq!(machine(&four).0, 4);
+        assert!(machine(&four).1 > machine(&two).1);
+    }
+
+    #[test]
+    fn a_smoke_figure_runs_end_to_end() {
+        let spec = two_socket_spec(
+            "unit_test_fig",
+            "unit test",
+            Workload::kv_map_no_external_work(),
+            vec![LockId::Mcs, LockId::Cna],
+            Metric::ThroughputOpsPerUs,
+        )
+        .threads(vec![1, 8])
+        .scale(Scale::Smoke);
+        let report = spec.run().unwrap();
+        let sweep = report.sweep_for("unit_test_fig").unwrap();
+        assert_eq!(sweep.rows.len(), 2);
+        assert_eq!(sweep.labels, vec!["MCS", "CNA"]);
+        assert!(sweep.value_at("MCS", 1).unwrap() > 0.0);
+        assert!(sweep.final_value("CNA").unwrap() > 0.0);
+        assert!(sweep.value_at("CNA", 3).is_none());
     }
 }

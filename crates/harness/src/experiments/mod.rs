@@ -1,0 +1,783 @@
+//! The unified experiment API: one spec describes any sweep of the paper.
+//!
+//! The paper's evaluation is a grid of (algorithm × thread count × workload)
+//! runs. This module expresses that grid **once**, for both measurement
+//! back-ends:
+//!
+//! * [`ExperimentSpec`] — the builder: lock set × workloads × thread sweep ×
+//!   [`Scale`] × repetitions × [`Metric`].
+//! * [`Runner`] — the execution trait, with two implementations: the
+//!   real-thread [`SubstrateRunner`] (kvmap / leveldb / kyoto / locktorture
+//!   / will-it-scale through the registry's dyn entry points) and the
+//!   discrete-event [`SimRunner`] (the NUMA machine simulator behind the
+//!   reproduced figures).
+//! * [`RunReport`] — the structured result: raw [`Sample`]s with enough
+//!   metadata (lock, workload, threads, metric, unit, scale) to regenerate
+//!   any paper figure; serializes to CSV and JSON under
+//!   `target/experiments/` and aggregates into per-workload
+//!   [`SweepResult`] tables.
+//! * [`RunReport::diff_against`] — threshold-based regression comparison
+//!   against a stored baseline (what `lockbench diff` exits non-zero on).
+//!
+//! The `lockbench` CLI, the figure benches and the examples are all thin
+//! layers over this module: a new algorithm or workload is one spec row,
+//! not another hand-rolled loop.
+//!
+//! # Examples
+//!
+//! ```
+//! use harness::experiments::{ExperimentSpec, Metric, WorkloadId};
+//! use harness::Scale;
+//! use registry::LockId;
+//!
+//! let report = ExperimentSpec::new("doc_example")
+//!     .locks(vec![LockId::Mcs, LockId::Cna])
+//!     .workload(WorkloadId::Sim.to_spec())
+//!     .threads(vec![1, 2])
+//!     .scale(Scale::Smoke)
+//!     .run()
+//!     .unwrap();
+//! assert_eq!(report.samples.len(), 4); // 2 locks × 2 thread counts
+//! let sweep = &report.sweeps()[0];
+//! assert!(sweep.final_value("CNA").unwrap() > 0.0);
+//! ```
+
+pub mod diff;
+pub mod report;
+pub mod runner;
+
+pub use diff::{DiffEntry, DiffReport, DiffThreshold};
+pub use report::{RunReport, Sample, SweepResult, SweepRow};
+pub use runner::{Runner, SimRunner, SubstrateRunner};
+
+use std::fmt;
+use std::path::PathBuf;
+use std::time::Duration;
+
+use numa_sim::{CostModel, MachineConfig, SimResult, Workload};
+use registry::LockId;
+
+use crate::scale::Scale;
+use crate::table::WriteError;
+
+/// Which quantity an experiment measures.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Metric {
+    /// Total throughput in operations per microsecond (most figures).
+    ThroughputOpsPerUs,
+    /// LLC load-miss-rate proxy (Figure 7; simulator only).
+    LlcMissesPerUs,
+    /// Long-term fairness factor: the fraction of all operations completed
+    /// by the better-served half of the threads (Figure 8). 0.5 = fair.
+    FairnessFactor,
+}
+
+impl Metric {
+    /// Extracts the metric from a simulation result.
+    pub fn extract(self, result: &SimResult) -> f64 {
+        match self {
+            Metric::ThroughputOpsPerUs => result.throughput_ops_per_us(),
+            Metric::LlcMissesPerUs => result.llc_misses_per_us(),
+            Metric::FairnessFactor => result.fairness_factor(),
+        }
+    }
+
+    /// Lower-case token used in CSV/JSON columns and `--metric` flags.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Metric::ThroughputOpsPerUs => "throughput",
+            Metric::LlcMissesPerUs => "llc-misses",
+            Metric::FairnessFactor => "fairness",
+        }
+    }
+
+    /// Column-header / CSV unit suffix.
+    pub const fn unit(self) -> &'static str {
+        match self {
+            Metric::ThroughputOpsPerUs => "ops/us",
+            Metric::LlcMissesPerUs => "misses/us",
+            Metric::FairnessFactor => "fairness",
+        }
+    }
+
+    /// Regression direction: `true` when larger values are better.
+    /// (Fairness factor: 0.5 is fair, 1.0 is starvation — lower is better.)
+    pub const fn higher_is_better(self) -> bool {
+        matches!(self, Metric::ThroughputOpsPerUs)
+    }
+
+    /// Parses a `--metric` token.
+    pub fn parse(name: &str) -> Option<Metric> {
+        match name.trim().to_ascii_lowercase().as_str() {
+            "throughput" | "ops" => Some(Metric::ThroughputOpsPerUs),
+            "llc-misses" | "llc" | "misses" => Some(Metric::LlcMissesPerUs),
+            "fairness" => Some(Metric::FairnessFactor),
+            _ => None,
+        }
+    }
+}
+
+impl fmt::Display for Metric {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// Anything that can go wrong building, running or (de)serializing an
+/// experiment.
+#[derive(Debug)]
+pub enum ExperimentError {
+    /// The spec selected no lock algorithms.
+    EmptyLocks,
+    /// The spec selected no workloads.
+    EmptyWorkloads,
+    /// A thread list was malformed (zero, duplicate, or unparseable), or the
+    /// scale cap left no thread counts to sweep.
+    InvalidThreads(String),
+    /// The spec's id or a workload label contains a character the CSV
+    /// report format cannot represent (comma or newline).
+    InvalidId(String),
+    /// The metric cannot be measured on this workload's runner.
+    UnsupportedMetric {
+        /// The workload that rejected the metric.
+        workload: String,
+        /// The rejected metric's token.
+        metric: &'static str,
+    },
+    /// Writing a report file failed.
+    Write(WriteError),
+    /// Reading a report file failed.
+    Read {
+        /// The file that could not be read.
+        path: PathBuf,
+        /// The underlying I/O error.
+        source: std::io::Error,
+    },
+    /// A report file did not parse.
+    Parse {
+        /// 1-based line number within the file (0 = whole file).
+        line: usize,
+        /// What was wrong.
+        message: String,
+    },
+}
+
+impl fmt::Display for ExperimentError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ExperimentError::EmptyLocks => write!(f, "the experiment selects no lock algorithms"),
+            ExperimentError::EmptyWorkloads => write!(f, "the experiment selects no workloads"),
+            ExperimentError::InvalidThreads(msg) => write!(f, "invalid thread list: {msg}"),
+            ExperimentError::InvalidId(name) => {
+                write!(
+                    f,
+                    "{name:?} cannot name a report (commas and newlines break the CSV format)"
+                )
+            }
+            ExperimentError::UnsupportedMetric { workload, metric } => {
+                write!(f, "workload {workload:?} cannot measure {metric:?}")
+            }
+            ExperimentError::Write(err) => write!(f, "{err}"),
+            ExperimentError::Read { path, source } => {
+                write!(f, "could not read {}: {source}", path.display())
+            }
+            ExperimentError::Parse { line, message } => {
+                if *line == 0 {
+                    write!(f, "malformed report: {message}")
+                } else {
+                    write!(f, "malformed report (line {line}): {message}")
+                }
+            }
+        }
+    }
+}
+
+impl std::error::Error for ExperimentError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            ExperimentError::Write(err) => Some(err),
+            ExperimentError::Read { source, .. } => Some(source),
+            _ => None,
+        }
+    }
+}
+
+impl From<WriteError> for ExperimentError {
+    fn from(err: WriteError) -> Self {
+        ExperimentError::Write(err)
+    }
+}
+
+/// Parses a thread-sweep list: comma-separated counts, each either a number
+/// (`4`) or an inclusive range (`1-8`, optionally strided: `2-16/2`).
+///
+/// Rejects zero, duplicates and empty lists — a sweep that silently dropped
+/// a requested point would corrupt baseline comparisons.
+///
+/// # Examples
+///
+/// ```
+/// use harness::experiments::parse_thread_list;
+/// assert_eq!(parse_thread_list("1,2,4").unwrap(), vec![1, 2, 4]);
+/// assert_eq!(parse_thread_list("1-4").unwrap(), vec![1, 2, 3, 4]);
+/// assert_eq!(parse_thread_list("2-8/2").unwrap(), vec![2, 4, 6, 8]);
+/// assert!(parse_thread_list("0,1").is_err());
+/// assert!(parse_thread_list("1,1").is_err());
+/// ```
+pub fn parse_thread_list(list: &str) -> Result<Vec<usize>, ExperimentError> {
+    let bad = |msg: String| ExperimentError::InvalidThreads(msg);
+    let parse_count = |token: &str| -> Result<usize, ExperimentError> {
+        let n: usize = token
+            .trim()
+            .parse()
+            .map_err(|_| bad(format!("{token:?} is not a thread count")))?;
+        if n == 0 {
+            return Err(bad("thread counts must be at least 1".to_string()));
+        }
+        Ok(n)
+    };
+    let mut threads = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if let Some((range, step)) = part.split_once('/') {
+            let step = parse_count(step)?;
+            let (lo, hi) = range
+                .split_once('-')
+                .ok_or_else(|| bad(format!("{part:?}: stride requires a range (lo-hi/step)")))?;
+            let (lo, hi) = (parse_count(lo)?, parse_count(hi)?);
+            if lo > hi {
+                return Err(bad(format!("{part:?}: range is descending")));
+            }
+            threads.extend((lo..=hi).step_by(step));
+        } else if let Some((lo, hi)) = part.split_once('-') {
+            let (lo, hi) = (parse_count(lo)?, parse_count(hi)?);
+            if lo > hi {
+                return Err(bad(format!("{part:?}: range is descending")));
+            }
+            threads.extend(lo..=hi);
+        } else {
+            threads.push(parse_count(part)?);
+        }
+    }
+    if threads.is_empty() {
+        return Err(bad("the list selects no thread counts".to_string()));
+    }
+    let mut seen = std::collections::HashSet::new();
+    for &t in &threads {
+        if !seen.insert(t) {
+            return Err(bad(format!("thread count {t} appears twice")));
+        }
+    }
+    Ok(threads)
+}
+
+/// The workloads an experiment can select by token (the `--workload` flag).
+///
+/// The first five run real threads against the real substrates; [`Sim`]
+/// selects the NUMA machine simulator (the Figure 6 key-value-map sweep on
+/// the paper's 2-socket machine by default).
+///
+/// [`Sim`]: WorkloadId::Sim
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum WorkloadId {
+    /// Key-value-map-style contention loop (`harness::real`).
+    KvMap,
+    /// `leveldb-lite` `db_bench readrandom` (§7.1.2).
+    Leveldb,
+    /// `kyoto-lite` `kccachetest wicked` (§7.1.3).
+    Kyoto,
+    /// Kernel `locktorture` with lockstat updates (§7.2, Figures 13/14).
+    LockTorture,
+    /// The four `will-it-scale` VFS benchmarks (§7.2, Figure 15).
+    Wis,
+    /// The NUMA machine simulator (Figure 6 workload on the 2-socket
+    /// machine).
+    Sim,
+}
+
+impl WorkloadId {
+    /// All workloads, in `--workload all` order.
+    pub const ALL: [WorkloadId; 6] = [
+        WorkloadId::KvMap,
+        WorkloadId::Leveldb,
+        WorkloadId::Kyoto,
+        WorkloadId::LockTorture,
+        WorkloadId::Wis,
+        WorkloadId::Sim,
+    ];
+
+    /// The `--workload` token.
+    pub const fn name(self) -> &'static str {
+        match self {
+            WorkloadId::KvMap => "kvmap",
+            WorkloadId::Leveldb => "leveldb",
+            WorkloadId::Kyoto => "kyoto",
+            WorkloadId::LockTorture => "locktorture",
+            WorkloadId::Wis => "wis",
+            WorkloadId::Sim => "sim",
+        }
+    }
+
+    /// Parses one `--workload` token.
+    pub fn parse(name: &str) -> Result<WorkloadId, String> {
+        let normalized = name.trim().to_ascii_lowercase();
+        WorkloadId::ALL
+            .into_iter()
+            .find(|w| w.name() == normalized)
+            .ok_or_else(|| {
+                format!(
+                    "unknown workload {name:?} (known: {})",
+                    WorkloadId::ALL.map(|w| w.name()).join(", ")
+                )
+            })
+    }
+
+    /// Parses a comma-separated `--workload` list (`all` = every workload).
+    pub fn parse_list(list: &str) -> Result<Vec<WorkloadId>, String> {
+        if list.trim().eq_ignore_ascii_case("all") {
+            return Ok(WorkloadId::ALL.to_vec());
+        }
+        list.split(',')
+            .filter(|part| !part.trim().is_empty())
+            .map(WorkloadId::parse)
+            .collect()
+    }
+
+    /// The concrete [`WorkloadSpec`] this token selects.
+    pub fn to_spec(self) -> WorkloadSpec {
+        match self {
+            WorkloadId::KvMap => WorkloadSpec::Substrate(SubstrateWorkload::KvMap),
+            WorkloadId::Leveldb => WorkloadSpec::Substrate(SubstrateWorkload::Leveldb),
+            WorkloadId::Kyoto => WorkloadSpec::Substrate(SubstrateWorkload::Kyoto),
+            WorkloadId::LockTorture => WorkloadSpec::Substrate(SubstrateWorkload::LockTorture),
+            WorkloadId::Wis => WorkloadSpec::Substrate(SubstrateWorkload::Wis),
+            WorkloadId::Sim => WorkloadSpec::Sim(SimSweep::two_socket(
+                "sim",
+                numa_sim::workloads::kv_map(0, 0.2),
+            )),
+        }
+    }
+}
+
+impl fmt::Display for WorkloadId {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
+/// The real-thread substrates the [`SubstrateRunner`] can drive.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum SubstrateWorkload {
+    /// Key-value-map-style contention loop.
+    KvMap,
+    /// `leveldb-lite` `db_bench readrandom`.
+    Leveldb,
+    /// `kyoto-lite` `kccachetest wicked`.
+    Kyoto,
+    /// Kernel `locktorture` with lockstat updates.
+    LockTorture,
+    /// The four `will-it-scale` VFS benchmarks.
+    Wis,
+}
+
+impl SubstrateWorkload {
+    /// The sample label (and `--workload` token) of this substrate.
+    pub const fn name(self) -> &'static str {
+        match self {
+            SubstrateWorkload::KvMap => "kvmap",
+            SubstrateWorkload::Leveldb => "leveldb",
+            SubstrateWorkload::Kyoto => "kyoto",
+            SubstrateWorkload::LockTorture => "locktorture",
+            SubstrateWorkload::Wis => "wis",
+        }
+    }
+}
+
+/// A simulator sweep configuration: which virtual machine, which latency
+/// calibration and which workload preset (what `FigureSpec` used to hold).
+#[derive(Debug, Clone)]
+pub struct SimSweep {
+    /// Sample label for this workload (e.g. `sim` or `fig06`).
+    pub label: String,
+    /// Simulated machine.
+    pub machine: MachineConfig,
+    /// Latency calibration.
+    pub cost: CostModel,
+    /// Workload preset.
+    pub workload: Workload,
+}
+
+impl SimSweep {
+    /// A sweep on the paper's 2-socket machine.
+    pub fn two_socket(label: impl Into<String>, workload: Workload) -> Self {
+        SimSweep {
+            label: label.into(),
+            machine: MachineConfig::two_socket_paper(),
+            cost: CostModel::two_socket_xeon(),
+            workload,
+        }
+    }
+
+    /// A sweep on the paper's 4-socket machine.
+    pub fn four_socket(label: impl Into<String>, workload: Workload) -> Self {
+        SimSweep {
+            label: label.into(),
+            machine: MachineConfig::four_socket_paper(),
+            cost: CostModel::four_socket_xeon(),
+            workload,
+        }
+    }
+}
+
+/// One workload of an experiment, bound to the runner that executes it.
+#[derive(Debug, Clone)]
+pub enum WorkloadSpec {
+    /// Wall-clock, real-thread run of a registry-driven substrate.
+    Substrate(SubstrateWorkload),
+    /// Discrete-event simulation on a virtual NUMA machine.
+    Sim(SimSweep),
+}
+
+impl WorkloadSpec {
+    /// The label samples of this workload carry.
+    pub fn label(&self) -> &str {
+        match self {
+            WorkloadSpec::Substrate(w) => w.name(),
+            WorkloadSpec::Sim(sweep) => &sweep.label,
+        }
+    }
+
+    /// The runner executing this workload.
+    pub fn runner(&self) -> Box<dyn Runner + '_> {
+        match self {
+            WorkloadSpec::Substrate(w) => Box::new(SubstrateRunner { workload: *w }),
+            WorkloadSpec::Sim(sweep) => Box::new(SimRunner { sweep }),
+        }
+    }
+}
+
+/// Everything needed to run (and re-run) one experiment: the full
+/// lock × workload × thread grid plus sizing. Construct with
+/// [`ExperimentSpec::new`] and the builder methods, then call
+/// [`ExperimentSpec::run`].
+#[derive(Debug, Clone)]
+pub struct ExperimentSpec {
+    /// Report id; names the CSV/JSON files under `target/experiments/`.
+    pub id: String,
+    /// Human-readable title printed above result tables.
+    pub title: String,
+    /// Algorithms to compare.
+    pub locks: Vec<LockId>,
+    /// Workloads to run; each sample records which one produced it.
+    pub workloads: Vec<WorkloadSpec>,
+    /// Thread counts to sweep. Empty = the runner's default for the scale
+    /// (the machine's paper sweep on the simulator, one substrate sizing
+    /// otherwise). Explicit lists are still capped by the scale.
+    pub threads: Vec<usize>,
+    /// Run sizing.
+    pub scale: Scale,
+    /// Repetitions averaged per data point; 0 = the scale's default.
+    pub repetitions: usize,
+    /// Quantity to measure.
+    pub metric: Metric,
+    /// Wall-clock override for substrate runs, in milliseconds.
+    pub duration_ms: Option<u64>,
+}
+
+impl ExperimentSpec {
+    /// A spec with defaults: title = id, scale from the environment,
+    /// throughput metric, scale-default repetitions and thread counts.
+    pub fn new(id: impl Into<String>) -> Self {
+        let id = id.into();
+        ExperimentSpec {
+            title: id.clone(),
+            id,
+            locks: Vec::new(),
+            workloads: Vec::new(),
+            threads: Vec::new(),
+            scale: Scale::from_env(),
+            repetitions: 0,
+            metric: Metric::ThroughputOpsPerUs,
+            duration_ms: None,
+        }
+    }
+
+    /// Sets the display title.
+    pub fn title(mut self, title: impl Into<String>) -> Self {
+        self.title = title.into();
+        self
+    }
+
+    /// Adds one lock algorithm.
+    pub fn lock(mut self, id: LockId) -> Self {
+        self.locks.push(id);
+        self
+    }
+
+    /// Sets the lock set.
+    pub fn locks(mut self, ids: Vec<LockId>) -> Self {
+        self.locks = ids;
+        self
+    }
+
+    /// Adds one workload.
+    pub fn workload(mut self, workload: WorkloadSpec) -> Self {
+        self.workloads.push(workload);
+        self
+    }
+
+    /// Sets the workload list.
+    pub fn workloads(mut self, workloads: Vec<WorkloadSpec>) -> Self {
+        self.workloads = workloads;
+        self
+    }
+
+    /// Sets an explicit thread sweep (empty = runner default).
+    pub fn threads(mut self, threads: Vec<usize>) -> Self {
+        self.threads = threads;
+        self
+    }
+
+    /// Sets the run sizing.
+    pub fn scale(mut self, scale: Scale) -> Self {
+        self.scale = scale;
+        self
+    }
+
+    /// Sets the repetitions per data point (0 = scale default).
+    pub fn repetitions(mut self, repetitions: usize) -> Self {
+        self.repetitions = repetitions;
+        self
+    }
+
+    /// Sets the measured metric.
+    pub fn metric(mut self, metric: Metric) -> Self {
+        self.metric = metric;
+        self
+    }
+
+    /// Overrides the substrate wall-clock duration.
+    pub fn duration_ms(mut self, ms: u64) -> Self {
+        self.duration_ms = Some(ms);
+        self
+    }
+
+    /// The repetitions actually run per data point.
+    pub fn effective_repetitions(&self) -> usize {
+        if self.repetitions == 0 {
+            self.scale.config().repetitions.max(1)
+        } else {
+            self.repetitions
+        }
+    }
+
+    /// The substrate wall-clock duration actually used.
+    pub fn effective_duration(&self) -> Duration {
+        self.duration_ms
+            .map(Duration::from_millis)
+            .unwrap_or_else(|| self.scale.substrate_run().duration)
+    }
+
+    /// Checks the spec before anything runs, so a multi-minute grid cannot
+    /// fail halfway through on a condition knowable up front: non-empty
+    /// lock/workload sets, CSV-representable id and labels, and a metric
+    /// every selected runner can measure.
+    pub fn validate(&self) -> Result<(), ExperimentError> {
+        if self.locks.is_empty() {
+            return Err(ExperimentError::EmptyLocks);
+        }
+        if self.workloads.is_empty() {
+            return Err(ExperimentError::EmptyWorkloads);
+        }
+        for name in
+            std::iter::once(self.id.as_str()).chain(self.workloads.iter().map(|w| w.label()))
+        {
+            if name.is_empty() || name.contains([',', '\n', '\r']) {
+                return Err(ExperimentError::InvalidId(name.to_string()));
+            }
+        }
+        for workload in &self.workloads {
+            if matches!(workload, WorkloadSpec::Substrate(_))
+                && self.metric == Metric::LlcMissesPerUs
+            {
+                // Wall-clock runs have no cache-event counters; only the
+                // simulator can report LLC misses.
+                return Err(ExperimentError::UnsupportedMetric {
+                    workload: workload.label().to_string(),
+                    metric: self.metric.name(),
+                });
+            }
+        }
+        Ok(())
+    }
+
+    /// Runs the full grid and collects every sample into a [`RunReport`].
+    ///
+    /// Validates first (see [`ExperimentSpec::validate`]) so nothing runs on
+    /// a spec that cannot finish or serialize. Workloads run in order;
+    /// within a workload the thread sweep is the outer loop and the lock
+    /// set the inner one, so partial output (tables printed by callers as
+    /// sweeps complete) groups the way the paper's figures do.
+    pub fn run(&self) -> Result<RunReport, ExperimentError> {
+        self.validate()?;
+        let mut samples = Vec::new();
+        for workload in &self.workloads {
+            let runner = workload.runner();
+            let threads = if self.threads.is_empty() {
+                runner.default_threads(self.scale)
+            } else {
+                self.scale.config().cap_threads(&self.threads)
+            };
+            if threads.is_empty() {
+                return Err(ExperimentError::InvalidThreads(format!(
+                    "the {:?} scale cap removed every requested thread count",
+                    self.scale
+                )));
+            }
+            for &t in &threads {
+                for &lock in &self.locks {
+                    samples.extend(runner.run_cell(self, lock, t)?);
+                }
+            }
+        }
+        Ok(RunReport {
+            id: self.id.clone(),
+            title: self.title.clone(),
+            scale: self.scale.name().to_string(),
+            samples,
+        })
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn thread_lists_parse_counts_ranges_and_strides() {
+        assert_eq!(parse_thread_list("1,2,4").unwrap(), vec![1, 2, 4]);
+        assert_eq!(parse_thread_list(" 8 ").unwrap(), vec![8]);
+        assert_eq!(parse_thread_list("1-4").unwrap(), vec![1, 2, 3, 4]);
+        assert_eq!(parse_thread_list("2-8/2").unwrap(), vec![2, 4, 6, 8]);
+        assert_eq!(parse_thread_list("1,4-6").unwrap(), vec![1, 4, 5, 6]);
+    }
+
+    #[test]
+    fn thread_lists_reject_zero_duplicates_and_junk() {
+        assert!(parse_thread_list("0").is_err());
+        assert!(parse_thread_list("1,0,2").is_err());
+        assert!(parse_thread_list("1,1").is_err());
+        assert!(parse_thread_list("2,1-3").is_err(), "range re-lists 2");
+        assert!(parse_thread_list("").is_err());
+        assert!(parse_thread_list("four").is_err());
+        assert!(parse_thread_list("4-1").is_err());
+        assert!(parse_thread_list("4/2").is_err());
+    }
+
+    #[test]
+    fn workload_tokens_round_trip_and_all_expands() {
+        for id in WorkloadId::ALL {
+            assert_eq!(WorkloadId::parse(id.name()).unwrap(), id);
+            assert_eq!(id.to_string(), id.name());
+        }
+        assert_eq!(WorkloadId::parse_list("all").unwrap().len(), 6);
+        assert_eq!(
+            WorkloadId::parse_list("sim, kvmap").unwrap(),
+            vec![WorkloadId::Sim, WorkloadId::KvMap]
+        );
+        assert!(WorkloadId::parse("bogus").is_err());
+    }
+
+    #[test]
+    fn metric_tokens_round_trip() {
+        for metric in [
+            Metric::ThroughputOpsPerUs,
+            Metric::LlcMissesPerUs,
+            Metric::FairnessFactor,
+        ] {
+            assert_eq!(Metric::parse(metric.name()), Some(metric));
+        }
+        assert!(Metric::ThroughputOpsPerUs.higher_is_better());
+        assert!(!Metric::FairnessFactor.higher_is_better());
+        assert_eq!(Metric::parse("bogus"), None);
+    }
+
+    #[test]
+    fn spec_requires_locks_and_workloads() {
+        let empty = ExperimentSpec::new("t").workload(WorkloadId::Sim.to_spec());
+        assert!(matches!(empty.run(), Err(ExperimentError::EmptyLocks)));
+        let empty = ExperimentSpec::new("t").lock(LockId::Cna);
+        assert!(matches!(empty.run(), Err(ExperimentError::EmptyWorkloads)));
+    }
+
+    #[test]
+    fn scale_cap_that_empties_the_sweep_is_an_error() {
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::Sim.to_spec())
+            .scale(Scale::Smoke)
+            .threads(vec![4096]);
+        assert!(matches!(
+            spec.run(),
+            Err(ExperimentError::InvalidThreads(_))
+        ));
+    }
+
+    #[test]
+    fn unsupported_metric_is_a_typed_error() {
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::KvMap.to_spec())
+            .threads(vec![1])
+            .scale(Scale::Smoke)
+            .duration_ms(2)
+            .metric(Metric::LlcMissesPerUs);
+        match spec.run() {
+            Err(ExperimentError::UnsupportedMetric { workload, metric }) => {
+                assert_eq!(workload, "kvmap");
+                assert_eq!(metric, "llc-misses");
+            }
+            other => panic!("expected UnsupportedMetric, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn validation_rejects_unsupported_metrics_before_anything_runs() {
+        // The sim workload comes first and would take real time at paper
+        // scale; validate() must reject the grid up front instead of after
+        // the sim sweep completed.
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::Sim.to_spec())
+            .workload(WorkloadId::KvMap.to_spec())
+            .scale(Scale::Paper)
+            .metric(Metric::LlcMissesPerUs);
+        assert!(matches!(
+            spec.validate(),
+            Err(ExperimentError::UnsupportedMetric { .. })
+        ));
+    }
+
+    #[test]
+    fn validation_rejects_ids_and_labels_the_csv_cannot_represent() {
+        for bad in ["a,b", "a\nb", ""] {
+            let spec = ExperimentSpec::new(bad)
+                .lock(LockId::Cna)
+                .workload(WorkloadId::Sim.to_spec());
+            assert!(
+                matches!(spec.run(), Err(ExperimentError::InvalidId(_))),
+                "id {bad:?} should be rejected"
+            );
+        }
+        let spec = ExperimentSpec::new("ok")
+            .lock(LockId::Cna)
+            .workload(WorkloadSpec::Sim(SimSweep::two_socket(
+                "lab,el",
+                numa_sim::workloads::kv_map(0, 0.2),
+            )));
+        assert!(matches!(spec.run(), Err(ExperimentError::InvalidId(_))));
+    }
+}

@@ -1,0 +1,546 @@
+//! Structured experiment results: raw samples, aggregated sweeps, and the
+//! CSV/JSON report files under `target/experiments/`.
+
+use std::path::{Path, PathBuf};
+
+use super::ExperimentError;
+use crate::table::{experiments_dir, render_table, write_report_file};
+
+/// One measured data point: a single repetition of one lock on one workload
+/// at one thread count. Carries enough metadata to regenerate any figure
+/// without consulting the spec that produced it.
+#[derive(Debug, Clone, PartialEq)]
+pub struct Sample {
+    /// Workload label (`kvmap`, `sim`, `wis/lock1`, ...).
+    pub workload: String,
+    /// Canonical registry name of the lock (`cna`, `qspinlock-stock`, ...).
+    pub lock: String,
+    /// Plot label (`CNA`, `MCS`, `CNA (opt)`, ...).
+    pub label: String,
+    /// Worker (or simulated) thread count.
+    pub threads: usize,
+    /// Repetition index within the cell.
+    pub rep: usize,
+    /// Metric token (`throughput`, `llc-misses`, `fairness`).
+    pub metric: String,
+    /// Unit of [`Sample::value`].
+    pub unit: String,
+    /// The measured value.
+    pub value: f64,
+    /// Completed operations (critical sections / benchmark iterations).
+    pub total_ops: u64,
+    /// Measurement interval in milliseconds (wall-clock or virtual).
+    pub elapsed_ms: f64,
+}
+
+/// One row of an aggregated sweep: mean metric per lock at one thread count.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepRow {
+    /// Thread count.
+    pub threads: usize,
+    /// Mean value per lock, in [`SweepResult::locks`] order. `NaN` marks a
+    /// cell with no samples.
+    pub values: Vec<f64>,
+}
+
+/// The aggregated (mean-over-repetitions) table of one workload of a report
+/// — rows by thread count, columns by lock; what a paper figure plots.
+#[derive(Debug, Clone, PartialEq)]
+pub struct SweepResult {
+    /// Workload label shared by the aggregated samples.
+    pub workload: String,
+    /// Metric token.
+    pub metric: String,
+    /// Value unit.
+    pub unit: String,
+    /// Canonical lock names (column keys).
+    pub locks: Vec<String>,
+    /// Plot labels, parallel to [`SweepResult::locks`].
+    pub labels: Vec<String>,
+    /// Rows in ascending thread-count order.
+    pub rows: Vec<SweepRow>,
+}
+
+impl SweepResult {
+    fn column(&self, lock: &str) -> Option<usize> {
+        self.locks
+            .iter()
+            .position(|l| l == lock)
+            .or_else(|| self.labels.iter().position(|l| l == lock))
+    }
+
+    /// Mean value for `lock` (canonical name or plot label) at the largest
+    /// swept thread count.
+    pub fn final_value(&self, lock: &str) -> Option<f64> {
+        let idx = self.column(lock)?;
+        self.rows.last().map(|r| r.values[idx])
+    }
+
+    /// Mean value for `lock` at a specific thread count.
+    pub fn value_at(&self, lock: &str, threads: usize) -> Option<f64> {
+        let idx = self.column(lock)?;
+        self.rows
+            .iter()
+            .find(|r| r.threads == threads)
+            .map(|r| r.values[idx])
+    }
+
+    /// Renders the sweep as an aligned text table.
+    pub fn render(&self, title: &str) -> String {
+        let mut header = vec!["threads".to_string()];
+        header.extend(self.labels.iter().map(|l| format!("{l} [{}]", self.unit)));
+        let rows: Vec<Vec<String>> = self
+            .rows
+            .iter()
+            .map(|r| {
+                let mut cells = vec![r.threads.to_string()];
+                cells.extend(r.values.iter().map(|v| format!("{v:.3}")));
+                cells
+            })
+            .collect();
+        render_table(title, &header, &rows)
+    }
+}
+
+/// The CSV column order (also the JSON field order of each sample).
+const CSV_COLUMNS: [&str; 12] = [
+    "id",
+    "scale",
+    "workload",
+    "lock",
+    "label",
+    "threads",
+    "rep",
+    "metric",
+    "unit",
+    "value",
+    "total_ops",
+    "elapsed_ms",
+];
+
+/// A completed experiment: every raw [`Sample`] plus the identifying
+/// metadata. Serializes losslessly to CSV (modulo the display title) and to
+/// JSON, aggregates into [`SweepResult`]s, and diffs against stored
+/// baselines (see [`RunReport::diff_against`]).
+#[derive(Debug, Clone, PartialEq)]
+pub struct RunReport {
+    /// Report id; names the files under `target/experiments/`.
+    pub id: String,
+    /// Display title (not stored in the CSV; restored as the id on load).
+    pub title: String,
+    /// Scale token the experiment ran at (`smoke`, `ci`, `paper`).
+    pub scale: String,
+    /// Every measured data point, in execution order.
+    pub samples: Vec<Sample>,
+}
+
+impl RunReport {
+    /// Aggregates the samples into one [`SweepResult`] per workload label
+    /// (first-seen order), averaging repetitions.
+    pub fn sweeps(&self) -> Vec<SweepResult> {
+        let mut order: Vec<&str> = Vec::new();
+        for s in &self.samples {
+            if !order.contains(&s.workload.as_str()) {
+                order.push(&s.workload);
+            }
+        }
+        order.iter().map(|w| self.sweep_for(w).unwrap()).collect()
+    }
+
+    /// Aggregates one workload's samples, or `None` if the label is absent.
+    pub fn sweep_for(&self, workload: &str) -> Option<SweepResult> {
+        let samples: Vec<&Sample> = self
+            .samples
+            .iter()
+            .filter(|s| s.workload == workload)
+            .collect();
+        let first = samples.first()?;
+        let (metric, unit) = (first.metric.clone(), first.unit.clone());
+        let mut locks: Vec<String> = Vec::new();
+        let mut labels: Vec<String> = Vec::new();
+        let mut threads: Vec<usize> = Vec::new();
+        for s in &samples {
+            if !locks.contains(&s.lock) {
+                locks.push(s.lock.clone());
+                // Plot labels are not unique across the registry (`mcs` and
+                // `qspinlock-stock` both plot as "MCS" on the simulator);
+                // disambiguate colliding columns with the canonical name so
+                // every series stays addressable and distinguishable.
+                if labels.contains(&s.label) {
+                    labels.push(format!("{} ({})", s.label, s.lock));
+                } else {
+                    labels.push(s.label.clone());
+                }
+            }
+            if !threads.contains(&s.threads) {
+                threads.push(s.threads);
+            }
+        }
+        threads.sort_unstable();
+        let rows = threads
+            .iter()
+            .map(|&t| {
+                let values = locks
+                    .iter()
+                    .map(|lock| {
+                        let (mut sum, mut n) = (0.0, 0u32);
+                        for s in &samples {
+                            if s.threads == t && &s.lock == lock {
+                                sum += s.value;
+                                n += 1;
+                            }
+                        }
+                        if n == 0 {
+                            f64::NAN
+                        } else {
+                            sum / n as f64
+                        }
+                    })
+                    .collect();
+                SweepRow { threads: t, values }
+            })
+            .collect();
+        Some(SweepResult {
+            workload: workload.to_string(),
+            metric,
+            unit,
+            locks,
+            labels,
+            rows,
+        })
+    }
+
+    /// Serializes the report as long-form CSV (one line per sample).
+    ///
+    /// `f64` values use Rust's shortest round-trip formatting, so
+    /// [`RunReport::from_csv`] reconstructs them exactly. The format has no
+    /// field quoting: string fields must not contain commas or newlines.
+    /// Reports produced by [`ExperimentSpec::run`](super::ExperimentSpec)
+    /// uphold this (ids and labels are validated before anything runs, and
+    /// registry names never contain commas); hand-built [`Sample`]s must
+    /// uphold it themselves.
+    pub fn to_csv(&self) -> String {
+        let mut out = String::new();
+        out.push_str(&CSV_COLUMNS.join(","));
+        out.push('\n');
+        for s in &self.samples {
+            out.push_str(&format!(
+                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                self.id,
+                self.scale,
+                s.workload,
+                s.lock,
+                s.label,
+                s.threads,
+                s.rep,
+                s.metric,
+                s.unit,
+                s.value,
+                s.total_ops,
+                s.elapsed_ms,
+            ));
+        }
+        out
+    }
+
+    /// Parses a report back from [`RunReport::to_csv`] output.
+    ///
+    /// The display title is not stored in the CSV; it is restored as the id.
+    pub fn from_csv(text: &str) -> Result<RunReport, ExperimentError> {
+        let mut lines = text.lines().enumerate();
+        let (_, header) = lines.next().ok_or(ExperimentError::Parse {
+            line: 0,
+            message: "empty file".to_string(),
+        })?;
+        if header.split(',').map(str::trim).ne(CSV_COLUMNS) {
+            return Err(ExperimentError::Parse {
+                line: 1,
+                message: format!("unexpected header {header:?}"),
+            });
+        }
+        let mut report: Option<RunReport> = None;
+        for (idx, line) in lines {
+            let line_no = idx + 1;
+            if line.trim().is_empty() {
+                continue;
+            }
+            let fields: Vec<&str> = line.split(',').collect();
+            if fields.len() != CSV_COLUMNS.len() {
+                return Err(ExperimentError::Parse {
+                    line: line_no,
+                    message: format!(
+                        "expected {} fields, got {}",
+                        CSV_COLUMNS.len(),
+                        fields.len()
+                    ),
+                });
+            }
+            let num = |i: usize, what: &str| -> Result<f64, ExperimentError> {
+                fields[i].parse().map_err(|_| ExperimentError::Parse {
+                    line: line_no,
+                    message: format!("{what} {:?} is not a number", fields[i]),
+                })
+            };
+            let int = |i: usize, what: &str| -> Result<u64, ExperimentError> {
+                fields[i].parse().map_err(|_| ExperimentError::Parse {
+                    line: line_no,
+                    message: format!("{what} {:?} is not an integer", fields[i]),
+                })
+            };
+            let report = report.get_or_insert_with(|| RunReport {
+                id: fields[0].to_string(),
+                title: fields[0].to_string(),
+                scale: fields[1].to_string(),
+                samples: Vec::new(),
+            });
+            report.samples.push(Sample {
+                workload: fields[2].to_string(),
+                lock: fields[3].to_string(),
+                label: fields[4].to_string(),
+                threads: int(5, "threads")? as usize,
+                rep: int(6, "rep")? as usize,
+                metric: fields[7].to_string(),
+                unit: fields[8].to_string(),
+                value: num(9, "value")?,
+                total_ops: int(10, "total_ops")?,
+                elapsed_ms: num(11, "elapsed_ms")?,
+            });
+        }
+        report.ok_or(ExperimentError::Parse {
+            line: 0,
+            message: "no samples".to_string(),
+        })
+    }
+
+    /// Serializes the report as JSON (for plotting pipelines; the CSV is the
+    /// round-trip format).
+    pub fn to_json(&self) -> String {
+        fn esc(s: &str) -> String {
+            let mut out = String::with_capacity(s.len());
+            for c in s.chars() {
+                match c {
+                    '"' => out.push_str("\\\""),
+                    '\\' => out.push_str("\\\\"),
+                    '\n' => out.push_str("\\n"),
+                    '\r' => out.push_str("\\r"),
+                    '\t' => out.push_str("\\t"),
+                    c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+                    c => out.push(c),
+                }
+            }
+            out
+        }
+        let mut out = String::new();
+        out.push_str(&format!(
+            "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"scale\": \"{}\",\n  \"samples\": [\n",
+            esc(&self.id),
+            esc(&self.title),
+            esc(&self.scale)
+        ));
+        for (i, s) in self.samples.iter().enumerate() {
+            out.push_str(&format!(
+                "    {{\"workload\": \"{}\", \"lock\": \"{}\", \"label\": \"{}\", \
+                 \"threads\": {}, \"rep\": {}, \"metric\": \"{}\", \"unit\": \"{}\", \
+                 \"value\": {}, \"total_ops\": {}, \"elapsed_ms\": {}}}{}\n",
+                esc(&s.workload),
+                esc(&s.lock),
+                esc(&s.label),
+                s.threads,
+                s.rep,
+                esc(&s.metric),
+                esc(&s.unit),
+                if s.value.is_finite() {
+                    s.value.to_string()
+                } else {
+                    "null".to_string()
+                },
+                s.total_ops,
+                if s.elapsed_ms.is_finite() {
+                    s.elapsed_ms.to_string()
+                } else {
+                    "null".to_string()
+                },
+                if i + 1 == self.samples.len() { "" } else { "," },
+            ));
+        }
+        out.push_str("  ]\n}\n");
+        out
+    }
+
+    /// Writes `<id>.csv` and `<id>.json` into `dir` (creating it if
+    /// missing) and returns both paths.
+    pub fn write_files_in(&self, dir: &Path) -> Result<(PathBuf, PathBuf), ExperimentError> {
+        let csv_path = dir.join(format!("{}.csv", self.id));
+        let json_path = dir.join(format!("{}.json", self.id));
+        write_report_file(&csv_path, &self.to_csv())?;
+        write_report_file(&json_path, &self.to_json())?;
+        Ok((csv_path, json_path))
+    }
+
+    /// Writes the report under the standard `target/experiments/` directory
+    /// (see [`experiments_dir`]).
+    pub fn write_files(&self) -> Result<(PathBuf, PathBuf), ExperimentError> {
+        self.write_files_in(&experiments_dir())
+    }
+
+    /// Loads a report from a CSV file previously written by
+    /// [`RunReport::write_files`] (the baseline side of `lockbench diff`).
+    pub fn load_csv(path: &Path) -> Result<RunReport, ExperimentError> {
+        let text = std::fs::read_to_string(path).map_err(|source| ExperimentError::Read {
+            path: path.to_path_buf(),
+            source,
+        })?;
+        RunReport::from_csv(&text)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn sample(workload: &str, lock: &str, threads: usize, rep: usize, value: f64) -> Sample {
+        Sample {
+            workload: workload.to_string(),
+            lock: lock.to_string(),
+            label: lock.to_uppercase(),
+            threads,
+            rep,
+            metric: "throughput".to_string(),
+            unit: "ops/us".to_string(),
+            value,
+            total_ops: (value * 1000.0) as u64,
+            elapsed_ms: 10.5,
+        }
+    }
+
+    fn report() -> RunReport {
+        RunReport {
+            id: "unit".to_string(),
+            title: "unit test".to_string(),
+            scale: "smoke".to_string(),
+            samples: vec![
+                sample("kvmap", "mcs", 1, 0, 4.0),
+                sample("kvmap", "mcs", 1, 1, 6.0),
+                sample("kvmap", "cna", 1, 0, 5.0),
+                sample("kvmap", "mcs", 2, 0, 2.0),
+                sample("kvmap", "cna", 2, 0, 3.0),
+                sample("sim", "cna", 2, 0, 1.25),
+            ],
+        }
+    }
+
+    #[test]
+    fn sweeps_group_by_workload_and_average_reps() {
+        let sweeps = report().sweeps();
+        assert_eq!(sweeps.len(), 2);
+        let kv = &sweeps[0];
+        assert_eq!(kv.workload, "kvmap");
+        assert_eq!(kv.locks, vec!["mcs", "cna"]);
+        assert_eq!(kv.labels, vec!["MCS", "CNA"]);
+        assert_eq!(kv.rows.len(), 2);
+        // The two rep-0/rep-1 MCS samples at 1 thread average to 5.0.
+        assert_eq!(kv.value_at("mcs", 1), Some(5.0));
+        assert_eq!(kv.value_at("MCS", 1), Some(5.0), "labels also address");
+        assert_eq!(kv.final_value("cna"), Some(3.0));
+        assert!(kv.value_at("mcs", 7).is_none());
+        assert!(kv.final_value("nope").is_none());
+        let sim = &sweeps[1];
+        assert_eq!(sim.workload, "sim");
+        assert_eq!(sim.rows.len(), 1);
+    }
+
+    #[test]
+    fn colliding_plot_labels_are_disambiguated_per_column() {
+        // mcs and qspinlock-stock both plot as "MCS" on the simulator.
+        let mut r = report();
+        r.samples = vec![
+            sample("sim", "mcs", 1, 0, 4.0),
+            Sample {
+                label: "MCS".to_string(),
+                ..sample("sim", "qspinlock-stock", 1, 0, 3.0)
+            },
+        ];
+        r.samples[0].label = "MCS".to_string();
+        let sweep = r.sweep_for("sim").unwrap();
+        assert_eq!(sweep.labels, vec!["MCS", "MCS (qspinlock-stock)"]);
+        assert_eq!(sweep.final_value("MCS"), Some(4.0));
+        assert_eq!(sweep.final_value("qspinlock-stock"), Some(3.0));
+        assert_eq!(sweep.final_value("MCS (qspinlock-stock)"), Some(3.0));
+    }
+
+    #[test]
+    fn csv_round_trips_exactly() {
+        let original = report();
+        let parsed = RunReport::from_csv(&original.to_csv()).unwrap();
+        assert_eq!(parsed.id, original.id);
+        assert_eq!(parsed.scale, original.scale);
+        assert_eq!(parsed.samples, original.samples);
+        // The title is the only lossy field (documented).
+        assert_eq!(parsed.title, original.id);
+    }
+
+    #[test]
+    fn csv_round_trips_awkward_floats() {
+        let mut r = report();
+        r.samples[0].value = 1.000_000_000_000_1;
+        r.samples[1].value = 1e-12;
+        r.samples[2].value = 123_456_789.987_654_3;
+        let parsed = RunReport::from_csv(&r.to_csv()).unwrap();
+        assert_eq!(parsed.samples, r.samples);
+    }
+
+    #[test]
+    fn malformed_csv_is_rejected_with_line_numbers() {
+        assert!(matches!(
+            RunReport::from_csv(""),
+            Err(ExperimentError::Parse { line: 0, .. })
+        ));
+        assert!(matches!(
+            RunReport::from_csv("a,b,c\n"),
+            Err(ExperimentError::Parse { line: 1, .. })
+        ));
+        let mut csv = report().to_csv();
+        csv.push_str("short,row\n");
+        match RunReport::from_csv(&csv) {
+            Err(ExperimentError::Parse { line, .. }) => assert!(line > 1),
+            other => panic!("expected parse error, got {other:?}"),
+        }
+        let bad_value = report().to_csv().replace("10.5", "ten-and-a-half");
+        assert!(RunReport::from_csv(&bad_value).is_err());
+    }
+
+    #[test]
+    fn json_is_structurally_sound_and_escaped() {
+        let mut r = report();
+        r.title = "quote \" backslash \\ tab\t".to_string();
+        let json = r.to_json();
+        assert!(json.contains("\\\""));
+        assert!(json.contains("\\\\"));
+        assert!(json.contains("\\t"));
+        assert_eq!(json.matches('{').count(), json.matches('}').count());
+        assert_eq!(json.matches('[').count(), json.matches(']').count());
+        // No trailing comma before the closing bracket.
+        assert!(!json.contains(",\n  ]"));
+    }
+
+    #[test]
+    fn write_files_create_missing_directories() {
+        let dir = std::env::temp_dir()
+            .join("cna-exp-report-test")
+            .join("fresh");
+        let _ = std::fs::remove_dir_all(&dir);
+        let (csv, json) = report().write_files_in(&dir).unwrap();
+        assert!(csv.ends_with("unit.csv") && csv.is_file());
+        assert!(json.ends_with("unit.json") && json.is_file());
+        let reloaded = RunReport::load_csv(&csv).unwrap();
+        assert_eq!(reloaded.samples, report().samples);
+        let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+    }
+
+    #[test]
+    fn loading_a_missing_file_is_a_read_error() {
+        let err = RunReport::load_csv(Path::new("/no/such/file.csv")).unwrap_err();
+        assert!(matches!(err, ExperimentError::Read { .. }));
+        assert!(err.to_string().contains("/no/such/file.csv"));
+    }
+}

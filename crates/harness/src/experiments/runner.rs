@@ -1,0 +1,331 @@
+//! The two experiment back-ends: real threads and the NUMA simulator.
+
+use kernel_sim::{
+    run_locktorture_dyn, run_will_it_scale_dyn, LockTortureConfig, WisBenchmark, WisConfig,
+};
+use kyoto_lite::{wicked_dyn, WickedConfig};
+use leveldb_lite::{readrandom_dyn, ReadRandomConfig};
+use numa_sim::Simulation;
+use registry::LockId;
+
+use super::report::Sample;
+use super::{ExperimentError, ExperimentSpec, Metric, SimSweep, SubstrateWorkload};
+use crate::real::{run_real_contention_dyn, RealRunConfig};
+use crate::scale::Scale;
+
+/// One experiment back-end: turns a grid cell (lock × thread count) of a
+/// spec into raw [`Sample`]s, one per repetition (per sub-benchmark for
+/// composite workloads like will-it-scale).
+pub trait Runner {
+    /// Back-end name (`substrate` or `sim`), recorded for diagnostics.
+    fn name(&self) -> &'static str;
+
+    /// The thread counts swept when the spec does not pin any.
+    fn default_threads(&self, scale: Scale) -> Vec<usize>;
+
+    /// Runs one cell of the grid: `spec.effective_repetitions()` runs of
+    /// `lock` at `threads` workers.
+    fn run_cell(
+        &self,
+        spec: &ExperimentSpec,
+        lock: LockId,
+        threads: usize,
+    ) -> Result<Vec<Sample>, ExperimentError>;
+}
+
+/// Real-thread, wall-clock runner: drives the actual lock implementations
+/// through the registry's type-erased entry points against the real
+/// substrates (the paper's user-space and kernel benchmarks, minus the NUMA
+/// hardware).
+#[derive(Debug, Clone, Copy)]
+pub struct SubstrateRunner {
+    /// Which substrate this runner drives.
+    pub workload: SubstrateWorkload,
+}
+
+/// One completed substrate run, normalized across the heterogeneous report
+/// types of the substrate crates.
+struct SubstrateRun {
+    label: String,
+    ops_per_thread: Vec<u64>,
+    elapsed: std::time::Duration,
+}
+
+impl SubstrateRun {
+    fn total_ops(&self) -> u64 {
+        self.ops_per_thread.iter().sum()
+    }
+
+    fn into_sample(
+        self,
+        spec: &ExperimentSpec,
+        lock: LockId,
+        threads: usize,
+        rep: usize,
+    ) -> Sample {
+        let value = match spec.metric {
+            Metric::ThroughputOpsPerUs => {
+                self.total_ops() as f64 / (self.elapsed.as_micros().max(1) as f64)
+            }
+            Metric::FairnessFactor => numa_sim::stats::fairness_factor(&self.ops_per_thread),
+            // Guarded by `run_cell` before anything runs.
+            Metric::LlcMissesPerUs => unreachable!("rejected by SubstrateRunner::run_cell"),
+        };
+        let total_ops = self.total_ops();
+        Sample {
+            workload: self.label,
+            lock: lock.name().to_string(),
+            label: lock.raw_name().to_string(),
+            threads,
+            rep,
+            metric: spec.metric.name().to_string(),
+            unit: spec.metric.unit().to_string(),
+            value,
+            total_ops,
+            elapsed_ms: self.elapsed.as_secs_f64() * 1e3,
+        }
+    }
+}
+
+impl Runner for SubstrateRunner {
+    fn name(&self) -> &'static str {
+        "substrate"
+    }
+
+    fn default_threads(&self, scale: Scale) -> Vec<usize> {
+        vec![scale.substrate_run().threads]
+    }
+
+    fn run_cell(
+        &self,
+        spec: &ExperimentSpec,
+        lock: LockId,
+        threads: usize,
+    ) -> Result<Vec<Sample>, ExperimentError> {
+        if spec.metric == Metric::LlcMissesPerUs {
+            // Wall-clock runs have no cache-event counters; only the
+            // simulator can report LLC misses.
+            return Err(ExperimentError::UnsupportedMetric {
+                workload: self.workload.name().to_string(),
+                metric: spec.metric.name(),
+            });
+        }
+        let duration = spec.effective_duration();
+        // The single-report workloads all record the same three fields; only
+        // `wis` fans out into one run per sub-benchmark.
+        let single = |ops_per_thread: Vec<u64>, elapsed| {
+            vec![SubstrateRun {
+                label: self.workload.name().to_string(),
+                ops_per_thread,
+                elapsed,
+            }]
+        };
+        let mut samples = Vec::new();
+        for rep in 0..spec.effective_repetitions() {
+            let runs: Vec<SubstrateRun> = match self.workload {
+                SubstrateWorkload::KvMap => {
+                    let report = run_real_contention_dyn(
+                        lock,
+                        &RealRunConfig {
+                            threads,
+                            duration,
+                            ..RealRunConfig::default()
+                        },
+                    );
+                    single(report.ops_per_thread, report.elapsed)
+                }
+                SubstrateWorkload::Leveldb => {
+                    let report = readrandom_dyn(
+                        lock,
+                        &ReadRandomConfig {
+                            threads,
+                            duration,
+                            ..ReadRandomConfig::default()
+                        },
+                    );
+                    single(report.ops_per_thread, report.elapsed)
+                }
+                SubstrateWorkload::Kyoto => {
+                    let report = wicked_dyn(
+                        lock,
+                        &WickedConfig {
+                            threads,
+                            duration,
+                            ..WickedConfig::default()
+                        },
+                    );
+                    single(report.ops_per_thread, report.elapsed)
+                }
+                SubstrateWorkload::LockTorture => {
+                    let report = run_locktorture_dyn(
+                        lock,
+                        &LockTortureConfig {
+                            threads,
+                            duration,
+                            lockstat: true,
+                        },
+                    );
+                    single(report.ops_per_thread, report.elapsed)
+                }
+                SubstrateWorkload::Wis => WisBenchmark::all()
+                    .into_iter()
+                    .map(|bench| {
+                        let report =
+                            run_will_it_scale_dyn(lock, bench, &WisConfig { threads, duration });
+                        SubstrateRun {
+                            label: format!("{}/{}", self.workload.name(), report.benchmark),
+                            ops_per_thread: report.ops_per_thread,
+                            elapsed: report.elapsed,
+                        }
+                    })
+                    .collect(),
+            };
+            samples.extend(
+                runs.into_iter()
+                    .map(|run| run.into_sample(spec, lock, threads, rep)),
+            );
+        }
+        Ok(samples)
+    }
+}
+
+/// Discrete-event simulator runner: maps each [`LockId`] onto its simulator
+/// policy model and sweeps the virtual NUMA machine the spec describes.
+#[derive(Debug, Clone, Copy)]
+pub struct SimRunner<'a> {
+    /// Machine, calibration and workload preset of this sweep.
+    pub sweep: &'a SimSweep,
+}
+
+impl Runner for SimRunner<'_> {
+    fn name(&self) -> &'static str {
+        "sim"
+    }
+
+    fn default_threads(&self, scale: Scale) -> Vec<usize> {
+        scale
+            .config()
+            .cap_threads(&self.sweep.machine.paper_thread_counts())
+    }
+
+    fn run_cell(
+        &self,
+        spec: &ExperimentSpec,
+        lock: LockId,
+        threads: usize,
+    ) -> Result<Vec<Sample>, ExperimentError> {
+        let virtual_ms = spec.scale.config().virtual_duration_ms;
+        let mut samples = Vec::new();
+        for rep in 0..spec.effective_repetitions() {
+            let result = Simulation::new(
+                self.sweep.machine.clone(),
+                self.sweep.cost,
+                lock.sim_algorithm(),
+                self.sweep.workload.clone(),
+            )
+            .threads(threads)
+            .virtual_duration_ms(virtual_ms)
+            .seed(0xC0FFEE ^ (rep as u64) << 32 ^ threads as u64)
+            .run();
+            samples.push(Sample {
+                workload: self.sweep.label.clone(),
+                lock: lock.name().to_string(),
+                // The simulator plots policy models: both qspinlock slow
+                // paths keep their paper labels ("MCS"-admission = stock).
+                label: lock.sim_algorithm().name().to_string(),
+                threads,
+                rep,
+                metric: spec.metric.name().to_string(),
+                unit: spec.metric.unit().to_string(),
+                value: spec.metric.extract(&result),
+                total_ops: result.total_ops,
+                elapsed_ms: result.duration_ns as f64 / 1e6,
+            });
+        }
+        Ok(samples)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::WorkloadId;
+
+    fn smoke_spec(metric: Metric, workload: WorkloadId) -> ExperimentSpec {
+        ExperimentSpec::new("runner_test")
+            .lock(LockId::Cna)
+            .workload(workload.to_spec())
+            .scale(Scale::Smoke)
+            .duration_ms(5)
+            .metric(metric)
+    }
+
+    #[test]
+    fn sim_runner_defaults_to_the_capped_paper_sweep() {
+        let spec = WorkloadId::Sim.to_spec();
+        let runner = spec.runner();
+        assert_eq!(runner.name(), "sim");
+        let threads = runner.default_threads(Scale::Smoke);
+        assert!(!threads.is_empty());
+        assert!(threads.iter().all(|&t| t <= 8));
+    }
+
+    #[test]
+    fn substrate_runner_defaults_to_one_sizing_point() {
+        let spec = WorkloadId::KvMap.to_spec();
+        let runner = spec.runner();
+        assert_eq!(runner.name(), "substrate");
+        assert_eq!(runner.default_threads(Scale::Smoke).len(), 1);
+    }
+
+    #[test]
+    fn substrate_cell_produces_one_sample_per_rep() {
+        let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::KvMap).repetitions(2);
+        let samples = spec.workloads[0]
+            .runner()
+            .run_cell(&spec, LockId::Cna, 2)
+            .unwrap();
+        assert_eq!(samples.len(), 2);
+        assert_eq!(samples[0].lock, "cna");
+        assert_eq!(samples[0].label, "CNA");
+        assert_eq!(samples[1].rep, 1);
+        assert!(samples.iter().all(|s| s.value > 0.0 && s.total_ops > 0));
+    }
+
+    #[test]
+    fn wis_cell_expands_to_one_sample_per_sub_benchmark() {
+        let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Wis);
+        let samples = spec.workloads[0]
+            .runner()
+            .run_cell(&spec, LockId::QSpinCna, 2)
+            .unwrap();
+        assert_eq!(samples.len(), WisBenchmark::all().len());
+        assert!(samples.iter().all(|s| s.workload.starts_with("wis/")));
+    }
+
+    #[test]
+    fn substrate_fairness_is_measurable_and_bounded() {
+        let spec = smoke_spec(Metric::FairnessFactor, WorkloadId::KvMap);
+        let samples = spec.workloads[0]
+            .runner()
+            .run_cell(&spec, LockId::Mcs, 2)
+            .unwrap();
+        assert!((0.5..=1.0).contains(&samples[0].value));
+    }
+
+    #[test]
+    fn sim_cell_honours_metric_and_seed_determinism() {
+        let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Sim);
+        let a = spec.workloads[0]
+            .runner()
+            .run_cell(&spec, LockId::Mcs, 2)
+            .unwrap();
+        let b = spec.workloads[0]
+            .runner()
+            .run_cell(&spec, LockId::Mcs, 2)
+            .unwrap();
+        assert_eq!(a.len(), b.len());
+        assert_eq!(a[0].value, b[0].value, "sim runs must be deterministic");
+        assert_eq!(a[0].workload, "sim");
+    }
+}

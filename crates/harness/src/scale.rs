@@ -70,6 +70,16 @@ impl Scale {
         self == Scale::Smoke
     }
 
+    /// The canonical token, as accepted by [`Scale::parse`] and recorded in
+    /// experiment reports.
+    pub const fn name(self) -> &'static str {
+        match self {
+            Scale::Smoke => "smoke",
+            Scale::Ci => "ci",
+            Scale::Paper => "paper",
+        }
+    }
+
     /// The concrete knobs for this scale.
     pub fn config(self) -> ScaleConfig {
         match self {
@@ -148,6 +158,13 @@ mod tests {
             thread_cap: 8,
         };
         assert_eq!(cfg.cap_threads(&[1, 4, 8, 16, 70]), vec![1, 4, 8]);
+    }
+
+    #[test]
+    fn name_round_trips_through_parse() {
+        for scale in [Scale::Smoke, Scale::Ci, Scale::Paper] {
+            assert_eq!(Scale::parse(scale.name()), Some(scale));
+        }
     }
 
     #[test]

@@ -42,18 +42,61 @@ pub fn render_table(title: &str, header: &[String], rows: &[Vec<String>]) -> Str
     out
 }
 
-/// Directory where experiment CSV files are written.
+/// Error writing an experiment artifact (CSV/JSON) to disk.
+///
+/// Carries the destination path so callers can report *which* file failed —
+/// the common case is a read-only checkout or a bad `EXPERIMENTS_DIR`.
+#[derive(Debug)]
+pub struct WriteError {
+    /// The file (or directory) that could not be written.
+    pub path: PathBuf,
+    /// The underlying I/O error.
+    pub source: std::io::Error,
+}
+
+impl std::fmt::Display for WriteError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(
+            f,
+            "could not write {}: {}",
+            self.path.display(),
+            self.source
+        )
+    }
+}
+
+impl std::error::Error for WriteError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        Some(&self.source)
+    }
+}
+
+/// Directory where experiment CSV/JSON files are written.
 ///
 /// Defaults to `target/experiments` under the **workspace root** (found by
 /// walking up from the current directory to the outermost `Cargo.lock`), so
 /// benches — which cargo runs with the member crate as working directory —
 /// and examples agree on one location. `EXPERIMENTS_DIR` overrides it.
+/// Purely a path computation; writers create missing directories themselves.
 pub fn experiments_dir() -> PathBuf {
-    let dir = std::env::var("EXPERIMENTS_DIR")
+    std::env::var("EXPERIMENTS_DIR")
         .map(PathBuf::from)
-        .unwrap_or_else(|_| workspace_root().join("target/experiments"));
-    let _ = fs::create_dir_all(&dir);
-    dir
+        .unwrap_or_else(|_| workspace_root().join("target/experiments"))
+}
+
+/// Writes `contents` to `path`, creating missing parent directories first —
+/// so writing reports works from a clean checkout (no `target/` yet).
+pub fn write_report_file(path: &std::path::Path, contents: &str) -> Result<(), WriteError> {
+    if let Some(parent) = path.parent() {
+        fs::create_dir_all(parent).map_err(|source| WriteError {
+            path: parent.to_path_buf(),
+            source,
+        })?;
+    }
+    fs::write(path, contents).map_err(|source| WriteError {
+        path: path.to_path_buf(),
+        source,
+    })
 }
 
 /// The nearest ancestor of the current directory containing a `Cargo.lock`
@@ -67,9 +110,15 @@ fn workspace_root() -> PathBuf {
         .unwrap_or(cwd)
 }
 
-/// Writes rows as CSV under `target/experiments/<name>.csv`, returning the
-/// path. Errors are reported but not fatal (benchmarks still print tables).
-pub fn write_csv(name: &str, header: &[String], rows: &[Vec<String>]) -> Option<PathBuf> {
+/// Writes rows as CSV under `target/experiments/<name>.csv`, creating
+/// missing directories, and returns the path. The error is typed (not a
+/// panic or a silent `None`) so CLI callers can turn it into an exit code
+/// while benches may merely warn.
+pub fn write_csv(
+    name: &str,
+    header: &[String],
+    rows: &[Vec<String>],
+) -> Result<PathBuf, WriteError> {
     let path = experiments_dir().join(format!("{name}.csv"));
     let mut contents = String::new();
     contents.push_str(&header.join(","));
@@ -78,13 +127,8 @@ pub fn write_csv(name: &str, header: &[String], rows: &[Vec<String>]) -> Option<
         contents.push_str(&row.join(","));
         contents.push('\n');
     }
-    match fs::write(&path, contents) {
-        Ok(()) => Some(path),
-        Err(err) => {
-            eprintln!("warning: could not write {}: {err}", path.display());
-            None
-        }
-    }
+    write_report_file(&path, &contents)?;
+    Ok(path)
 }
 
 #[cfg(test)]
@@ -107,13 +151,68 @@ mod tests {
     }
 
     #[test]
-    fn csv_roundtrip() {
-        std::env::set_var("EXPERIMENTS_DIR", std::env::temp_dir().join("cna-exp-test"));
+    fn csv_write_creates_missing_directories() {
+        // A nested, not-yet-existing directory: the clean-checkout case.
+        let dir = std::env::temp_dir()
+            .join("cna-exp-test")
+            .join("nested")
+            .join("deeper");
+        let _ = std::fs::remove_dir_all(&dir);
         let header = vec!["a".to_string(), "b".to_string()];
         let rows = vec![vec!["1".to_string(), "2".to_string()]];
-        let path = write_csv("unit_test_table", &header, &rows).expect("csv written");
+        let path = {
+            let _guard = EnvGuard::set("EXPERIMENTS_DIR", &dir);
+            write_csv("unit_test_table", &header, &rows).expect("csv written")
+        };
         let contents = std::fs::read_to_string(&path).unwrap();
         assert_eq!(contents, "a,b\n1,2\n");
-        std::env::remove_var("EXPERIMENTS_DIR");
+        let _ = std::fs::remove_dir_all(&dir);
+    }
+
+    #[test]
+    fn csv_write_failure_reports_the_path() {
+        // A file where a directory is needed forces a typed error.
+        let base = std::env::temp_dir().join("cna-exp-not-a-dir");
+        std::fs::write(&base, "occupied").unwrap();
+        let err = {
+            let _guard = EnvGuard::set("EXPERIMENTS_DIR", base.join("sub"));
+            write_csv("x", &["a".to_string()], &[]).unwrap_err()
+        };
+        assert!(err.to_string().contains("could not write"));
+        assert!(err.path.starts_with(&base));
+        let _ = std::fs::remove_file(&base);
+    }
+
+    /// Sets an env var for the duration of a test, restoring on drop, and
+    /// serializes all guard holders so parallel tests in this binary do not
+    /// race on the process-global environment.
+    struct EnvGuard {
+        key: &'static str,
+        prev: Option<std::ffi::OsString>,
+        _serial: std::sync::MutexGuard<'static, ()>,
+    }
+
+    static ENV_LOCK: std::sync::Mutex<()> = std::sync::Mutex::new(());
+
+    impl EnvGuard {
+        fn set(key: &'static str, value: impl AsRef<std::ffi::OsStr>) -> Self {
+            let serial = ENV_LOCK.lock().unwrap_or_else(|e| e.into_inner());
+            let prev = std::env::var_os(key);
+            std::env::set_var(key, value);
+            EnvGuard {
+                key,
+                prev,
+                _serial: serial,
+            }
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match &self.prev {
+                Some(v) => std::env::set_var(self.key, v),
+                None => std::env::remove_var(self.key),
+            }
+        }
     }
 }

@@ -87,6 +87,42 @@ pub enum LockId {
     QSpinCna,
 }
 
+/// Long-term fairness guarantee of a lock's hand-over policy — the paper's
+/// §4 taxonomy, recorded per algorithm so experiments can assert it.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
+pub enum FairnessClass {
+    /// Strict FIFO admission: threads acquire in arrival order (MCS, CLH,
+    /// ticket-family, stock qspinlock). Long-term fairness factor ≈ 0.5.
+    Fifo,
+    /// No ordering guarantee at all: whoever wins the race gets the lock
+    /// (TAS, TTAS-backoff, HBO). Starvation is possible.
+    None,
+    /// NUMA-aware with a bounded intra-socket handoff budget (cohort locks,
+    /// HMCS): remote threads wait at most the cohort-detection bound.
+    CohortBounded,
+    /// CNA's policy: prefer same-socket successors but force a main-queue
+    /// epoch regularly, giving long-term (not short-term) fairness.
+    EpochBounded,
+}
+
+impl FairnessClass {
+    /// Lower-case token used in tables and CSVs.
+    pub const fn name(self) -> &'static str {
+        match self {
+            FairnessClass::Fifo => "fifo",
+            FairnessClass::None => "none",
+            FairnessClass::CohortBounded => "cohort-bounded",
+            FairnessClass::EpochBounded => "epoch-bounded",
+        }
+    }
+}
+
+impl fmt::Display for FairnessClass {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        f.write_str(self.name())
+    }
+}
+
 /// Error returned when a lock name does not match any registered algorithm.
 #[derive(Debug, Clone, PartialEq, Eq)]
 pub struct UnknownLockError {
@@ -200,6 +236,46 @@ impl LockId {
             self,
             LockId::CBoMcs | LockId::CTktTkt | LockId::CPtlTkt | LockId::Hmcs
         ) && !matches!(self, LockId::PartitionedTicket)
+    }
+
+    /// Expected size of the lock struct in bytes — the paper's compactness
+    /// measure, pinned here so a refactor that bloats a lock word fails the
+    /// smoke matrix (`tests/compactness.rs` asserts this against
+    /// [`DynLock::lock_size`] for every registered algorithm).
+    ///
+    /// Word-sized locks store `usize`/smaller shared state inline; the
+    /// hierarchical locks count their top-level struct (per-socket state
+    /// behind pointers is extra, which is exactly the paper's point).
+    pub const fn compactness(self) -> usize {
+        match self {
+            LockId::Tas | LockId::TtasBackoff => 1,
+            LockId::QSpinStock | LockId::QSpinCna => 4,
+            LockId::Ticket
+            | LockId::Clh
+            | LockId::Mcs
+            | LockId::Hbo
+            | LockId::Cna
+            | LockId::CnaOpt => 8,
+            LockId::PartitionedTicket | LockId::CBoMcs => 24,
+            LockId::CTktTkt | LockId::Hmcs => 32,
+            LockId::CPtlTkt => 56,
+        }
+    }
+
+    /// The long-term fairness guarantee of the hand-over policy (§4).
+    pub const fn fairness_class(self) -> FairnessClass {
+        match self {
+            LockId::Tas | LockId::TtasBackoff | LockId::Hbo => FairnessClass::None,
+            LockId::Ticket
+            | LockId::PartitionedTicket
+            | LockId::Clh
+            | LockId::Mcs
+            | LockId::QSpinStock => FairnessClass::Fifo,
+            LockId::CBoMcs | LockId::CTktTkt | LockId::CPtlTkt | LockId::Hmcs => {
+                FairnessClass::CohortBounded
+            }
+            LockId::Cna | LockId::CnaOpt | LockId::QSpinCna => FairnessClass::EpochBounded,
+        }
     }
 
     /// Whether the hand-over policy prefers same-socket successors.
@@ -526,5 +602,49 @@ mod tests {
         for id in LockId::ALL {
             assert!(!id.description().is_empty());
         }
+    }
+
+    #[test]
+    fn compactness_matches_the_built_lock_size() {
+        for id in LockId::ALL {
+            assert_eq!(
+                id.compactness(),
+                id.build().lock_size(),
+                "{id}: registered compactness drifted from size_of"
+            );
+        }
+    }
+
+    #[test]
+    fn compactness_agrees_with_the_compact_predicate() {
+        for id in LockId::ALL {
+            assert_eq!(
+                id.is_compact(),
+                id.compactness() <= std::mem::size_of::<usize>(),
+                "{id}: is_compact() disagrees with compactness()"
+            );
+        }
+    }
+
+    #[test]
+    fn fairness_classes_match_the_paper() {
+        use FairnessClass::*;
+        assert_eq!(LockId::Mcs.fairness_class(), Fifo);
+        assert_eq!(LockId::QSpinStock.fairness_class(), Fifo);
+        assert_eq!(LockId::Tas.fairness_class(), None);
+        assert_eq!(LockId::Hbo.fairness_class(), None);
+        assert_eq!(LockId::Hmcs.fairness_class(), CohortBounded);
+        assert_eq!(LockId::Cna.fairness_class(), EpochBounded);
+        assert_eq!(LockId::QSpinCna.fairness_class(), EpochBounded);
+        // Every NUMA-aware lock trades strict FIFO away; every FIFO lock is
+        // NUMA-oblivious.
+        for id in LockId::ALL {
+            assert_eq!(
+                id.fairness_class() == Fifo,
+                !id.is_numa_aware() && !matches!(id.fairness_class(), None),
+                "{id}: fairness class inconsistent with NUMA-awareness"
+            );
+        }
+        assert_eq!(FairnessClass::EpochBounded.to_string(), "epoch-bounded");
     }
 }

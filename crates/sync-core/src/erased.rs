@@ -81,6 +81,10 @@ pub trait ErasedLock: Send + Sync {
     /// `TypeId` of the wrapped lock type (used by registry uniqueness tests).
     fn lock_type_id(&self) -> TypeId;
 
+    /// `size_of` the wrapped concrete lock type in bytes — the paper's
+    /// compactness measure (the shared lock word(s), not the queue nodes).
+    fn lock_size(&self) -> usize;
+
     /// Whether [`ErasedLock::raw_try_lock`] can ever succeed (i.e. the
     /// algorithm implements [`RawTryLock`]).
     fn supports_try_lock(&self) -> bool;
@@ -166,6 +170,9 @@ where
     fn lock_type_id(&self) -> TypeId {
         TypeId::of::<L>()
     }
+    fn lock_size(&self) -> usize {
+        std::mem::size_of::<L>()
+    }
     fn supports_try_lock(&self) -> bool {
         false
     }
@@ -195,6 +202,9 @@ where
     }
     fn lock_type_id(&self) -> TypeId {
         TypeId::of::<L>()
+    }
+    fn lock_size(&self) -> usize {
+        std::mem::size_of::<L>()
     }
     fn supports_try_lock(&self) -> bool {
         true
@@ -295,6 +305,14 @@ impl DynLock {
     /// `TypeId` of the wrapped concrete lock type.
     pub fn lock_type_id(&self) -> TypeId {
         self.inner.lock_type_id()
+    }
+
+    /// `size_of` the wrapped concrete lock type in bytes — the paper's
+    /// compactness measure. Queue nodes and heap-allocated per-socket state
+    /// are not counted; for the hierarchical locks the top-level struct
+    /// already exceeds a cache line of shared state.
+    pub fn lock_size(&self) -> usize {
+        self.inner.lock_size()
     }
 
     /// Whether [`DynLock::try_lock`] can ever succeed.

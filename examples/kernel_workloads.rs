@@ -1,56 +1,48 @@
 //! Run the kernel benchmarks (§7.2) against the user-space qspinlock
-//! reproduction: locktorture and the four will-it-scale benchmarks, with the
-//! stock (MCS) and CNA slow paths selected by registry name, plus the
-//! Table-1-style lockstat report.
+//! reproduction through the unified experiment API: locktorture and the
+//! four will-it-scale benchmarks, stock (MCS) vs CNA slow path, in one
+//! `ExperimentSpec` grid — plus the Table-1-style lockstat report from the
+//! raw entry point.
 //!
 //! Run with: `cargo run --release --example kernel_workloads`
 
 use std::time::Duration;
 
-use cna_locks::kernel_sim::{
-    run_locktorture_dyn, run_will_it_scale_dyn, LockTortureConfig, WisBenchmark, WisConfig,
-};
+use cna_locks::harness::experiments::{ExperimentSpec, WorkloadId};
+use cna_locks::harness::Scale;
+use cna_locks::kernel_sim::{run_will_it_scale_dyn, WisBenchmark, WisConfig};
 use cna_locks::registry::LockId;
 
 fn main() {
-    // The kernel comparison: both qspinlock slow paths, by name.
-    let slow_paths = [LockId::QSpinStock, LockId::QSpinCna];
+    // The kernel comparison: both qspinlock slow paths, by name, through
+    // both kernel substrates in one spec.
+    let report = ExperimentSpec::new("example_kernel_workloads")
+        .title("kernel workloads, 4 threads (wall-clock on this host)")
+        .locks(vec![LockId::QSpinStock, LockId::QSpinCna])
+        .workload(WorkloadId::LockTorture.to_spec())
+        .workload(WorkloadId::Wis.to_spec())
+        .threads(vec![4])
+        .scale(Scale::Ci)
+        .duration_ms(200)
+        .run()
+        .expect("kernel substrate runs");
 
-    let torture_cfg = LockTortureConfig {
-        threads: 4,
-        duration: Duration::from_millis(300),
-        lockstat: true,
-    };
-    println!(
-        "locktorture (lockstat enabled), 4 threads, {:?}:",
-        torture_cfg.duration
-    );
-    for id in slow_paths {
-        let report = run_locktorture_dyn(id, &torture_cfg);
-        println!("  {:>15}: {:>9} ops", id.name(), report.total_ops());
+    for sweep in report.sweeps() {
+        println!(
+            "{}",
+            sweep.render(&format!("{} [{}]", sweep.workload, sweep.unit))
+        );
     }
 
+    // The lockstat detail behind Table 1 still comes from the raw entry
+    // point — the experiment API reports the series, the substrate report
+    // the per-call-site detail.
     let wis_cfg = WisConfig {
         threads: 4,
         duration: Duration::from_millis(200),
     };
-    println!(
-        "\nwill-it-scale (threads mode), 4 threads, {:?} each:",
-        wis_cfg.duration
-    );
-    for bench in WisBenchmark::all() {
-        let stock = run_will_it_scale_dyn(LockId::QSpinStock, bench, &wis_cfg);
-        let cna = run_will_it_scale_dyn(LockId::QSpinCna, bench, &wis_cfg);
-        println!(
-            "  {:<15} stock: {:>9} iters   CNA: {:>9} iters",
-            stock.benchmark,
-            stock.total_ops(),
-            cna.total_ops()
-        );
-    }
-
-    println!("\nTable-1-style lockstat report for open1_threads (stock qspinlock):");
-    let report = run_will_it_scale_dyn(LockId::QSpinStock, WisBenchmark::Open1, &wis_cfg);
-    println!("{}", report.lockstat.render());
+    println!("Table-1-style lockstat report for open1_threads (stock qspinlock):");
+    let detail = run_will_it_scale_dyn(LockId::QSpinStock, WisBenchmark::Open1, &wis_cfg);
+    println!("{}", detail.lockstat.render());
     println!("(wall-clock numbers on this host; the paper-shaped curves come from `cargo bench`)");
 }

@@ -1,57 +1,58 @@
-//! Reproduce the headline result of the paper on the NUMA machine simulator:
-//! the key-value map microbenchmark of Figure 6, comparing MCS, CNA and the
-//! hierarchical NUMA-aware locks on a virtual 2-socket and 4-socket machine.
+//! Reproduce the headline result of the paper on the NUMA machine simulator
+//! through the unified experiment API: the key-value map microbenchmark of
+//! Figure 6, comparing MCS, CNA and the hierarchical NUMA-aware locks on a
+//! virtual 2-socket and 4-socket machine — one `ExperimentSpec` per machine.
 //!
 //! Run with: `cargo run --release --example numa_simulation`
 
-use cna_locks::numa_sim::lock_model::LockAlgorithm;
-use cna_locks::numa_sim::{CostModel, MachineConfig, Simulation, Workload};
+use cna_locks::harness::experiments::{ExperimentSpec, SimSweep, WorkloadSpec};
+use cna_locks::harness::Scale;
+use cna_locks::numa_sim::workloads::kv_map;
 use cna_locks::registry::LockId;
 
-fn run(machine: MachineConfig, cost: CostModel, threads: usize, algo: LockAlgorithm) -> f64 {
-    Simulation::new(machine, cost, algo, Workload::kv_map_no_external_work())
-        .threads(threads)
-        .virtual_duration_ms(10)
-        .seed(7)
-        .run()
-        .throughput_ops_per_us()
-}
-
 fn main() {
-    // The registry maps every lock name onto its simulator policy model, so
-    // the simulated comparison set is addressed the same way as the real one.
-    let algorithms: Vec<LockAlgorithm> = ["mcs", "cna", "c-bo-mcs", "hmcs"]
+    // The registry addresses the comparison set by name, exactly like the
+    // real-thread workloads.
+    let locks: Vec<LockId> = ["mcs", "cna", "c-bo-mcs", "hmcs"]
         .iter()
-        .map(|name| {
-            name.parse::<LockId>()
-                .expect("registered lock name")
-                .sim_algorithm()
-        })
+        .map(|name| name.parse().expect("registered lock name"))
         .collect();
 
-    for (label, machine, cost, threads) in [
+    let machines = [
         (
             "2-socket machine (72 CPUs), 70 threads",
-            MachineConfig::two_socket_paper(),
-            CostModel::two_socket_xeon(),
+            WorkloadSpec::Sim(SimSweep::two_socket("sim", kv_map(0, 0.2))),
             70usize,
         ),
         (
             "4-socket machine (144 CPUs), 142 threads",
-            MachineConfig::four_socket_paper(),
-            CostModel::four_socket_xeon(),
+            WorkloadSpec::Sim(SimSweep::four_socket("sim", kv_map(0, 0.2))),
             142usize,
         ),
-    ] {
+    ];
+
+    for (label, workload, threads) in machines {
+        // Paper scale: its thread cap admits the 4-socket machine's 142
+        // threads; one repetition keeps the example quick.
+        let report = ExperimentSpec::new("example_numa_simulation")
+            .title(label)
+            .locks(locks.clone())
+            .workload(workload)
+            .threads(vec![1, threads])
+            .scale(Scale::Paper)
+            .repetitions(1)
+            .run()
+            .expect("simulator sweep");
+        let sweep = report.sweep_for("sim").expect("one sim sweep");
+
         println!("{label} — key-value map, no external work");
-        let mcs_1 = run(machine.clone(), cost, 1, LockAlgorithm::Mcs);
+        let mcs_1 = sweep.value_at("MCS", 1).expect("single-thread anchor");
         println!("  single thread (any lock): {mcs_1:.2} ops/us");
-        let mcs = run(machine.clone(), cost, threads, LockAlgorithm::Mcs);
-        for &algo in &algorithms {
-            let tp = run(machine.clone(), cost, threads, algo);
+        let mcs = sweep.final_value("MCS").expect("MCS series");
+        for label in &sweep.labels {
+            let tp = sweep.final_value(label).expect("swept series");
             println!(
-                "  {:<10} {tp:5.2} ops/us   ({:+.0}% vs MCS)",
-                algo.name(),
+                "  {label:<10} {tp:5.2} ops/us   ({:+.0}% vs MCS)",
                 (tp / mcs - 1.0) * 100.0
             );
         }

@@ -1,60 +1,40 @@
-//! Drive the leveldb-lite and kyoto-lite substrates (§7.1.2, §7.1.3) with
-//! lock algorithms selected by name through the registry, mirroring how the
-//! paper interposes locks under unmodified applications through LiTL.
+//! Drive the leveldb-lite and kyoto-lite substrates (§7.1.2, §7.1.3)
+//! through the unified experiment API, with lock algorithms selected by
+//! name through the registry — mirroring how the paper interposes locks
+//! under unmodified applications through LiTL.
 //!
 //! Run with: `cargo run --release --example storage_engines`
 
-use std::time::Duration;
-
-use cna_locks::kyoto_lite::{wicked_dyn, WickedConfig};
-use cna_locks::leveldb_lite::{readrandom_dyn, ReadRandomConfig};
+use cna_locks::harness::experiments::{ExperimentSpec, WorkloadId};
+use cna_locks::harness::Scale;
 use cna_locks::registry::LockId;
 
 fn main() {
-    // The head-to-head the paper's storage figures focus on.
-    let comparison = [LockId::Mcs, LockId::Cna];
+    // The head-to-head the paper's storage figures focus on; any other
+    // registered algorithm works too (see `lockbench list`).
+    let report = ExperimentSpec::new("example_storage_engines")
+        .title("storage engines, 4 threads (wall-clock on this host)")
+        .locks(vec![LockId::Mcs, LockId::Cna])
+        .workload(WorkloadId::Leveldb.to_spec())
+        .workload(WorkloadId::Kyoto.to_spec())
+        .threads(vec![4])
+        .scale(Scale::Ci)
+        .duration_ms(300)
+        .run()
+        .expect("storage substrate runs");
 
-    let db_cfg = ReadRandomConfig {
-        threads: 4,
-        duration: Duration::from_millis(300),
-        prefill_keys: 50_000,
-        key_range: 50_000,
-        cache_capacity: 8_192,
-    };
-    println!(
-        "leveldb-lite db_bench readrandom ({} keys):",
-        db_cfg.prefill_keys
-    );
-    for id in comparison {
-        let report = readrandom_dyn(id, &db_cfg);
+    for sweep in report.sweeps() {
         println!(
-            "  {:>4}: {:>8} ops ({:.1} ops/ms)",
-            id.name(),
-            report.total_ops(),
-            report.throughput_ops_per_ms(),
+            "{}",
+            sweep.render(&format!("{} [{}]", sweep.workload, sweep.unit))
         );
     }
-
-    let kc_cfg = WickedConfig {
-        threads: 4,
-        duration: Duration::from_millis(300),
-        key_range: 100_000,
-    };
-    println!(
-        "\nkyoto-lite kccachetest wicked ({}-key range):",
-        kc_cfg.key_range
-    );
-    for id in comparison {
-        let report = wicked_dyn(id, &kc_cfg);
-        println!(
-            "  {:>4}: {:>8} ops ({:.1} ops/ms)",
-            id.name(),
-            report.total_ops(),
-            report.throughput_ops_per_ms(),
-        );
+    match report.write_files() {
+        Ok((csv, json)) => println!("reports: {} {}", csv.display(), json.display()),
+        Err(err) => eprintln!("warning: {err}"),
     }
     println!(
         "\n(wall-clock numbers on this host; the paper-shaped curves come from `cargo bench`.\n\
-         Any other registered algorithm works too: see `lockbench list`.)"
+         The same grid is one CLI command: `lockbench run --lock mcs,cna --workload leveldb,kyoto`.)"
     );
 }

@@ -6,6 +6,7 @@ use std::mem::{align_of, size_of};
 use cna_locks::cna::CnaLock;
 use cna_locks::locks::{CBoMcsLock, ClhLock, HmcsLock, McsLock, TestAndSetLock};
 use cna_locks::qspinlock::{CnaQSpinLock, StockQSpinLock};
+use cna_locks::registry::{FairnessClass, LockId};
 
 /// CNA's headline claim: the lock itself is a single word (the tail
 /// pointer), no matter how many sockets the machine has.
@@ -41,4 +42,49 @@ fn queue_lock_baselines_are_one_word() {
 fn hierarchical_locks_are_not_compact() {
     assert!(size_of::<CBoMcsLock>() > size_of::<CnaLock>());
     assert!(size_of::<HmcsLock>() > size_of::<CnaLock>());
+}
+
+/// Every registered algorithm's declared compactness must equal the real
+/// `size_of` of the lock it builds — the registry metadata is the review
+/// gate, this test is the enforcement (the CI smoke matrix runs it on every
+/// pull request).
+#[test]
+fn registry_compactness_matches_every_built_lock() {
+    for id in LockId::ALL {
+        let lock = id.build();
+        assert_eq!(
+            id.compactness(),
+            lock.lock_size(),
+            "{id}: registry compactness ({}) diverged from size_of ({})",
+            id.compactness(),
+            lock.lock_size()
+        );
+        assert_eq!(
+            id.is_compact(),
+            id.compactness() <= size_of::<usize>(),
+            "{id}: compactness and is_compact disagree"
+        );
+    }
+}
+
+/// The paper's trade-off, as registry metadata: every compact NUMA-aware
+/// lock is CNA-family (epoch-bounded fairness), and all cohort-bounded
+/// locks pay more than a word of shared state.
+#[test]
+fn fairness_and_compactness_metadata_capture_the_papers_tradeoff() {
+    for id in LockId::ALL {
+        if id.is_compact() && id.is_numa_aware() && id.fairness_class() != FairnessClass::None {
+            assert_eq!(
+                id.fairness_class(),
+                FairnessClass::EpochBounded,
+                "{id}: a compact NUMA-aware lock with fairness must be CNA-family"
+            );
+        }
+        if id.fairness_class() == FairnessClass::CohortBounded {
+            assert!(
+                id.compactness() > size_of::<usize>(),
+                "{id}: cohort locks are the non-compact side of the trade-off"
+            );
+        }
+    }
 }

@@ -1,0 +1,126 @@
+//! End-to-end tests of the unified experiment API: spec-driven grids over
+//! both runners, report serialization round-trips, and baseline regression
+//! diffs — the workflow `lockbench sweep` / `lockbench diff` and the CI
+//! lock-matrix job drive.
+
+use cna_locks::harness::experiments::{
+    DiffThreshold, ExperimentSpec, Metric, RunReport, WorkloadId,
+};
+use cna_locks::harness::Scale;
+use cna_locks::registry::LockId;
+
+/// A tiny 2-lock × 2-workload × 2-thread grid, smoke-sized.
+fn smoke_spec() -> ExperimentSpec {
+    ExperimentSpec::new("itest_experiments")
+        .title("integration test grid")
+        .locks(vec![LockId::Cna, LockId::Mcs])
+        .workload(WorkloadId::Sim.to_spec())
+        .workload(WorkloadId::KvMap.to_spec())
+        .threads(vec![1, 2])
+        .scale(Scale::Smoke)
+        .repetitions(1)
+        .duration_ms(5)
+}
+
+#[test]
+fn a_spec_grid_runs_both_runners_and_aggregates() {
+    let report = smoke_spec().run().expect("smoke grid runs");
+    // 2 workloads × 2 threads × 2 locks × 1 rep.
+    assert_eq!(report.samples.len(), 8);
+    assert_eq!(report.scale, "smoke");
+    assert!(report.samples.iter().all(|s| s.value > 0.0));
+    assert!(report.samples.iter().all(|s| s.total_ops > 0));
+
+    let sweeps = report.sweeps();
+    assert_eq!(sweeps.len(), 2, "one aggregated sweep per workload");
+    for sweep in &sweeps {
+        assert_eq!(sweep.rows.len(), 2);
+        assert_eq!(sweep.locks, vec!["cna", "mcs"]);
+        assert_eq!(sweep.metric, "throughput");
+        // Both the canonical name and the plot label address a column.
+        assert_eq!(sweep.final_value("cna"), sweep.final_value("CNA"));
+        assert!(sweep.value_at("mcs", 1).unwrap() > 0.0);
+    }
+}
+
+#[test]
+fn reports_round_trip_through_csv_and_write_both_formats() {
+    let report = smoke_spec().run().expect("smoke grid runs");
+
+    let parsed = RunReport::from_csv(&report.to_csv()).expect("csv parses back");
+    assert_eq!(parsed.id, report.id);
+    assert_eq!(parsed.scale, report.scale);
+    assert_eq!(parsed.samples, report.samples, "samples survive exactly");
+
+    // Writing creates missing directories (clean-checkout behaviour) and
+    // the CSV loads back identically.
+    let dir = std::env::temp_dir()
+        .join("cna-itest-experiments")
+        .join("nested");
+    let _ = std::fs::remove_dir_all(&dir);
+    let (csv, json) = report.write_files_in(&dir).expect("reports written");
+    assert!(csv.is_file() && json.is_file());
+    let reloaded = RunReport::load_csv(&csv).expect("written csv loads");
+    assert_eq!(reloaded.samples, report.samples);
+    let json_text = std::fs::read_to_string(&json).unwrap();
+    assert!(json_text.contains("\"samples\""));
+    let _ = std::fs::remove_dir_all(dir.parent().unwrap());
+}
+
+#[test]
+fn an_injected_regression_trips_the_diff_threshold() {
+    let baseline = smoke_spec().run().expect("baseline runs");
+
+    // Unchanged: the self-diff must pass (what CI asserts).
+    let clean = baseline.diff_against(&baseline, DiffThreshold::default());
+    assert!(!clean.has_regressions(), "self-diff must be clean");
+    assert_eq!(clean.entries.len(), 8, "every cell is compared");
+
+    // Inject a 90 % throughput collapse into one cell of the current run.
+    let mut regressed = baseline.clone();
+    let victim = regressed
+        .samples
+        .iter_mut()
+        .find(|s| s.workload == "kvmap" && s.lock == "cna")
+        .expect("kvmap/cna cell exists");
+    victim.value *= 0.1;
+    let diff = regressed.diff_against(&baseline, DiffThreshold::default());
+    assert!(diff.has_regressions(), "the injected drop must be flagged");
+    let flagged: Vec<_> = diff.regressions().collect();
+    assert_eq!(flagged.len(), 1);
+    assert_eq!(flagged[0].lock, "cna");
+    assert_eq!(flagged[0].workload, "kvmap");
+    assert!(diff.render().contains("REGRESSED"));
+
+    // The same comparison through the serialized form (what `lockbench
+    // diff` does with two files).
+    let baseline2 = RunReport::from_csv(&baseline.to_csv()).unwrap();
+    let regressed2 = RunReport::from_csv(&regressed.to_csv()).unwrap();
+    assert!(regressed2
+        .diff_against(&baseline2, DiffThreshold::default())
+        .has_regressions());
+}
+
+#[test]
+fn fairness_metric_runs_on_both_runners() {
+    let report = ExperimentSpec::new("itest_fairness")
+        .locks(vec![LockId::Mcs])
+        .workload(WorkloadId::Sim.to_spec())
+        .workload(WorkloadId::KvMap.to_spec())
+        .threads(vec![2])
+        .scale(Scale::Smoke)
+        .repetitions(1)
+        .duration_ms(5)
+        .metric(Metric::FairnessFactor)
+        .run()
+        .expect("fairness grid runs");
+    assert_eq!(report.samples.len(), 2);
+    for s in &report.samples {
+        assert!(
+            (0.5..=1.0).contains(&s.value),
+            "{}: fairness factor {} out of range",
+            s.workload,
+            s.value
+        );
+    }
+}

@@ -1,5 +1,5 @@
 //! The `lockbench` command line: any algorithm × workload × thread sweep ×
-//! scale in one command, over the unified experiment API.
+//! scale × load shape in one command, over the unified experiment API.
 //!
 //! This is the front door to the lock registry and the experiments module:
 //!
@@ -8,6 +8,9 @@
 //! cargo run -p bench --bin lockbench -- run   --lock cna,mcs --workload kvmap --scale smoke
 //! cargo run -p bench --bin lockbench -- sweep --lock cna,mcs --workload sim,kvmap \
 //!                                             --threads 1,2,4 --scale smoke
+//! cargo run -p bench --bin lockbench -- sweep --lock cna,mcs --workload kvmap \
+//!                                             --mode open --rate 1000,10000,100000 \
+//!                                             --metric p99 --scale smoke
 //! cargo run -p bench --bin lockbench -- diff baseline.csv target/experiments/lockbench_sweep.csv
 //! ```
 //!
@@ -17,7 +20,8 @@
 //! spec-driven spelling with a configurable report id, `run` keeps the
 //! historical default (`lockbench_run`). `diff` compares two stored reports
 //! and fails (exit code 1) on threshold regressions — the CI hook for
-//! baseline comparisons.
+//! baseline comparisons, including the p99 sojourn ratchet on open-loop
+//! sweeps.
 //!
 //! Parsing and execution live in this library module so they are unit
 //! tested; the binary (`src/bin/lockbench.rs`) only forwards
@@ -26,7 +30,8 @@
 use std::path::Path;
 
 use harness::experiments::{
-    parse_thread_list, DiffThreshold, ExperimentSpec, Metric, RunReport, WorkloadId,
+    parse_rate_list, parse_thread_list, Arrival, DiffThreshold, ExperimentSpec, LoadSpec, Metric,
+    RunReport, WorkloadId,
 };
 use harness::{render_table, Scale};
 use registry::LockId;
@@ -62,9 +67,11 @@ pub struct SweepArgs {
     /// Thread sweep (`--threads 1,2,4` / `1-8` / `2-16/2`); empty = the
     /// scale's default sizing.
     pub threads: Vec<usize>,
+    /// Load shape (`--mode closed|open` with `--rate`/`--arrival`).
+    pub load: LoadSpec,
     /// Run sizing (`--scale smoke|ci|paper`; default from `SCALE`).
     pub scale: Scale,
-    /// Measured quantity (`--metric throughput|llc-misses|fairness`).
+    /// Measured quantity (`--metric throughput|p99|...`).
     pub metric: Metric,
     /// Repetitions per data point (`--rep N`; 0 = scale default).
     pub repetitions: usize,
@@ -96,8 +103,17 @@ pub fn usage() -> String {
          \n\
          OPTIONS (run/sweep):\n\
          \x20 --threads 1,2,4 | 1-8 | 2-16/2   thread sweep (default: scale sizing)\n\
+         \x20 --mode closed|open               load shape (default: closed; open\n\
+         \x20                                  requires --rate)\n\
+         \x20 --rate 1000,10000 | 1000-5000/1000\n\
+         \x20                                  open-loop offered load sweep in\n\
+         \x20                                  requests/sec (implies --mode open)\n\
+         \x20 --arrival {}              inter-arrival distribution\n\
+         \x20                                  (default: poisson; open-loop only)\n\
          \x20 --scale smoke|ci|paper           run sizing (default: $SCALE or ci)\n\
-         \x20 --metric throughput|llc-misses|fairness\n\
+         \x20 --metric {}\n\
+         \x20                                  (p50/p99/p999/queue-depth need --rate;\n\
+         \x20                                  open-loop works on kvmap and sim)\n\
          \x20 --rep N                          repetitions per point (default: scale)\n\
          \x20 --duration-ms N                  substrate wall-clock override\n\
          \x20 --id NAME                        report file name (defaults:\n\
@@ -109,10 +125,19 @@ pub fn usage() -> String {
          Reports land in target/experiments/<id>.csv and <id>.json\n\
          ($EXPERIMENTS_DIR overrides the directory).\n\
          \n\
+         EXIT CODES:\n\
+         \x20 0  success\n\
+         \x20 1  `diff` found a regression (or dropped baseline coverage)\n\
+         \x20 2  usage or runtime error\n\
+         \n\
          EXAMPLES:\n\
          \x20 lockbench run --lock all --workload kvmap --scale smoke   # CI lock matrix\n\
          \x20 lockbench sweep --lock cna,mcs --workload sim,kvmap --threads 1,2,4 --scale smoke\n\
+         \x20 lockbench sweep --lock cna,mcs --workload kvmap --mode open \\\n\
+         \x20           --rate 1000,10000,100000 --metric p99 --scale smoke\n\
          \x20 lockbench diff baselines/smoke.csv target/experiments/lockbench_sweep.csv",
+        Arrival::ALL.map(|a| a.name()).join("|"),
+        Metric::ALL.map(|m| m.name()).join("|"),
         WorkloadId::ALL.map(|w| w.name()).join(", "),
         LockId::names().join(", ")
     )
@@ -195,6 +220,9 @@ where
     let mut repetitions = 0usize;
     let mut duration_ms = None;
     let mut id = default_id.to_string();
+    let mut mode: Option<String> = None;
+    let mut rates: Option<Vec<u64>> = None;
+    let mut arrival: Option<Arrival> = None;
     while let Some(flag) = args.next() {
         let mut value_of = |flag: &str| {
             args.next()
@@ -207,11 +235,26 @@ where
             }
             "--workload" | "--workloads" => {
                 let value = value_of(&flag)?;
-                workloads = Some(WorkloadId::parse_list(&value)?);
+                workloads = Some(WorkloadId::parse_list(&value).map_err(|e| e.to_string())?);
             }
             "--threads" => {
                 let value = value_of(&flag)?;
                 threads = parse_thread_list(&value).map_err(|e| e.to_string())?;
+            }
+            "--mode" => {
+                let value = value_of(&flag)?;
+                match value.as_str() {
+                    "closed" | "open" => mode = Some(value),
+                    other => return Err(format!("unknown mode {other:?} (valid: closed, open)")),
+                }
+            }
+            "--rate" | "--rates" => {
+                let value = value_of(&flag)?;
+                rates = Some(parse_rate_list(&value).map_err(|e| e.to_string())?);
+            }
+            "--arrival" => {
+                let value = value_of(&flag)?;
+                arrival = Some(Arrival::parse(&value).map_err(|e| e.to_string())?);
             }
             "--scale" => {
                 let value = value_of(&flag)?;
@@ -219,8 +262,7 @@ where
             }
             "--metric" => {
                 let value = value_of(&flag)?;
-                metric =
-                    Metric::parse(&value).ok_or_else(|| format!("unknown metric {value:?}"))?;
+                metric = Metric::parse(&value).map_err(|e| e.to_string())?;
             }
             "--rep" | "--repetitions" => {
                 let value = value_of(&flag)?;
@@ -264,11 +306,32 @@ where
     if workloads.is_empty() {
         return Err("--workload selected no workloads".to_string());
     }
+    // `--rate` implies open-loop; `--mode` only has to be spelled out to
+    // catch contradictions early, before a grid runs for minutes.
+    let load = match (mode.as_deref(), rates) {
+        (Some("open"), None) => {
+            return Err("--mode open requires --rate <requests/sec list>".to_string())
+        }
+        (Some("closed"), Some(_)) => {
+            return Err("--mode closed conflicts with --rate (rates are open-loop)".to_string())
+        }
+        (_, Some(rates_per_sec)) => LoadSpec::Open {
+            rates_per_sec,
+            arrival: arrival.unwrap_or_default(),
+        },
+        (_, None) => {
+            if arrival.is_some() {
+                return Err("--arrival only applies to open-loop runs (add --rate)".to_string());
+            }
+            LoadSpec::Closed
+        }
+    };
     Ok(SweepArgs {
         id,
         locks,
         workloads,
         threads,
+        load,
         scale,
         metric,
         repetitions,
@@ -326,6 +389,7 @@ pub fn build_spec(args: &SweepArgs) -> ExperimentSpec {
         .locks(args.locks.clone())
         .workloads(args.workloads.iter().map(|w| w.to_spec()).collect())
         .threads(args.threads.clone())
+        .load(args.load.clone())
         .scale(args.scale)
         .metric(args.metric)
         .repetitions(args.repetitions);
@@ -369,7 +433,9 @@ pub fn execute(command: &Command) -> Result<i32, String> {
                     ))
                 );
             }
-            let (csv, json) = report.write_files().map_err(|e| e.to_string())?;
+            let (csv, json) = report
+                .write_files()
+                .map_err(|e| format!("could not save report {:?}: {e}", report.id))?;
             println!("reports: {} {}", csv.display(), json.display());
         }
         Command::Diff(args) => {
@@ -442,6 +508,7 @@ mod tests {
                 assert_eq!(args.locks, vec![LockId::Cna, LockId::Mcs]);
                 assert_eq!(args.workloads, vec![WorkloadId::Sim, WorkloadId::KvMap]);
                 assert_eq!(args.threads, vec![1, 2, 4]);
+                assert_eq!(args.load, LoadSpec::Closed);
                 assert_eq!(args.scale, Scale::Smoke);
                 assert_eq!(args.metric, Metric::FairnessFactor);
                 assert_eq!(args.repetitions, 2);
@@ -450,6 +517,126 @@ mod tests {
             }
             other => panic!("expected Sweep, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn parses_an_open_loop_sweep_command() {
+        let cmd = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "cna,mcs",
+            "--workload",
+            "kvmap",
+            "--mode",
+            "open",
+            "--rate",
+            "1000,10000,100000",
+            "--metric",
+            "p99",
+            "--scale",
+            "smoke",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(args) => {
+                assert_eq!(
+                    args.load,
+                    LoadSpec::Open {
+                        rates_per_sec: vec![1_000, 10_000, 100_000],
+                        arrival: Arrival::Poisson,
+                    }
+                );
+                assert_eq!(args.metric, Metric::P99Sojourn);
+            }
+            other => panic!("expected Sweep, got {other:?}"),
+        }
+        // `--rate` alone implies open mode; `--arrival` selects the shape.
+        let cmd = parse_args(strings(&[
+            "run",
+            "--lock",
+            "cna",
+            "--workload",
+            "kvmap",
+            "--rate",
+            "500",
+            "--arrival",
+            "fixed",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Run(args) => assert_eq!(
+                args.load,
+                LoadSpec::Open {
+                    rates_per_sec: vec![500],
+                    arrival: Arrival::Fixed,
+                }
+            ),
+            other => panic!("expected Run, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn contradictory_mode_flags_are_usage_errors() {
+        let base = ["sweep", "--lock", "cna", "--workload", "kvmap"];
+        let with = |extra: &[&str]| {
+            let mut v = base.to_vec();
+            v.extend_from_slice(extra);
+            parse_args(strings(&v))
+        };
+        assert!(with(&["--mode", "open"])
+            .unwrap_err()
+            .contains("requires --rate"));
+        assert!(with(&["--mode", "closed", "--rate", "1000"])
+            .unwrap_err()
+            .contains("conflicts"));
+        assert!(with(&["--arrival", "poisson"])
+            .unwrap_err()
+            .contains("open-loop"));
+        assert!(with(&["--mode", "sideways"])
+            .unwrap_err()
+            .contains("closed, open"));
+        assert!(with(&["--rate", "0"]).is_err());
+        assert!(with(&["--rate", "fast"]).is_err());
+    }
+
+    #[test]
+    fn unknown_tokens_list_the_valid_names() {
+        let err = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "cna",
+            "--workload",
+            "kvmap",
+            "--metric",
+            "bogus",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains("throughput") && err.contains("p99") && err.contains("queue-depth"),
+            "metric error should list valid tokens, got: {err}"
+        );
+        let err =
+            parse_args(strings(&["sweep", "--lock", "cna", "--workload", "bogus"])).unwrap_err();
+        assert!(
+            err.contains("kvmap") && err.contains("sim"),
+            "workload error should list valid tokens, got: {err}"
+        );
+        let err = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "cna",
+            "--workload",
+            "kvmap",
+            "--rate",
+            "100",
+            "--arrival",
+            "bogus",
+        ]))
+        .unwrap_err();
+        assert!(
+            err.contains("fixed") && err.contains("poisson"),
+            "arrival error should list valid tokens, got: {err}"
+        );
     }
 
     #[test]
@@ -557,21 +744,28 @@ mod tests {
         assert!(table.contains("epoch-bounded"));
         assert!(usage().contains("lockbench sweep"));
         assert!(usage().contains("lockbench diff"));
+        assert!(usage().contains("--mode closed|open"));
+        assert!(usage().contains("EXIT CODES"));
+        assert!(usage().contains("queue-depth"));
     }
 
-    #[test]
-    fn smoke_sweep_produces_the_full_grid() {
-        let args = SweepArgs {
-            id: "unit_cli_sweep".to_string(),
+    fn closed_args(id: &str) -> SweepArgs {
+        SweepArgs {
+            id: id.to_string(),
             locks: vec![LockId::Mcs, LockId::Cna],
             workloads: vec![WorkloadId::Sim, WorkloadId::KvMap],
             threads: vec![1, 2],
+            load: LoadSpec::Closed,
             scale: Scale::Smoke,
             metric: Metric::ThroughputOpsPerUs,
             repetitions: 1,
             duration_ms: Some(5),
-        };
-        let report = execute_sweep(&args).unwrap();
+        }
+    }
+
+    #[test]
+    fn smoke_sweep_produces_the_full_grid() {
+        let report = execute_sweep(&closed_args("unit_cli_sweep")).unwrap();
         // 2 workloads × 2 thread counts × 2 locks × 1 rep.
         assert_eq!(report.samples.len(), 8);
         assert_eq!(report.scale, "smoke");
@@ -581,19 +775,43 @@ mod tests {
             .iter()
             .all(|s| s.rows.len() == 2 && s.locks.len() == 2));
         assert!(report.samples.iter().all(|s| s.value > 0.0));
+        assert!(report.samples.iter().all(|s| s.mode == "closed"));
+    }
+
+    #[test]
+    fn open_smoke_sweep_carries_the_histogram_columns() {
+        let args = SweepArgs {
+            workloads: vec![WorkloadId::KvMap],
+            threads: vec![2],
+            load: LoadSpec::Open {
+                rates_per_sec: vec![50_000, 200_000],
+                arrival: Arrival::Poisson,
+            },
+            metric: Metric::P99Sojourn,
+            duration_ms: Some(2),
+            ..closed_args("unit_cli_open")
+        };
+        let report = execute_sweep(&args).unwrap();
+        // 1 workload × 2 rates × 1 thread count × 2 locks × 1 rep.
+        assert_eq!(report.samples.len(), 4);
+        assert!(report.samples.iter().all(|s| s.mode == "open"));
+        assert!(report.samples.iter().all(|s| s.p99_us > 0.0));
+        assert!(report
+            .samples
+            .iter()
+            .all(|s| s.rate_per_sec == 50_000 || s.rate_per_sec == 200_000));
+        let sweep = report.sweep_for("kvmap").unwrap();
+        assert!(sweep.has_rates());
+        assert_eq!(sweep.rows.len(), 2);
     }
 
     #[test]
     fn wis_expands_to_one_sample_per_sub_benchmark() {
         let args = SweepArgs {
-            id: "unit_cli_wis".to_string(),
             locks: vec![LockId::QSpinStock],
             workloads: vec![WorkloadId::Wis],
             threads: vec![2],
-            scale: Scale::Smoke,
-            metric: Metric::ThroughputOpsPerUs,
-            repetitions: 1,
-            duration_ms: Some(5),
+            ..closed_args("unit_cli_wis")
         };
         let report = execute_sweep(&args).unwrap();
         assert_eq!(report.samples.len(), 4);
@@ -606,16 +824,79 @@ mod tests {
     #[test]
     fn unsupported_metric_surfaces_as_a_cli_error() {
         let args = SweepArgs {
-            id: "unit_cli_bad_metric".to_string(),
             locks: vec![LockId::Cna],
             workloads: vec![WorkloadId::KvMap],
             threads: vec![1],
-            scale: Scale::Smoke,
             metric: Metric::LlcMissesPerUs,
-            repetitions: 1,
             duration_ms: Some(2),
+            ..closed_args("unit_cli_bad_metric")
         };
         let err = execute_sweep(&args).unwrap_err();
         assert!(err.contains("llc-misses"), "got: {err}");
+    }
+
+    #[test]
+    fn open_metric_on_a_closed_grid_is_rejected_before_running() {
+        let args = SweepArgs {
+            metric: Metric::P99Sojourn,
+            ..closed_args("unit_cli_mode_mismatch")
+        };
+        let err = execute_sweep(&args).unwrap_err();
+        assert!(err.contains("closed-loop"), "got: {err}");
+    }
+
+    #[test]
+    fn sweep_write_failures_name_the_offending_path() {
+        // Occupy the report directory's parent with a plain file so the
+        // write must fail, then check the surfaced error names the path.
+        let base = std::env::temp_dir().join("cna-cli-write-err");
+        let _ = std::fs::remove_dir_all(&base);
+        let _ = std::fs::remove_file(&base);
+        std::fs::write(&base, "occupied").unwrap();
+        let args = SweepArgs {
+            locks: vec![LockId::Cna],
+            workloads: vec![WorkloadId::Sim],
+            threads: vec![1],
+            duration_ms: None,
+            ..closed_args("unit_cli_write_err")
+        };
+        let err = {
+            let _guard = EnvGuard::set("EXPERIMENTS_DIR", base.join("sub"));
+            execute(&Command::Sweep(args)).unwrap_err()
+        };
+        assert!(
+            err.contains("could not save report \"unit_cli_write_err\""),
+            "got: {err}"
+        );
+        assert!(
+            err.contains("cna-cli-write-err"),
+            "error should name the offending path, got: {err}"
+        );
+        let _ = std::fs::remove_file(&base);
+    }
+
+    /// Sets an env var for the duration of a test, restoring on drop (the
+    /// same pattern the harness table tests use; env vars are process-wide,
+    /// and only this test mutates `EXPERIMENTS_DIR` in this crate).
+    struct EnvGuard {
+        key: &'static str,
+        previous: Option<std::ffi::OsString>,
+    }
+
+    impl EnvGuard {
+        fn set(key: &'static str, value: impl AsRef<std::ffi::OsStr>) -> EnvGuard {
+            let previous = std::env::var_os(key);
+            std::env::set_var(key, value);
+            EnvGuard { key, previous }
+        }
+    }
+
+    impl Drop for EnvGuard {
+        fn drop(&mut self) {
+            match &self.previous {
+                Some(value) => std::env::set_var(self.key, value),
+                None => std::env::remove_var(self.key),
+            }
+        }
     }
 }

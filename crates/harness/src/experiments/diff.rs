@@ -27,8 +27,8 @@ impl Default for DiffThreshold {
     }
 }
 
-/// One compared cell: a (workload, lock, threads, metric) key present in
-/// both reports, with repetitions averaged on each side.
+/// One compared cell: a (workload, lock, threads, rate, metric) key present
+/// in both reports, with repetitions averaged on each side.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffEntry {
     /// Workload label.
@@ -37,6 +37,8 @@ pub struct DiffEntry {
     pub lock: String,
     /// Thread count.
     pub threads: usize,
+    /// Offered load of the cell; 0 for closed-loop cells.
+    pub rate_per_sec: u64,
     /// Metric token (decides the regression direction).
     pub metric: String,
     /// Mean value in the baseline report.
@@ -76,26 +78,35 @@ impl DiffReport {
     }
 
     /// Renders the comparison as an aligned text table plus a verdict line.
+    /// Closed-loop-only diffs keep the historical column set; a `rate/s`
+    /// column appears as soon as any compared cell is open-loop.
     pub fn render(&self) -> String {
-        let header: Vec<String> = [
-            "workload", "lock", "threads", "metric", "baseline", "current", "change", "verdict",
-        ]
-        .map(String::from)
-        .to_vec();
+        let rated = self.entries.iter().any(|e| e.rate_per_sec > 0);
+        let mut header: Vec<String> = vec!["workload".into(), "lock".into(), "threads".into()];
+        if rated {
+            header.push("rate/s".into());
+        }
+        header.extend(
+            ["metric", "baseline", "current", "change", "verdict"]
+                .iter()
+                .map(|s| s.to_string()),
+        );
         let rows: Vec<Vec<String>> = self
             .entries
             .iter()
             .map(|e| {
-                vec![
-                    e.workload.clone(),
-                    e.lock.clone(),
-                    e.threads.to_string(),
+                let mut row = vec![e.workload.clone(), e.lock.clone(), e.threads.to_string()];
+                if rated {
+                    row.push(e.rate_per_sec.to_string());
+                }
+                row.extend([
                     e.metric.clone(),
                     format!("{:.3}", e.baseline),
                     format!("{:.3}", e.current),
                     format!("{:+.1}%", e.change * 100.0),
                     if e.regressed { "REGRESSED" } else { "ok" }.to_string(),
-                ]
+                ]);
+                row
             })
             .collect();
         let mut out = render_table(
@@ -124,7 +135,7 @@ impl DiffReport {
     }
 }
 
-type Key = (String, String, usize, String);
+type Key = (String, String, usize, u64, String);
 
 fn cell_means(report: &RunReport) -> BTreeMap<Key, f64> {
     let mut acc: BTreeMap<Key, (f64, u32)> = BTreeMap::new();
@@ -133,6 +144,7 @@ fn cell_means(report: &RunReport) -> BTreeMap<Key, f64> {
             s.workload.clone(),
             s.lock.clone(),
             s.threads,
+            s.rate_per_sec,
             s.metric.clone(),
         );
         let cell = acc.entry(key).or_insert((0.0, 0));
@@ -144,19 +156,24 @@ fn cell_means(report: &RunReport) -> BTreeMap<Key, f64> {
         .collect()
 }
 
-fn key_label((workload, lock, threads, metric): &Key) -> String {
-    format!("{workload}/{lock}@{threads}t [{metric}]")
+fn key_label((workload, lock, threads, rate, metric): &Key) -> String {
+    if *rate > 0 {
+        format!("{workload}/{lock}@{threads}t@{rate}/s [{metric}]")
+    } else {
+        format!("{workload}/{lock}@{threads}t [{metric}]")
+    }
 }
 
 impl RunReport {
     /// Compares this (current) report against a stored `baseline`.
     ///
-    /// Cells are keyed by (workload, lock, threads, metric) with
+    /// Cells are keyed by (workload, lock, threads, rate, metric) with
     /// repetitions averaged. A cell regresses when it moves more than
     /// [`DiffThreshold::max_regression`] in the metric's bad direction —
-    /// down for throughput, up for LLC misses and unfairness. Unknown
-    /// metric tokens are treated as higher-is-better. Cells with a zero
-    /// baseline are compared only for coverage (no finite relative change).
+    /// down for throughput, up for LLC misses, unfairness, sojourn
+    /// percentiles and queue depth. Unknown metric tokens are treated as
+    /// higher-is-better. Cells with a zero baseline are compared only for
+    /// coverage (no finite relative change).
     pub fn diff_against(&self, baseline: &RunReport, threshold: DiffThreshold) -> DiffReport {
         let base = cell_means(baseline);
         let cur = cell_means(self);
@@ -167,7 +184,8 @@ impl RunReport {
                 missing_in_current.push(key_label(key));
                 continue;
             };
-            let higher_is_better = Metric::parse(&key.3)
+            let higher_is_better = Metric::parse(&key.4)
+                .ok()
                 .map(Metric::higher_is_better)
                 .unwrap_or(true);
             let (change, regressed) = if base_value == 0.0 {
@@ -185,7 +203,8 @@ impl RunReport {
                 workload: key.0.clone(),
                 lock: key.1.clone(),
                 threads: key.2,
-                metric: key.3.clone(),
+                rate_per_sec: key.3,
+                metric: key.4.clone(),
                 baseline: base_value,
                 current: cur_value,
                 change,
@@ -217,12 +236,27 @@ mod tests {
             lock: lock.to_string(),
             label: lock.to_uppercase(),
             threads,
+            mode: "closed".to_string(),
+            rate_per_sec: 0,
             rep,
             metric: metric.to_string(),
             unit: "u".to_string(),
             value,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            p999_us: 0.0,
+            queue_depth: 0.0,
             total_ops: 1,
             elapsed_ms: 1.0,
+        }
+    }
+
+    fn open_sample(lock: &str, rate: u64, metric: &str, value: f64) -> Sample {
+        Sample {
+            mode: "open".to_string(),
+            rate_per_sec: rate,
+            unit: "us".to_string(),
+            ..sample(lock, 2, 0, metric, value)
         }
     }
 
@@ -290,6 +324,46 @@ mod tests {
         assert!(worse
             .diff_against(&base, DiffThreshold::default())
             .has_regressions());
+    }
+
+    #[test]
+    fn p99_regresses_upward_and_is_keyed_by_rate() {
+        let base = report(vec![
+            open_sample("cna", 1_000, "p99", 10.0),
+            open_sample("cna", 10_000, "p99", 50.0),
+        ]);
+        // Same rate grid, p99 doubled at the high rate only.
+        let cur = report(vec![
+            open_sample("cna", 1_000, "p99", 10.5),
+            open_sample("cna", 10_000, "p99", 100.0),
+        ]);
+        let diff = cur.diff_against(&base, DiffThreshold::default());
+        assert!(diff.has_regressions());
+        let regressed: Vec<_> = diff.regressions().collect();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].rate_per_sec, 10_000);
+        let rendered = diff.render();
+        assert!(rendered.contains("rate/s"), "{rendered}");
+        // A p99 *improvement* never trips.
+        let better = report(vec![
+            open_sample("cna", 1_000, "p99", 5.0),
+            open_sample("cna", 10_000, "p99", 25.0),
+        ]);
+        assert!(!better
+            .diff_against(&base, DiffThreshold::default())
+            .has_regressions());
+    }
+
+    #[test]
+    fn same_cell_at_different_rates_are_distinct_keys() {
+        let base = report(vec![open_sample("cna", 1_000, "p99", 10.0)]);
+        let cur = report(vec![open_sample("cna", 2_000, "p99", 10.0)]);
+        let diff = cur.diff_against(&base, DiffThreshold::default());
+        // Different rate → coverage loss on one side, addition on the other.
+        assert!(diff.has_regressions());
+        assert_eq!(diff.missing_in_current.len(), 1);
+        assert!(diff.missing_in_current[0].contains("@1000/s"));
+        assert_eq!(diff.missing_in_baseline.len(), 1);
     }
 
     #[test]

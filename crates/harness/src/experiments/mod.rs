@@ -43,10 +43,16 @@
 //! ```
 
 pub mod diff;
+pub mod histogram;
+pub mod load;
+pub mod openloop;
 pub mod report;
 pub mod runner;
 
 pub use diff::{DiffEntry, DiffReport, DiffThreshold};
+pub use histogram::LatencyHistogram;
+pub use load::{parse_rate_list, Arrival, LoadMode, LoadSpec};
+pub use openloop::OpenLoopSummary;
 pub use report::{RunReport, Sample, SweepResult, SweepRow};
 pub use runner::{Runner, SimRunner, SubstrateRunner};
 
@@ -65,20 +71,46 @@ use crate::table::WriteError;
 pub enum Metric {
     /// Total throughput in operations per microsecond (most figures).
     ThroughputOpsPerUs,
-    /// LLC load-miss-rate proxy (Figure 7; simulator only).
+    /// LLC load-miss-rate proxy (Figure 7; simulator only, closed-loop only).
     LlcMissesPerUs,
     /// Long-term fairness factor: the fraction of all operations completed
     /// by the better-served half of the threads (Figure 8). 0.5 = fair.
     FairnessFactor,
+    /// Median per-request sojourn time (queue wait + service), in
+    /// microseconds. Open-loop only.
+    P50Sojourn,
+    /// 99th-percentile sojourn time, in microseconds. Open-loop only.
+    P99Sojourn,
+    /// 99.9th-percentile sojourn time, in microseconds. Open-loop only.
+    P999Sojourn,
+    /// Mean number of requests in the system (arrived, not yet served),
+    /// sampled at each arrival. Open-loop only.
+    QueueDepth,
 }
 
 impl Metric {
-    /// Extracts the metric from a simulation result.
+    /// Every metric, in `--metric` help order.
+    pub const ALL: [Metric; 7] = [
+        Metric::ThroughputOpsPerUs,
+        Metric::LlcMissesPerUs,
+        Metric::FairnessFactor,
+        Metric::P50Sojourn,
+        Metric::P99Sojourn,
+        Metric::P999Sojourn,
+        Metric::QueueDepth,
+    ];
+
+    /// Extracts the metric from a closed-loop simulation result.
     pub fn extract(self, result: &SimResult) -> f64 {
         match self {
             Metric::ThroughputOpsPerUs => result.throughput_ops_per_us(),
             Metric::LlcMissesPerUs => result.llc_misses_per_us(),
             Metric::FairnessFactor => result.fairness_factor(),
+            // Guarded by validate(): sojourn metrics require open-loop mode,
+            // which never produces a closed-loop SimResult.
+            Metric::P50Sojourn | Metric::P99Sojourn | Metric::P999Sojourn | Metric::QueueDepth => {
+                unreachable!("open-loop metric extracted from a closed-loop result")
+            }
         }
     }
 
@@ -88,6 +120,10 @@ impl Metric {
             Metric::ThroughputOpsPerUs => "throughput",
             Metric::LlcMissesPerUs => "llc-misses",
             Metric::FairnessFactor => "fairness",
+            Metric::P50Sojourn => "p50",
+            Metric::P99Sojourn => "p99",
+            Metric::P999Sojourn => "p999",
+            Metric::QueueDepth => "queue-depth",
         }
     }
 
@@ -97,22 +133,43 @@ impl Metric {
             Metric::ThroughputOpsPerUs => "ops/us",
             Metric::LlcMissesPerUs => "misses/us",
             Metric::FairnessFactor => "fairness",
+            Metric::P50Sojourn | Metric::P99Sojourn | Metric::P999Sojourn => "us",
+            Metric::QueueDepth => "requests",
         }
     }
 
     /// Regression direction: `true` when larger values are better.
-    /// (Fairness factor: 0.5 is fair, 1.0 is starvation — lower is better.)
+    /// (Fairness factor: 0.5 is fair, 1.0 is starvation — lower is better.
+    /// Sojourn percentiles and queue depth: latency, lower is better.)
     pub const fn higher_is_better(self) -> bool {
         matches!(self, Metric::ThroughputOpsPerUs)
     }
 
+    /// Whether the metric only exists under open-loop arrivals (there is no
+    /// queue, and no per-request sojourn, when workers re-request
+    /// immediately).
+    pub const fn requires_open_loop(self) -> bool {
+        matches!(
+            self,
+            Metric::P50Sojourn | Metric::P99Sojourn | Metric::P999Sojourn | Metric::QueueDepth
+        )
+    }
+
     /// Parses a `--metric` token.
-    pub fn parse(name: &str) -> Option<Metric> {
+    pub fn parse(name: &str) -> Result<Metric, ExperimentError> {
         match name.trim().to_ascii_lowercase().as_str() {
-            "throughput" | "ops" => Some(Metric::ThroughputOpsPerUs),
-            "llc-misses" | "llc" | "misses" => Some(Metric::LlcMissesPerUs),
-            "fairness" => Some(Metric::FairnessFactor),
-            _ => None,
+            "throughput" | "ops" => Ok(Metric::ThroughputOpsPerUs),
+            "llc-misses" | "llc" | "misses" => Ok(Metric::LlcMissesPerUs),
+            "fairness" => Ok(Metric::FairnessFactor),
+            "p50" | "median" => Ok(Metric::P50Sojourn),
+            "p99" => Ok(Metric::P99Sojourn),
+            "p999" | "p99.9" => Ok(Metric::P999Sojourn),
+            "queue-depth" | "depth" => Ok(Metric::QueueDepth),
+            _ => Err(ExperimentError::unknown(
+                "metric",
+                name,
+                Metric::ALL.iter().map(|m| m.name()),
+            )),
         }
     }
 }
@@ -134,15 +191,41 @@ pub enum ExperimentError {
     /// A thread list was malformed (zero, duplicate, or unparseable), or the
     /// scale cap left no thread counts to sweep.
     InvalidThreads(String),
+    /// An offered-rate list was malformed (zero, duplicate, unparseable, or
+    /// empty).
+    InvalidRate(String),
     /// The spec's id or a workload label contains a character the CSV
     /// report format cannot represent (comma or newline).
     InvalidId(String),
+    /// A string-to-enum parse failed: the shared error shape of every parse
+    /// surface in this module (metrics, workloads, arrival distributions).
+    Unknown {
+        /// What kind of name failed to parse (`"metric"`, `"workload"`, ...).
+        kind: &'static str,
+        /// The offending input.
+        name: String,
+        /// Every valid token, in help order.
+        valid: Vec<&'static str>,
+    },
     /// The metric cannot be measured on this workload's runner.
     UnsupportedMetric {
         /// The workload that rejected the metric.
         workload: String,
         /// The rejected metric's token.
         metric: &'static str,
+    },
+    /// The metric and the load mode are incompatible (sojourn percentiles on
+    /// a closed-loop run, LLC misses on an open-loop one).
+    ModeMetricMismatch {
+        /// The rejected metric's token.
+        metric: &'static str,
+        /// The load mode that cannot measure it (`"closed"` / `"open"`).
+        mode: &'static str,
+    },
+    /// The workload's runner cannot serve open-loop arrivals.
+    UnsupportedLoadMode {
+        /// The workload that rejected the mode.
+        workload: String,
     },
     /// Writing a report file failed.
     Write(WriteError),
@@ -168,6 +251,20 @@ impl fmt::Display for ExperimentError {
             ExperimentError::EmptyLocks => write!(f, "the experiment selects no lock algorithms"),
             ExperimentError::EmptyWorkloads => write!(f, "the experiment selects no workloads"),
             ExperimentError::InvalidThreads(msg) => write!(f, "invalid thread list: {msg}"),
+            ExperimentError::InvalidRate(msg) => write!(f, "invalid rate list: {msg}"),
+            ExperimentError::Unknown { kind, name, valid } => {
+                write!(f, "unknown {kind} {name:?} (valid: {})", valid.join(", "))
+            }
+            ExperimentError::ModeMetricMismatch { metric, mode } => {
+                write!(f, "metric {metric:?} cannot be measured {mode}-loop")
+            }
+            ExperimentError::UnsupportedLoadMode { workload } => {
+                write!(
+                    f,
+                    "workload {workload:?} cannot serve open-loop arrivals \
+                     (open mode is supported by kvmap and sim)"
+                )
+            }
             ExperimentError::InvalidId(name) => {
                 write!(
                     f,
@@ -205,6 +302,23 @@ impl std::error::Error for ExperimentError {
 impl From<WriteError> for ExperimentError {
     fn from(err: WriteError) -> Self {
         ExperimentError::Write(err)
+    }
+}
+
+impl ExperimentError {
+    /// Builds the shared [`ExperimentError::Unknown`] parse error: `kind` is
+    /// what was being parsed, `name` the offending input, `valid` every
+    /// accepted token (shown in the message so CLI users never have to guess).
+    pub fn unknown(
+        kind: &'static str,
+        name: &str,
+        valid: impl IntoIterator<Item = &'static str>,
+    ) -> Self {
+        ExperimentError::Unknown {
+            kind,
+            name: name.to_string(),
+            valid: valid.into_iter().collect(),
+        }
     }
 }
 
@@ -322,21 +436,18 @@ impl WorkloadId {
     }
 
     /// Parses one `--workload` token.
-    pub fn parse(name: &str) -> Result<WorkloadId, String> {
+    pub fn parse(name: &str) -> Result<WorkloadId, ExperimentError> {
         let normalized = name.trim().to_ascii_lowercase();
         WorkloadId::ALL
             .into_iter()
             .find(|w| w.name() == normalized)
             .ok_or_else(|| {
-                format!(
-                    "unknown workload {name:?} (known: {})",
-                    WorkloadId::ALL.map(|w| w.name()).join(", ")
-                )
+                ExperimentError::unknown("workload", name, WorkloadId::ALL.iter().map(|w| w.name()))
             })
     }
 
     /// Parses a comma-separated `--workload` list (`all` = every workload).
-    pub fn parse_list(list: &str) -> Result<Vec<WorkloadId>, String> {
+    pub fn parse_list(list: &str) -> Result<Vec<WorkloadId>, ExperimentError> {
         if list.trim().eq_ignore_ascii_case("all") {
             return Ok(WorkloadId::ALL.to_vec());
         }
@@ -344,6 +455,14 @@ impl WorkloadId {
             .filter(|part| !part.trim().is_empty())
             .map(WorkloadId::parse)
             .collect()
+    }
+
+    /// Whether this workload's runner can serve open-loop arrivals: the
+    /// kvmap contention loop (real threads pacing on the wall clock) and the
+    /// simulator (virtual-time event heap). The remaining substrates drive
+    /// external benchmark loops that own their own iteration structure.
+    pub const fn supports_open_loop(self) -> bool {
+        matches!(self, WorkloadId::KvMap | WorkloadId::Sim)
     }
 
     /// The concrete [`WorkloadSpec`] this token selects.
@@ -393,6 +512,12 @@ impl SubstrateWorkload {
             SubstrateWorkload::LockTorture => "locktorture",
             SubstrateWorkload::Wis => "wis",
         }
+    }
+
+    /// Whether this substrate can serve open-loop arrivals (see
+    /// [`WorkloadId::supports_open_loop`]).
+    pub const fn supports_open_loop(self) -> bool {
+        matches!(self, SubstrateWorkload::KvMap)
     }
 }
 
@@ -457,6 +582,14 @@ impl WorkloadSpec {
             WorkloadSpec::Sim(sweep) => Box::new(SimRunner { sweep }),
         }
     }
+
+    /// Whether the workload's runner can serve open-loop arrivals.
+    pub fn supports_open_loop(&self) -> bool {
+        match self {
+            WorkloadSpec::Substrate(w) => w.supports_open_loop(),
+            WorkloadSpec::Sim(_) => true,
+        }
+    }
 }
 
 /// Everything needed to run (and re-run) one experiment: the full
@@ -485,6 +618,9 @@ pub struct ExperimentSpec {
     pub metric: Metric,
     /// Wall-clock override for substrate runs, in milliseconds.
     pub duration_ms: Option<u64>,
+    /// The load axis: closed-loop hammering (the default) or an open-loop
+    /// offered-rate sweep.
+    pub load: LoadSpec,
 }
 
 impl ExperimentSpec {
@@ -502,6 +638,7 @@ impl ExperimentSpec {
             repetitions: 0,
             metric: Metric::ThroughputOpsPerUs,
             duration_ms: None,
+            load: LoadSpec::Closed,
         }
     }
 
@@ -565,6 +702,21 @@ impl ExperimentSpec {
         self
     }
 
+    /// Sets the load axis (closed-loop, or an open-loop rate sweep).
+    pub fn load(mut self, load: LoadSpec) -> Self {
+        self.load = load;
+        self
+    }
+
+    /// Shorthand: open-loop at each listed rate (requests per second).
+    pub fn open_rates(mut self, rates_per_sec: Vec<u64>, arrival: Arrival) -> Self {
+        self.load = LoadSpec::Open {
+            rates_per_sec,
+            arrival,
+        };
+        self
+    }
+
     /// The repetitions actually run per data point.
     pub fn effective_repetitions(&self) -> usize {
         if self.repetitions == 0 {
@@ -583,8 +735,9 @@ impl ExperimentSpec {
 
     /// Checks the spec before anything runs, so a multi-minute grid cannot
     /// fail halfway through on a condition knowable up front: non-empty
-    /// lock/workload sets, CSV-representable id and labels, and a metric
-    /// every selected runner can measure.
+    /// lock/workload sets, CSV-representable id and labels, a metric every
+    /// selected runner can measure, and a load mode every selected runner
+    /// (and the metric) supports.
     pub fn validate(&self) -> Result<(), ExperimentError> {
         if self.locks.is_empty() {
             return Err(ExperimentError::EmptyLocks);
@@ -599,6 +752,34 @@ impl ExperimentSpec {
                 return Err(ExperimentError::InvalidId(name.to_string()));
             }
         }
+        if self.metric.requires_open_loop() && !self.load.is_open() {
+            // There is no queue (and no per-request sojourn) when workers
+            // re-request the lock the instant they release it.
+            return Err(ExperimentError::ModeMetricMismatch {
+                metric: self.metric.name(),
+                mode: self.load.name(),
+            });
+        }
+        if let LoadSpec::Open { rates_per_sec, .. } = &self.load {
+            if rates_per_sec.is_empty() {
+                return Err(ExperimentError::InvalidRate(
+                    "the open-loop spec lists no offered rates".to_string(),
+                ));
+            }
+            if rates_per_sec.contains(&0) {
+                return Err(ExperimentError::InvalidRate(
+                    "offered rates must be at least 1 request/s".to_string(),
+                ));
+            }
+            if self.metric == Metric::LlcMissesPerUs {
+                // The open-loop sim engine does not model per-line ownership,
+                // so it cannot count LLC misses.
+                return Err(ExperimentError::ModeMetricMismatch {
+                    metric: self.metric.name(),
+                    mode: self.load.name(),
+                });
+            }
+        }
         for workload in &self.workloads {
             if matches!(workload, WorkloadSpec::Substrate(_))
                 && self.metric == Metric::LlcMissesPerUs
@@ -610,6 +791,11 @@ impl ExperimentSpec {
                     metric: self.metric.name(),
                 });
             }
+            if self.load.is_open() && !workload.supports_open_loop() {
+                return Err(ExperimentError::UnsupportedLoadMode {
+                    workload: workload.label().to_string(),
+                });
+            }
         }
         Ok(())
     }
@@ -618,9 +804,9 @@ impl ExperimentSpec {
     ///
     /// Validates first (see [`ExperimentSpec::validate`]) so nothing runs on
     /// a spec that cannot finish or serialize. Workloads run in order;
-    /// within a workload the thread sweep is the outer loop and the lock
-    /// set the inner one, so partial output (tables printed by callers as
-    /// sweeps complete) groups the way the paper's figures do.
+    /// within a workload the load axis is the outer loop, then the thread
+    /// sweep, then the lock set, so partial output (tables printed by
+    /// callers as sweeps complete) groups the way the paper's figures do.
     pub fn run(&self) -> Result<RunReport, ExperimentError> {
         self.validate()?;
         let mut samples = Vec::new();
@@ -637,9 +823,11 @@ impl ExperimentSpec {
                     self.scale
                 )));
             }
-            for &t in &threads {
-                for &lock in &self.locks {
-                    samples.extend(runner.run_cell(self, lock, t)?);
+            for mode in self.load.points() {
+                for &t in &threads {
+                    for &lock in &self.locks {
+                        samples.extend(runner.run_cell(self, lock, t, mode)?);
+                    }
                 }
             }
         }
@@ -688,21 +876,94 @@ mod tests {
             WorkloadId::parse_list("sim, kvmap").unwrap(),
             vec![WorkloadId::Sim, WorkloadId::KvMap]
         );
-        assert!(WorkloadId::parse("bogus").is_err());
+        let err = WorkloadId::parse("bogus").unwrap_err();
+        assert!(
+            matches!(
+                &err,
+                ExperimentError::Unknown {
+                    kind: "workload",
+                    ..
+                }
+            ),
+            "expected Unknown, got {err:?}"
+        );
+        assert!(err.to_string().contains("kvmap"), "{err}");
+        assert!(WorkloadId::KvMap.supports_open_loop());
+        assert!(WorkloadId::Sim.supports_open_loop());
+        assert!(!WorkloadId::Leveldb.supports_open_loop());
+    }
+
+    #[test]
+    fn open_loop_metrics_require_open_mode_and_vice_versa() {
+        // p99 on a closed spec: rejected before anything runs.
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::Sim.to_spec())
+            .metric(Metric::P99Sojourn);
+        assert!(matches!(
+            spec.validate(),
+            Err(ExperimentError::ModeMetricMismatch {
+                metric: "p99",
+                mode: "closed"
+            })
+        ));
+        // LLC misses on an open spec: the open engine cannot count them.
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::Sim.to_spec())
+            .metric(Metric::LlcMissesPerUs)
+            .open_rates(vec![1_000], Arrival::Poisson);
+        assert!(matches!(
+            spec.validate(),
+            Err(ExperimentError::ModeMetricMismatch { mode: "open", .. })
+        ));
+    }
+
+    #[test]
+    fn open_loop_specs_reject_unsupported_workloads_and_bad_rates() {
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::Leveldb.to_spec())
+            .open_rates(vec![1_000], Arrival::Poisson);
+        match spec.validate() {
+            Err(ExperimentError::UnsupportedLoadMode { workload }) => {
+                assert_eq!(workload, "leveldb");
+            }
+            other => panic!("expected UnsupportedLoadMode, got {other:?}"),
+        }
+        for rates in [vec![], vec![0]] {
+            let spec = ExperimentSpec::new("t")
+                .lock(LockId::Cna)
+                .workload(WorkloadId::Sim.to_spec())
+                .open_rates(rates.clone(), Arrival::Fixed);
+            assert!(
+                matches!(spec.validate(), Err(ExperimentError::InvalidRate(_))),
+                "rates {rates:?} should be rejected"
+            );
+        }
     }
 
     #[test]
     fn metric_tokens_round_trip() {
-        for metric in [
-            Metric::ThroughputOpsPerUs,
-            Metric::LlcMissesPerUs,
-            Metric::FairnessFactor,
-        ] {
-            assert_eq!(Metric::parse(metric.name()), Some(metric));
+        for metric in Metric::ALL {
+            assert_eq!(Metric::parse(metric.name()).unwrap(), metric);
         }
+        assert_eq!(Metric::parse("p99.9").unwrap(), Metric::P999Sojourn);
         assert!(Metric::ThroughputOpsPerUs.higher_is_better());
         assert!(!Metric::FairnessFactor.higher_is_better());
-        assert_eq!(Metric::parse("bogus"), None);
+        assert!(!Metric::P99Sojourn.higher_is_better());
+        assert!(Metric::P50Sojourn.requires_open_loop());
+        assert!(!Metric::ThroughputOpsPerUs.requires_open_loop());
+        let err = Metric::parse("bogus").unwrap_err();
+        match &err {
+            ExperimentError::Unknown { kind, name, valid } => {
+                assert_eq!(*kind, "metric");
+                assert_eq!(name, "bogus");
+                assert!(valid.contains(&"p99") && valid.contains(&"throughput"));
+            }
+            other => panic!("expected Unknown, got {other:?}"),
+        }
+        assert!(err.to_string().contains("queue-depth"), "{err}");
     }
 
     #[test]

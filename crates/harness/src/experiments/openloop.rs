@@ -1,0 +1,521 @@
+//! Open-loop machinery shared by both runners: arrival schedules, the
+//! per-run summary, and the discrete-event virtual-time engine behind the
+//! simulator's open-loop mode.
+//!
+//! An open-loop run is sized by **request count**, not duration: the
+//! schedule always contains between [`MIN_REQUESTS`] and [`MAX_REQUESTS`]
+//! arrivals (aiming for `rate × duration`), so low offered rates still
+//! produce statistically meaningful histograms and saturating rates cannot
+//! allocate unbounded schedules. Both runners consume the same schedule
+//! generator, so a substrate run and a simulator run at the same (rate,
+//! arrival, seed) see the **same** offered load.
+
+use rand::{Rng, SeedableRng, SmallRng};
+
+use numa_sim::lock_model::{LockAlgorithm, LockModel, Waiter};
+use numa_sim::rng::SimRng;
+use numa_sim::workload::Step;
+
+use super::histogram::LatencyHistogram;
+use super::load::Arrival;
+use super::SimSweep;
+
+/// Fewest arrivals an open-loop run schedules — below this, tail
+/// percentiles are meaningless.
+pub const MIN_REQUESTS: usize = 64;
+/// Most arrivals an open-loop run schedules (bounds schedule memory and
+/// drain time at saturating rates).
+pub const MAX_REQUESTS: usize = 1 << 20;
+
+/// The number of requests an open-loop run at `rate_per_sec` offers over a
+/// `horizon_ns` measurement window, clamped to
+/// [`MIN_REQUESTS`]..=[`MAX_REQUESTS`].
+pub fn request_count(rate_per_sec: u64, horizon_ns: u64) -> usize {
+    let n = (u128::from(rate_per_sec) * u128::from(horizon_ns) / 1_000_000_000) as usize;
+    n.clamp(MIN_REQUESTS, MAX_REQUESTS)
+}
+
+/// Generates the arrival schedule: `requests` offsets in nanoseconds from
+/// run start, non-decreasing, drawn from `arrival` at `rate_per_sec`.
+/// Deterministic per seed (Poisson uses the offline `rand` shim).
+pub fn arrival_schedule(
+    rate_per_sec: u64,
+    arrival: Arrival,
+    requests: usize,
+    seed: u64,
+) -> Vec<u64> {
+    assert!(rate_per_sec > 0, "open-loop rate must be positive");
+    let mean_gap_ns = 1e9 / rate_per_sec as f64;
+    let mut schedule = Vec::with_capacity(requests);
+    match arrival {
+        Arrival::Fixed => {
+            for i in 0..requests {
+                schedule.push((i as f64 * mean_gap_ns) as u64);
+            }
+        }
+        Arrival::Poisson => {
+            let mut rng = SmallRng::seed_from_u64(seed);
+            let mut t = 0.0f64;
+            for _ in 0..requests {
+                schedule.push(t as u64);
+                let u: f64 = rng.gen();
+                // Inverse-CDF exponential draw; 1-u is in (0, 1].
+                t += -(1.0 - u).ln() * mean_gap_ns;
+            }
+        }
+    }
+    schedule
+}
+
+/// What one open-loop run measured, normalized across the real-thread and
+/// simulated back-ends.
+#[derive(Debug, Clone)]
+pub struct OpenLoopSummary {
+    /// Per-request sojourn times (arrival → completion), nanoseconds.
+    pub histogram: LatencyHistogram,
+    /// Requests completed per worker (for fairness-style accounting).
+    pub served_per_worker: Vec<u64>,
+    /// Mean number of requests in the system (arrived, not yet completed),
+    /// sampled at each arrival.
+    pub mean_queue_depth: f64,
+    /// Largest sampled in-system count.
+    pub max_queue_depth: u64,
+    /// Run makespan: first arrival to last completion, nanoseconds.
+    pub elapsed_ns: u64,
+}
+
+impl OpenLoopSummary {
+    /// Total requests served.
+    pub fn served(&self) -> u64 {
+        self.served_per_worker.iter().sum()
+    }
+
+    /// Completed requests per microsecond of makespan.
+    pub fn throughput_ops_per_us(&self) -> f64 {
+        self.served() as f64 / (self.elapsed_ns as f64 / 1e3).max(1.0)
+    }
+}
+
+/// Accumulates queue-depth samples (one per arrival).
+#[derive(Debug, Default, Clone)]
+pub struct DepthMeter {
+    sum: u128,
+    samples: u64,
+    max: u64,
+}
+
+impl DepthMeter {
+    /// Records the in-system count observed at one arrival.
+    pub fn sample(&mut self, depth: u64) {
+        self.sum += u128::from(depth);
+        self.samples += 1;
+        self.max = self.max.max(depth);
+    }
+
+    /// Mean sampled depth (0 when nothing was sampled).
+    pub fn mean(&self) -> f64 {
+        if self.samples == 0 {
+            return 0.0;
+        }
+        self.sum as f64 / self.samples as f64
+    }
+
+    /// Largest sampled depth.
+    pub fn max(&self) -> u64 {
+        self.max
+    }
+
+    /// Folds another meter in (for merging per-worker meters).
+    pub fn merge(&mut self, other: &DepthMeter) {
+        self.sum += other.sum;
+        self.samples += other.samples;
+        self.max = self.max.max(other.max);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The simulator's open-loop engine
+// ---------------------------------------------------------------------------
+
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+enum Event {
+    /// Request `i` of the schedule arrives.
+    Arrival(usize),
+    /// Worker `w` finished a non-critical (think) phase.
+    WorkerReady(usize),
+    /// Worker `w` releases `lock`.
+    Release { worker: usize, lock: usize },
+    /// A declined hand-over on `lock` is re-checked (backoff models).
+    Recheck(usize),
+}
+
+#[derive(Debug, PartialEq, Eq)]
+struct Scheduled {
+    time: u64,
+    seq: u64,
+    event: Event,
+}
+
+impl Ord for Scheduled {
+    fn cmp(&self, other: &Self) -> std::cmp::Ordering {
+        (self.time, self.seq).cmp(&(other.time, other.seq))
+    }
+}
+
+impl PartialOrd for Scheduled {
+    fn partial_cmp(&self, other: &Self) -> Option<std::cmp::Ordering> {
+        Some(self.cmp(other))
+    }
+}
+
+struct SimLock {
+    model: Box<dyn LockModel>,
+    held: bool,
+    holder_socket: usize,
+    last_holder_socket: usize,
+    recheck_pending: bool,
+}
+
+struct SimWorker {
+    socket: usize,
+    /// Index into the arrival schedule of the request being served.
+    request: Option<usize>,
+    steps: Vec<Step>,
+    step_idx: usize,
+    waiting_since: u64,
+}
+
+/// Discrete-event open-loop service simulation: `workers` simulated threads
+/// (placed on the sweep's machine) serve scheduled arrivals, acquiring the
+/// modeled lock around each request's critical section. Virtual-time
+/// counterpart of the real-thread open loop in [`crate::real`]; fully
+/// deterministic per seed.
+pub struct SimOpenLoop<'a> {
+    sweep: &'a SimSweep,
+    algorithm: LockAlgorithm,
+    schedule: &'a [u64],
+    seed: u64,
+    heap: std::collections::BinaryHeap<std::cmp::Reverse<Scheduled>>,
+    seq: u64,
+    locks: Vec<SimLock>,
+    workers: Vec<SimWorker>,
+    idle: Vec<usize>,
+    pending: std::collections::VecDeque<usize>,
+    next_arrival: usize,
+    in_system: u64,
+    depth: DepthMeter,
+    histogram: LatencyHistogram,
+    served_per_worker: Vec<u64>,
+    last_completion: u64,
+}
+
+impl<'a> SimOpenLoop<'a> {
+    /// Builds the engine for `workers` simulated service threads.
+    pub fn new(
+        sweep: &'a SimSweep,
+        algorithm: LockAlgorithm,
+        workers: usize,
+        schedule: &'a [u64],
+        seed: u64,
+    ) -> Self {
+        let locks = sweep
+            .workload
+            .locks
+            .iter()
+            .map(|_| SimLock {
+                model: algorithm.build(sweep.machine.sockets, &sweep.cost),
+                held: false,
+                holder_socket: 0,
+                last_holder_socket: 0,
+                recheck_pending: false,
+            })
+            .collect();
+        let workers_vec: Vec<SimWorker> = (0..workers.max(1))
+            .map(|w| SimWorker {
+                socket: sweep.machine.socket_of_thread(w),
+                request: None,
+                steps: Vec::new(),
+                step_idx: 0,
+                waiting_since: 0,
+            })
+            .collect();
+        let idle = (0..workers_vec.len()).rev().collect();
+        SimOpenLoop {
+            sweep,
+            algorithm,
+            schedule,
+            seed,
+            heap: std::collections::BinaryHeap::new(),
+            seq: 0,
+            locks,
+            served_per_worker: vec![0; workers_vec.len()],
+            workers: workers_vec,
+            idle,
+            pending: std::collections::VecDeque::new(),
+            next_arrival: 0,
+            in_system: 0,
+            depth: DepthMeter::default(),
+            histogram: LatencyHistogram::new(),
+            last_completion: 0,
+        }
+    }
+
+    fn schedule_event(&mut self, time: u64, event: Event) {
+        self.seq += 1;
+        self.heap.push(std::cmp::Reverse(Scheduled {
+            time,
+            seq: self.seq,
+            event,
+        }));
+    }
+
+    /// Pushes the next scheduled arrival (arrivals enter the heap lazily so
+    /// a million-request schedule does not pre-allocate a million events).
+    fn push_next_arrival(&mut self) {
+        if self.next_arrival < self.schedule.len() {
+            let i = self.next_arrival;
+            self.next_arrival += 1;
+            self.schedule_event(self.schedule[i], Event::Arrival(i));
+        }
+    }
+
+    /// Runs every request to completion and summarizes.
+    pub fn run(mut self) -> OpenLoopSummary {
+        self.push_next_arrival();
+        while let Some(std::cmp::Reverse(next)) = self.heap.pop() {
+            match next.event {
+                Event::Arrival(i) => {
+                    self.push_next_arrival();
+                    self.in_system += 1;
+                    self.depth.sample(self.in_system);
+                    if let Some(w) = self.idle.pop() {
+                        self.assign(w, i, next.time);
+                    } else {
+                        self.pending.push_back(i);
+                    }
+                }
+                Event::WorkerReady(w) => self.advance_worker(w, next.time),
+                Event::Release { worker, lock } => self.handle_release(worker, lock, next.time),
+                Event::Recheck(lock) => {
+                    self.locks[lock].recheck_pending = false;
+                    self.try_handover(lock, next.time);
+                }
+            }
+        }
+        debug_assert_eq!(self.in_system, 0, "open-loop sim left requests behind");
+        OpenLoopSummary {
+            histogram: self.histogram,
+            served_per_worker: self.served_per_worker,
+            mean_queue_depth: self.depth.mean(),
+            max_queue_depth: self.depth.max(),
+            elapsed_ns: self.last_completion.max(1),
+        }
+    }
+
+    /// Hands request `i` to worker `w` at time `now`.
+    fn assign(&mut self, w: usize, i: usize, now: u64) {
+        let mut rng = SimRng::new(
+            self.seed
+                .wrapping_add((i as u64).wrapping_mul(104_729))
+                .wrapping_add(self.algorithm.name().len() as u64),
+        );
+        self.workers[w].request = Some(i);
+        self.workers[w].steps = self.sweep.workload.generate_op(&mut rng);
+        self.workers[w].step_idx = 0;
+        self.advance_worker(w, now);
+    }
+
+    /// Executes the worker's current step; on op completion records the
+    /// request's sojourn and pulls the next pending request.
+    fn advance_worker(&mut self, w: usize, now: u64) {
+        loop {
+            if self.workers[w].step_idx >= self.workers[w].steps.len() {
+                // Request complete.
+                let i = self.workers[w]
+                    .request
+                    .take()
+                    .expect("completed worker had no request");
+                let sojourn = now.saturating_sub(self.schedule[i]);
+                self.histogram.record(sojourn);
+                self.served_per_worker[w] += 1;
+                self.in_system -= 1;
+                self.last_completion = self.last_completion.max(now);
+                match self.pending.pop_front() {
+                    Some(next) => {
+                        self.assign(w, next, now);
+                    }
+                    None => self.idle.push(w),
+                }
+                return;
+            }
+            let step = self.workers[w].steps[self.workers[w].step_idx].clone();
+            match step {
+                Step::Think { ns } => {
+                    self.workers[w].step_idx += 1;
+                    if ns == 0 {
+                        continue;
+                    }
+                    self.schedule_event(now + ns, Event::WorkerReady(w));
+                    return;
+                }
+                Step::Critical { lock, .. } => {
+                    if !self.locks[lock].held {
+                        self.grant(w, lock, now, None, 0);
+                    } else {
+                        let waiter = Waiter {
+                            thread: w,
+                            socket: self.workers[w].socket,
+                            arrival_ns: now,
+                        };
+                        self.workers[w].waiting_since = now;
+                        self.locks[lock].model.on_arrival(waiter);
+                    }
+                    return;
+                }
+            }
+        }
+    }
+
+    /// Grants `lock` to worker `w`, charging acquisition, service and
+    /// (socket-sensitive) data-access costs, mirroring the closed-loop
+    /// engine's cost accounting with a whole-region data approximation.
+    fn grant(&mut self, w: usize, lock: usize, now: u64, handover_from: Option<usize>, extra: u64) {
+        let socket = self.workers[w].socket;
+        let (service_ns, reads, writes) = match self.workers[w].steps[self.workers[w].step_idx] {
+            Step::Critical {
+                service_ns,
+                reads,
+                writes,
+                ..
+            } => (service_ns, reads, writes),
+            Step::Think { .. } => unreachable!("grant on a non-critical step"),
+        };
+        let cost = &self.sweep.cost;
+        let state = &mut self.locks[lock];
+        let acquire_ns = match handover_from {
+            Some(from) => cost.handover_ns(from, socket) + cost.contended_overhead_ns,
+            None => {
+                cost.uncontended_acquire_ns + cost.line_access_ns(state.last_holder_socket, socket)
+            }
+        } + extra;
+        // The protected lines were last written by the previous holder: every
+        // access is local or remote wholesale (the closed-loop engine tracks
+        // individual line owners; the service-time difference is marginal).
+        let data_ns =
+            (reads + writes) as u64 * cost.line_access_ns(state.last_holder_socket, socket);
+        state.held = true;
+        state.holder_socket = socket;
+        let total = acquire_ns + service_ns + data_ns;
+        self.schedule_event(now + total.max(1), Event::Release { worker: w, lock });
+    }
+
+    fn handle_release(&mut self, w: usize, lock: usize, now: u64) {
+        {
+            let state = &mut self.locks[lock];
+            state.held = false;
+            state.last_holder_socket = state.holder_socket;
+        }
+        self.try_handover(lock, now);
+        self.workers[w].step_idx += 1;
+        self.advance_worker(w, now);
+    }
+
+    fn try_handover(&mut self, lock: usize, now: u64) {
+        if self.locks[lock].held {
+            return;
+        }
+        let releaser_socket = self.locks[lock].last_holder_socket;
+        let mut rng = SimRng::new(self.seed ^ now.wrapping_mul(0x9E37_79B9) ^ self.seq);
+        match self.locks[lock].model.pick_next(releaser_socket, &mut rng) {
+            Some(grant) => {
+                self.grant(
+                    grant.waiter.thread,
+                    lock,
+                    now,
+                    Some(releaser_socket),
+                    grant.extra_ns,
+                );
+            }
+            None => {
+                if self.locks[lock].model.has_waiters() && !self.locks[lock].recheck_pending {
+                    self.locks[lock].recheck_pending = true;
+                    let delay = self.locks[lock].model.recheck_delay_ns();
+                    self.schedule_event(now + delay, Event::Recheck(lock));
+                }
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::experiments::WorkloadSpec;
+
+    fn sim_sweep() -> SimSweep {
+        match crate::experiments::WorkloadId::Sim.to_spec() {
+            WorkloadSpec::Sim(sweep) => sweep,
+            other => panic!("sim spec expected, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn request_counts_clamp_to_the_configured_bounds() {
+        assert_eq!(request_count(1, 1_000_000), MIN_REQUESTS);
+        assert_eq!(request_count(1_000, 1_000_000_000), 1_000);
+        assert_eq!(request_count(u64::MAX / 2, u64::MAX / 2), MAX_REQUESTS);
+    }
+
+    #[test]
+    fn fixed_schedules_are_evenly_spaced() {
+        let s = arrival_schedule(1_000_000, Arrival::Fixed, 100, 7);
+        assert_eq!(s.len(), 100);
+        assert_eq!(s[0], 0);
+        assert_eq!(s[1], 1_000);
+        assert_eq!(s[99], 99_000);
+    }
+
+    #[test]
+    fn poisson_schedules_are_sorted_deterministic_and_rate_calibrated() {
+        let a = arrival_schedule(1_000_000, Arrival::Poisson, 10_000, 42);
+        let b = arrival_schedule(1_000_000, Arrival::Poisson, 10_000, 42);
+        assert_eq!(a, b, "same seed, same schedule");
+        assert!(a.windows(2).all(|w| w[0] <= w[1]), "sorted");
+        let c = arrival_schedule(1_000_000, Arrival::Poisson, 10_000, 43);
+        assert_ne!(a, c, "different seed, different draw");
+        // Mean gap ≈ 1000 ns (within 10 % over 10k draws).
+        let span = (a[a.len() - 1] - a[0]) as f64 / (a.len() - 1) as f64;
+        assert!((900.0..1100.0).contains(&span), "mean gap {span}");
+    }
+
+    #[test]
+    fn sim_open_loop_serves_every_request_deterministically() {
+        let sweep = sim_sweep();
+        let schedule = arrival_schedule(2_000_000, Arrival::Poisson, 500, 1);
+        let run = || SimOpenLoop::new(&sweep, LockAlgorithm::Cna, 4, &schedule, 99).run();
+        let a = run();
+        let b = run();
+        assert_eq!(a.served(), 500);
+        assert_eq!(a.served(), b.served());
+        assert_eq!(a.histogram, b.histogram, "virtual time is deterministic");
+        assert!(a.elapsed_ns >= *schedule.last().unwrap());
+        assert!(a.histogram.percentile(50.0) > 0);
+        assert!(a.mean_queue_depth >= 1.0, "arrivals sample themselves");
+    }
+
+    #[test]
+    fn saturating_rates_grow_queues_and_tails() {
+        let sweep = sim_sweep();
+        let mild = arrival_schedule(100_000, Arrival::Fixed, 300, 1);
+        let crushing = arrival_schedule(50_000_000, Arrival::Fixed, 300, 1);
+        let low = SimOpenLoop::new(&sweep, LockAlgorithm::Mcs, 2, &mild, 5).run();
+        let high = SimOpenLoop::new(&sweep, LockAlgorithm::Mcs, 2, &crushing, 5).run();
+        assert!(
+            high.histogram.percentile(99.0) > low.histogram.percentile(99.0),
+            "p99 must grow under saturation ({} vs {})",
+            high.histogram.percentile(99.0),
+            low.histogram.percentile(99.0)
+        );
+        assert!(high.max_queue_depth > low.max_queue_depth);
+    }
+}

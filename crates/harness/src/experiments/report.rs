@@ -7,8 +7,8 @@ use super::ExperimentError;
 use crate::table::{experiments_dir, render_table, write_report_file};
 
 /// One measured data point: a single repetition of one lock on one workload
-/// at one thread count. Carries enough metadata to regenerate any figure
-/// without consulting the spec that produced it.
+/// at one thread count and load point. Carries enough metadata to regenerate
+/// any figure without consulting the spec that produced it.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Sample {
     /// Workload label (`kvmap`, `sim`, `wis/lock1`, ...).
@@ -19,32 +19,49 @@ pub struct Sample {
     pub label: String,
     /// Worker (or simulated) thread count.
     pub threads: usize,
+    /// Load shape of the cell (`closed` / `open`).
+    pub mode: String,
+    /// Offered load in requests per second; 0 for closed-loop cells.
+    pub rate_per_sec: u64,
     /// Repetition index within the cell.
     pub rep: usize,
-    /// Metric token (`throughput`, `llc-misses`, `fairness`).
+    /// Metric token (`throughput`, `p99`, `queue-depth`, ...).
     pub metric: String,
     /// Unit of [`Sample::value`].
     pub unit: String,
     /// The measured value.
     pub value: f64,
+    /// Median sojourn time in microseconds (0 for closed-loop cells, which
+    /// have no arrival times and hence no sojourn distribution).
+    pub p50_us: f64,
+    /// 99th-percentile sojourn time in microseconds (0 when closed).
+    pub p99_us: f64,
+    /// 99.9th-percentile sojourn time in microseconds (0 when closed).
+    pub p999_us: f64,
+    /// Mean requests in system observed at arrival instants (0 when closed).
+    pub queue_depth: f64,
     /// Completed operations (critical sections / benchmark iterations).
     pub total_ops: u64,
     /// Measurement interval in milliseconds (wall-clock or virtual).
     pub elapsed_ms: f64,
 }
 
-/// One row of an aggregated sweep: mean metric per lock at one thread count.
+/// One row of an aggregated sweep: mean metric per lock at one
+/// (thread count, offered rate) grid point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     /// Thread count.
     pub threads: usize,
+    /// Offered load of the row; 0 for closed-loop rows.
+    pub rate_per_sec: u64,
     /// Mean value per lock, in [`SweepResult::locks`] order. `NaN` marks a
     /// cell with no samples.
     pub values: Vec<f64>,
 }
 
 /// The aggregated (mean-over-repetitions) table of one workload of a report
-/// — rows by thread count, columns by lock; what a paper figure plots.
+/// — rows by (thread count, rate), columns by lock; what a paper figure
+/// plots.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepResult {
     /// Workload label shared by the aggregated samples.
@@ -57,7 +74,7 @@ pub struct SweepResult {
     pub locks: Vec<String>,
     /// Plot labels, parallel to [`SweepResult::locks`].
     pub labels: Vec<String>,
-    /// Rows in ascending thread-count order.
+    /// Rows in ascending (thread count, rate) order.
     pub rows: Vec<SweepRow>,
 }
 
@@ -69,14 +86,21 @@ impl SweepResult {
             .or_else(|| self.labels.iter().position(|l| l == lock))
     }
 
-    /// Mean value for `lock` (canonical name or plot label) at the largest
-    /// swept thread count.
+    /// Whether any row carries an offered rate (i.e. the sweep is open-loop).
+    pub fn has_rates(&self) -> bool {
+        self.rows.iter().any(|r| r.rate_per_sec > 0)
+    }
+
+    /// Mean value for `lock` (canonical name or plot label) at the last
+    /// (largest) swept grid point.
     pub fn final_value(&self, lock: &str) -> Option<f64> {
         let idx = self.column(lock)?;
         self.rows.last().map(|r| r.values[idx])
     }
 
-    /// Mean value for `lock` at a specific thread count.
+    /// Mean value for `lock` at a specific thread count (first matching row
+    /// — unambiguous for closed sweeps; open sweeps should use
+    /// [`SweepResult::value_at_rate`]).
     pub fn value_at(&self, lock: &str, threads: usize) -> Option<f64> {
         let idx = self.column(lock)?;
         self.rows
@@ -85,15 +109,32 @@ impl SweepResult {
             .map(|r| r.values[idx])
     }
 
-    /// Renders the sweep as an aligned text table.
+    /// Mean value for `lock` at a specific (thread count, rate) point.
+    pub fn value_at_rate(&self, lock: &str, threads: usize, rate_per_sec: u64) -> Option<f64> {
+        let idx = self.column(lock)?;
+        self.rows
+            .iter()
+            .find(|r| r.threads == threads && r.rate_per_sec == rate_per_sec)
+            .map(|r| r.values[idx])
+    }
+
+    /// Renders the sweep as an aligned text table. Closed sweeps keep the
+    /// historical `threads`-keyed shape; open sweeps add a `rate/s` column.
     pub fn render(&self, title: &str) -> String {
+        let rated = self.has_rates();
         let mut header = vec!["threads".to_string()];
+        if rated {
+            header.push("rate/s".to_string());
+        }
         header.extend(self.labels.iter().map(|l| format!("{l} [{}]", self.unit)));
         let rows: Vec<Vec<String>> = self
             .rows
             .iter()
             .map(|r| {
                 let mut cells = vec![r.threads.to_string()];
+                if rated {
+                    cells.push(r.rate_per_sec.to_string());
+                }
                 cells.extend(r.values.iter().map(|v| format!("{v:.3}")));
                 cells
             })
@@ -103,17 +144,23 @@ impl SweepResult {
 }
 
 /// The CSV column order (also the JSON field order of each sample).
-const CSV_COLUMNS: [&str; 12] = [
+const CSV_COLUMNS: [&str; 18] = [
     "id",
     "scale",
     "workload",
     "lock",
     "label",
     "threads",
+    "mode",
+    "rate",
     "rep",
     "metric",
     "unit",
     "value",
+    "p50_us",
+    "p99_us",
+    "p999_us",
+    "queue_depth",
     "total_ops",
     "elapsed_ms",
 ];
@@ -158,7 +205,7 @@ impl RunReport {
         let (metric, unit) = (first.metric.clone(), first.unit.clone());
         let mut locks: Vec<String> = Vec::new();
         let mut labels: Vec<String> = Vec::new();
-        let mut threads: Vec<usize> = Vec::new();
+        let mut points: Vec<(usize, u64)> = Vec::new();
         for s in &samples {
             if !locks.contains(&s.lock) {
                 locks.push(s.lock.clone());
@@ -172,20 +219,21 @@ impl RunReport {
                     labels.push(s.label.clone());
                 }
             }
-            if !threads.contains(&s.threads) {
-                threads.push(s.threads);
+            let point = (s.threads, s.rate_per_sec);
+            if !points.contains(&point) {
+                points.push(point);
             }
         }
-        threads.sort_unstable();
-        let rows = threads
+        points.sort_unstable();
+        let rows = points
             .iter()
-            .map(|&t| {
+            .map(|&(t, rate)| {
                 let values = locks
                     .iter()
                     .map(|lock| {
                         let (mut sum, mut n) = (0.0, 0u32);
                         for s in &samples {
-                            if s.threads == t && &s.lock == lock {
+                            if s.threads == t && s.rate_per_sec == rate && &s.lock == lock {
                                 sum += s.value;
                                 n += 1;
                             }
@@ -197,7 +245,11 @@ impl RunReport {
                         }
                     })
                     .collect();
-                SweepRow { threads: t, values }
+                SweepRow {
+                    threads: t,
+                    rate_per_sec: rate,
+                    values,
+                }
             })
             .collect();
         Some(SweepResult {
@@ -225,17 +277,23 @@ impl RunReport {
         out.push('\n');
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 self.id,
                 self.scale,
                 s.workload,
                 s.lock,
                 s.label,
                 s.threads,
+                s.mode,
+                s.rate_per_sec,
                 s.rep,
                 s.metric,
                 s.unit,
                 s.value,
+                s.p50_us,
+                s.p99_us,
+                s.p999_us,
+                s.queue_depth,
                 s.total_ops,
                 s.elapsed_ms,
             ));
@@ -298,12 +356,18 @@ impl RunReport {
                 lock: fields[3].to_string(),
                 label: fields[4].to_string(),
                 threads: int(5, "threads")? as usize,
-                rep: int(6, "rep")? as usize,
-                metric: fields[7].to_string(),
-                unit: fields[8].to_string(),
-                value: num(9, "value")?,
-                total_ops: int(10, "total_ops")?,
-                elapsed_ms: num(11, "elapsed_ms")?,
+                mode: fields[6].to_string(),
+                rate_per_sec: int(7, "rate")?,
+                rep: int(8, "rep")? as usize,
+                metric: fields[9].to_string(),
+                unit: fields[10].to_string(),
+                value: num(11, "value")?,
+                p50_us: num(12, "p50_us")?,
+                p99_us: num(13, "p99_us")?,
+                p999_us: num(14, "p999_us")?,
+                queue_depth: num(15, "queue_depth")?,
+                total_ops: int(16, "total_ops")?,
+                elapsed_ms: num(17, "elapsed_ms")?,
             });
         }
         report.ok_or(ExperimentError::Parse {
@@ -330,6 +394,13 @@ impl RunReport {
             }
             out
         }
+        fn fin(v: f64) -> String {
+            if v.is_finite() {
+                v.to_string()
+            } else {
+                "null".to_string()
+            }
+        }
         let mut out = String::new();
         out.push_str(&format!(
             "{{\n  \"id\": \"{}\",\n  \"title\": \"{}\",\n  \"scale\": \"{}\",\n  \"samples\": [\n",
@@ -340,26 +411,26 @@ impl RunReport {
         for (i, s) in self.samples.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"lock\": \"{}\", \"label\": \"{}\", \
-                 \"threads\": {}, \"rep\": {}, \"metric\": \"{}\", \"unit\": \"{}\", \
-                 \"value\": {}, \"total_ops\": {}, \"elapsed_ms\": {}}}{}\n",
+                 \"threads\": {}, \"mode\": \"{}\", \"rate\": {}, \"rep\": {}, \
+                 \"metric\": \"{}\", \"unit\": \"{}\", \"value\": {}, \
+                 \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
+                 \"queue_depth\": {}, \"total_ops\": {}, \"elapsed_ms\": {}}}{}\n",
                 esc(&s.workload),
                 esc(&s.lock),
                 esc(&s.label),
                 s.threads,
+                esc(&s.mode),
+                s.rate_per_sec,
                 s.rep,
                 esc(&s.metric),
                 esc(&s.unit),
-                if s.value.is_finite() {
-                    s.value.to_string()
-                } else {
-                    "null".to_string()
-                },
+                fin(s.value),
+                fin(s.p50_us),
+                fin(s.p99_us),
+                fin(s.p999_us),
+                fin(s.queue_depth),
                 s.total_ops,
-                if s.elapsed_ms.is_finite() {
-                    s.elapsed_ms.to_string()
-                } else {
-                    "null".to_string()
-                },
+                fin(s.elapsed_ms),
                 if i + 1 == self.samples.len() { "" } else { "," },
             ));
         }
@@ -404,12 +475,32 @@ mod tests {
             lock: lock.to_string(),
             label: lock.to_uppercase(),
             threads,
+            mode: "closed".to_string(),
+            rate_per_sec: 0,
             rep,
             metric: "throughput".to_string(),
             unit: "ops/us".to_string(),
             value,
+            p50_us: 0.0,
+            p99_us: 0.0,
+            p999_us: 0.0,
+            queue_depth: 0.0,
             total_ops: (value * 1000.0) as u64,
             elapsed_ms: 10.5,
+        }
+    }
+
+    fn open_sample(lock: &str, rate: u64, value: f64) -> Sample {
+        Sample {
+            mode: "open".to_string(),
+            rate_per_sec: rate,
+            metric: "p99".to_string(),
+            unit: "us".to_string(),
+            p50_us: value / 2.0,
+            p99_us: value,
+            p999_us: value * 2.0,
+            queue_depth: 3.5,
+            ..sample("kvmap", lock, 2, 0, value)
         }
     }
 
@@ -425,6 +516,20 @@ mod tests {
                 sample("kvmap", "mcs", 2, 0, 2.0),
                 sample("kvmap", "cna", 2, 0, 3.0),
                 sample("sim", "cna", 2, 0, 1.25),
+            ],
+        }
+    }
+
+    fn open_report() -> RunReport {
+        RunReport {
+            id: "open".to_string(),
+            title: "open-loop".to_string(),
+            scale: "smoke".to_string(),
+            samples: vec![
+                open_sample("mcs", 1_000, 10.0),
+                open_sample("mcs", 10_000, 40.0),
+                open_sample("cna", 1_000, 8.0),
+                open_sample("cna", 10_000, 20.0),
             ],
         }
     }
@@ -450,6 +555,26 @@ mod tests {
     }
 
     #[test]
+    fn open_sweeps_key_rows_by_rate_and_render_the_rate_column() {
+        let sweep = open_report().sweep_for("kvmap").unwrap();
+        assert!(sweep.has_rates());
+        // Same thread count, two rates → two rows, ascending by rate.
+        assert_eq!(sweep.rows.len(), 2);
+        assert_eq!(sweep.rows[0].rate_per_sec, 1_000);
+        assert_eq!(sweep.rows[1].rate_per_sec, 10_000);
+        assert_eq!(sweep.value_at_rate("mcs", 2, 10_000), Some(40.0));
+        assert_eq!(sweep.value_at_rate("cna", 2, 1_000), Some(8.0));
+        assert!(sweep.value_at_rate("cna", 2, 77).is_none());
+        let table = sweep.render("open");
+        assert!(table.contains("rate/s"), "{table}");
+        assert!(table.contains("10000"), "{table}");
+        // Closed sweeps keep the historical threads-only table.
+        let closed = report().sweep_for("kvmap").unwrap();
+        assert!(!closed.has_rates());
+        assert!(!closed.render("closed").contains("rate/s"));
+    }
+
+    #[test]
     fn colliding_plot_labels_are_disambiguated_per_column() {
         // mcs and qspinlock-stock both plot as "MCS" on the simulator.
         let mut r = report();
@@ -470,13 +595,14 @@ mod tests {
 
     #[test]
     fn csv_round_trips_exactly() {
-        let original = report();
-        let parsed = RunReport::from_csv(&original.to_csv()).unwrap();
-        assert_eq!(parsed.id, original.id);
-        assert_eq!(parsed.scale, original.scale);
-        assert_eq!(parsed.samples, original.samples);
-        // The title is the only lossy field (documented).
-        assert_eq!(parsed.title, original.id);
+        for original in [report(), open_report()] {
+            let parsed = RunReport::from_csv(&original.to_csv()).unwrap();
+            assert_eq!(parsed.id, original.id);
+            assert_eq!(parsed.scale, original.scale);
+            assert_eq!(parsed.samples, original.samples);
+            // The title is the only lossy field (documented).
+            assert_eq!(parsed.title, original.id);
+        }
     }
 
     #[test]
@@ -485,6 +611,7 @@ mod tests {
         r.samples[0].value = 1.000_000_000_000_1;
         r.samples[1].value = 1e-12;
         r.samples[2].value = 123_456_789.987_654_3;
+        r.samples[3].p999_us = 0.333_333_333_333_333_3;
         let parsed = RunReport::from_csv(&r.to_csv()).unwrap();
         assert_eq!(parsed.samples, r.samples);
     }
@@ -511,12 +638,14 @@ mod tests {
 
     #[test]
     fn json_is_structurally_sound_and_escaped() {
-        let mut r = report();
+        let mut r = open_report();
         r.title = "quote \" backslash \\ tab\t".to_string();
         let json = r.to_json();
         assert!(json.contains("\\\""));
         assert!(json.contains("\\\\"));
         assert!(json.contains("\\t"));
+        assert!(json.contains("\"rate\": 10000"));
+        assert!(json.contains("\"p999_us\""));
         assert_eq!(json.matches('{').count(), json.matches('}').count());
         assert_eq!(json.matches('[').count(), json.matches(']').count());
         // No trailing comma before the closing bracket.

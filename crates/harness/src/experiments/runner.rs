@@ -8,14 +8,16 @@ use leveldb_lite::{readrandom_dyn, ReadRandomConfig};
 use numa_sim::Simulation;
 use registry::LockId;
 
+use super::load::LoadMode;
+use super::openloop::{arrival_schedule, request_count, OpenLoopSummary, SimOpenLoop};
 use super::report::Sample;
 use super::{ExperimentError, ExperimentSpec, Metric, SimSweep, SubstrateWorkload};
-use crate::real::{run_real_contention_dyn, RealRunConfig};
+use crate::real::{run_real_contention_dyn, RunConfig};
 use crate::scale::Scale;
 
-/// One experiment back-end: turns a grid cell (lock × thread count) of a
-/// spec into raw [`Sample`]s, one per repetition (per sub-benchmark for
-/// composite workloads like will-it-scale).
+/// One experiment back-end: turns a grid cell (lock × thread count × load
+/// mode) of a spec into raw [`Sample`]s, one per repetition (per
+/// sub-benchmark for composite workloads like will-it-scale).
 pub trait Runner {
     /// Back-end name (`substrate` or `sim`), recorded for diagnostics.
     fn name(&self) -> &'static str;
@@ -24,13 +26,29 @@ pub trait Runner {
     fn default_threads(&self, scale: Scale) -> Vec<usize>;
 
     /// Runs one cell of the grid: `spec.effective_repetitions()` runs of
-    /// `lock` at `threads` workers.
+    /// `lock` at `threads` workers under the load shape `mode`.
     fn run_cell(
         &self,
         spec: &ExperimentSpec,
         lock: LockId,
         threads: usize,
+        mode: LoadMode,
     ) -> Result<Vec<Sample>, ExperimentError>;
+}
+
+/// Extracts the spec's metric (and the always-carried histogram columns)
+/// from one open-loop summary, shared by both runners.
+fn open_loop_value(metric: Metric, summary: &OpenLoopSummary) -> f64 {
+    match metric {
+        Metric::ThroughputOpsPerUs => summary.throughput_ops_per_us(),
+        Metric::FairnessFactor => numa_sim::stats::fairness_factor(&summary.served_per_worker),
+        Metric::P50Sojourn => summary.histogram.p50_us(),
+        Metric::P99Sojourn => summary.histogram.p99_us(),
+        Metric::P999Sojourn => summary.histogram.p999_us(),
+        Metric::QueueDepth => summary.mean_queue_depth,
+        // Guarded by validate(): open mode rejects llc-misses up front.
+        Metric::LlcMissesPerUs => unreachable!("llc-misses rejected for open-loop specs"),
+    }
 }
 
 /// Real-thread, wall-clock runner: drives the actual lock implementations
@@ -49,6 +67,7 @@ struct SubstrateRun {
     label: String,
     ops_per_thread: Vec<u64>,
     elapsed: std::time::Duration,
+    open_loop: Option<OpenLoopSummary>,
 }
 
 impl SubstrateRun {
@@ -62,14 +81,18 @@ impl SubstrateRun {
         lock: LockId,
         threads: usize,
         rep: usize,
+        mode: LoadMode,
     ) -> Sample {
-        let value = match spec.metric {
-            Metric::ThroughputOpsPerUs => {
+        let value = match (&self.open_loop, spec.metric) {
+            (Some(summary), metric) => open_loop_value(metric, summary),
+            (None, Metric::ThroughputOpsPerUs) => {
                 self.total_ops() as f64 / (self.elapsed.as_micros().max(1) as f64)
             }
-            Metric::FairnessFactor => numa_sim::stats::fairness_factor(&self.ops_per_thread),
-            // Guarded by `run_cell` before anything runs.
-            Metric::LlcMissesPerUs => unreachable!("rejected by SubstrateRunner::run_cell"),
+            (None, Metric::FairnessFactor) => {
+                numa_sim::stats::fairness_factor(&self.ops_per_thread)
+            }
+            // Guarded by validate()/run_cell before anything runs.
+            (None, _) => unreachable!("metric rejected by SubstrateRunner::run_cell"),
         };
         let total_ops = self.total_ops();
         Sample {
@@ -77,10 +100,25 @@ impl SubstrateRun {
             lock: lock.name().to_string(),
             label: lock.raw_name().to_string(),
             threads,
+            mode: mode.name().to_string(),
+            rate_per_sec: mode.rate_per_sec(),
             rep,
             metric: spec.metric.name().to_string(),
             unit: spec.metric.unit().to_string(),
             value,
+            p50_us: self
+                .open_loop
+                .as_ref()
+                .map_or(0.0, |s| s.histogram.p50_us()),
+            p99_us: self
+                .open_loop
+                .as_ref()
+                .map_or(0.0, |s| s.histogram.p99_us()),
+            p999_us: self
+                .open_loop
+                .as_ref()
+                .map_or(0.0, |s| s.histogram.p999_us()),
+            queue_depth: self.open_loop.as_ref().map_or(0.0, |s| s.mean_queue_depth),
             total_ops,
             elapsed_ms: self.elapsed.as_secs_f64() * 1e3,
         }
@@ -101,6 +139,7 @@ impl Runner for SubstrateRunner {
         spec: &ExperimentSpec,
         lock: LockId,
         threads: usize,
+        mode: LoadMode,
     ) -> Result<Vec<Sample>, ExperimentError> {
         if spec.metric == Metric::LlcMissesPerUs {
             // Wall-clock runs have no cache-event counters; only the
@@ -110,14 +149,20 @@ impl Runner for SubstrateRunner {
                 metric: spec.metric.name(),
             });
         }
+        if mode.is_open() && !self.workload.supports_open_loop() {
+            return Err(ExperimentError::UnsupportedLoadMode {
+                workload: self.workload.name().to_string(),
+            });
+        }
         let duration = spec.effective_duration();
         // The single-report workloads all record the same three fields; only
         // `wis` fans out into one run per sub-benchmark.
-        let single = |ops_per_thread: Vec<u64>, elapsed| {
+        let single = |ops_per_thread: Vec<u64>, elapsed, open_loop| {
             vec![SubstrateRun {
                 label: self.workload.name().to_string(),
                 ops_per_thread,
                 elapsed,
+                open_loop,
             }]
         };
         let mut samples = Vec::new();
@@ -126,13 +171,14 @@ impl Runner for SubstrateRunner {
                 SubstrateWorkload::KvMap => {
                     let report = run_real_contention_dyn(
                         lock,
-                        &RealRunConfig {
+                        &RunConfig {
                             threads,
                             duration,
-                            ..RealRunConfig::default()
+                            load: mode,
+                            ..RunConfig::default()
                         },
                     );
-                    single(report.ops_per_thread, report.elapsed)
+                    single(report.ops_per_thread, report.elapsed, report.open_loop)
                 }
                 SubstrateWorkload::Leveldb => {
                     let report = readrandom_dyn(
@@ -143,7 +189,7 @@ impl Runner for SubstrateRunner {
                             ..ReadRandomConfig::default()
                         },
                     );
-                    single(report.ops_per_thread, report.elapsed)
+                    single(report.ops_per_thread, report.elapsed, None)
                 }
                 SubstrateWorkload::Kyoto => {
                     let report = wicked_dyn(
@@ -154,7 +200,7 @@ impl Runner for SubstrateRunner {
                             ..WickedConfig::default()
                         },
                     );
-                    single(report.ops_per_thread, report.elapsed)
+                    single(report.ops_per_thread, report.elapsed, None)
                 }
                 SubstrateWorkload::LockTorture => {
                     let report = run_locktorture_dyn(
@@ -165,7 +211,7 @@ impl Runner for SubstrateRunner {
                             lockstat: true,
                         },
                     );
-                    single(report.ops_per_thread, report.elapsed)
+                    single(report.ops_per_thread, report.elapsed, None)
                 }
                 SubstrateWorkload::Wis => WisBenchmark::all()
                     .into_iter()
@@ -176,13 +222,14 @@ impl Runner for SubstrateRunner {
                             label: format!("{}/{}", self.workload.name(), report.benchmark),
                             ops_per_thread: report.ops_per_thread,
                             elapsed: report.elapsed,
+                            open_loop: None,
                         }
                     })
                     .collect(),
             };
             samples.extend(
                 runs.into_iter()
-                    .map(|run| run.into_sample(spec, lock, threads, rep)),
+                    .map(|run| run.into_sample(spec, lock, threads, rep, mode)),
             );
         }
         Ok(samples)
@@ -213,42 +260,118 @@ impl Runner for SimRunner<'_> {
         spec: &ExperimentSpec,
         lock: LockId,
         threads: usize,
+        mode: LoadMode,
     ) -> Result<Vec<Sample>, ExperimentError> {
         let virtual_ms = spec.scale.config().virtual_duration_ms;
         let mut samples = Vec::new();
         for rep in 0..spec.effective_repetitions() {
-            let result = Simulation::new(
-                self.sweep.machine.clone(),
-                self.sweep.cost,
-                lock.sim_algorithm(),
-                self.sweep.workload.clone(),
-            )
-            .threads(threads)
-            .virtual_duration_ms(virtual_ms)
-            .seed(0xC0FFEE ^ (rep as u64) << 32 ^ threads as u64)
-            .run();
-            samples.push(Sample {
-                workload: self.sweep.label.clone(),
-                lock: lock.name().to_string(),
-                // The simulator plots policy models: both qspinlock slow
-                // paths keep their paper labels ("MCS"-admission = stock).
-                label: lock.sim_algorithm().name().to_string(),
-                threads,
-                rep,
-                metric: spec.metric.name().to_string(),
-                unit: spec.metric.unit().to_string(),
-                value: spec.metric.extract(&result),
-                total_ops: result.total_ops,
-                elapsed_ms: result.duration_ns as f64 / 1e6,
-            });
+            let seed = 0xC0FFEE ^ (rep as u64) << 32 ^ threads as u64;
+            let sample = match mode {
+                LoadMode::Closed => {
+                    let result = Simulation::new(
+                        self.sweep.machine.clone(),
+                        self.sweep.cost,
+                        lock.sim_algorithm(),
+                        self.sweep.workload.clone(),
+                    )
+                    .threads(threads)
+                    .virtual_duration_ms(virtual_ms)
+                    .seed(seed)
+                    .run();
+                    self.sample(
+                        lock,
+                        threads,
+                        rep,
+                        spec,
+                        mode,
+                        spec.metric.extract(&result),
+                        None,
+                        result.total_ops,
+                        result.duration_ns as f64 / 1e6,
+                    )
+                }
+                LoadMode::Open {
+                    rate_per_sec,
+                    arrival,
+                } => {
+                    let horizon_ns = virtual_ms.max(1) * 1_000_000;
+                    let requests = request_count(rate_per_sec, horizon_ns);
+                    // The schedule seed ignores the rep so every repetition
+                    // sees the same offered load; the engine seed varies.
+                    let schedule = arrival_schedule(
+                        rate_per_sec,
+                        arrival,
+                        requests,
+                        0x00DD_5EED ^ rate_per_sec,
+                    );
+                    let summary = SimOpenLoop::new(
+                        self.sweep,
+                        lock.sim_algorithm(),
+                        threads,
+                        &schedule,
+                        seed,
+                    )
+                    .run();
+                    self.sample(
+                        lock,
+                        threads,
+                        rep,
+                        spec,
+                        mode,
+                        open_loop_value(spec.metric, &summary),
+                        Some(&summary),
+                        summary.served(),
+                        summary.elapsed_ns as f64 / 1e6,
+                    )
+                }
+            };
+            samples.push(sample);
         }
         Ok(samples)
+    }
+}
+
+impl SimRunner<'_> {
+    #[allow(clippy::too_many_arguments)]
+    fn sample(
+        &self,
+        lock: LockId,
+        threads: usize,
+        rep: usize,
+        spec: &ExperimentSpec,
+        mode: LoadMode,
+        value: f64,
+        summary: Option<&OpenLoopSummary>,
+        total_ops: u64,
+        elapsed_ms: f64,
+    ) -> Sample {
+        Sample {
+            workload: self.sweep.label.clone(),
+            lock: lock.name().to_string(),
+            // The simulator plots policy models: both qspinlock slow
+            // paths keep their paper labels ("MCS"-admission = stock).
+            label: lock.sim_algorithm().name().to_string(),
+            threads,
+            mode: mode.name().to_string(),
+            rate_per_sec: mode.rate_per_sec(),
+            rep,
+            metric: spec.metric.name().to_string(),
+            unit: spec.metric.unit().to_string(),
+            value,
+            p50_us: summary.map_or(0.0, |s| s.histogram.p50_us()),
+            p99_us: summary.map_or(0.0, |s| s.histogram.p99_us()),
+            p999_us: summary.map_or(0.0, |s| s.histogram.p999_us()),
+            queue_depth: summary.map_or(0.0, |s| s.mean_queue_depth),
+            total_ops,
+            elapsed_ms,
+        }
     }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::experiments::load::Arrival;
     use crate::experiments::WorkloadId;
 
     fn smoke_spec(metric: Metric, workload: WorkloadId) -> ExperimentSpec {
@@ -258,6 +381,13 @@ mod tests {
             .scale(Scale::Smoke)
             .duration_ms(5)
             .metric(metric)
+    }
+
+    fn open(rate: u64) -> LoadMode {
+        LoadMode::Open {
+            rate_per_sec: rate,
+            arrival: Arrival::Poisson,
+        }
     }
 
     #[test]
@@ -283,11 +413,14 @@ mod tests {
         let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::KvMap).repetitions(2);
         let samples = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Cna, 2)
+            .run_cell(&spec, LockId::Cna, 2, LoadMode::Closed)
             .unwrap();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].lock, "cna");
         assert_eq!(samples[0].label, "CNA");
+        assert_eq!(samples[0].mode, "closed");
+        assert_eq!(samples[0].rate_per_sec, 0);
+        assert_eq!(samples[0].p99_us, 0.0, "closed runs have no histogram");
         assert_eq!(samples[1].rep, 1);
         assert!(samples.iter().all(|s| s.value > 0.0 && s.total_ops > 0));
     }
@@ -297,7 +430,7 @@ mod tests {
         let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Wis);
         let samples = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::QSpinCna, 2)
+            .run_cell(&spec, LockId::QSpinCna, 2, LoadMode::Closed)
             .unwrap();
         assert_eq!(samples.len(), WisBenchmark::all().len());
         assert!(samples.iter().all(|s| s.workload.starts_with("wis/")));
@@ -308,7 +441,7 @@ mod tests {
         let spec = smoke_spec(Metric::FairnessFactor, WorkloadId::KvMap);
         let samples = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Mcs, 2)
+            .run_cell(&spec, LockId::Mcs, 2, LoadMode::Closed)
             .unwrap();
         assert!((0.5..=1.0).contains(&samples[0].value));
     }
@@ -318,14 +451,61 @@ mod tests {
         let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Sim);
         let a = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Mcs, 2)
+            .run_cell(&spec, LockId::Mcs, 2, LoadMode::Closed)
             .unwrap();
         let b = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Mcs, 2)
+            .run_cell(&spec, LockId::Mcs, 2, LoadMode::Closed)
             .unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(a[0].value, b[0].value, "sim runs must be deterministic");
         assert_eq!(a[0].workload, "sim");
+    }
+
+    #[test]
+    fn open_substrate_cell_carries_histogram_columns() {
+        let spec = smoke_spec(Metric::P99Sojourn, WorkloadId::KvMap)
+            .open_rates(vec![100_000], Arrival::Poisson)
+            .duration_ms(2);
+        let samples = spec.workloads[0]
+            .runner()
+            .run_cell(&spec, LockId::Cna, 2, open(100_000))
+            .unwrap();
+        assert_eq!(samples.len(), 1);
+        let s = &samples[0];
+        assert_eq!(s.mode, "open");
+        assert_eq!(s.rate_per_sec, 100_000);
+        assert_eq!(s.unit, "us");
+        assert_eq!(s.value, s.p99_us, "the p99 metric is the p99 column");
+        assert!(s.p50_us > 0.0 && s.p99_us >= s.p50_us && s.p999_us >= s.p99_us);
+        assert!(s.queue_depth >= 1.0);
+        assert!(s.total_ops >= 64, "at least MIN_REQUESTS served");
+    }
+
+    #[test]
+    fn open_sim_cell_is_deterministic_and_populated() {
+        let spec = smoke_spec(Metric::P99Sojourn, WorkloadId::Sim)
+            .open_rates(vec![1_000_000], Arrival::Poisson);
+        let run = || {
+            spec.workloads[0]
+                .runner()
+                .run_cell(&spec, LockId::Cna, 4, open(1_000_000))
+                .unwrap()
+        };
+        let (a, b) = (run(), run());
+        assert_eq!(a[0].value, b[0].value, "sim open loop is deterministic");
+        assert!(a[0].p99_us > 0.0);
+        assert!(a[0].total_ops >= 64);
+        assert_eq!(a[0].mode, "open");
+    }
+
+    #[test]
+    fn open_mode_on_a_non_kvmap_substrate_is_a_typed_error() {
+        let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Leveldb);
+        let err = spec.workloads[0]
+            .runner()
+            .run_cell(&spec, LockId::Cna, 2, open(1_000))
+            .unwrap_err();
+        assert!(matches!(err, ExperimentError::UnsupportedLoadMode { .. }));
     }
 }

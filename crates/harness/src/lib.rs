@@ -31,9 +31,10 @@ pub mod scale;
 pub mod table;
 
 pub use experiments::{
-    parse_thread_list, DiffReport, DiffThreshold, ExperimentError, ExperimentSpec, Metric,
-    RunReport, Sample, SweepResult, WorkloadId,
+    parse_rate_list, parse_thread_list, Arrival, DiffReport, DiffThreshold, ExperimentError,
+    ExperimentSpec, LatencyHistogram, LoadMode, LoadSpec, Metric, RunReport, Sample, SweepResult,
+    WorkloadId,
 };
-pub use real::{run_real_contention, run_real_contention_dyn, RealRunConfig, RealRunResult};
+pub use real::{run_real_contention, run_real_contention_dyn, RunConfig, RunResult};
 pub use scale::{Scale, ScaleConfig, SubstrateRun};
 pub use table::{experiments_dir, render_table, write_csv, WriteError};

@@ -1,12 +1,28 @@
 //! Real-thread, wall-clock measurements of the actual lock implementations.
 //!
 //! These runs exercise the atomics-based locks end to end (the same code a
-//! user of the library runs), measuring completed critical sections over a
-//! fixed wall-clock interval — the same methodology as the paper's
-//! user-space benchmarks, minus the NUMA hardware. They are used by the
-//! Criterion latency benches, the examples and the integration tests.
+//! user of the library runs) in either load shape:
+//!
+//! * **Closed-loop** ([`LoadMode::Closed`], the default): every worker
+//!   re-requests the lock the instant it releases it, counting completed
+//!   critical sections over a fixed wall-clock interval — the paper's
+//!   user-space methodology, minus the NUMA hardware.
+//! * **Open-loop** ([`LoadMode::Open`]): requests arrive on a precomputed
+//!   wall-clock schedule (fixed-rate or Poisson) and workers serve them by
+//!   acquiring the lock around the critical section, recording each
+//!   request's sojourn time (queue wait + service) into a
+//!   [`LatencyHistogram`]. An open run is sized by its request count (see
+//!   [`request_count`]), so at low offered rates it outlives
+//!   [`RunConfig::duration`] to collect enough samples.
+//!
+//! One [`RunConfig`] drives both modes; closed-loop is the degenerate case
+//! with no arrival schedule. Used by the Criterion latency benches, the
+//! examples, the integration tests and the [`SubstrateRunner`]'s kvmap
+//! workload.
+//!
+//! [`SubstrateRunner`]: crate::experiments::SubstrateRunner
 
-use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -15,14 +31,19 @@ use registry::LockId;
 use sync_core::raw::RawLock;
 use sync_core::CachePadded;
 
+use crate::experiments::histogram::LatencyHistogram;
+use crate::experiments::load::{Arrival, LoadMode};
+use crate::experiments::openloop::{arrival_schedule, request_count, DepthMeter, OpenLoopSummary};
 use crate::scale::Scale;
 
-/// Configuration of a real-thread contention run.
+/// Configuration of a real-thread contention run (closed- or open-loop).
 #[derive(Debug, Clone)]
-pub struct RealRunConfig {
+pub struct RunConfig {
     /// Number of worker threads.
     pub threads: usize,
-    /// Wall-clock measurement interval.
+    /// Wall-clock measurement interval. Closed-loop runs stop after exactly
+    /// this long; open-loop runs use it to size the arrival schedule
+    /// (`rate × duration` requests, clamped) and then drain every request.
     pub duration: Duration,
     /// Iterations of trivial work inside the critical section.
     pub critical_work: u32,
@@ -30,21 +51,25 @@ pub struct RealRunConfig {
     pub non_critical_work: u32,
     /// Number of virtual sockets the worker threads are spread over.
     pub virtual_sockets: usize,
+    /// Load shape: closed-loop hammering (the default) or open-loop
+    /// arrivals at a fixed offered rate.
+    pub load: LoadMode,
 }
 
-impl Default for RealRunConfig {
+impl Default for RunConfig {
     fn default() -> Self {
-        RealRunConfig {
+        RunConfig {
             threads: 2,
             duration: Duration::from_millis(50),
             critical_work: 32,
             non_critical_work: 0,
             virtual_sockets: 2,
+            load: LoadMode::Closed,
         }
     }
 }
 
-impl RealRunConfig {
+impl RunConfig {
     /// A configuration sized for the current `SCALE` (CI keeps runs short).
     pub fn for_scale(threads: usize) -> Self {
         let duration = match Scale::from_env() {
@@ -52,26 +77,40 @@ impl RealRunConfig {
             Scale::Ci => Duration::from_millis(40),
             Scale::Paper => Duration::from_secs(2),
         };
-        RealRunConfig {
+        RunConfig {
             threads,
             duration,
             ..Self::default()
         }
     }
+
+    /// The same configuration with an open-loop load shape.
+    pub fn open(mut self, rate_per_sec: u64, arrival: Arrival) -> Self {
+        self.load = LoadMode::Open {
+            rate_per_sec,
+            arrival,
+        };
+        self
+    }
 }
 
 /// Result of a real-thread contention run.
 #[derive(Debug, Clone)]
-pub struct RealRunResult {
+pub struct RunResult {
     /// Lock algorithm name.
     pub algorithm: String,
-    /// Completed critical sections per thread.
+    /// Completed critical sections (closed) or served requests (open) per
+    /// thread.
     pub ops_per_thread: Vec<u64>,
-    /// Wall-clock measurement interval.
+    /// Wall-clock measurement interval (closed: the configured duration;
+    /// open: first arrival to last completion).
     pub elapsed: Duration,
+    /// Open-loop measurements (sojourn histogram, queue depths); `None` for
+    /// closed-loop runs.
+    pub open_loop: Option<OpenLoopSummary>,
 }
 
-impl RealRunResult {
+impl RunResult {
     /// Total completed critical sections.
     pub fn total_ops(&self) -> u64 {
         self.ops_per_thread.iter().sum()
@@ -101,40 +140,78 @@ fn spin_work(iters: u32, seed: &mut u64) {
     std::hint::black_box(*seed);
 }
 
-/// Runs `config.threads` workers hammering one lock of type `L`, counting
-/// completed critical sections during the measurement interval.
+/// The shared state every worker thread touches: the lock, the protected
+/// (non-atomic) counter whose final value cross-checks mutual exclusion,
+/// and the published per-thread op counts.
+struct Shared<L> {
+    lock: L,
+    counter: std::cell::UnsafeCell<u64>,
+    counts: Vec<CachePadded<AtomicU64>>,
+}
+// SAFETY: the counter is only accessed while `lock` is held.
+unsafe impl<L: Sync> Sync for Shared<L> {}
+
+impl<L: RawLock> Shared<L> {
+    fn new(threads: usize) -> Arc<Self> {
+        Arc::new(Shared {
+            lock: L::default(),
+            counter: std::cell::UnsafeCell::new(0),
+            counts: (0..threads)
+                .map(|_| CachePadded::new(AtomicU64::new(0)))
+                .collect(),
+        })
+    }
+
+    fn ops_per_thread(&self) -> Vec<u64> {
+        self.counts
+            .iter()
+            .map(|c| c.load(Ordering::Relaxed))
+            .collect()
+    }
+
+    /// Asserts the mutual-exclusion invariant after every worker joined.
+    fn check_mutual_exclusion(&self) {
+        // SAFETY: all workers have joined; no concurrent access remains.
+        let protected_total = unsafe { *self.counter.get() };
+        assert_eq!(
+            protected_total,
+            self.ops_per_thread().iter().sum::<u64>(),
+            "mutual exclusion violated: protected counter diverged from op counts"
+        );
+    }
+}
+
+/// Runs `config.threads` workers on one lock of type `L` in the load shape
+/// `config.load` selects, counting completed critical sections.
 ///
 /// The protected state is a non-atomic counter, so any mutual-exclusion bug
 /// shows up as a mismatch between the counter and the sum of per-thread op
-/// counts (the function asserts this invariant).
-pub fn run_real_contention<L>(config: &RealRunConfig) -> RealRunResult
+/// counts (the function asserts this invariant in both modes).
+pub fn run_real_contention<L>(config: &RunConfig) -> RunResult
 where
     L: RawLock + 'static,
 {
-    struct Protected {
-        counter: std::cell::UnsafeCell<u64>,
+    match config.load {
+        LoadMode::Closed => run_closed_loop::<L>(config),
+        LoadMode::Open {
+            rate_per_sec,
+            arrival,
+        } => run_open_loop::<L>(config, rate_per_sec, arrival),
     }
-    // SAFETY: the counter is only accessed while the benchmark lock is held.
-    unsafe impl Sync for Protected {}
+}
 
-    let lock = Arc::new(L::default());
-    let protected = Arc::new(Protected {
-        counter: std::cell::UnsafeCell::new(0),
-    });
+fn run_closed_loop<L>(config: &RunConfig) -> RunResult
+where
+    L: RawLock + 'static,
+{
+    let shared = Shared::<L>::new(config.threads);
     let stop = Arc::new(AtomicBool::new(false));
-    let counts: Arc<Vec<CachePadded<AtomicU64>>> = Arc::new(
-        (0..config.threads)
-            .map(|_| CachePadded::new(AtomicU64::new(0)))
-            .collect(),
-    );
 
     let start = Instant::now();
     std::thread::scope(|scope| {
         for t in 0..config.threads {
-            let lock = Arc::clone(&lock);
-            let protected = Arc::clone(&protected);
+            let shared = Arc::clone(&shared);
             let stop = Arc::clone(&stop);
-            let counts = Arc::clone(&counts);
             let cfg = config.clone();
             scope.spawn(move || {
                 let _socket = SocketOverrideGuard::new(t % cfg.virtual_sockets.max(1));
@@ -145,20 +222,20 @@ where
                     // SAFETY: the node lives on this frame for the whole
                     // acquisition; the counter is only touched under the lock.
                     unsafe {
-                        lock.lock(&node);
-                        *protected.counter.get() += 1;
+                        shared.lock.lock(&node);
+                        *shared.counter.get() += 1;
                         spin_work(cfg.critical_work, &mut seed);
-                        lock.unlock(&node);
+                        shared.lock.unlock(&node);
                     }
                     spin_work(cfg.non_critical_work, &mut seed);
                     local_ops += 1;
                     // Publish progress occasionally so the main thread's stop
                     // signal is honoured promptly.
                     if local_ops.is_multiple_of(64) {
-                        counts[t].store(local_ops, Ordering::Relaxed);
+                        shared.counts[t].store(local_ops, Ordering::Relaxed);
                     }
                 }
-                counts[t].store(local_ops, Ordering::Relaxed);
+                shared.counts[t].store(local_ops, Ordering::Relaxed);
             });
         }
         std::thread::sleep(config.duration);
@@ -166,19 +243,128 @@ where
     });
     let elapsed = start.elapsed();
 
-    let ops_per_thread: Vec<u64> = counts.iter().map(|c| c.load(Ordering::Relaxed)).collect();
-    // SAFETY: all workers have joined (scope ended).
-    let protected_total = unsafe { *protected.counter.get() };
-    assert_eq!(
-        protected_total,
-        ops_per_thread.iter().sum::<u64>(),
-        "mutual exclusion violated: protected counter diverged from op counts"
-    );
-
-    RealRunResult {
+    shared.check_mutual_exclusion();
+    RunResult {
         algorithm: L::NAME.to_string(),
-        ops_per_thread,
+        ops_per_thread: shared.ops_per_thread(),
         elapsed,
+        open_loop: None,
+    }
+}
+
+/// The open-loop service run: requests arrive on a precomputed schedule of
+/// wall-clock offsets; workers pull the next request index from a shared
+/// counter, wait for its arrival time, then serve it under the lock. The
+/// run ends when the schedule drains (every request served), so saturating
+/// rates produce growing sojourn times rather than dropped requests.
+fn run_open_loop<L>(config: &RunConfig, rate_per_sec: u64, arrival: Arrival) -> RunResult
+where
+    L: RawLock + 'static,
+{
+    let horizon_ns = u64::try_from(config.duration.as_nanos()).unwrap_or(u64::MAX);
+    let requests = request_count(rate_per_sec, horizon_ns);
+    // One fixed schedule seed per rate: a re-run at the same rate offers the
+    // identical load, so baseline diffs compare like against like.
+    let schedule = Arc::new(arrival_schedule(
+        rate_per_sec,
+        arrival,
+        requests,
+        0x00DD_5EED ^ rate_per_sec,
+    ));
+    let shared = Shared::<L>::new(config.threads);
+    let next = Arc::new(AtomicUsize::new(0));
+    let completed = Arc::new(AtomicU64::new(0));
+
+    let start = Instant::now();
+    let per_worker: Vec<(LatencyHistogram, DepthMeter, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..config.threads)
+            .map(|t| {
+                let shared = Arc::clone(&shared);
+                let schedule = Arc::clone(&schedule);
+                let next = Arc::clone(&next);
+                let completed = Arc::clone(&completed);
+                let cfg = config.clone();
+                scope.spawn(move || {
+                    let _socket = SocketOverrideGuard::new(t % cfg.virtual_sockets.max(1));
+                    let node = L::Node::default();
+                    let mut seed = (t as u64 + 1) * 0x9E37_79B9;
+                    let mut histogram = LatencyHistogram::new();
+                    let mut depth = DepthMeter::default();
+                    let mut served = 0u64;
+                    let mut last_done_ns = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= schedule.len() {
+                            break;
+                        }
+                        let arrival_ns = schedule[i];
+                        // Pace on the wall clock: sleep through long gaps,
+                        // spin out the tail for precision.
+                        loop {
+                            let now = start.elapsed().as_nanos() as u64;
+                            if now >= arrival_ns {
+                                break;
+                            }
+                            if arrival_ns - now > 200_000 {
+                                std::thread::sleep(Duration::from_nanos((arrival_ns - now) / 2));
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let now = start.elapsed().as_nanos() as u64;
+                        // In-system count at service start: arrivals due by
+                        // now minus requests already completed.
+                        let arrived = schedule.partition_point(|&a| a <= now) as u64;
+                        depth.sample(arrived.saturating_sub(completed.load(Ordering::Relaxed)));
+                        // SAFETY: the node lives on this frame for the whole
+                        // acquisition; the counter is only touched under the
+                        // lock.
+                        unsafe {
+                            shared.lock.lock(&node);
+                            *shared.counter.get() += 1;
+                            spin_work(cfg.critical_work, &mut seed);
+                            shared.lock.unlock(&node);
+                        }
+                        spin_work(cfg.non_critical_work, &mut seed);
+                        let done = start.elapsed().as_nanos() as u64;
+                        histogram.record(done.saturating_sub(arrival_ns));
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        served += 1;
+                        last_done_ns = done;
+                    }
+                    shared.counts[t].store(served, Ordering::Relaxed);
+                    (histogram, depth, last_done_ns)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop worker panicked"))
+            .collect()
+    });
+
+    shared.check_mutual_exclusion();
+    let mut histogram = LatencyHistogram::new();
+    let mut depth = DepthMeter::default();
+    let mut elapsed_ns = 0u64;
+    for (h, d, last) in &per_worker {
+        histogram.merge(h);
+        depth.merge(d);
+        elapsed_ns = elapsed_ns.max(*last);
+    }
+    let ops_per_thread = shared.ops_per_thread();
+    debug_assert_eq!(histogram.count(), requests as u64);
+    RunResult {
+        algorithm: L::NAME.to_string(),
+        ops_per_thread: ops_per_thread.clone(),
+        elapsed: Duration::from_nanos(elapsed_ns.max(1)),
+        open_loop: Some(OpenLoopSummary {
+            histogram,
+            served_per_worker: ops_per_thread,
+            mean_queue_depth: depth.mean(),
+            max_queue_depth: depth.max(),
+            elapsed_ns: elapsed_ns.max(1),
+        }),
     }
 }
 
@@ -192,7 +378,7 @@ where
 /// trip per acquisition — the same constant for every algorithm, so
 /// cross-algorithm comparisons remain meaningful. Runs serialize on the
 /// process-wide ambient scope.
-pub fn run_real_contention_dyn(id: LockId, config: &RealRunConfig) -> RealRunResult {
+pub fn run_real_contention_dyn(id: LockId, config: &RunConfig) -> RunResult {
     let mut result =
         registry::with_ambient(id, || run_real_contention::<registry::AmbientLock>(config));
     result.algorithm = id.name().to_string();
@@ -207,29 +393,30 @@ mod tests {
 
     #[test]
     fn real_run_counts_operations_and_checks_mutual_exclusion() {
-        let cfg = RealRunConfig {
+        let cfg = RunConfig {
             threads: 2,
             duration: Duration::from_millis(30),
             critical_work: 8,
             non_critical_work: 8,
-            virtual_sockets: 2,
+            ..RunConfig::default()
         };
         let result = run_real_contention::<CnaLock>(&cfg);
         assert_eq!(result.algorithm, "CNA");
         assert!(result.total_ops() > 0);
         assert!(result.throughput_ops_per_us() > 0.0);
+        assert!(result.open_loop.is_none(), "closed runs carry no histogram");
         let f = result.fairness_factor();
         assert!((0.5..=1.0).contains(&f));
     }
 
     #[test]
     fn works_for_mcs_too() {
-        let cfg = RealRunConfig {
+        let cfg = RunConfig {
             threads: 2,
             duration: Duration::from_millis(20),
             critical_work: 4,
             non_critical_work: 4,
-            virtual_sockets: 2,
+            ..RunConfig::default()
         };
         let result = run_real_contention::<McsLock>(&cfg);
         assert_eq!(result.algorithm, "MCS");
@@ -238,12 +425,12 @@ mod tests {
 
     #[test]
     fn dyn_run_matches_the_generic_run_shape() {
-        let cfg = RealRunConfig {
+        let cfg = RunConfig {
             threads: 2,
             duration: Duration::from_millis(25),
             critical_work: 8,
             non_critical_work: 8,
-            virtual_sockets: 2,
+            ..RunConfig::default()
         };
         let result = run_real_contention_dyn(LockId::Cna, &cfg);
         assert_eq!(result.algorithm, "cna");
@@ -253,12 +440,12 @@ mod tests {
 
     #[test]
     fn dyn_run_works_for_a_qspinlock_id() {
-        let cfg = RealRunConfig {
+        let cfg = RunConfig {
             threads: 2,
             duration: Duration::from_millis(20),
             critical_work: 4,
             non_critical_work: 4,
-            virtual_sockets: 2,
+            ..RunConfig::default()
         };
         let result = run_real_contention_dyn(LockId::QSpinStock, &cfg);
         assert_eq!(result.algorithm, "qspinlock-stock");
@@ -267,8 +454,48 @@ mod tests {
 
     #[test]
     fn scale_config_produces_short_ci_runs() {
-        let cfg = RealRunConfig::for_scale(4);
+        let cfg = RunConfig::for_scale(4);
         assert_eq!(cfg.threads, 4);
+        assert_eq!(cfg.load, LoadMode::Closed);
         assert!(cfg.duration <= Duration::from_millis(100) || Scale::from_env() == Scale::Paper);
+    }
+
+    #[test]
+    fn open_loop_run_serves_every_scheduled_request() {
+        // 100k req/s over 2 ms ⇒ the MIN_REQUESTS floor (64 requests, ~0.6 ms
+        // of schedule): fast and deterministic in count.
+        let cfg = RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(2),
+            critical_work: 4,
+            non_critical_work: 0,
+            ..RunConfig::default()
+        }
+        .open(100_000, Arrival::Poisson);
+        let result = run_real_contention::<CnaLock>(&cfg);
+        let summary = result
+            .open_loop
+            .as_ref()
+            .expect("open runs carry a summary");
+        assert_eq!(summary.served(), summary.histogram.count());
+        assert_eq!(summary.served(), result.total_ops());
+        assert!(summary.histogram.count() >= 64);
+        assert!(summary.histogram.percentile(99.0) >= summary.histogram.percentile(50.0));
+        assert!(summary.mean_queue_depth >= 1.0, "arrivals count themselves");
+        assert!(result.elapsed.as_nanos() > 0);
+    }
+
+    #[test]
+    fn open_loop_dyn_run_works_through_the_registry() {
+        let cfg = RunConfig {
+            threads: 2,
+            duration: Duration::from_millis(2),
+            critical_work: 4,
+            ..RunConfig::default()
+        }
+        .open(200_000, Arrival::Fixed);
+        let result = run_real_contention_dyn(LockId::Mcs, &cfg);
+        assert_eq!(result.algorithm, "mcs");
+        assert!(result.open_loop.is_some());
     }
 }

@@ -4,7 +4,7 @@
 //! lock-matrix job drive.
 
 use cna_locks::harness::experiments::{
-    DiffThreshold, ExperimentSpec, Metric, RunReport, WorkloadId,
+    Arrival, DiffThreshold, ExperimentSpec, Metric, RunReport, WorkloadId,
 };
 use cna_locks::harness::Scale;
 use cna_locks::registry::LockId;
@@ -94,6 +94,98 @@ fn an_injected_regression_trips_the_diff_threshold() {
 
     // The same comparison through the serialized form (what `lockbench
     // diff` does with two files).
+    let baseline2 = RunReport::from_csv(&baseline.to_csv()).unwrap();
+    let regressed2 = RunReport::from_csv(&regressed.to_csv()).unwrap();
+    assert!(regressed2
+        .diff_against(&baseline2, DiffThreshold::default())
+        .has_regressions());
+}
+
+/// A small open-loop grid over both runners: both open-capable workloads,
+/// two rates, p99 sojourn.
+fn open_smoke_spec() -> ExperimentSpec {
+    ExperimentSpec::new("itest_open_loop")
+        .title("integration test open-loop grid")
+        .locks(vec![LockId::Cna, LockId::Mcs])
+        .workload(WorkloadId::Sim.to_spec())
+        .workload(WorkloadId::KvMap.to_spec())
+        .threads(vec![2])
+        .open_rates(vec![50_000, 200_000], Arrival::Poisson)
+        .scale(Scale::Smoke)
+        .repetitions(1)
+        .duration_ms(2)
+        .metric(Metric::P99Sojourn)
+}
+
+#[test]
+fn an_open_loop_grid_runs_both_runners_with_histograms() {
+    let report = open_smoke_spec().run().expect("open grid runs");
+    // 2 workloads × 2 rates × 1 thread count × 2 locks × 1 rep.
+    assert_eq!(report.samples.len(), 8);
+    for s in &report.samples {
+        assert_eq!(s.mode, "open");
+        assert!(s.rate_per_sec == 50_000 || s.rate_per_sec == 200_000);
+        assert_eq!(s.metric, "p99");
+        assert_eq!(s.unit, "us");
+        assert_eq!(s.value, s.p99_us, "the p99 metric is the p99 column");
+        // Percentiles are ordered and populated on both back-ends.
+        assert!(s.p50_us > 0.0, "{}: empty p50", s.workload);
+        assert!(s.p99_us >= s.p50_us && s.p999_us >= s.p99_us);
+        assert!(s.queue_depth > 0.0, "{}: no queue observed", s.workload);
+        assert!(
+            s.total_ops >= 64,
+            "{}: open runs drain every request",
+            s.workload
+        );
+    }
+    // Each workload aggregates into a rate-keyed sweep.
+    for sweep in report.sweeps() {
+        assert!(sweep.has_rates());
+        assert_eq!(sweep.rows.len(), 2);
+        assert!(sweep.value_at_rate("cna", 2, 50_000).unwrap() > 0.0);
+        assert!(sweep.render("t").contains("rate/s"));
+    }
+    // The CSV round-trips the histogram columns exactly.
+    let parsed = RunReport::from_csv(&report.to_csv()).expect("open csv parses back");
+    assert_eq!(parsed.samples, report.samples);
+}
+
+#[test]
+fn an_injected_p99_regression_trips_the_diff() {
+    let baseline = open_smoke_spec().run().expect("open baseline runs");
+    let clean = baseline.diff_against(&baseline, DiffThreshold::default());
+    assert!(!clean.has_regressions(), "open self-diff must be clean");
+    assert_eq!(clean.entries.len(), 8, "every (cell, rate) is compared");
+
+    // Inject a 3× p99 blow-up into one (lock, rate) cell — a latency
+    // regression a throughput diff would never see.
+    let mut regressed = baseline.clone();
+    let victim = regressed
+        .samples
+        .iter_mut()
+        .find(|s| s.workload == "kvmap" && s.lock == "cna" && s.rate_per_sec == 200_000)
+        .expect("kvmap/cna@200k cell exists");
+    victim.value *= 3.0;
+    victim.p99_us *= 3.0;
+    let diff = regressed.diff_against(&baseline, DiffThreshold::default());
+    assert!(diff.has_regressions(), "the p99 blow-up must be flagged");
+    let flagged: Vec<_> = diff.regressions().collect();
+    assert_eq!(flagged.len(), 1);
+    assert_eq!(flagged[0].lock, "cna");
+    assert_eq!(flagged[0].rate_per_sec, 200_000);
+    assert!(diff.render().contains("REGRESSED"));
+
+    // A p99 *improvement* must not trip the ratchet.
+    let mut improved = baseline.clone();
+    for s in &mut improved.samples {
+        s.value *= 0.5;
+        s.p99_us *= 0.5;
+    }
+    assert!(!improved
+        .diff_against(&baseline, DiffThreshold::default())
+        .has_regressions());
+
+    // And through the serialized form (what `lockbench diff` does).
     let baseline2 = RunReport::from_csv(&baseline.to_csv()).unwrap();
     let regressed2 = RunReport::from_csv(&regressed.to_csv()).unwrap();
     assert!(regressed2

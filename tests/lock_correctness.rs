@@ -6,7 +6,7 @@ use std::sync::Arc;
 use std::time::Duration;
 
 use cna_locks::cna::{CnaConfig, CnaLock, CnaMutex};
-use cna_locks::harness::{run_real_contention, run_real_contention_dyn, RealRunConfig};
+use cna_locks::harness::{run_real_contention, run_real_contention_dyn, RunConfig};
 use cna_locks::locks::{
     CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, HboLock, HmcsLock, McsLock,
     PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
@@ -129,12 +129,13 @@ fn erased_try_lock_agrees_with_raw_try_lock() {
 /// algorithm through one compiled loop.
 #[test]
 fn harness_dyn_runs_cover_the_whole_registry() {
-    let cfg = RealRunConfig {
+    let cfg = RunConfig {
         threads: 2,
         duration: Duration::from_millis(10),
         critical_work: 8,
         non_critical_work: 8,
         virtual_sockets: 2,
+        ..RunConfig::default()
     };
     for id in LockId::ALL {
         let result = run_real_contention_dyn(id, &cfg);
@@ -209,12 +210,13 @@ fn tunable_cna_configurations_all_work_under_contention() {
 
 #[test]
 fn harness_real_runs_cover_cna_and_the_strongest_baselines() {
-    let cfg = RealRunConfig {
+    let cfg = RunConfig {
         threads: 3,
         duration: Duration::from_millis(40),
         critical_work: 16,
         non_critical_work: 16,
         virtual_sockets: 2,
+        ..RunConfig::default()
     };
     for result in [
         run_real_contention::<McsLock>(&cfg),

@@ -30,8 +30,8 @@
 use std::path::Path;
 
 use harness::experiments::{
-    parse_rate_list, parse_thread_list, Arrival, DiffThreshold, ExperimentSpec, LoadSpec, Metric,
-    RunReport, WorkloadId,
+    parse_batch_list, parse_rate_list, parse_shard_list, parse_thread_list, Arrival, DiffThreshold,
+    ExperimentSpec, LoadSpec, Metric, RunReport, WorkloadId,
 };
 use harness::{render_table, Scale};
 use registry::LockId;
@@ -67,6 +67,12 @@ pub struct SweepArgs {
     /// Thread sweep (`--threads 1,2,4` / `1-8` / `2-16/2`); empty = the
     /// scale's default sizing.
     pub threads: Vec<usize>,
+    /// Shard-count sweep (`--shards 1,2,4,8`; kvmap only); empty = no
+    /// shard axis.
+    pub shards: Vec<usize>,
+    /// Group-commit batch sweep (`--batch 1,8,32`; leveldb only); empty =
+    /// the native write path.
+    pub batches: Vec<usize>,
     /// Load shape (`--mode closed|open` with `--rate`/`--arrival`).
     pub load: LoadSpec,
     /// Run sizing (`--scale smoke|ci|paper`; default from `SCALE`).
@@ -103,6 +109,11 @@ pub fn usage() -> String {
          \n\
          OPTIONS (run/sweep):\n\
          \x20 --threads 1,2,4 | 1-8 | 2-16/2   thread sweep (default: scale sizing)\n\
+         \x20 --shards 1,2,4,8                 kv-map shard sweep (one lock per\n\
+         \x20                                  shard; kvmap only, default: 1)\n\
+         \x20 --batch 1,8,32                   leveldb group-commit batch sweep\n\
+         \x20                                  (writes per DB-mutex acquisition;\n\
+         \x20                                  also unlocks --mode open on leveldb)\n\
          \x20 --mode closed|open               load shape (default: closed; open\n\
          \x20                                  requires --rate)\n\
          \x20 --rate 1000,10000 | 1000-5000/1000\n\
@@ -135,6 +146,8 @@ pub fn usage() -> String {
          \x20 lockbench sweep --lock cna,mcs --workload sim,kvmap --threads 1,2,4 --scale smoke\n\
          \x20 lockbench sweep --lock cna,mcs --workload kvmap --mode open \\\n\
          \x20           --rate 1000,10000,100000 --metric p99 --scale smoke\n\
+         \x20 lockbench sweep --lock cna,mcs --workload kvmap --shards 1,2,4,8 --scale smoke\n\
+         \x20 lockbench sweep --lock cna --workload leveldb --batch 1,8,32 --scale smoke\n\
          \x20 lockbench diff baselines/smoke.csv target/experiments/lockbench_sweep.csv",
         Arrival::ALL.map(|a| a.name()).join("|"),
         Metric::ALL.map(|m| m.name()).join("|"),
@@ -215,6 +228,8 @@ where
     let mut locks: Option<Vec<LockId>> = None;
     let mut workloads: Option<Vec<WorkloadId>> = None;
     let mut threads: Vec<usize> = Vec::new();
+    let mut shards: Vec<usize> = Vec::new();
+    let mut batches: Vec<usize> = Vec::new();
     let mut scale = Scale::from_env();
     let mut metric = Metric::ThroughputOpsPerUs;
     let mut repetitions = 0usize;
@@ -240,6 +255,14 @@ where
             "--threads" => {
                 let value = value_of(&flag)?;
                 threads = parse_thread_list(&value).map_err(|e| e.to_string())?;
+            }
+            "--shards" => {
+                let value = value_of(&flag)?;
+                shards = parse_shard_list(&value).map_err(|e| e.to_string())?;
+            }
+            "--batch" | "--batches" => {
+                let value = value_of(&flag)?;
+                batches = parse_batch_list(&value).map_err(|e| e.to_string())?;
             }
             "--mode" => {
                 let value = value_of(&flag)?;
@@ -331,6 +354,8 @@ where
         locks,
         workloads,
         threads,
+        shards,
+        batches,
         load,
         scale,
         metric,
@@ -389,6 +414,8 @@ pub fn build_spec(args: &SweepArgs) -> ExperimentSpec {
         .locks(args.locks.clone())
         .workloads(args.workloads.iter().map(|w| w.to_spec()).collect())
         .threads(args.threads.clone())
+        .shards(args.shards.clone())
+        .batches(args.batches.clone())
         .load(args.load.clone())
         .scale(args.scale)
         .metric(args.metric)
@@ -755,6 +782,8 @@ mod tests {
             locks: vec![LockId::Mcs, LockId::Cna],
             workloads: vec![WorkloadId::Sim, WorkloadId::KvMap],
             threads: vec![1, 2],
+            shards: Vec::new(),
+            batches: Vec::new(),
             load: LoadSpec::Closed,
             scale: Scale::Smoke,
             metric: Metric::ThroughputOpsPerUs,
@@ -803,6 +832,114 @@ mod tests {
         let sweep = report.sweep_for("kvmap").unwrap();
         assert!(sweep.has_rates());
         assert_eq!(sweep.rows.len(), 2);
+    }
+
+    #[test]
+    fn parses_shard_and_batch_sweeps() {
+        let cmd = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "cna",
+            "--workload",
+            "kvmap",
+            "--shards",
+            "1,2,4,8",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(args) => {
+                assert_eq!(args.shards, vec![1, 2, 4, 8]);
+                assert!(args.batches.is_empty());
+            }
+            other => panic!("expected Sweep, got {other:?}"),
+        }
+        let cmd = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "cna",
+            "--workload",
+            "leveldb",
+            "--batch",
+            "1,8,32",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(args) => assert_eq!(args.batches, vec![1, 8, 32]),
+            other => panic!("expected Sweep, got {other:?}"),
+        }
+        // Malformed axis lists surface their own error badge.
+        let err = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "cna",
+            "--workload",
+            "kvmap",
+            "--shards",
+            "0",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("shard"), "got: {err}");
+        let err = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "cna",
+            "--workload",
+            "leveldb",
+            "--batch",
+            "junk",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("batch"), "got: {err}");
+    }
+
+    #[test]
+    fn sharded_sweep_produces_one_cell_per_shard_count() {
+        let args = SweepArgs {
+            locks: vec![LockId::Cna],
+            workloads: vec![WorkloadId::KvMap],
+            threads: vec![2],
+            shards: vec![1, 4],
+            duration_ms: Some(4),
+            ..closed_args("unit_cli_shards")
+        };
+        let report = execute_sweep(&args).unwrap();
+        // 1 workload × 2 shard counts × 1 thread count × 1 lock × 1 rep.
+        assert_eq!(report.samples.len(), 2);
+        let mut shard_axis: Vec<usize> = report.samples.iter().map(|s| s.shards).collect();
+        shard_axis.sort_unstable();
+        assert_eq!(shard_axis, vec![1, 4]);
+        assert!(report.samples.iter().all(|s| s.value > 0.0));
+        assert!(report.to_csv().contains("shards"));
+    }
+
+    #[test]
+    fn batched_sweep_produces_one_cell_per_batch_limit() {
+        let args = SweepArgs {
+            locks: vec![LockId::Mcs],
+            workloads: vec![WorkloadId::Leveldb],
+            threads: vec![2],
+            batches: vec![1, 8],
+            duration_ms: Some(4),
+            ..closed_args("unit_cli_batch")
+        };
+        let report = execute_sweep(&args).unwrap();
+        let mut batch_axis: Vec<usize> = report.samples.iter().map(|s| s.batch).collect();
+        batch_axis.sort_unstable();
+        assert_eq!(batch_axis, vec![1, 8]);
+        assert!(report.samples.iter().all(|s| s.total_ops > 0));
+    }
+
+    #[test]
+    fn axis_on_the_wrong_workload_is_a_cli_error() {
+        let args = SweepArgs {
+            locks: vec![LockId::Cna],
+            workloads: vec![WorkloadId::Sim],
+            threads: vec![1],
+            shards: vec![4],
+            ..closed_args("unit_cli_bad_axis")
+        };
+        let err = execute_sweep(&args).unwrap_err();
+        assert!(err.contains("shards"), "got: {err}");
     }
 
     #[test]

@@ -27,8 +27,9 @@ impl Default for DiffThreshold {
     }
 }
 
-/// One compared cell: a (workload, lock, threads, rate, metric) key present
-/// in both reports, with repetitions averaged on each side.
+/// One compared cell: a (workload, lock, threads, shards, batch, rate,
+/// metric) key present in both reports, with repetitions averaged on each
+/// side.
 #[derive(Debug, Clone, PartialEq)]
 pub struct DiffEntry {
     /// Workload label.
@@ -37,6 +38,10 @@ pub struct DiffEntry {
     pub lock: String,
     /// Thread count.
     pub threads: usize,
+    /// Shard count of the cell; 1 for unsharded cells.
+    pub shards: usize,
+    /// Group-commit batch limit of the cell; 0 for native paths.
+    pub batch: usize,
     /// Offered load of the cell; 0 for closed-loop cells.
     pub rate_per_sec: u64,
     /// Metric token (decides the regression direction).
@@ -79,10 +84,19 @@ impl DiffReport {
 
     /// Renders the comparison as an aligned text table plus a verdict line.
     /// Closed-loop-only diffs keep the historical column set; a `rate/s`
-    /// column appears as soon as any compared cell is open-loop.
+    /// column appears as soon as any compared cell is open-loop, and the
+    /// `shards` / `batch` columns as soon as any cell uses those axes.
     pub fn render(&self) -> String {
         let rated = self.entries.iter().any(|e| e.rate_per_sec > 0);
+        let sharded = self.entries.iter().any(|e| e.shards != 1);
+        let batched = self.entries.iter().any(|e| e.batch > 0);
         let mut header: Vec<String> = vec!["workload".into(), "lock".into(), "threads".into()];
+        if sharded {
+            header.push("shards".into());
+        }
+        if batched {
+            header.push("batch".into());
+        }
         if rated {
             header.push("rate/s".into());
         }
@@ -96,6 +110,12 @@ impl DiffReport {
             .iter()
             .map(|e| {
                 let mut row = vec![e.workload.clone(), e.lock.clone(), e.threads.to_string()];
+                if sharded {
+                    row.push(e.shards.to_string());
+                }
+                if batched {
+                    row.push(e.batch.to_string());
+                }
                 if rated {
                     row.push(e.rate_per_sec.to_string());
                 }
@@ -135,7 +155,7 @@ impl DiffReport {
     }
 }
 
-type Key = (String, String, usize, u64, String);
+type Key = (String, String, usize, usize, usize, u64, String);
 
 fn cell_means(report: &RunReport) -> BTreeMap<Key, f64> {
     let mut acc: BTreeMap<Key, (f64, u32)> = BTreeMap::new();
@@ -144,6 +164,8 @@ fn cell_means(report: &RunReport) -> BTreeMap<Key, f64> {
             s.workload.clone(),
             s.lock.clone(),
             s.threads,
+            s.shards,
+            s.batch,
             s.rate_per_sec,
             s.metric.clone(),
         );
@@ -156,19 +178,27 @@ fn cell_means(report: &RunReport) -> BTreeMap<Key, f64> {
         .collect()
 }
 
-fn key_label((workload, lock, threads, rate, metric): &Key) -> String {
-    if *rate > 0 {
-        format!("{workload}/{lock}@{threads}t@{rate}/s [{metric}]")
-    } else {
-        format!("{workload}/{lock}@{threads}t [{metric}]")
+fn key_label((workload, lock, threads, shards, batch, rate, metric): &Key) -> String {
+    let mut label = format!("{workload}/{lock}@{threads}t");
+    if *shards != 1 {
+        label.push_str(&format!("@{shards}sh"));
     }
+    if *batch > 0 {
+        label.push_str(&format!("@{batch}b"));
+    }
+    if *rate > 0 {
+        label.push_str(&format!("@{rate}/s"));
+    }
+    label.push_str(&format!(" [{metric}]"));
+    label
 }
 
 impl RunReport {
     /// Compares this (current) report against a stored `baseline`.
     ///
-    /// Cells are keyed by (workload, lock, threads, rate, metric) with
-    /// repetitions averaged. A cell regresses when it moves more than
+    /// Cells are keyed by (workload, lock, threads, shards, batch, rate,
+    /// metric) with repetitions averaged. A cell regresses when it moves
+    /// more than
     /// [`DiffThreshold::max_regression`] in the metric's bad direction —
     /// down for throughput, up for LLC misses, unfairness, sojourn
     /// percentiles and queue depth. Unknown metric tokens are treated as
@@ -184,7 +214,7 @@ impl RunReport {
                 missing_in_current.push(key_label(key));
                 continue;
             };
-            let higher_is_better = Metric::parse(&key.4)
+            let higher_is_better = Metric::parse(&key.6)
                 .ok()
                 .map(Metric::higher_is_better)
                 .unwrap_or(true);
@@ -203,8 +233,10 @@ impl RunReport {
                 workload: key.0.clone(),
                 lock: key.1.clone(),
                 threads: key.2,
-                rate_per_sec: key.3,
-                metric: key.4.clone(),
+                shards: key.3,
+                batch: key.4,
+                rate_per_sec: key.5,
+                metric: key.6.clone(),
                 baseline: base_value,
                 current: cur_value,
                 change,
@@ -236,6 +268,8 @@ mod tests {
             lock: lock.to_string(),
             label: lock.to_uppercase(),
             threads,
+            shards: 1,
+            batch: 0,
             mode: "closed".to_string(),
             rate_per_sec: 0,
             rep,
@@ -364,6 +398,34 @@ mod tests {
         assert_eq!(diff.missing_in_current.len(), 1);
         assert!(diff.missing_in_current[0].contains("@1000/s"));
         assert_eq!(diff.missing_in_baseline.len(), 1);
+    }
+
+    #[test]
+    fn shard_and_batch_coordinates_are_distinct_keys() {
+        let sharded = |shards: usize, value: f64| Sample {
+            shards,
+            ..sample("cna", 8, 0, "throughput", value)
+        };
+        let base = report(vec![sharded(1, 10.0), sharded(4, 30.0)]);
+        // shards=4 collapses to shards=1 performance: only that cell trips.
+        let cur = report(vec![sharded(1, 10.0), sharded(4, 10.0)]);
+        let diff = cur.diff_against(&base, DiffThreshold::default());
+        let regressed: Vec<_> = diff.regressions().collect();
+        assert_eq!(regressed.len(), 1);
+        assert_eq!(regressed[0].shards, 4);
+        assert!(diff.render().contains("shards"), "{}", diff.render());
+
+        // A batch cell and a native cell never alias each other.
+        let batched = report(vec![Sample {
+            batch: 16,
+            ..sample("cna", 8, 0, "throughput", 20.0)
+        }]);
+        let native = report(vec![sample("cna", 8, 0, "throughput", 20.0)]);
+        let diff = batched.diff_against(&native, DiffThreshold::default());
+        assert!(diff.has_regressions(), "coverage moved between keys");
+        assert_eq!(diff.missing_in_current.len(), 1);
+        assert_eq!(diff.missing_in_baseline.len(), 1);
+        assert!(diff.missing_in_baseline[0].contains("@16b"));
     }
 
     #[test]

@@ -194,6 +194,20 @@ pub enum ExperimentError {
     /// An offered-rate list was malformed (zero, duplicate, unparseable, or
     /// empty).
     InvalidRate(String),
+    /// A shard-count list was malformed (zero, duplicate, unparseable, or
+    /// empty).
+    InvalidShards(String),
+    /// A batch-limit list was malformed (zero, duplicate, unparseable, or
+    /// empty).
+    InvalidBatch(String),
+    /// A sweep axis was applied to a workload that has no such axis
+    /// (`--shards` off the sharded kv-map, `--batch` off leveldb).
+    UnsupportedAxis {
+        /// The workload that has no such axis.
+        workload: String,
+        /// The rejected axis (`"shards"` / `"batch"`).
+        axis: &'static str,
+    },
     /// The spec's id or a workload label contains a character the CSV
     /// report format cannot represent (comma or newline).
     InvalidId(String),
@@ -252,6 +266,15 @@ impl fmt::Display for ExperimentError {
             ExperimentError::EmptyWorkloads => write!(f, "the experiment selects no workloads"),
             ExperimentError::InvalidThreads(msg) => write!(f, "invalid thread list: {msg}"),
             ExperimentError::InvalidRate(msg) => write!(f, "invalid rate list: {msg}"),
+            ExperimentError::InvalidShards(msg) => write!(f, "invalid shard list: {msg}"),
+            ExperimentError::InvalidBatch(msg) => write!(f, "invalid batch list: {msg}"),
+            ExperimentError::UnsupportedAxis { workload, axis } => {
+                write!(
+                    f,
+                    "workload {workload:?} has no {axis} axis \
+                     (--shards applies to kvmap, --batch to leveldb)"
+                )
+            }
             ExperimentError::Unknown { kind, name, valid } => {
                 write!(f, "unknown {kind} {name:?} (valid: {})", valid.join(", "))
             }
@@ -386,6 +409,80 @@ pub fn parse_thread_list(list: &str) -> Result<Vec<usize>, ExperimentError> {
         }
     }
     Ok(threads)
+}
+
+/// Parses a shard-count sweep list (`--shards`): the same grammar as
+/// [`parse_thread_list`] (counts, ranges, strides; rejects zero, duplicates
+/// and empty lists).
+///
+/// # Examples
+///
+/// ```
+/// use harness::experiments::parse_shard_list;
+/// assert_eq!(parse_shard_list("1,2,4,8").unwrap(), vec![1, 2, 4, 8]);
+/// assert!(parse_shard_list("0").is_err());
+/// ```
+pub fn parse_shard_list(list: &str) -> Result<Vec<usize>, ExperimentError> {
+    parse_thread_list(list).map_err(|err| match err {
+        // Re-badge the diagnostic: the grammar is shared, the flag is not.
+        ExperimentError::InvalidThreads(msg) => {
+            ExperimentError::InvalidShards(msg.replace("thread count", "shard count"))
+        }
+        other => other,
+    })
+}
+
+/// Parses a batch-limit sweep list (`--batch`): the same grammar as
+/// [`parse_thread_list`] (counts, ranges, strides; rejects zero, duplicates
+/// and empty lists).
+///
+/// # Examples
+///
+/// ```
+/// use harness::experiments::parse_batch_list;
+/// assert_eq!(parse_batch_list("1,8,32").unwrap(), vec![1, 8, 32]);
+/// assert!(parse_batch_list("1,1").is_err());
+/// ```
+pub fn parse_batch_list(list: &str) -> Result<Vec<usize>, ExperimentError> {
+    parse_thread_list(list).map_err(|err| match err {
+        // Re-badge the diagnostic: the grammar is shared, the flag is not.
+        ExperimentError::InvalidThreads(msg) => {
+            ExperimentError::InvalidBatch(msg.replace("thread count", "batch limit"))
+        }
+        other => other,
+    })
+}
+
+/// One cell of the experiment grid: the full coordinate a [`Runner`]
+/// receives — thread count, load shape, and the scale-out axes.
+///
+/// `shards = 1` means a single lock guards all state (every workload's
+/// native shape); `batch = 0` means the workload's native single-write path
+/// (no group commit), while `batch >= 1` routes leveldb writes through
+/// group commit with that leader limit.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub struct GridPoint {
+    /// Worker (or simulated) thread count.
+    pub threads: usize,
+    /// Load shape of the cell.
+    pub mode: LoadMode,
+    /// Shard count (1 = unsharded).
+    pub shards: usize,
+    /// Group-commit batch limit (0 = the native non-batched path).
+    pub batch: usize,
+}
+
+impl GridPoint {
+    /// A closed-loop, unsharded, non-batched cell — the historical default
+    /// shape of every grid before the scale-out axes existed.
+    pub fn closed(threads: usize) -> Self {
+        GridPoint {
+            threads,
+            mode: LoadMode::Closed,
+            shards: 1,
+            batch: 0,
+        }
+    }
 }
 
 /// The workloads an experiment can select by token (the `--workload` flag).
@@ -621,6 +718,12 @@ pub struct ExperimentSpec {
     /// The load axis: closed-loop hammering (the default) or an open-loop
     /// offered-rate sweep.
     pub load: LoadSpec,
+    /// Shard counts to sweep on the sharded kv-map. Empty = no shard axis
+    /// (every cell runs unsharded, `shards = 1`).
+    pub shards: Vec<usize>,
+    /// Group-commit batch limits to sweep on leveldb. Empty = no batch axis
+    /// (every cell runs the native non-batched write path, `batch = 0`).
+    pub batches: Vec<usize>,
 }
 
 impl ExperimentSpec {
@@ -639,6 +742,8 @@ impl ExperimentSpec {
             metric: Metric::ThroughputOpsPerUs,
             duration_ms: None,
             load: LoadSpec::Closed,
+            shards: Vec::new(),
+            batches: Vec::new(),
         }
     }
 
@@ -717,6 +822,19 @@ impl ExperimentSpec {
         self
     }
 
+    /// Sets the shard-count sweep (kvmap only; empty = no shard axis).
+    pub fn shards(mut self, shards: Vec<usize>) -> Self {
+        self.shards = shards;
+        self
+    }
+
+    /// Sets the group-commit batch sweep (leveldb only; empty = no batch
+    /// axis).
+    pub fn batches(mut self, batches: Vec<usize>) -> Self {
+        self.batches = batches;
+        self
+    }
+
     /// The repetitions actually run per data point.
     pub fn effective_repetitions(&self) -> usize {
         if self.repetitions == 0 {
@@ -780,6 +898,16 @@ impl ExperimentSpec {
                 });
             }
         }
+        if self.shards.contains(&0) {
+            return Err(ExperimentError::InvalidShards(
+                "shard counts must be at least 1".to_string(),
+            ));
+        }
+        if self.batches.contains(&0) {
+            return Err(ExperimentError::InvalidBatch(
+                "batch limits must be at least 1".to_string(),
+            ));
+        }
         for workload in &self.workloads {
             if matches!(workload, WorkloadSpec::Substrate(_))
                 && self.metric == Metric::LlcMissesPerUs
@@ -791,9 +919,35 @@ impl ExperimentSpec {
                     metric: self.metric.name(),
                 });
             }
-            if self.load.is_open() && !workload.supports_open_loop() {
+            let is_batched_leveldb = matches!(
+                workload,
+                WorkloadSpec::Substrate(SubstrateWorkload::Leveldb)
+            ) && !self.batches.is_empty();
+            // The group-commit write path paces arrivals itself, so a
+            // batched leveldb spec may serve open-loop load even though the
+            // native readrandom loop cannot.
+            if self.load.is_open() && !workload.supports_open_loop() && !is_batched_leveldb {
                 return Err(ExperimentError::UnsupportedLoadMode {
                     workload: workload.label().to_string(),
+                });
+            }
+            if !self.shards.is_empty()
+                && !matches!(workload, WorkloadSpec::Substrate(SubstrateWorkload::KvMap))
+            {
+                return Err(ExperimentError::UnsupportedAxis {
+                    workload: workload.label().to_string(),
+                    axis: "shards",
+                });
+            }
+            if !self.batches.is_empty()
+                && !matches!(
+                    workload,
+                    WorkloadSpec::Substrate(SubstrateWorkload::Leveldb)
+                )
+            {
+                return Err(ExperimentError::UnsupportedAxis {
+                    workload: workload.label().to_string(),
+                    axis: "batch",
                 });
             }
         }
@@ -823,10 +977,32 @@ impl ExperimentSpec {
                     self.scale
                 )));
             }
+            // The scale-out axes: one-point defaults keep unsharded /
+            // non-batched grids identical to their historical shape.
+            let shard_points: &[usize] = if self.shards.is_empty() {
+                &[1]
+            } else {
+                &self.shards
+            };
+            let batch_points: &[usize] = if self.batches.is_empty() {
+                &[0]
+            } else {
+                &self.batches
+            };
             for mode in self.load.points() {
-                for &t in &threads {
-                    for &lock in &self.locks {
-                        samples.extend(runner.run_cell(self, lock, t, mode)?);
+                for &shards in shard_points {
+                    for &batch in batch_points {
+                        for &t in &threads {
+                            for &lock in &self.locks {
+                                let point = GridPoint {
+                                    threads: t,
+                                    mode,
+                                    shards,
+                                    batch,
+                                };
+                                samples.extend(runner.run_cell(self, lock, point)?);
+                            }
+                        }
                     }
                 }
             }
@@ -941,6 +1117,83 @@ mod tests {
                 "rates {rates:?} should be rejected"
             );
         }
+    }
+
+    #[test]
+    fn shard_and_batch_lists_parse_and_re_badge_errors() {
+        assert_eq!(parse_shard_list("1,2,4,8").unwrap(), vec![1, 2, 4, 8]);
+        assert_eq!(parse_batch_list("1-4").unwrap(), vec![1, 2, 3, 4]);
+        match parse_shard_list("0").unwrap_err() {
+            ExperimentError::InvalidShards(msg) => {
+                assert!(msg.contains("shard count"), "{msg}");
+            }
+            other => panic!("expected InvalidShards, got {other:?}"),
+        }
+        match parse_batch_list("1,1").unwrap_err() {
+            ExperimentError::InvalidBatch(msg) => {
+                assert!(msg.contains("batch limit"), "{msg}");
+            }
+            other => panic!("expected InvalidBatch, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn scale_out_axes_validate_against_their_workloads() {
+        // Shards on a non-kvmap workload: a typed axis error.
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::Sim.to_spec())
+            .shards(vec![1, 4]);
+        match spec.validate() {
+            Err(ExperimentError::UnsupportedAxis { workload, axis }) => {
+                assert_eq!(workload, "sim");
+                assert_eq!(axis, "shards");
+            }
+            other => panic!("expected UnsupportedAxis, got {other:?}"),
+        }
+        // Batch on a non-leveldb workload likewise.
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::KvMap.to_spec())
+            .batches(vec![8]);
+        match spec.validate() {
+            Err(ExperimentError::UnsupportedAxis { axis, .. }) => assert_eq!(axis, "batch"),
+            other => panic!("expected UnsupportedAxis, got {other:?}"),
+        }
+        // Zero values are rejected even when set via the builder.
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::KvMap.to_spec())
+            .shards(vec![0]);
+        assert!(matches!(
+            spec.validate(),
+            Err(ExperimentError::InvalidShards(_))
+        ));
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::Leveldb.to_spec())
+            .batches(vec![0]);
+        assert!(matches!(
+            spec.validate(),
+            Err(ExperimentError::InvalidBatch(_))
+        ));
+        // The axes on their own workloads pass validation.
+        assert!(ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::KvMap.to_spec())
+            .shards(vec![1, 4])
+            .validate()
+            .is_ok());
+        // Batched leveldb may serve open-loop load; native leveldb may not
+        // (covered above), and the batch axis unlocks it.
+        assert!(ExperimentSpec::new("t")
+            .lock(LockId::Cna)
+            .workload(WorkloadId::Leveldb.to_spec())
+            .batches(vec![1, 16])
+            .open_rates(vec![10_000], Arrival::Poisson)
+            .metric(Metric::P99Sojourn)
+            .validate()
+            .is_ok());
     }
 
     #[test]

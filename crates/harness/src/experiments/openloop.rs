@@ -10,6 +10,9 @@
 //! generator, so a substrate run and a simulator run at the same (rate,
 //! arrival, seed) see the **same** offered load.
 
+use std::sync::atomic::{AtomicU64, AtomicUsize, Ordering};
+use std::time::{Duration, Instant};
+
 use rand::{Rng, SeedableRng, SmallRng};
 
 use numa_sim::lock_model::{LockAlgorithm, LockModel, Waiter};
@@ -130,6 +133,115 @@ impl DepthMeter {
         self.sum += other.sum;
         self.samples += other.samples;
         self.max = self.max.max(other.max);
+    }
+}
+
+// ---------------------------------------------------------------------------
+// The generic wall-clock open-loop driver
+// ---------------------------------------------------------------------------
+
+/// Runs an arrival `schedule` against `threads` real workers, pacing each
+/// request to its wall-clock offset and recording per-request sojourn
+/// (arrival → completion) plus queue-depth samples.
+///
+/// This is the substrate-agnostic half of the real-thread open loop: the
+/// driver owns request dispatch (a shared fetch-add over the schedule),
+/// pacing (sleep through long gaps, spin out the tail), depth sampling and
+/// histogram merging, while the caller supplies the substrate via two
+/// closures:
+///
+/// * `init(worker)` runs **on the worker thread** and builds its per-worker
+///   state (socket override guard, queue node, RNG seed, …) — the state
+///   type `W` never crosses threads, so it needs no `Send`.
+/// * `serve(&mut state, request)` performs one request — the critical
+///   section whose sojourn is measured.
+///
+/// The run ends when the schedule drains: every request is served, so
+/// saturating rates produce growing sojourn times rather than drops.
+pub fn run_wall_clock_open_loop<W, I, S>(
+    threads: usize,
+    schedule: &[u64],
+    init: I,
+    serve: S,
+) -> OpenLoopSummary
+where
+    I: Fn(usize) -> W + Sync,
+    S: Fn(&mut W, usize) + Sync,
+{
+    let threads = threads.max(1);
+    let next = AtomicUsize::new(0);
+    let completed = AtomicU64::new(0);
+    let start = Instant::now();
+
+    let per_worker: Vec<(LatencyHistogram, DepthMeter, u64, u64)> = std::thread::scope(|scope| {
+        let handles: Vec<_> = (0..threads)
+            .map(|t| {
+                let (next, completed) = (&next, &completed);
+                let (init, serve) = (&init, &serve);
+                scope.spawn(move || {
+                    let mut state = init(t);
+                    let mut histogram = LatencyHistogram::new();
+                    let mut depth = DepthMeter::default();
+                    let mut served = 0u64;
+                    let mut last_done_ns = 0u64;
+                    loop {
+                        let i = next.fetch_add(1, Ordering::Relaxed);
+                        if i >= schedule.len() {
+                            break;
+                        }
+                        let arrival_ns = schedule[i];
+                        // Pace on the wall clock: sleep through long gaps,
+                        // spin out the tail for precision.
+                        loop {
+                            let now = start.elapsed().as_nanos() as u64;
+                            if now >= arrival_ns {
+                                break;
+                            }
+                            if arrival_ns - now > 200_000 {
+                                std::thread::sleep(Duration::from_nanos((arrival_ns - now) / 2));
+                            } else {
+                                std::hint::spin_loop();
+                            }
+                        }
+                        let now = start.elapsed().as_nanos() as u64;
+                        // In-system count at service start: arrivals due by
+                        // now minus requests already completed.
+                        let arrived = schedule.partition_point(|&a| a <= now) as u64;
+                        depth.sample(arrived.saturating_sub(completed.load(Ordering::Relaxed)));
+                        serve(&mut state, i);
+                        let done = start.elapsed().as_nanos() as u64;
+                        histogram.record(done.saturating_sub(arrival_ns));
+                        completed.fetch_add(1, Ordering::Relaxed);
+                        served += 1;
+                        last_done_ns = done;
+                    }
+                    (histogram, depth, served, last_done_ns)
+                })
+            })
+            .collect();
+        handles
+            .into_iter()
+            .map(|h| h.join().expect("open-loop worker panicked"))
+            .collect()
+    });
+
+    let mut histogram = LatencyHistogram::new();
+    let mut depth = DepthMeter::default();
+    let mut served_per_worker = Vec::with_capacity(per_worker.len());
+    let mut elapsed_ns = 0u64;
+    for (h, d, served, last) in &per_worker {
+        histogram.merge(h);
+        depth.merge(d);
+        served_per_worker.push(*served);
+        elapsed_ns = elapsed_ns.max(*last);
+    }
+    debug_assert_eq!(histogram.count(), schedule.len() as u64);
+    OpenLoopSummary {
+        histogram,
+        served_per_worker,
+        mean_queue_depth: depth.mean(),
+        max_queue_depth: depth.max(),
+        elapsed_ns: elapsed_ns.max(1),
     }
 }
 
@@ -486,6 +598,34 @@ mod tests {
         // Mean gap ≈ 1000 ns (within 10 % over 10k draws).
         let span = (a[a.len() - 1] - a[0]) as f64 / (a.len() - 1) as f64;
         assert!((900.0..1100.0).contains(&span), "mean gap {span}");
+    }
+
+    #[test]
+    fn wall_clock_driver_serves_every_request_and_merges_workers() {
+        let schedule = arrival_schedule(1_000_000, Arrival::Fixed, 200, 3);
+        let sum = std::sync::atomic::AtomicU64::new(0);
+        let summary = run_wall_clock_open_loop(
+            3,
+            &schedule,
+            |worker| (worker, 0u64),
+            |state, i| {
+                state.1 += 1;
+                sum.fetch_add(i as u64 + 1, Ordering::Relaxed);
+            },
+        );
+        assert_eq!(summary.served(), 200);
+        assert_eq!(summary.histogram.count(), 200);
+        assert_eq!(summary.served_per_worker.len(), 3);
+        assert_eq!(
+            sum.load(Ordering::Relaxed),
+            (200 * 201) / 2,
+            "every request index served once"
+        );
+        assert!(summary.elapsed_ns >= *schedule.last().unwrap());
+        assert!(
+            summary.mean_queue_depth >= 1.0,
+            "arrivals sample themselves"
+        );
     }
 
     #[test]

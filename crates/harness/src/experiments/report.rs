@@ -19,6 +19,10 @@ pub struct Sample {
     pub label: String,
     /// Worker (or simulated) thread count.
     pub threads: usize,
+    /// Shard count of the cell (sharded kv-map); 1 for unsharded workloads.
+    pub shards: usize,
+    /// Group-commit batch limit (leveldb write path); 0 for native paths.
+    pub batch: usize,
     /// Load shape of the cell (`closed` / `open`).
     pub mode: String,
     /// Offered load in requests per second; 0 for closed-loop cells.
@@ -47,11 +51,15 @@ pub struct Sample {
 }
 
 /// One row of an aggregated sweep: mean metric per lock at one
-/// (thread count, offered rate) grid point.
+/// (thread count, shard count, batch limit, offered rate) grid point.
 #[derive(Debug, Clone, PartialEq)]
 pub struct SweepRow {
     /// Thread count.
     pub threads: usize,
+    /// Shard count of the row; 1 for unsharded rows.
+    pub shards: usize,
+    /// Group-commit batch limit of the row; 0 for native paths.
+    pub batch: usize,
     /// Offered load of the row; 0 for closed-loop rows.
     pub rate_per_sec: u64,
     /// Mean value per lock, in [`SweepResult::locks`] order. `NaN` marks a
@@ -74,7 +82,7 @@ pub struct SweepResult {
     pub locks: Vec<String>,
     /// Plot labels, parallel to [`SweepResult::locks`].
     pub labels: Vec<String>,
-    /// Rows in ascending (thread count, rate) order.
+    /// Rows in ascending (thread count, shards, batch, rate) order.
     pub rows: Vec<SweepRow>,
 }
 
@@ -89,6 +97,16 @@ impl SweepResult {
     /// Whether any row carries an offered rate (i.e. the sweep is open-loop).
     pub fn has_rates(&self) -> bool {
         self.rows.iter().any(|r| r.rate_per_sec > 0)
+    }
+
+    /// Whether the sweep varies the shard axis (any row with shards ≠ 1).
+    pub fn has_shards(&self) -> bool {
+        self.rows.iter().any(|r| r.shards != 1)
+    }
+
+    /// Whether the sweep drives a group-commit path (any row with batch > 0).
+    pub fn has_batches(&self) -> bool {
+        self.rows.iter().any(|r| r.batch > 0)
     }
 
     /// Mean value for `lock` (canonical name or plot label) at the last
@@ -109,7 +127,9 @@ impl SweepResult {
             .map(|r| r.values[idx])
     }
 
-    /// Mean value for `lock` at a specific (thread count, rate) point.
+    /// Mean value for `lock` at a specific (thread count, rate) point
+    /// (first matching row — sweeps over the shard or batch axis should use
+    /// [`SweepResult::value_at_cell`]).
     pub fn value_at_rate(&self, lock: &str, threads: usize, rate_per_sec: u64) -> Option<f64> {
         let idx = self.column(lock)?;
         self.rows
@@ -118,11 +138,43 @@ impl SweepResult {
             .map(|r| r.values[idx])
     }
 
-    /// Renders the sweep as an aligned text table. Closed sweeps keep the
-    /// historical `threads`-keyed shape; open sweeps add a `rate/s` column.
+    /// Mean value for `lock` at a fully-qualified grid cell
+    /// (thread count, shard count, batch limit, offered rate).
+    pub fn value_at_cell(
+        &self,
+        lock: &str,
+        threads: usize,
+        shards: usize,
+        batch: usize,
+        rate_per_sec: u64,
+    ) -> Option<f64> {
+        let idx = self.column(lock)?;
+        self.rows
+            .iter()
+            .find(|r| {
+                r.threads == threads
+                    && r.shards == shards
+                    && r.batch == batch
+                    && r.rate_per_sec == rate_per_sec
+            })
+            .map(|r| r.values[idx])
+    }
+
+    /// Renders the sweep as an aligned text table. Closed single-lock-path
+    /// sweeps keep the historical `threads`-keyed shape; open sweeps add a
+    /// `rate/s` column and the scale-out axes add `shards` / `batch` columns
+    /// only when they actually vary.
     pub fn render(&self, title: &str) -> String {
         let rated = self.has_rates();
+        let sharded = self.has_shards();
+        let batched = self.has_batches();
         let mut header = vec!["threads".to_string()];
+        if sharded {
+            header.push("shards".to_string());
+        }
+        if batched {
+            header.push("batch".to_string());
+        }
         if rated {
             header.push("rate/s".to_string());
         }
@@ -132,6 +184,12 @@ impl SweepResult {
             .iter()
             .map(|r| {
                 let mut cells = vec![r.threads.to_string()];
+                if sharded {
+                    cells.push(r.shards.to_string());
+                }
+                if batched {
+                    cells.push(r.batch.to_string());
+                }
                 if rated {
                     cells.push(r.rate_per_sec.to_string());
                 }
@@ -144,13 +202,15 @@ impl SweepResult {
 }
 
 /// The CSV column order (also the JSON field order of each sample).
-const CSV_COLUMNS: [&str; 18] = [
+const CSV_COLUMNS: [&str; 20] = [
     "id",
     "scale",
     "workload",
     "lock",
     "label",
     "threads",
+    "shards",
+    "batch",
     "mode",
     "rate",
     "rep",
@@ -205,7 +265,7 @@ impl RunReport {
         let (metric, unit) = (first.metric.clone(), first.unit.clone());
         let mut locks: Vec<String> = Vec::new();
         let mut labels: Vec<String> = Vec::new();
-        let mut points: Vec<(usize, u64)> = Vec::new();
+        let mut points: Vec<(usize, usize, usize, u64)> = Vec::new();
         for s in &samples {
             if !locks.contains(&s.lock) {
                 locks.push(s.lock.clone());
@@ -219,7 +279,7 @@ impl RunReport {
                     labels.push(s.label.clone());
                 }
             }
-            let point = (s.threads, s.rate_per_sec);
+            let point = (s.threads, s.shards, s.batch, s.rate_per_sec);
             if !points.contains(&point) {
                 points.push(point);
             }
@@ -227,13 +287,18 @@ impl RunReport {
         points.sort_unstable();
         let rows = points
             .iter()
-            .map(|&(t, rate)| {
+            .map(|&(t, shards, batch, rate)| {
                 let values = locks
                     .iter()
                     .map(|lock| {
                         let (mut sum, mut n) = (0.0, 0u32);
                         for s in &samples {
-                            if s.threads == t && s.rate_per_sec == rate && &s.lock == lock {
+                            if s.threads == t
+                                && s.shards == shards
+                                && s.batch == batch
+                                && s.rate_per_sec == rate
+                                && &s.lock == lock
+                            {
                                 sum += s.value;
                                 n += 1;
                             }
@@ -247,6 +312,8 @@ impl RunReport {
                     .collect();
                 SweepRow {
                     threads: t,
+                    shards,
+                    batch,
                     rate_per_sec: rate,
                     values,
                 }
@@ -277,13 +344,15 @@ impl RunReport {
         out.push('\n');
         for s in &self.samples {
             out.push_str(&format!(
-                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
+                "{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{},{}\n",
                 self.id,
                 self.scale,
                 s.workload,
                 s.lock,
                 s.label,
                 s.threads,
+                s.shards,
+                s.batch,
                 s.mode,
                 s.rate_per_sec,
                 s.rep,
@@ -356,18 +425,20 @@ impl RunReport {
                 lock: fields[3].to_string(),
                 label: fields[4].to_string(),
                 threads: int(5, "threads")? as usize,
-                mode: fields[6].to_string(),
-                rate_per_sec: int(7, "rate")?,
-                rep: int(8, "rep")? as usize,
-                metric: fields[9].to_string(),
-                unit: fields[10].to_string(),
-                value: num(11, "value")?,
-                p50_us: num(12, "p50_us")?,
-                p99_us: num(13, "p99_us")?,
-                p999_us: num(14, "p999_us")?,
-                queue_depth: num(15, "queue_depth")?,
-                total_ops: int(16, "total_ops")?,
-                elapsed_ms: num(17, "elapsed_ms")?,
+                shards: int(6, "shards")? as usize,
+                batch: int(7, "batch")? as usize,
+                mode: fields[8].to_string(),
+                rate_per_sec: int(9, "rate")?,
+                rep: int(10, "rep")? as usize,
+                metric: fields[11].to_string(),
+                unit: fields[12].to_string(),
+                value: num(13, "value")?,
+                p50_us: num(14, "p50_us")?,
+                p99_us: num(15, "p99_us")?,
+                p999_us: num(16, "p999_us")?,
+                queue_depth: num(17, "queue_depth")?,
+                total_ops: int(18, "total_ops")?,
+                elapsed_ms: num(19, "elapsed_ms")?,
             });
         }
         report.ok_or(ExperimentError::Parse {
@@ -411,7 +482,8 @@ impl RunReport {
         for (i, s) in self.samples.iter().enumerate() {
             out.push_str(&format!(
                 "    {{\"workload\": \"{}\", \"lock\": \"{}\", \"label\": \"{}\", \
-                 \"threads\": {}, \"mode\": \"{}\", \"rate\": {}, \"rep\": {}, \
+                 \"threads\": {}, \"shards\": {}, \"batch\": {}, \
+                 \"mode\": \"{}\", \"rate\": {}, \"rep\": {}, \
                  \"metric\": \"{}\", \"unit\": \"{}\", \"value\": {}, \
                  \"p50_us\": {}, \"p99_us\": {}, \"p999_us\": {}, \
                  \"queue_depth\": {}, \"total_ops\": {}, \"elapsed_ms\": {}}}{}\n",
@@ -419,6 +491,8 @@ impl RunReport {
                 esc(&s.lock),
                 esc(&s.label),
                 s.threads,
+                s.shards,
+                s.batch,
                 esc(&s.mode),
                 s.rate_per_sec,
                 s.rep,
@@ -475,6 +549,8 @@ mod tests {
             lock: lock.to_string(),
             label: lock.to_uppercase(),
             threads,
+            shards: 1,
+            batch: 0,
             mode: "closed".to_string(),
             rate_per_sec: 0,
             rep,
@@ -575,6 +651,42 @@ mod tests {
     }
 
     #[test]
+    fn scale_out_axes_key_rows_and_render_their_columns() {
+        let shard_sample = |shards: usize, value: f64| Sample {
+            shards,
+            ..sample("kvmap", "cna", 8, 0, value)
+        };
+        let r = RunReport {
+            id: "axes".to_string(),
+            title: "axes".to_string(),
+            scale: "smoke".to_string(),
+            samples: vec![
+                shard_sample(1, 2.0),
+                shard_sample(4, 6.0),
+                Sample {
+                    batch: 16,
+                    ..sample("leveldb", "cna", 8, 0, 3.5)
+                },
+            ],
+        };
+        let kv = r.sweep_for("kvmap").unwrap();
+        assert!(kv.has_shards() && !kv.has_batches());
+        assert_eq!(kv.rows.len(), 2, "one row per shard count");
+        assert_eq!(kv.value_at_cell("cna", 8, 4, 0, 0), Some(6.0));
+        assert_eq!(kv.value_at_cell("cna", 8, 1, 0, 0), Some(2.0));
+        assert!(kv.value_at_cell("cna", 8, 2, 0, 0).is_none());
+        let table = kv.render("kv");
+        assert!(table.contains("shards"), "{table}");
+        assert!(!table.contains("batch"), "{table}");
+        let ldb = r.sweep_for("leveldb").unwrap();
+        assert!(ldb.has_batches() && !ldb.has_shards());
+        assert!(ldb.render("ldb").contains("batch"));
+        // The unsharded, unbatched report keeps the historical table shape.
+        let plain = report().sweep_for("kvmap").unwrap().render("plain");
+        assert!(!plain.contains("shards") && !plain.contains("batch"));
+    }
+
+    #[test]
     fn colliding_plot_labels_are_disambiguated_per_column() {
         // mcs and qspinlock-stock both plot as "MCS" on the simulator.
         let mut r = report();
@@ -595,7 +707,13 @@ mod tests {
 
     #[test]
     fn csv_round_trips_exactly() {
-        for original in [report(), open_report()] {
+        let mut axes = report();
+        axes.samples.push(Sample {
+            shards: 8,
+            batch: 32,
+            ..sample("kvmap", "cna", 4, 0, 7.5)
+        });
+        for original in [report(), open_report(), axes] {
             let parsed = RunReport::from_csv(&original.to_csv()).unwrap();
             assert_eq!(parsed.id, original.id);
             assert_eq!(parsed.scale, original.scale);

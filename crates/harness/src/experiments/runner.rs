@@ -4,15 +4,18 @@ use kernel_sim::{
     run_locktorture_dyn, run_will_it_scale_dyn, LockTortureConfig, WisBenchmark, WisConfig,
 };
 use kyoto_lite::{wicked_dyn, WickedConfig};
-use leveldb_lite::{readrandom_dyn, ReadRandomConfig};
+use leveldb_lite::{readrandom_dyn, writebatch_dyn, Db, ReadRandomConfig, WriteBatchConfig};
 use numa_sim::Simulation;
 use registry::LockId;
 
-use super::load::LoadMode;
-use super::openloop::{arrival_schedule, request_count, OpenLoopSummary, SimOpenLoop};
+use super::load::{Arrival, LoadMode};
+use super::openloop::{
+    arrival_schedule, request_count, run_wall_clock_open_loop, OpenLoopSummary, SimOpenLoop,
+};
 use super::report::Sample;
-use super::{ExperimentError, ExperimentSpec, Metric, SimSweep, SubstrateWorkload};
-use crate::real::{run_real_contention_dyn, RunConfig};
+use super::{ExperimentError, ExperimentSpec, GridPoint, Metric, SimSweep, SubstrateWorkload};
+use crate::kvmap::run_sharded_kvmap;
+use crate::real::RunConfig;
 use crate::scale::Scale;
 
 /// One experiment back-end: turns a grid cell (lock × thread count × load
@@ -26,13 +29,13 @@ pub trait Runner {
     fn default_threads(&self, scale: Scale) -> Vec<usize>;
 
     /// Runs one cell of the grid: `spec.effective_repetitions()` runs of
-    /// `lock` at `threads` workers under the load shape `mode`.
+    /// `lock` at the grid coordinate `point` (thread count, load shape, and
+    /// the scale-out axes).
     fn run_cell(
         &self,
         spec: &ExperimentSpec,
         lock: LockId,
-        threads: usize,
-        mode: LoadMode,
+        point: GridPoint,
     ) -> Result<Vec<Sample>, ExperimentError>;
 }
 
@@ -79,9 +82,8 @@ impl SubstrateRun {
         self,
         spec: &ExperimentSpec,
         lock: LockId,
-        threads: usize,
+        point: GridPoint,
         rep: usize,
-        mode: LoadMode,
     ) -> Sample {
         let value = match (&self.open_loop, spec.metric) {
             (Some(summary), metric) => open_loop_value(metric, summary),
@@ -99,9 +101,11 @@ impl SubstrateRun {
             workload: self.label,
             lock: lock.name().to_string(),
             label: lock.raw_name().to_string(),
-            threads,
-            mode: mode.name().to_string(),
-            rate_per_sec: mode.rate_per_sec(),
+            threads: point.threads,
+            shards: point.shards,
+            batch: point.batch,
+            mode: point.mode.name().to_string(),
+            rate_per_sec: point.mode.rate_per_sec(),
             rep,
             metric: spec.metric.name().to_string(),
             unit: spec.metric.unit().to_string(),
@@ -138,9 +142,14 @@ impl Runner for SubstrateRunner {
         &self,
         spec: &ExperimentSpec,
         lock: LockId,
-        threads: usize,
-        mode: LoadMode,
+        point: GridPoint,
     ) -> Result<Vec<Sample>, ExperimentError> {
+        let GridPoint {
+            threads,
+            mode,
+            shards,
+            batch,
+        } = point;
         if spec.metric == Metric::LlcMissesPerUs {
             // Wall-clock runs have no cache-event counters; only the
             // simulator can report LLC misses.
@@ -149,7 +158,11 @@ impl Runner for SubstrateRunner {
                 metric: spec.metric.name(),
             });
         }
-        if mode.is_open() && !self.workload.supports_open_loop() {
+        // The group-commit write path drives leveldb open-loop even though
+        // its native readrandom path is closed-only.
+        let open_ok = self.workload.supports_open_loop()
+            || (matches!(self.workload, SubstrateWorkload::Leveldb) && batch > 0);
+        if mode.is_open() && !open_ok {
             return Err(ExperimentError::UnsupportedLoadMode {
                 workload: self.workload.name().to_string(),
             });
@@ -169,28 +182,68 @@ impl Runner for SubstrateRunner {
         for rep in 0..spec.effective_repetitions() {
             let runs: Vec<SubstrateRun> = match self.workload {
                 SubstrateWorkload::KvMap => {
-                    let report = run_real_contention_dyn(
+                    // shards == 1 is the single-lock map: same code path,
+                    // one shard, so the sharded axis is comparable end to
+                    // end.
+                    let report = run_sharded_kvmap(
                         lock,
                         &RunConfig {
                             threads,
                             duration,
                             load: mode,
+                            shards,
                             ..RunConfig::default()
                         },
                     );
                     single(report.ops_per_thread, report.elapsed, report.open_loop)
                 }
-                SubstrateWorkload::Leveldb => {
-                    let report = readrandom_dyn(
-                        lock,
-                        &ReadRandomConfig {
+                SubstrateWorkload::Leveldb => match (batch, mode) {
+                    // batch == 0 is the native read path (no write queue).
+                    (0, _) => {
+                        let report = readrandom_dyn(
+                            lock,
+                            &ReadRandomConfig {
+                                threads,
+                                duration,
+                                ..ReadRandomConfig::default()
+                            },
+                        );
+                        single(report.ops_per_thread, report.elapsed, None)
+                    }
+                    (_, LoadMode::Closed) => {
+                        let report = writebatch_dyn(
+                            lock,
+                            &WriteBatchConfig {
+                                threads,
+                                duration,
+                                batch,
+                                ..WriteBatchConfig::default()
+                            },
+                        );
+                        single(report.ops_per_thread, report.elapsed, None)
+                    }
+                    (
+                        _,
+                        LoadMode::Open {
+                            rate_per_sec,
+                            arrival,
+                        },
+                    ) => {
+                        let summary = open_writebatch_dyn(
+                            lock,
                             threads,
                             duration,
-                            ..ReadRandomConfig::default()
-                        },
-                    );
-                    single(report.ops_per_thread, report.elapsed, None)
-                }
+                            batch,
+                            rate_per_sec,
+                            arrival,
+                        );
+                        single(
+                            summary.served_per_worker.clone(),
+                            std::time::Duration::from_nanos(summary.elapsed_ns),
+                            Some(summary),
+                        )
+                    }
+                },
                 SubstrateWorkload::Kyoto => {
                     let report = wicked_dyn(
                         lock,
@@ -229,11 +282,51 @@ impl Runner for SubstrateRunner {
             };
             samples.extend(
                 runs.into_iter()
-                    .map(|run| run.into_sample(spec, lock, threads, rep, mode)),
+                    .map(|run| run.into_sample(spec, lock, point, rep)),
             );
         }
         Ok(samples)
     }
+}
+
+/// Open-loop group-commit writes: the wall-clock driver paces arrivals and
+/// every served request issues one [`Db::put_group`] through the ambient
+/// registry lock, so up to `batch` concurrent writers share a DB-mutex
+/// acquisition while sojourn time is still measured per request.
+fn open_writebatch_dyn(
+    lock: LockId,
+    threads: usize,
+    duration: std::time::Duration,
+    batch: usize,
+    rate_per_sec: u64,
+    arrival: Arrival,
+) -> OpenLoopSummary {
+    let horizon_ns = u64::try_from(duration.as_nanos()).unwrap_or(u64::MAX);
+    let requests = request_count(rate_per_sec, horizon_ns);
+    // Same schedule seed rule as the other open loops: a re-run at the same
+    // rate offers identical load, so baseline diffs compare like for like.
+    let schedule = arrival_schedule(rate_per_sec, arrival, requests, 0x00DD_5EED ^ rate_per_sec);
+    let cfg = WriteBatchConfig::default();
+    registry::with_ambient(lock, || {
+        let db: Db<registry::AmbientLock> = Db::prefilled(cfg.prefill_keys, cfg.cache_capacity);
+        let db = &db;
+        run_wall_clock_open_loop(
+            threads,
+            &schedule,
+            |t| numa_topology::SocketOverrideGuard::new(t % 2),
+            |_socket, request| {
+                // splitmix-style finalizer: a deterministic overwrite key
+                // per request index, independent of which worker serves it.
+                let mut x = request as u64;
+                x ^= x >> 30;
+                x = x.wrapping_mul(0xBF58_476D_1CE4_E5B9);
+                x ^= x >> 27;
+                let key = Db::<registry::AmbientLock>::bench_key(x as usize % cfg.key_range.max(1));
+                let seq = db.put_group(&key, b"batched-value", batch);
+                debug_assert!(seq > 0, "committed writes carry a sequence");
+            },
+        )
+    })
 }
 
 /// Discrete-event simulator runner: maps each [`LockId`] onto its simulator
@@ -259,9 +352,9 @@ impl Runner for SimRunner<'_> {
         &self,
         spec: &ExperimentSpec,
         lock: LockId,
-        threads: usize,
-        mode: LoadMode,
+        point: GridPoint,
     ) -> Result<Vec<Sample>, ExperimentError> {
+        let GridPoint { threads, mode, .. } = point;
         let virtual_ms = spec.scale.config().virtual_duration_ms;
         let mut samples = Vec::new();
         for rep in 0..spec.effective_repetitions() {
@@ -280,10 +373,9 @@ impl Runner for SimRunner<'_> {
                     .run();
                     self.sample(
                         lock,
-                        threads,
+                        point,
                         rep,
                         spec,
-                        mode,
                         spec.metric.extract(&result),
                         None,
                         result.total_ops,
@@ -314,10 +406,9 @@ impl Runner for SimRunner<'_> {
                     .run();
                     self.sample(
                         lock,
-                        threads,
+                        point,
                         rep,
                         spec,
-                        mode,
                         open_loop_value(spec.metric, &summary),
                         Some(&summary),
                         summary.served(),
@@ -336,10 +427,9 @@ impl SimRunner<'_> {
     fn sample(
         &self,
         lock: LockId,
-        threads: usize,
+        point: GridPoint,
         rep: usize,
         spec: &ExperimentSpec,
-        mode: LoadMode,
         value: f64,
         summary: Option<&OpenLoopSummary>,
         total_ops: u64,
@@ -351,9 +441,11 @@ impl SimRunner<'_> {
             // The simulator plots policy models: both qspinlock slow
             // paths keep their paper labels ("MCS"-admission = stock).
             label: lock.sim_algorithm().name().to_string(),
-            threads,
-            mode: mode.name().to_string(),
-            rate_per_sec: mode.rate_per_sec(),
+            threads: point.threads,
+            shards: point.shards,
+            batch: point.batch,
+            mode: point.mode.name().to_string(),
+            rate_per_sec: point.mode.rate_per_sec(),
             rep,
             metric: spec.metric.name().to_string(),
             unit: spec.metric.unit().to_string(),
@@ -390,6 +482,15 @@ mod tests {
         }
     }
 
+    fn open_point(threads: usize, rate: u64) -> GridPoint {
+        GridPoint {
+            threads,
+            mode: open(rate),
+            shards: 1,
+            batch: 0,
+        }
+    }
+
     #[test]
     fn sim_runner_defaults_to_the_capped_paper_sweep() {
         let spec = WorkloadId::Sim.to_spec();
@@ -413,13 +514,15 @@ mod tests {
         let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::KvMap).repetitions(2);
         let samples = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Cna, 2, LoadMode::Closed)
+            .run_cell(&spec, LockId::Cna, GridPoint::closed(2))
             .unwrap();
         assert_eq!(samples.len(), 2);
         assert_eq!(samples[0].lock, "cna");
         assert_eq!(samples[0].label, "CNA");
         assert_eq!(samples[0].mode, "closed");
         assert_eq!(samples[0].rate_per_sec, 0);
+        assert_eq!(samples[0].shards, 1);
+        assert_eq!(samples[0].batch, 0);
         assert_eq!(samples[0].p99_us, 0.0, "closed runs have no histogram");
         assert_eq!(samples[1].rep, 1);
         assert!(samples.iter().all(|s| s.value > 0.0 && s.total_ops > 0));
@@ -430,7 +533,7 @@ mod tests {
         let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Wis);
         let samples = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::QSpinCna, 2, LoadMode::Closed)
+            .run_cell(&spec, LockId::QSpinCna, GridPoint::closed(2))
             .unwrap();
         assert_eq!(samples.len(), WisBenchmark::all().len());
         assert!(samples.iter().all(|s| s.workload.starts_with("wis/")));
@@ -441,7 +544,7 @@ mod tests {
         let spec = smoke_spec(Metric::FairnessFactor, WorkloadId::KvMap);
         let samples = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Mcs, 2, LoadMode::Closed)
+            .run_cell(&spec, LockId::Mcs, GridPoint::closed(2))
             .unwrap();
         assert!((0.5..=1.0).contains(&samples[0].value));
     }
@@ -451,11 +554,11 @@ mod tests {
         let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Sim);
         let a = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Mcs, 2, LoadMode::Closed)
+            .run_cell(&spec, LockId::Mcs, GridPoint::closed(2))
             .unwrap();
         let b = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Mcs, 2, LoadMode::Closed)
+            .run_cell(&spec, LockId::Mcs, GridPoint::closed(2))
             .unwrap();
         assert_eq!(a.len(), b.len());
         assert_eq!(a[0].value, b[0].value, "sim runs must be deterministic");
@@ -469,7 +572,7 @@ mod tests {
             .duration_ms(2);
         let samples = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Cna, 2, open(100_000))
+            .run_cell(&spec, LockId::Cna, open_point(2, 100_000))
             .unwrap();
         assert_eq!(samples.len(), 1);
         let s = &samples[0];
@@ -489,7 +592,7 @@ mod tests {
         let run = || {
             spec.workloads[0]
                 .runner()
-                .run_cell(&spec, LockId::Cna, 4, open(1_000_000))
+                .run_cell(&spec, LockId::Cna, open_point(4, 1_000_000))
                 .unwrap()
         };
         let (a, b) = (run(), run());
@@ -504,8 +607,73 @@ mod tests {
         let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Leveldb);
         let err = spec.workloads[0]
             .runner()
-            .run_cell(&spec, LockId::Cna, 2, open(1_000))
+            .run_cell(&spec, LockId::Cna, open_point(2, 1_000))
             .unwrap_err();
         assert!(matches!(err, ExperimentError::UnsupportedLoadMode { .. }));
+    }
+
+    #[test]
+    fn sharded_kvmap_cell_carries_the_shard_coordinate() {
+        let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::KvMap);
+        let samples = spec.workloads[0]
+            .runner()
+            .run_cell(
+                &spec,
+                LockId::Mcs,
+                GridPoint {
+                    threads: 2,
+                    mode: LoadMode::Closed,
+                    shards: 4,
+                    batch: 0,
+                },
+            )
+            .unwrap();
+        assert_eq!(samples[0].shards, 4);
+        assert!(samples[0].value > 0.0 && samples[0].total_ops > 0);
+    }
+
+    #[test]
+    fn batched_leveldb_cell_runs_the_group_commit_write_path() {
+        let spec = smoke_spec(Metric::ThroughputOpsPerUs, WorkloadId::Leveldb);
+        let samples = spec.workloads[0]
+            .runner()
+            .run_cell(
+                &spec,
+                LockId::Cna,
+                GridPoint {
+                    threads: 2,
+                    mode: LoadMode::Closed,
+                    shards: 1,
+                    batch: 4,
+                },
+            )
+            .unwrap();
+        assert_eq!(samples[0].batch, 4);
+        assert!(samples[0].total_ops > 0);
+    }
+
+    #[test]
+    fn batched_leveldb_cell_supports_open_loop_with_histograms() {
+        let spec = smoke_spec(Metric::P99Sojourn, WorkloadId::Leveldb)
+            .open_rates(vec![50_000], Arrival::Fixed)
+            .duration_ms(2);
+        let samples = spec.workloads[0]
+            .runner()
+            .run_cell(
+                &spec,
+                LockId::Mcs,
+                GridPoint {
+                    threads: 2,
+                    mode: open(50_000),
+                    shards: 1,
+                    batch: 8,
+                },
+            )
+            .unwrap();
+        let s = &samples[0];
+        assert_eq!(s.mode, "open");
+        assert_eq!(s.batch, 8);
+        assert!(s.p99_us > 0.0, "batched open loop records sojourn times");
+        assert!(s.total_ops >= 64, "at least MIN_REQUESTS served");
     }
 }

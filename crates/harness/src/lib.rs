@@ -26,15 +26,17 @@
 #![warn(missing_docs)]
 
 pub mod experiments;
+pub mod kvmap;
 pub mod real;
 pub mod scale;
 pub mod table;
 
 pub use experiments::{
-    parse_rate_list, parse_thread_list, Arrival, DiffReport, DiffThreshold, ExperimentError,
-    ExperimentSpec, LatencyHistogram, LoadMode, LoadSpec, Metric, RunReport, Sample, SweepResult,
-    WorkloadId,
+    parse_batch_list, parse_rate_list, parse_shard_list, parse_thread_list, Arrival, DiffReport,
+    DiffThreshold, ExperimentError, ExperimentSpec, GridPoint, LatencyHistogram, LoadMode,
+    LoadSpec, Metric, RunReport, Sample, SweepResult, WorkloadId,
 };
+pub use kvmap::{run_sharded_kvmap, ShardedKvMap};
 pub use real::{run_real_contention, run_real_contention_dyn, RunConfig, RunResult};
 pub use scale::{Scale, ScaleConfig, SubstrateRun};
 pub use table::{experiments_dir, render_table, write_csv, WriteError};

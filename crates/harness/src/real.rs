@@ -22,7 +22,7 @@
 //!
 //! [`SubstrateRunner`]: crate::experiments::SubstrateRunner
 
-use std::sync::atomic::{AtomicBool, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
 use std::sync::Arc;
 use std::time::{Duration, Instant};
 
@@ -31,9 +31,10 @@ use registry::LockId;
 use sync_core::raw::RawLock;
 use sync_core::CachePadded;
 
-use crate::experiments::histogram::LatencyHistogram;
 use crate::experiments::load::{Arrival, LoadMode};
-use crate::experiments::openloop::{arrival_schedule, request_count, DepthMeter, OpenLoopSummary};
+use crate::experiments::openloop::{
+    arrival_schedule, request_count, run_wall_clock_open_loop, OpenLoopSummary,
+};
 use crate::scale::Scale;
 
 /// Configuration of a real-thread contention run (closed- or open-loop).
@@ -54,6 +55,9 @@ pub struct RunConfig {
     /// Load shape: closed-loop hammering (the default) or open-loop
     /// arrivals at a fixed offered rate.
     pub load: LoadMode,
+    /// Shard count for sharded substrates ([`crate::kvmap`]); 1 means a
+    /// single lock guards all state. Ignored by single-lock entry points.
+    pub shards: usize,
 }
 
 impl Default for RunConfig {
@@ -65,6 +69,7 @@ impl Default for RunConfig {
             non_critical_work: 0,
             virtual_sockets: 2,
             load: LoadMode::Closed,
+            shards: 1,
         }
     }
 }
@@ -128,7 +133,7 @@ impl RunResult {
 }
 
 #[inline]
-fn spin_work(iters: u32, seed: &mut u64) {
+pub(crate) fn spin_work(iters: u32, seed: &mut u64) {
     // A small pseudo-random calculation loop, like the paper's non-critical
     // section simulation; kept dependency-carrying so it cannot be optimised
     // away.
@@ -171,11 +176,16 @@ impl<L: RawLock> Shared<L> {
 
     /// Asserts the mutual-exclusion invariant after every worker joined.
     fn check_mutual_exclusion(&self) {
+        self.check_served(self.ops_per_thread().iter().sum::<u64>());
+    }
+
+    /// Asserts the protected counter matches an externally tracked op total
+    /// (the open-loop driver counts served requests itself).
+    fn check_served(&self, expected: u64) {
         // SAFETY: all workers have joined; no concurrent access remains.
         let protected_total = unsafe { *self.counter.get() };
         assert_eq!(
-            protected_total,
-            self.ops_per_thread().iter().sum::<u64>(),
+            protected_total, expected,
             "mutual exclusion violated: protected counter diverged from op counts"
         );
     }
@@ -265,106 +275,36 @@ where
     let requests = request_count(rate_per_sec, horizon_ns);
     // One fixed schedule seed per rate: a re-run at the same rate offers the
     // identical load, so baseline diffs compare like against like.
-    let schedule = Arc::new(arrival_schedule(
-        rate_per_sec,
-        arrival,
-        requests,
-        0x00DD_5EED ^ rate_per_sec,
-    ));
+    let schedule = arrival_schedule(rate_per_sec, arrival, requests, 0x00DD_5EED ^ rate_per_sec);
     let shared = Shared::<L>::new(config.threads);
-    let next = Arc::new(AtomicUsize::new(0));
-    let completed = Arc::new(AtomicU64::new(0));
 
-    let start = Instant::now();
-    let per_worker: Vec<(LatencyHistogram, DepthMeter, u64)> = std::thread::scope(|scope| {
-        let handles: Vec<_> = (0..config.threads)
-            .map(|t| {
-                let shared = Arc::clone(&shared);
-                let schedule = Arc::clone(&schedule);
-                let next = Arc::clone(&next);
-                let completed = Arc::clone(&completed);
-                let cfg = config.clone();
-                scope.spawn(move || {
-                    let _socket = SocketOverrideGuard::new(t % cfg.virtual_sockets.max(1));
-                    let node = L::Node::default();
-                    let mut seed = (t as u64 + 1) * 0x9E37_79B9;
-                    let mut histogram = LatencyHistogram::new();
-                    let mut depth = DepthMeter::default();
-                    let mut served = 0u64;
-                    let mut last_done_ns = 0u64;
-                    loop {
-                        let i = next.fetch_add(1, Ordering::Relaxed);
-                        if i >= schedule.len() {
-                            break;
-                        }
-                        let arrival_ns = schedule[i];
-                        // Pace on the wall clock: sleep through long gaps,
-                        // spin out the tail for precision.
-                        loop {
-                            let now = start.elapsed().as_nanos() as u64;
-                            if now >= arrival_ns {
-                                break;
-                            }
-                            if arrival_ns - now > 200_000 {
-                                std::thread::sleep(Duration::from_nanos((arrival_ns - now) / 2));
-                            } else {
-                                std::hint::spin_loop();
-                            }
-                        }
-                        let now = start.elapsed().as_nanos() as u64;
-                        // In-system count at service start: arrivals due by
-                        // now minus requests already completed.
-                        let arrived = schedule.partition_point(|&a| a <= now) as u64;
-                        depth.sample(arrived.saturating_sub(completed.load(Ordering::Relaxed)));
-                        // SAFETY: the node lives on this frame for the whole
-                        // acquisition; the counter is only touched under the
-                        // lock.
-                        unsafe {
-                            shared.lock.lock(&node);
-                            *shared.counter.get() += 1;
-                            spin_work(cfg.critical_work, &mut seed);
-                            shared.lock.unlock(&node);
-                        }
-                        spin_work(cfg.non_critical_work, &mut seed);
-                        let done = start.elapsed().as_nanos() as u64;
-                        histogram.record(done.saturating_sub(arrival_ns));
-                        completed.fetch_add(1, Ordering::Relaxed);
-                        served += 1;
-                        last_done_ns = done;
-                    }
-                    shared.counts[t].store(served, Ordering::Relaxed);
-                    (histogram, depth, last_done_ns)
-                })
-            })
-            .collect();
-        handles
-            .into_iter()
-            .map(|h| h.join().expect("open-loop worker panicked"))
-            .collect()
-    });
+    let summary = run_wall_clock_open_loop(
+        config.threads,
+        &schedule,
+        |t| {
+            let socket = SocketOverrideGuard::new(t % config.virtual_sockets.max(1));
+            (socket, L::Node::default(), (t as u64 + 1) * 0x9E37_79B9)
+        },
+        |(_socket, node, seed), _request| {
+            // SAFETY: the node lives in the worker's state for the whole
+            // acquisition; the counter is only touched under the lock.
+            unsafe {
+                shared.lock.lock(node);
+                *shared.counter.get() += 1;
+                spin_work(config.critical_work, seed);
+                shared.lock.unlock(node);
+            }
+            spin_work(config.non_critical_work, seed);
+        },
+    );
 
-    shared.check_mutual_exclusion();
-    let mut histogram = LatencyHistogram::new();
-    let mut depth = DepthMeter::default();
-    let mut elapsed_ns = 0u64;
-    for (h, d, last) in &per_worker {
-        histogram.merge(h);
-        depth.merge(d);
-        elapsed_ns = elapsed_ns.max(*last);
-    }
-    let ops_per_thread = shared.ops_per_thread();
-    debug_assert_eq!(histogram.count(), requests as u64);
+    shared.check_served(summary.served());
+    debug_assert_eq!(summary.histogram.count(), requests as u64);
     RunResult {
         algorithm: L::NAME.to_string(),
-        ops_per_thread: ops_per_thread.clone(),
-        elapsed: Duration::from_nanos(elapsed_ns.max(1)),
-        open_loop: Some(OpenLoopSummary {
-            histogram,
-            served_per_worker: ops_per_thread,
-            mean_queue_depth: depth.mean(),
-            max_queue_depth: depth.max(),
-            elapsed_ns: elapsed_ns.max(1),
-        }),
+        ops_per_thread: summary.served_per_worker.clone(),
+        elapsed: Duration::from_nanos(summary.elapsed_ns),
+        open_loop: Some(summary),
     }
 }
 

@@ -1,8 +1,9 @@
 //! The database object: global mutex + versioned memtable snapshot + block
 //! cache, mirroring leveldb's `DBImpl`.
 
-use std::sync::atomic::{AtomicU64, Ordering};
-use std::sync::Arc;
+use std::collections::VecDeque;
+use std::sync::atomic::{AtomicBool, AtomicU64, Ordering};
+use std::sync::{Arc, Mutex};
 
 use bytes::Bytes;
 use sync_core::mutex::LockMutex;
@@ -10,6 +11,17 @@ use sync_core::raw::RawLock;
 
 use crate::cache::ShardedLruCache;
 use crate::memtable::MemTable;
+
+/// A write staged for group commit: filled in by the batch leader, then
+/// published with a `done` release-store the enqueuing writer waits on.
+struct PendingWrite {
+    key: Vec<u8>,
+    value: Vec<u8>,
+    /// Sequence number assigned when the batch commits.
+    seq: AtomicU64,
+    /// Set (release) once the write is durable in the memtable.
+    done: AtomicBool,
+}
 
 /// State protected by the global DB mutex (leveldb's `DBImpl::mutex_`).
 struct VersionState {
@@ -31,6 +43,9 @@ pub struct DbStats {
     pub hits: u64,
     /// Completed `put` operations.
     pub puts: u64,
+    /// Group commits performed via [`Db::put_group`] (each one is a single
+    /// DB-mutex acquisition covering one or more puts).
+    pub batches: u64,
 }
 
 /// The `leveldb-lite` database, generic over the lock algorithm protecting
@@ -41,9 +56,15 @@ where
 {
     state: LockMutex<VersionState, L>,
     cache: ShardedLruCache<L>,
+    /// Group-commit staging area, mirroring leveldb's `writers_` deque. A
+    /// plain std mutex guards only the queue pointers — the measured
+    /// contention stays on the DB mutex, which the batch leader acquires
+    /// exactly once per batch.
+    write_queue: Mutex<VecDeque<Arc<PendingWrite>>>,
     gets: AtomicU64,
     hits: AtomicU64,
     puts: AtomicU64,
+    batches: AtomicU64,
 }
 
 impl<L: RawLock> Db<L>
@@ -60,9 +81,11 @@ where
                 refs: 0,
             }),
             cache: ShardedLruCache::new(cache_capacity),
+            write_queue: Mutex::new(VecDeque::new()),
             gets: AtomicU64::new(0),
             hits: AtomicU64::new(0),
             puts: AtomicU64::new(0),
+            batches: AtomicU64::new(0),
         }
     }
 
@@ -109,6 +132,87 @@ where
         guard.sequence += 1;
         drop(guard);
         self.puts.fetch_add(1, Ordering::Relaxed);
+    }
+
+    /// Inserts `key → value` through the group-commit path, returning the
+    /// write's sequence number once it is durable.
+    ///
+    /// This is leveldb's `Write` protocol: the writer joins the `writers_`
+    /// queue, and whoever finds itself at the front becomes the batch
+    /// leader — it drains up to `max_batch` queued writes, takes the DB
+    /// mutex **once**, applies the whole batch (consecutive sequence
+    /// numbers in queue order), and publishes completion to the followers.
+    /// `max_batch = 1` degenerates to [`Db::put`]'s behavior: one
+    /// acquisition and one sequence bump per write.
+    pub fn put_group(&self, key: &[u8], value: &[u8], max_batch: usize) -> u64 {
+        let entry = Arc::new(PendingWrite {
+            key: key.to_vec(),
+            value: value.to_vec(),
+            seq: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+        });
+        self.enqueue(Arc::clone(&entry));
+        self.drive(&entry, max_batch)
+    }
+
+    /// Stages a write in the group-commit queue (it commits when a leader
+    /// drains it). Split from [`Db::drive`] so tests can build a multi-write
+    /// batch deterministically.
+    fn enqueue(&self, entry: Arc<PendingWrite>) {
+        self.write_queue
+            .lock()
+            .expect("write queue poisoned")
+            .push_back(entry);
+    }
+
+    /// Waits for `entry` to commit, leading a batch of up to `max_batch`
+    /// writes if `entry` reaches the queue front first. Returns the write's
+    /// assigned sequence number.
+    fn drive(&self, entry: &Arc<PendingWrite>, max_batch: usize) -> u64 {
+        let max_batch = max_batch.max(1);
+        loop {
+            if entry.done.load(Ordering::Acquire) {
+                return entry.seq.load(Ordering::Relaxed);
+            }
+            let batch: Vec<Arc<PendingWrite>> = {
+                let mut queue = self.write_queue.lock().expect("write queue poisoned");
+                match queue.front() {
+                    // Only the front writer may lead; everyone else waits
+                    // for a leader to commit them.
+                    Some(front) if Arc::ptr_eq(front, entry) => {
+                        let n = queue.len().min(max_batch);
+                        queue.drain(..n).collect()
+                    }
+                    _ => {
+                        drop(queue);
+                        std::hint::spin_loop();
+                        continue;
+                    }
+                }
+            };
+            // Leader: one DB-mutex acquisition (and one memtable copy)
+            // amortized over the whole batch.
+            let mut guard = self.state.lock();
+            let mut new_table = MemTable::new();
+            for (k, v) in guard.memtable.iter() {
+                new_table.put(k, v);
+            }
+            let base = guard.sequence;
+            for (i, write) in batch.iter().enumerate() {
+                new_table.put(&write.key, &write.value);
+                write.seq.store(base + i as u64 + 1, Ordering::Relaxed);
+            }
+            guard.memtable = Arc::new(new_table);
+            guard.sequence = base + batch.len() as u64;
+            drop(guard);
+            self.puts.fetch_add(batch.len() as u64, Ordering::Relaxed);
+            self.batches.fetch_add(1, Ordering::Relaxed);
+            for write in &batch {
+                write.done.store(true, Ordering::Release);
+            }
+            // The leader is the batch's first write, so it committed itself.
+            return entry.seq.load(Ordering::Relaxed);
+        }
     }
 
     /// Reads `key`, following leveldb's `Get` structure: take the DB mutex to
@@ -161,6 +265,7 @@ where
             gets: self.gets.load(Ordering::Relaxed),
             hits: self.hits.load(Ordering::Relaxed),
             puts: self.puts.load(Ordering::Relaxed),
+            batches: self.batches.load(Ordering::Relaxed),
         }
     }
 
@@ -231,6 +336,103 @@ mod tests {
         assert_eq!(stats.gets, 6_000);
         let (hits, misses) = db.cache_counts();
         assert!(hits + misses > 0);
+    }
+
+    fn pending(key: &[u8], value: &[u8]) -> Arc<PendingWrite> {
+        Arc::new(PendingWrite {
+            key: key.to_vec(),
+            value: value.to_vec(),
+            seq: AtomicU64::new(0),
+            done: AtomicBool::new(false),
+        })
+    }
+
+    #[test]
+    fn group_commit_applies_a_whole_batch_under_one_leader() {
+        let db: Db<McsLock> = Db::new(64);
+        let writes = [
+            pending(b"a", b"1"),
+            pending(b"b", b"2"),
+            pending(b"c", b"3"),
+        ];
+        for w in &writes {
+            db.enqueue(Arc::clone(w));
+        }
+        // The front writer leads and commits all three in one batch.
+        let leader_seq = db.drive(&writes[0], 3);
+        assert_eq!(leader_seq, 1);
+        for (i, w) in writes.iter().enumerate() {
+            assert!(w.done.load(Ordering::Acquire), "write {i} durable");
+            // Ordered within the batch: consecutive seqs in queue order.
+            assert_eq!(w.seq.load(Ordering::Relaxed), i as u64 + 1);
+        }
+        for (key, value) in [(b"a", b"1"), (b"b", b"2"), (b"c", b"3")] {
+            assert_eq!(db.get(key).as_deref(), Some(&value[..]));
+        }
+        let stats = db.stats();
+        assert_eq!(stats.puts, 3);
+        assert_eq!(stats.batches, 1, "one acquisition covered the batch");
+        assert_eq!(db.state.lock().sequence, 3);
+    }
+
+    #[test]
+    fn one_write_batches_degenerate_to_plain_puts() {
+        let db: Db<McsLock> = Db::new(64);
+        let s1 = db.put_group(b"x", b"1", 1);
+        let s2 = db.put_group(b"y", b"2", 1);
+        let s3 = db.put_group(b"x", b"3", 1);
+        assert_eq!((s1, s2, s3), (1, 2, 3), "one sequence bump per write");
+        let stats = db.stats();
+        assert_eq!(stats.puts, 3);
+        assert_eq!(stats.batches, 3, "batch=1 means one commit per write");
+        assert_eq!(db.get(b"x").as_deref(), Some(&b"3"[..]), "later write wins");
+        assert_eq!(db.len(), 2);
+        // Identical externally visible outcome to the plain put path.
+        let plain: Db<McsLock> = Db::new(64);
+        plain.put(b"x", b"1");
+        plain.put(b"y", b"2");
+        plain.put(b"x", b"3");
+        assert_eq!(plain.state.lock().sequence, db.state.lock().sequence);
+        assert_eq!(plain.len(), db.len());
+    }
+
+    #[test]
+    fn concurrent_group_commits_are_all_durable_with_unique_seqs() {
+        let db: Arc<Db<CnaLock>> = Arc::new(Db::new(128));
+        let threads = 4usize;
+        let writes_per_thread = 50usize;
+        let seqs: Vec<u64> = std::thread::scope(|s| {
+            let handles: Vec<_> = (0..threads)
+                .map(|t| {
+                    let db = Arc::clone(&db);
+                    s.spawn(move || {
+                        let mut local = Vec::new();
+                        for i in 0..writes_per_thread {
+                            let key = format!("k{t}-{i}");
+                            local.push(db.put_group(key.as_bytes(), b"v", 8));
+                        }
+                        local
+                    })
+                })
+                .collect();
+            handles
+                .into_iter()
+                .flat_map(|h| h.join().expect("writer panicked"))
+                .collect()
+        });
+        let total = (threads * writes_per_thread) as u64;
+        let mut sorted = seqs.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len() as u64, total, "every write got a unique seq");
+        assert_eq!(*sorted.last().unwrap(), total, "seqs are dense 1..=n");
+        let stats = db.stats();
+        assert_eq!(stats.puts, total);
+        assert!(
+            stats.batches <= total,
+            "batching can only reduce acquisitions"
+        );
+        assert_eq!(db.len(), threads * writes_per_thread);
     }
 
     #[test]

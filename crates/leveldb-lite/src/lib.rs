@@ -23,7 +23,10 @@ pub mod cache;
 pub mod db;
 pub mod memtable;
 
-pub use bench::{readrandom, readrandom_dyn, ReadRandomConfig, ReadRandomReport};
+pub use bench::{
+    readrandom, readrandom_dyn, writebatch, writebatch_dyn, ReadRandomConfig, ReadRandomReport,
+    WriteBatchConfig, WriteBatchReport,
+};
 pub use cache::ShardedLruCache;
 pub use db::{Db, DbStats};
 pub use memtable::MemTable;

@@ -1,0 +1,189 @@
+//! End-to-end tests of the scale-out substrates: the sharded kv-map and the
+//! group-commit leveldb write path, both standalone and as sweepable axes
+//! of the experiment API (`lockbench sweep --shards ... / --batch ...`).
+
+use std::collections::BTreeSet;
+
+use proptest::prelude::*;
+
+use cna_locks::cna::CnaLock;
+use cna_locks::harness::experiments::{
+    Arrival, DiffThreshold, ExperimentSpec, Metric, RunReport, WorkloadId,
+};
+use cna_locks::harness::{Scale, ShardedKvMap};
+use cna_locks::leveldb_lite::Db;
+use cna_locks::registry::LockId;
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(16))]
+
+    /// Sharding is a pure partition of the key space: for any deterministic
+    /// op sequence, every shard count produces the same per-key final state
+    /// and the same total op count as the single-lock map.
+    #[test]
+    fn sharded_map_matches_single_lock_final_state(
+        keys in proptest::collection::vec(0u64..256, 1..400),
+        threads in 1usize..5,
+    ) {
+        let reference = ShardedKvMap::new(LockId::Mcs, 1);
+        reference.apply_keys(&keys, threads, 0);
+        for shards in [2usize, 4, 8] {
+            let sharded = ShardedKvMap::new(LockId::Mcs, shards);
+            sharded.apply_keys(&keys, threads, 0);
+            sharded.check_consistency();
+            prop_assert_eq!(sharded.total_ops(), reference.total_ops());
+            prop_assert_eq!(sharded.final_state(), reference.final_state());
+        }
+    }
+}
+
+#[test]
+fn concurrent_group_commits_keep_every_write_durable() {
+    let db: Db<CnaLock> = Db::new(256);
+    let writers = 4;
+    let writes_per_thread = 64usize;
+    std::thread::scope(|scope| {
+        for t in 0..writers {
+            let db = &db;
+            scope.spawn(move || {
+                for i in 0..writes_per_thread {
+                    let key = Db::<CnaLock>::bench_key(t * writes_per_thread + i);
+                    let seq = db.put_group(&key, b"scaleout", 8);
+                    assert!(seq > 0, "every committed write carries a sequence");
+                }
+            });
+        }
+    });
+    let total = (writers * writes_per_thread) as u64;
+    let stats = db.stats();
+    assert_eq!(stats.puts, total);
+    assert!(
+        stats.batches <= total,
+        "group commit never takes more acquisitions than writes"
+    );
+    // Every write is durable and readable after the run.
+    for i in 0..writers * writes_per_thread {
+        let key = Db::<CnaLock>::bench_key(i);
+        assert!(db.get(&key).is_some(), "key {i} lost");
+    }
+}
+
+#[test]
+fn batch_of_one_degenerates_to_plain_puts() {
+    let grouped: Db<CnaLock> = Db::new(64);
+    let plain: Db<CnaLock> = Db::new(64);
+    for i in 0..32 {
+        let key = Db::<CnaLock>::bench_key(i);
+        grouped.put_group(&key, b"v", 1);
+        plain.put(&key, b"v");
+    }
+    assert_eq!(grouped.len(), plain.len());
+    assert_eq!(grouped.stats().puts, plain.stats().puts);
+    assert_eq!(
+        grouped.stats().batches,
+        grouped.stats().puts,
+        "batch=1 takes one DB-mutex acquisition per write"
+    );
+    for i in 0..32 {
+        let key = Db::<CnaLock>::bench_key(i);
+        assert_eq!(grouped.get(&key).as_deref(), plain.get(&key).as_deref());
+    }
+}
+
+fn shard_sweep_spec(id: &str) -> ExperimentSpec {
+    ExperimentSpec::new(id)
+        .locks(vec![LockId::Cna, LockId::Mcs])
+        .workload(WorkloadId::KvMap.to_spec())
+        .threads(vec![2])
+        .shards(vec![1, 2, 4])
+        .scale(Scale::Smoke)
+        .repetitions(1)
+        .duration_ms(4)
+}
+
+#[test]
+fn shard_axis_sweeps_end_to_end_with_keyed_cells() {
+    let report = shard_sweep_spec("itest_shards").run().expect("sweep runs");
+    // 3 shard counts × 1 thread count × 2 locks × 1 rep.
+    assert_eq!(report.samples.len(), 6);
+    let shard_axis: BTreeSet<usize> = report.samples.iter().map(|s| s.shards).collect();
+    assert_eq!(shard_axis, BTreeSet::from([1, 2, 4]));
+    assert!(report.samples.iter().all(|s| s.value > 0.0));
+
+    // The CSV round-trips the new columns exactly.
+    let parsed = RunReport::from_csv(&report.to_csv()).expect("csv parses");
+    assert_eq!(parsed.samples, report.samples);
+
+    // The aggregated sweep keys one row per shard count.
+    let sweep = report.sweep_for("kvmap").expect("kvmap sweep");
+    assert!(sweep.has_shards());
+    assert_eq!(sweep.rows.len(), 3);
+    assert!(sweep.render("shards").contains("shards"));
+
+    // Self-diff is clean; dropping a shard cell is a coverage regression
+    // whose key names the shard coordinate.
+    let clean = report.diff_against(&report, DiffThreshold::default());
+    assert!(!clean.has_regressions());
+    let mut pruned = report.clone();
+    pruned.samples.retain(|s| s.shards != 4);
+    let diff = pruned.diff_against(&report, DiffThreshold::default());
+    assert!(
+        diff.has_regressions(),
+        "losing the shards=4 cells must fail"
+    );
+    assert!(
+        diff.missing_in_current.iter().all(|k| k.contains("@4sh")),
+        "missing keys should carry the shard coordinate: {:?}",
+        diff.missing_in_current
+    );
+}
+
+#[test]
+fn batch_axis_sweeps_end_to_end_in_open_loop() {
+    let report = ExperimentSpec::new("itest_batch_open")
+        .lock(LockId::Cna)
+        .workload(WorkloadId::Leveldb.to_spec())
+        .threads(vec![2])
+        .batches(vec![1, 8])
+        .open_rates(vec![50_000], Arrival::Poisson)
+        .metric(Metric::P99Sojourn)
+        .scale(Scale::Smoke)
+        .repetitions(1)
+        .duration_ms(2)
+        .run()
+        .expect("batched open-loop leveldb runs");
+    // 2 batch limits × 1 rate × 1 thread count × 1 lock × 1 rep.
+    assert_eq!(report.samples.len(), 2);
+    let batch_axis: BTreeSet<usize> = report.samples.iter().map(|s| s.batch).collect();
+    assert_eq!(batch_axis, BTreeSet::from([1, 8]));
+    for s in &report.samples {
+        assert_eq!(s.mode, "open");
+        assert_eq!(s.rate_per_sec, 50_000);
+        assert!(s.p99_us > 0.0, "open cells carry sojourn histograms");
+        assert!(s.total_ops >= 64, "at least MIN_REQUESTS served");
+    }
+    // Batch cells key distinctly in the diff: swapping the batch limit is a
+    // coverage change, not a silent comparison.
+    let mut relabeled = report.clone();
+    for s in &mut relabeled.samples {
+        if s.batch == 8 {
+            s.batch = 16;
+        }
+    }
+    let diff = relabeled.diff_against(&report, DiffThreshold::default());
+    assert!(diff.has_regressions());
+    assert!(diff.missing_in_baseline.iter().any(|k| k.contains("@16b")));
+}
+
+#[test]
+fn native_leveldb_still_rejects_open_loop_without_batching() {
+    let err = ExperimentSpec::new("itest_native_open")
+        .lock(LockId::Cna)
+        .workload(WorkloadId::Leveldb.to_spec())
+        .open_rates(vec![1_000], Arrival::Poisson)
+        .metric(Metric::P99Sojourn)
+        .scale(Scale::Smoke)
+        .validate()
+        .expect_err("native leveldb has no open-loop path");
+    assert!(err.to_string().contains("leveldb"), "{err}");
+}

@@ -374,6 +374,7 @@ pub fn render_list() -> String {
         "bytes",
         "fairness",
         "try",
+        "checked",
         "sim model",
         "description",
     ]
@@ -391,6 +392,7 @@ pub fn render_list() -> String {
                 id.compactness().to_string(),
                 id.fairness_class().to_string(),
                 yes_no(id.supports_try_lock()),
+                yes_no(id.is_model_checked()),
                 id.sim_algorithm().name().to_string(),
                 id.description().to_string(),
             ]
@@ -769,6 +771,8 @@ mod tests {
         }
         assert!(table.contains("fairness"));
         assert!(table.contains("epoch-bounded"));
+        // The `checked` column reflects modelcheck suite coverage.
+        assert!(table.contains("checked"));
         assert!(usage().contains("lockbench sweep"));
         assert!(usage().contains("lockbench diff"));
         assert!(usage().contains("--mode closed|open"));

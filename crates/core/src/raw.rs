@@ -15,10 +15,10 @@
 
 use std::marker::PhantomData;
 use std::ptr;
-use std::sync::atomic::{AtomicIsize, AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 
+use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
 use sync_core::raw::RawLock;
-use sync_core::spin::spin_until;
 
 use crate::config::CnaConfig;
 use crate::rng::pseudo_rand;
@@ -36,40 +36,34 @@ const SOCKET_UNKNOWN: isize = -1;
 /// long as the acquisitions do not overlap; [`CnaLock::lock`] re-initialises
 /// every field it relies on.
 #[derive(Debug)]
-pub struct CnaNode {
+pub struct CnaNode<A: Atomics = StdAtomics> {
     /// Hand-over word; see the module documentation.
-    spin: AtomicUsize,
+    spin: A::Usize,
     /// NUMA node of the waiting thread, or [`SOCKET_UNKNOWN`].
-    socket: AtomicIsize,
+    socket: A::Isize,
     /// Tail of the secondary queue; valid only in the secondary queue's head.
-    sec_tail: AtomicPtr<CnaNode>,
+    sec_tail: A::Ptr<CnaNode<A>>,
     /// Next node in the main or secondary queue.
-    next: AtomicPtr<CnaNode>,
+    next: A::Ptr<CnaNode<A>>,
 }
 
-impl Default for CnaNode {
+impl<A: Atomics> Default for CnaNode<A> {
     fn default() -> Self {
         CnaNode {
-            spin: AtomicUsize::new(SPIN_WAITING),
-            socket: AtomicIsize::new(SOCKET_UNKNOWN),
-            sec_tail: AtomicPtr::new(ptr::null_mut()),
-            next: AtomicPtr::new(ptr::null_mut()),
+            spin: A::Usize::new(SPIN_WAITING),
+            socket: A::Isize::new(SOCKET_UNKNOWN),
+            sec_tail: A::Ptr::new(ptr::null_mut()),
+            next: A::Ptr::new(ptr::null_mut()),
         }
     }
 }
 
-impl CnaNode {
+impl<A: Atomics> CnaNode<A> {
     /// Creates a fresh node, ready for an acquisition.
     pub fn new() -> Self {
         Self::default()
     }
 }
-
-// SAFETY: all fields are atomics; cross-thread access is mediated by the
-// queue protocol.
-unsafe impl Send for CnaNode {}
-// SAFETY: as above.
-unsafe impl Sync for CnaNode {}
 
 /// Compile-time parameters of a [`CnaLock`].
 ///
@@ -133,17 +127,17 @@ impl CnaParams for NeverFlushParams {
 /// `size_of::<CnaLock>()` is one pointer — the paper's central claim — no
 /// matter how many sockets the machine has.
 #[derive(Debug)]
-pub struct CnaLock<P: CnaParams = PaperParams> {
-    tail: AtomicPtr<CnaNode>,
+pub struct CnaLock<P: CnaParams = PaperParams, A: Atomics = StdAtomics> {
+    tail: A::Ptr<CnaNode<A>>,
     _params: PhantomData<P>,
 }
 
 /// The "CNA (opt)" lock: CNA with the shuffle-reduction optimisation.
 pub type CnaLockOpt = CnaLock<ShuffleReductionParams>;
 
-impl<P: CnaParams> Default for CnaLock<P> {
+impl<P: CnaParams, A: Atomics> Default for CnaLock<P, A> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
@@ -152,6 +146,16 @@ impl<P: CnaParams> CnaLock<P> {
     pub const fn new() -> Self {
         CnaLock {
             tail: AtomicPtr::new(ptr::null_mut()),
+            _params: PhantomData,
+        }
+    }
+}
+
+impl<P: CnaParams, A: Atomics> CnaLock<P, A> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
+        CnaLock {
+            tail: A::Ptr::new(ptr::null_mut()),
             _params: PhantomData,
         }
     }
@@ -165,21 +169,21 @@ impl<P: CnaParams> CnaLock<P> {
     }
 }
 
-impl<P: CnaParams> RawLock for CnaLock<P> {
-    type Node = CnaNode;
+impl<P: CnaParams, A: Atomics> RawLock for CnaLock<P, A> {
+    type Node = CnaNode<A>;
     const NAME: &'static str = P::NAME;
 
-    unsafe fn lock(&self, node: &CnaNode) {
+    unsafe fn lock(&self, node: &CnaNode<A>) {
         // SAFETY: forwarded contract — the caller pins `node` for the whole
         // acquisition.
-        unsafe { cna_lock(&self.tail, node) }
+        unsafe { cna_lock::<A>(&self.tail, node) }
     }
 
-    unsafe fn unlock(&self, node: &CnaNode) {
+    unsafe fn unlock(&self, node: &CnaNode<A>) {
         let cfg = P::config();
         // SAFETY: forwarded contract — `node` is the acquisition's node and
         // the caller holds the lock.
-        unsafe { cna_unlock(&self.tail, node, &cfg) }
+        unsafe { cna_unlock::<A>(&self.tail, node, &cfg) }
     }
 }
 
@@ -188,8 +192,8 @@ impl<P: CnaParams> RawLock for CnaLock<P> {
 /// Unlike [`CnaLock`] this occupies more than one word (it carries its
 /// [`CnaConfig`]); it exists for threshold sweeps and ablation benchmarks.
 #[derive(Debug)]
-pub struct TunableCnaLock {
-    tail: AtomicPtr<CnaNode>,
+pub struct TunableCnaLock<A: Atomics = StdAtomics> {
+    tail: A::Ptr<CnaNode<A>>,
     config: CnaConfig,
 }
 
@@ -201,6 +205,17 @@ impl TunableCnaLock {
             config,
         }
     }
+}
+
+impl<A: Atomics> TunableCnaLock<A> {
+    /// Creates an unlocked lock with the given configuration for any atomics
+    /// family.
+    pub fn with_config_in(config: CnaConfig) -> Self {
+        TunableCnaLock {
+            tail: A::Ptr::new(ptr::null_mut()),
+            config,
+        }
+    }
 
     /// The lock's configuration.
     pub fn config(&self) -> CnaConfig {
@@ -208,24 +223,24 @@ impl TunableCnaLock {
     }
 }
 
-impl Default for TunableCnaLock {
+impl<A: Atomics> Default for TunableCnaLock<A> {
     fn default() -> Self {
-        Self::with_config(CnaConfig::default())
+        Self::with_config_in(CnaConfig::default())
     }
 }
 
-impl RawLock for TunableCnaLock {
-    type Node = CnaNode;
+impl<A: Atomics> RawLock for TunableCnaLock<A> {
+    type Node = CnaNode<A>;
     const NAME: &'static str = "CNA (tunable)";
 
-    unsafe fn lock(&self, node: &CnaNode) {
+    unsafe fn lock(&self, node: &CnaNode<A>) {
         // SAFETY: forwarded contract.
-        unsafe { cna_lock(&self.tail, node) }
+        unsafe { cna_lock::<A>(&self.tail, node) }
     }
 
-    unsafe fn unlock(&self, node: &CnaNode) {
+    unsafe fn unlock(&self, node: &CnaNode<A>) {
         // SAFETY: forwarded contract.
-        unsafe { cna_unlock(&self.tail, node, &self.config) }
+        unsafe { cna_unlock::<A>(&self.tail, node, &self.config) }
     }
 }
 
@@ -242,12 +257,12 @@ fn keep_lock_local(cfg: &CnaConfig) -> bool {
 ///
 /// `node` must stay pinned, unused by any other acquisition, until the
 /// matching [`cna_unlock`] returns.
-unsafe fn cna_lock(tail: &AtomicPtr<CnaNode>, me: &CnaNode) {
+unsafe fn cna_lock<A: Atomics>(tail: &A::Ptr<CnaNode<A>>, me: &CnaNode<A>) {
     me.next.store(ptr::null_mut(), Ordering::Relaxed);
     me.socket.store(SOCKET_UNKNOWN, Ordering::Relaxed);
     me.spin.store(SPIN_WAITING, Ordering::Relaxed);
 
-    let me_ptr = me as *const CnaNode as *mut CnaNode;
+    let me_ptr = me as *const CnaNode<A> as *mut CnaNode<A>;
     debug_assert!(
         me_ptr as usize > SPIN_GRANTED,
         "node addresses must be distinguishable from the GRANTED sentinel"
@@ -275,10 +290,14 @@ unsafe fn cna_lock(tail: &AtomicPtr<CnaNode>, me: &CnaNode) {
         (*prev).next.store(me_ptr, Ordering::Release);
     }
 
-    // Local spinning on our own node (Fig. 3 l. 13). Acquire pairs with the
-    // Release store of the predecessor's hand-over, making both the lock and
-    // the critical-section data it protects visible.
-    spin_until(|| me.spin.load(Ordering::Acquire) != SPIN_WAITING);
+    // Local spinning on our own node (Fig. 3 l. 13). Relaxed polling plus an
+    // Acquire fence after the loop: the fence pairs with the predecessor's
+    // Release hand-over store once observed, making both the lock and the
+    // critical-section data it protects visible. This is the waiter-spin
+    // downgrade the weak-memory CNA verification paper proves safe (audited
+    // by `modelcheck`).
+    A::spin_until(|| me.spin.load(Ordering::Relaxed) != SPIN_WAITING);
+    A::fence(Ordering::Acquire);
 }
 
 /// Release (paper Fig. 4).
@@ -287,8 +306,8 @@ unsafe fn cna_lock(tail: &AtomicPtr<CnaNode>, me: &CnaNode) {
 ///
 /// `me` must be the node used for the acquisition being released and the
 /// caller must hold the lock.
-unsafe fn cna_unlock(tail: &AtomicPtr<CnaNode>, me: &CnaNode, cfg: &CnaConfig) {
-    let me_ptr = me as *const CnaNode as *mut CnaNode;
+unsafe fn cna_unlock<A: Atomics>(tail: &A::Ptr<CnaNode<A>>, me: &CnaNode<A>, cfg: &CnaConfig) {
+    let me_ptr = me as *const CnaNode<A> as *mut CnaNode<A>;
     let mut next = me.next.load(Ordering::Acquire);
 
     if next.is_null() {
@@ -305,7 +324,7 @@ unsafe fn cna_unlock(tail: &AtomicPtr<CnaNode>, me: &CnaNode, cfg: &CnaConfig) {
         } else {
             // Secondary queue non-empty: try to make it the main queue by
             // pointing the lock tail at its last node (l. 27–32).
-            let sec_head = spin_val as *mut CnaNode;
+            let sec_head = spin_val as *mut CnaNode<A>;
             // SAFETY: the secondary head is a waiter parked by a previous
             // hand-over; it cannot proceed (its spin is 0) until we or a
             // later holder grant it the lock, so the node is alive.
@@ -322,8 +341,10 @@ unsafe fn cna_unlock(tail: &AtomicPtr<CnaNode>, me: &CnaNode, cfg: &CnaConfig) {
             }
         }
         // The tail moved: some thread is enqueueing behind us. Wait for it to
-        // complete the link (l. 36).
-        spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+        // complete the link (l. 36). Relaxed polling is enough here: the
+        // Acquire re-load below is what the enqueuer's Release link store
+        // synchronises with (audited by `modelcheck`).
+        A::spin_until(|| !me.next.load(Ordering::Relaxed).is_null());
         next = me.next.load(Ordering::Acquire);
     }
 
@@ -342,10 +363,10 @@ unsafe fn cna_unlock(tail: &AtomicPtr<CnaNode>, me: &CnaNode, cfg: &CnaConfig) {
     }
 
     // Determine the next lock holder (Fig. 4 l. 40–49).
-    let mut succ: *mut CnaNode = ptr::null_mut();
+    let mut succ: *mut CnaNode<A> = ptr::null_mut();
     if keep_lock_local(cfg) {
         // SAFETY: we hold the lock, `next` is the live head of the waiters.
-        succ = unsafe { find_successor(me, next) };
+        succ = unsafe { find_successor::<A>(me, next) };
     }
 
     if !succ.is_null() {
@@ -366,7 +387,7 @@ unsafe fn cna_unlock(tail: &AtomicPtr<CnaNode>, me: &CnaNode, cfg: &CnaConfig) {
         // No local successor but the secondary queue is non-empty: splice the
         // secondary queue in front of our main-queue successor and grant the
         // lock to its head (l. 44–46).
-        let sec_head = spin_val as *mut CnaNode;
+        let sec_head = spin_val as *mut CnaNode<A>;
         // SAFETY: secondary-queue nodes are live waiters; `next` likewise.
         unsafe {
             let sec_tail = (*sec_head).sec_tail.load(Ordering::Relaxed);
@@ -392,7 +413,7 @@ unsafe fn cna_unlock(tail: &AtomicPtr<CnaNode>, me: &CnaNode, cfg: &CnaConfig) {
 ///
 /// The caller must hold the lock; `next` must be the (non-null, acquired)
 /// value of `me.next`.
-unsafe fn find_successor(me: &CnaNode, next: *mut CnaNode) -> *mut CnaNode {
+unsafe fn find_successor<A: Atomics>(me: &CnaNode<A>, next: *mut CnaNode<A>) -> *mut CnaNode<A> {
     let my_socket = {
         let s = me.socket.load(Ordering::Relaxed);
         if s == SOCKET_UNKNOWN {
@@ -423,7 +444,7 @@ unsafe fn find_successor(me: &CnaNode, next: *mut CnaNode) -> *mut CnaNode {
                 let spin_val = me.spin.load(Ordering::Relaxed);
                 if spin_val > SPIN_GRANTED {
                     // Append the skipped run to the existing secondary queue.
-                    let sec_head = spin_val as *mut CnaNode;
+                    let sec_head = spin_val as *mut CnaNode<A>;
                     let sec_tail = (*sec_head).sec_tail.load(Ordering::Relaxed);
                     (*sec_tail).next.store(moved_head, Ordering::Release);
                 } else {
@@ -434,7 +455,7 @@ unsafe fn find_successor(me: &CnaNode, next: *mut CnaNode) -> *mut CnaNode {
                 // Terminate the secondary queue and cache its tail in the
                 // head node (l. 67–68).
                 (*moved_tail).next.store(ptr::null_mut(), Ordering::Release);
-                let sec_head = me.spin.load(Ordering::Relaxed) as *mut CnaNode;
+                let sec_head = me.spin.load(Ordering::Relaxed) as *mut CnaNode<A>;
                 (*sec_head).sec_tail.store(moved_tail, Ordering::Release);
                 return cur;
             }

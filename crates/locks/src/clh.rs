@@ -5,23 +5,26 @@
 //! own, and releasing threads recycle their predecessor's node. A
 //! hierarchical variant (HCLH) was an early NUMA-aware lock (§2 of the
 //! paper); the flat CLH here serves as an additional NUMA-oblivious baseline.
+//!
+//! Generic over an [`Atomics`] family so `crates/modelcheck` can explore the
+//! cell-recycling handoff; production uses the [`StdAtomics`] default.
 
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, Ordering};
+use std::sync::atomic::Ordering;
 
+use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
 use sync_core::raw::RawLock;
-use sync_core::spin::spin_until;
 
 /// Heap-allocated queue cell spun on by the successor.
 #[derive(Debug)]
-struct ClhQNode {
-    locked: AtomicBool,
+struct ClhQNode<A: Atomics> {
+    locked: A::Bool,
 }
 
-impl ClhQNode {
-    fn alloc(locked: bool) -> *mut ClhQNode {
+impl<A: Atomics> ClhQNode<A> {
+    fn alloc(locked: bool) -> *mut ClhQNode<A> {
         Box::into_raw(Box::new(ClhQNode {
-            locked: AtomicBool::new(locked),
+            locked: A::Bool::new(locked),
         }))
     }
 }
@@ -31,21 +34,21 @@ impl ClhQNode {
 /// Owns (at most) one queue cell while idle; during an acquisition it
 /// additionally remembers the predecessor cell it will recycle on release.
 #[derive(Debug)]
-pub struct ClhNode {
-    cur: AtomicPtr<ClhQNode>,
-    prev: AtomicPtr<ClhQNode>,
+pub struct ClhNode<A: Atomics = StdAtomics> {
+    cur: A::Ptr<ClhQNode<A>>,
+    prev: A::Ptr<ClhQNode<A>>,
 }
 
-impl Default for ClhNode {
+impl<A: Atomics> Default for ClhNode<A> {
     fn default() -> Self {
         ClhNode {
-            cur: AtomicPtr::new(ptr::null_mut()),
-            prev: AtomicPtr::new(ptr::null_mut()),
+            cur: A::Ptr::new(ptr::null_mut()),
+            prev: A::Ptr::new(ptr::null_mut()),
         }
     }
 }
 
-impl Drop for ClhNode {
+impl<A: Atomics> Drop for ClhNode<A> {
     fn drop(&mut self) {
         let cur = self.cur.load(Ordering::Relaxed);
         if !cur.is_null() {
@@ -60,26 +63,33 @@ impl Drop for ClhNode {
 
 /// The CLH queue lock: a single word pointing at the queue tail.
 #[derive(Debug)]
-pub struct ClhLock {
-    tail: AtomicPtr<ClhQNode>,
+pub struct ClhLock<A: Atomics = StdAtomics> {
+    tail: A::Ptr<ClhQNode<A>>,
 }
 
-impl Default for ClhLock {
+impl<A: Atomics> Default for ClhLock<A> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl ClhLock {
     /// Creates an unlocked lock (allocates the initial dummy cell).
     pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics> ClhLock<A> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
         ClhLock {
-            tail: AtomicPtr::new(ClhQNode::alloc(false)),
+            tail: A::Ptr::new(ClhQNode::<A>::alloc(false)),
         }
     }
 }
 
-impl Drop for ClhLock {
+impl<A: Atomics> Drop for ClhLock<A> {
     fn drop(&mut self) {
         let tail = self.tail.load(Ordering::Relaxed);
         if !tail.is_null() {
@@ -92,18 +102,18 @@ impl Drop for ClhLock {
 }
 
 // SAFETY: the queue protocol serialises all access to the heap cells.
-unsafe impl Send for ClhLock {}
+unsafe impl<A: Atomics> Send for ClhLock<A> {}
 // SAFETY: as above.
-unsafe impl Sync for ClhLock {}
+unsafe impl<A: Atomics> Sync for ClhLock<A> {}
 
-impl RawLock for ClhLock {
-    type Node = ClhNode;
+impl<A: Atomics> RawLock for ClhLock<A> {
+    type Node = ClhNode<A>;
     const NAME: &'static str = "CLH";
 
-    unsafe fn lock(&self, me: &ClhNode) {
+    unsafe fn lock(&self, me: &ClhNode<A>) {
         let mut cur = me.cur.load(Ordering::Relaxed);
         if cur.is_null() {
-            cur = ClhQNode::alloc(false);
+            cur = ClhQNode::<A>::alloc(false);
             me.cur.store(cur, Ordering::Relaxed);
         }
         // SAFETY: `cur` is owned by this context until it is published via
@@ -115,11 +125,11 @@ impl RawLock for ClhLock {
         debug_assert!(!prev.is_null(), "CLH tail always points at a cell");
         // SAFETY: `prev` stays allocated until we recycle it in `unlock`; its
         // previous owner never dereferences it after the swap handed it to us.
-        spin_until(|| unsafe { !(*prev).locked.load(Ordering::Acquire) });
+        A::spin_until(|| unsafe { !(*prev).locked.load(Ordering::Acquire) });
         me.prev.store(prev, Ordering::Relaxed);
     }
 
-    unsafe fn unlock(&self, me: &ClhNode) {
+    unsafe fn unlock(&self, me: &ClhNode<A>) {
         let cur = me.cur.load(Ordering::Relaxed);
         let prev = me.prev.load(Ordering::Relaxed);
         debug_assert!(!cur.is_null() && !prev.is_null());
@@ -150,7 +160,7 @@ mod tests {
     #[test]
     fn single_thread_roundtrip_recycles_cells() {
         let lock = ClhLock::new();
-        let node = ClhNode::default();
+        let node: ClhNode = ClhNode::default();
         for _ in 0..10_000 {
             // SAFETY: pinned node, matched pair.
             unsafe {
@@ -164,7 +174,7 @@ mod tests {
     fn drop_without_use_is_clean() {
         let lock = ClhLock::new();
         drop(lock);
-        let node = ClhNode::default();
+        let node: ClhNode = ClhNode::default();
         drop(node);
     }
 
@@ -182,7 +192,7 @@ mod tests {
                 let lock = Arc::clone(&lock);
                 let counter = Arc::clone(&counter);
                 std::thread::spawn(move || {
-                    let node = ClhNode::default();
+                    let node: ClhNode = ClhNode::default();
                     for _ in 0..ITERS {
                         // SAFETY: pinned node; counter only under the lock.
                         unsafe {

@@ -4,12 +4,18 @@
 //! derived from: one word of shared state (the queue tail), one atomic
 //! instruction to acquire, local spinning on the waiter's own node, strict
 //! FIFO admission.
+//!
+//! The lock is generic over an [`Atomics`] family so the model checker
+//! (`crates/modelcheck`) can exhaustively explore interleavings of this
+//! exact source; production code uses the [`StdAtomics`] default.
+//! `docs/orderings.md` records the justification for every ordering below,
+//! including the checker-audited `Relaxed` spin loads.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicUsize, Ordering};
+use std::sync::atomic::{AtomicPtr, Ordering};
 
+use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
 use sync_core::raw::RawLock;
-use sync_core::spin::spin_until;
 
 /// `spin` value while the waiter has not been granted the lock.
 const WAITING: usize = 0;
@@ -18,36 +24,31 @@ const GRANTED: usize = 1;
 
 /// Per-acquisition queue node of the MCS lock.
 #[derive(Debug)]
-pub struct McsNode {
-    spin: AtomicUsize,
-    next: AtomicPtr<McsNode>,
+pub struct McsNode<A: Atomics = StdAtomics> {
+    spin: A::Usize,
+    next: A::Ptr<McsNode<A>>,
 }
 
-impl Default for McsNode {
+impl<A: Atomics> Default for McsNode<A> {
     fn default() -> Self {
         McsNode {
-            spin: AtomicUsize::new(WAITING),
-            next: AtomicPtr::new(ptr::null_mut()),
+            spin: A::Usize::new(WAITING),
+            next: A::Ptr::new(ptr::null_mut()),
         }
     }
 }
 
-impl McsNode {
+impl<A: Atomics> McsNode<A> {
     /// Creates a fresh node ready for an acquisition.
     pub fn new() -> Self {
         Self::default()
     }
 }
 
-// SAFETY: all fields are atomics; access is mediated by the queue protocol.
-unsafe impl Send for McsNode {}
-// SAFETY: as above.
-unsafe impl Sync for McsNode {}
-
 /// The MCS queue spin lock: a single word pointing at the queue tail.
-#[derive(Debug, Default)]
-pub struct McsLock {
-    tail: AtomicPtr<McsNode>,
+#[derive(Debug)]
+pub struct McsLock<A: Atomics = StdAtomics> {
+    tail: A::Ptr<McsNode<A>>,
 }
 
 impl McsLock {
@@ -55,6 +56,15 @@ impl McsLock {
     pub const fn new() -> Self {
         McsLock {
             tail: AtomicPtr::new(ptr::null_mut()),
+        }
+    }
+}
+
+impl<A: Atomics> McsLock<A> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
+        McsLock {
+            tail: A::Ptr::new(ptr::null_mut()),
         }
     }
 
@@ -65,14 +75,20 @@ impl McsLock {
     }
 }
 
-impl RawLock for McsLock {
-    type Node = McsNode;
+impl<A: Atomics> Default for McsLock<A> {
+    fn default() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics> RawLock for McsLock<A> {
+    type Node = McsNode<A>;
     const NAME: &'static str = "MCS";
 
-    unsafe fn lock(&self, me: &McsNode) {
+    unsafe fn lock(&self, me: &McsNode<A>) {
         me.next.store(ptr::null_mut(), Ordering::Relaxed);
         me.spin.store(WAITING, Ordering::Relaxed);
-        let me_ptr = me as *const McsNode as *mut McsNode;
+        let me_ptr = me as *const McsNode<A> as *mut McsNode<A>;
 
         let prev = self.tail.swap(me_ptr, Ordering::AcqRel);
         if prev.is_null() {
@@ -84,11 +100,16 @@ impl RawLock for McsLock {
         unsafe {
             (*prev).next.store(me_ptr, Ordering::Release);
         }
-        spin_until(|| me.spin.load(Ordering::Acquire) != WAITING);
+        // Relaxed spin + Acquire fence after the loop: the fence synchronises
+        // with the holder's GRANTED Release store once it has been observed,
+        // which is the downgrade the weak-memory CNA verification paper
+        // proves safe for the waiter spin (audited by `modelcheck`).
+        A::spin_until(|| me.spin.load(Ordering::Relaxed) != WAITING);
+        A::fence(Ordering::Acquire);
     }
 
-    unsafe fn unlock(&self, me: &McsNode) {
-        let me_ptr = me as *const McsNode as *mut McsNode;
+    unsafe fn unlock(&self, me: &McsNode<A>) {
+        let me_ptr = me as *const McsNode<A> as *mut McsNode<A>;
         let mut next = me.next.load(Ordering::Acquire);
         if next.is_null() {
             if self
@@ -98,7 +119,10 @@ impl RawLock for McsLock {
             {
                 return;
             }
-            spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+            // Relaxed is enough while polling for the link: the Acquire
+            // re-load below is the one the successor's Release store must
+            // synchronise with (audited by `modelcheck`).
+            A::spin_until(|| !me.next.load(Ordering::Relaxed).is_null());
             next = me.next.load(Ordering::Acquire);
         }
         // SAFETY: `next` is a live waiter spinning on its own node.

@@ -5,20 +5,25 @@
 //! counter; PTL spreads that spinning over a small array of grant slots so
 //! that a hand-over invalidates only one slot. Both are used as building
 //! blocks of the Cohort locks evaluated in the paper (C-TKT-TKT, C-PTL-TKT).
+//!
+//! Generic over an [`Atomics`] family so `crates/modelcheck` can explore the
+//! ticket hand-over; production uses the [`StdAtomics`] default.
 
+use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use sync_core::atomics::{AtomicAdd, AtomicCell, Atomics, StdAtomics};
 use sync_core::padded::CachePadded;
 use sync_core::raw::{RawLock, RawTryLock};
 use sync_core::spin::cpu_relax;
 
 /// The classic ticket lock: a `next` counter handed to arrivals and an
 /// `owner` counter advanced on release.
-#[derive(Debug, Default)]
-pub struct TicketLock {
+#[derive(Debug)]
+pub struct TicketLock<A: Atomics = StdAtomics> {
     /// Low 32 bits: owner (now serving); high 32 bits: next free ticket.
     /// A single word keeps `try_lock` a single CAS.
-    state: AtomicU64,
+    state: A::U64,
 }
 
 const OWNER_MASK: u64 = 0xffff_ffff;
@@ -29,6 +34,15 @@ impl TicketLock {
     pub const fn new() -> Self {
         TicketLock {
             state: AtomicU64::new(0),
+        }
+    }
+}
+
+impl<A: Atomics> TicketLock<A> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
+        TicketLock {
+            state: A::U64::new(0),
         }
     }
 
@@ -45,7 +59,13 @@ impl TicketLock {
     }
 }
 
-impl RawLock for TicketLock {
+impl<A: Atomics> Default for TicketLock<A> {
+    fn default() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics> RawLock for TicketLock<A> {
     type Node = ();
     const NAME: &'static str = "Ticket";
 
@@ -55,20 +75,24 @@ impl RawLock for TicketLock {
         if Self::my_turn(prev, ticket) {
             return;
         }
-        loop {
-            let s = self.state.load(Ordering::Acquire);
-            if Self::my_turn(s, ticket) {
-                return;
-            }
-            // Proportional backoff: wait longer the further our ticket is
-            // from the currently served one.
-            let distance = ticket.saturating_sub(s & OWNER_MASK).max(1);
-            for _ in 0..distance * 8 {
-                cpu_relax();
-            }
-            // Keep over-subscribed hosts live: let the holder run.
-            std::thread::yield_now();
-        }
+        // Proportional backoff: wait longer the further our ticket is from
+        // the currently served one (the pace callback reads the distance the
+        // last poll observed).
+        let distance = Cell::new(1u64);
+        A::spin_until_paced(
+            || {
+                let s = self.state.load(Ordering::Acquire);
+                distance.set(ticket.saturating_sub(s & OWNER_MASK).max(1));
+                Self::my_turn(s, ticket)
+            },
+            || {
+                for _ in 0..distance.get() * 8 {
+                    cpu_relax();
+                }
+                // Keep over-subscribed hosts live: let the holder run.
+                std::thread::yield_now();
+            },
+        );
     }
 
     unsafe fn unlock(&self, _node: &()) {
@@ -77,7 +101,7 @@ impl RawLock for TicketLock {
     }
 }
 
-impl RawTryLock for TicketLock {
+impl<A: Atomics> RawTryLock for TicketLock<A> {
     unsafe fn try_lock(&self, _node: &()) -> bool {
         let s = self.state.load(Ordering::Relaxed);
         let owner = s & OWNER_MASK;
@@ -98,37 +122,52 @@ const PTL_SLOTS: usize = 16;
 
 /// Per-acquisition node of the partitioned ticket lock: remembers the
 /// ticket drawn at acquisition so the release knows which slot to grant next.
-#[derive(Debug, Default)]
-pub struct PtlNode {
-    ticket: AtomicU64,
+#[derive(Debug)]
+pub struct PtlNode<A: Atomics = StdAtomics> {
+    ticket: A::U64,
+}
+
+impl<A: Atomics> Default for PtlNode<A> {
+    fn default() -> Self {
+        PtlNode {
+            ticket: A::U64::new(0),
+        }
+    }
 }
 
 /// Dice's partitioned ticket lock: FIFO like a ticket lock, but waiters spin
 /// on `grants[ticket % PTL_SLOTS]`, so a release invalidates only the cache
 /// line of its successor's slot.
 #[derive(Debug)]
-pub struct PartitionedTicketLock {
-    next: AtomicU64,
-    grants: Box<[CachePadded<AtomicU64>]>,
+pub struct PartitionedTicketLock<A: Atomics = StdAtomics> {
+    next: A::U64,
+    grants: Box<[CachePadded<A::U64>]>,
 }
 
-impl Default for PartitionedTicketLock {
+impl<A: Atomics> Default for PartitionedTicketLock<A> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
 impl PartitionedTicketLock {
     /// Creates an unlocked lock.
     pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics> PartitionedTicketLock<A> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
         // Slot 0 starts granted to ticket 0; every other slot starts with a
         // value no ticket will ever equal before the slot is legitimately
         // written by a release.
-        let grants: Vec<CachePadded<AtomicU64>> = (0..PTL_SLOTS)
-            .map(|i| CachePadded::new(AtomicU64::new(if i == 0 { 0 } else { u64::MAX })))
+        let grants: Vec<CachePadded<A::U64>> = (0..PTL_SLOTS)
+            .map(|i| CachePadded::new(A::U64::new(if i == 0 { 0 } else { u64::MAX })))
             .collect();
         PartitionedTicketLock {
-            next: AtomicU64::new(0),
+            next: A::U64::new(0),
             grants: grants.into_boxed_slice(),
         }
     }
@@ -149,26 +188,29 @@ impl PartitionedTicketLock {
     }
 }
 
-impl RawLock for PartitionedTicketLock {
-    type Node = PtlNode;
+impl<A: Atomics> RawLock for PartitionedTicketLock<A> {
+    type Node = PtlNode<A>;
     const NAME: &'static str = "PTL";
 
-    unsafe fn lock(&self, node: &PtlNode) {
+    unsafe fn lock(&self, node: &PtlNode<A>) {
         let ticket = self.next.fetch_add(1, Ordering::AcqRel);
         node.ticket.store(ticket, Ordering::Relaxed);
         let slot = &self.grants[Self::slot(ticket)];
-        let mut spins = 0u32;
-        while slot.load(Ordering::Acquire) != ticket {
-            cpu_relax();
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(1024) {
-                // Keep over-subscribed hosts live: let the holder run.
-                std::thread::yield_now();
-            }
-        }
+        let spins = Cell::new(0u32);
+        A::spin_until_paced(
+            || slot.load(Ordering::Acquire) == ticket,
+            || {
+                cpu_relax();
+                spins.set(spins.get().wrapping_add(1));
+                if spins.get().is_multiple_of(1024) {
+                    // Keep over-subscribed hosts live: let the holder run.
+                    std::thread::yield_now();
+                }
+            },
+        );
     }
 
-    unsafe fn unlock(&self, node: &PtlNode) {
+    unsafe fn unlock(&self, node: &PtlNode<A>) {
         let ticket = node.ticket.load(Ordering::Relaxed);
         let next_ticket = ticket.wrapping_add(1);
         self.grants[Self::slot(next_ticket)].store(next_ticket, Ordering::Release);

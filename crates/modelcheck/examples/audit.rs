@@ -1,0 +1,40 @@
+use modelcheck::suite::{self, ModelClh, ModelCna, ModelMcs, ModelTicket};
+use modelcheck::Config;
+
+fn main() {
+    let mut cfg = Config::smoke("audit");
+    cfg.trace_dir = None;
+    for (name, verdicts) in [
+        (
+            "mcs",
+            suite::audit(&cfg, &suite::raw_lock_scenario::<ModelMcs>("mcs", 2, 1)),
+        ),
+        (
+            "clh",
+            suite::audit(&cfg, &suite::raw_lock_scenario::<ModelClh>("clh", 2, 1)),
+        ),
+        (
+            "ticket",
+            suite::audit(
+                &cfg,
+                &suite::raw_lock_scenario::<ModelTicket>("ticket", 2, 1),
+            ),
+        ),
+        (
+            "cna",
+            suite::audit(&cfg, &suite::raw_lock_scenario::<ModelCna>("cna", 2, 1)),
+        ),
+    ] {
+        println!("== {name}");
+        for v in verdicts {
+            println!(
+                "  {}:{} {} {} -> {}",
+                v.site.file,
+                v.site.line,
+                v.site.kind,
+                v.site.ordering,
+                if v.caught { "CAUGHT" } else { "not caught" }
+            );
+        }
+    }
+}

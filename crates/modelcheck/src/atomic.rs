@@ -1,0 +1,212 @@
+//! The instrumented atomic family: [`ModelAtomics`].
+//!
+//! Each cell is a [`MaCell`]: a `mirror` word holding the current value (used
+//! directly outside an execution and while unwinding — "ghost mode"), a
+//! packed registration word tying the cell to the current execution's model
+//! state, and the construction site. All operations forward to
+//! [`crate::engine`], which serialises them through the scheduler baton.
+
+use std::marker::PhantomData;
+use std::panic::Location;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+use sync_core::atomics::{AtomicAdd, AtomicCell, Atomics};
+
+use crate::engine::{self, AtomicOp};
+
+/// The shared guts of every instrumented cell. Values are stored as raw
+/// `u64` bits (`bool` as 0/1, pointers as addresses).
+#[derive(Debug)]
+pub(crate) struct MaCell {
+    /// Current value; kept in sync by model stores so ghost reads work.
+    mirror: AtomicU64,
+    /// Packed `exec_id << 32 | cell_idx`, maintained by the engine.
+    reg: AtomicU64,
+    /// Construction site (seeds the trace's cell identity).
+    site: &'static Location<'static>,
+}
+
+impl MaCell {
+    #[track_caller]
+    fn new(bits: u64) -> Self {
+        MaCell {
+            mirror: AtomicU64::new(bits),
+            reg: AtomicU64::new(0),
+            site: Location::caller(),
+        }
+    }
+
+    fn op(&self, op: AtomicOp, order: Ordering, site: &'static Location<'static>) -> (u64, bool) {
+        let out = engine::atomic_op(&self.reg, &self.mirror, self.site, op, order, site);
+        (out.value, out.ok)
+    }
+}
+
+macro_rules! model_cell {
+    ($name:ident, $value:ty, $to:expr, $from:expr) => {
+        /// An instrumented atomic cell of the [`ModelAtomics`] family.
+        #[derive(Debug)]
+        pub struct $name(MaCell);
+
+        impl AtomicCell<$value> for $name {
+            #[track_caller]
+            fn new(v: $value) -> Self {
+                $name(MaCell::new(($to)(v)))
+            }
+            #[track_caller]
+            fn load(&self, order: Ordering) -> $value {
+                let (v, _) = self.0.op(AtomicOp::Load, order, Location::caller());
+                ($from)(v)
+            }
+            #[track_caller]
+            fn store(&self, v: $value, order: Ordering) {
+                self.0
+                    .op(AtomicOp::Store(($to)(v)), order, Location::caller());
+            }
+            #[track_caller]
+            fn swap(&self, v: $value, order: Ordering) -> $value {
+                let (prev, _) = self
+                    .0
+                    .op(AtomicOp::Swap(($to)(v)), order, Location::caller());
+                ($from)(prev)
+            }
+            #[track_caller]
+            fn compare_exchange(
+                &self,
+                current: $value,
+                new: $value,
+                success: Ordering,
+                _failure: Ordering,
+            ) -> Result<$value, $value> {
+                let (prev, ok) = self.0.op(
+                    AtomicOp::Cas {
+                        current: ($to)(current),
+                        new: ($to)(new),
+                    },
+                    success,
+                    Location::caller(),
+                );
+                if ok {
+                    Ok(($from)(prev))
+                } else {
+                    Err(($from)(prev))
+                }
+            }
+        }
+    };
+}
+
+model_cell!(MAtomicUsize, usize, |v: usize| v as u64, |v: u64| v
+    as usize);
+model_cell!(MAtomicIsize, isize, |v: isize| v as u64, |v: u64| v
+    as isize);
+model_cell!(MAtomicU64, u64, |v: u64| v, |v: u64| v);
+model_cell!(MAtomicBool, bool, |v: bool| v as u64, |v: u64| v != 0);
+
+impl AtomicAdd<usize> for MAtomicUsize {
+    #[track_caller]
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        let (prev, _) = self
+            .0
+            .op(AtomicOp::Add(v as u64), order, Location::caller());
+        prev as usize
+    }
+}
+
+impl AtomicAdd<u64> for MAtomicU64 {
+    #[track_caller]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        let (prev, _) = self.0.op(AtomicOp::Add(v), order, Location::caller());
+        prev
+    }
+}
+
+/// An instrumented `AtomicPtr<T>`.
+pub struct MAtomicPtr<T>(MaCell, PhantomData<*mut T>);
+
+impl<T> std::fmt::Debug for MAtomicPtr<T> {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        f.debug_tuple("MAtomicPtr").field(&self.0).finish()
+    }
+}
+
+// The cell stores the pointer as an address inside an AtomicU64; access is
+// serialised by the engine.
+unsafe impl<T> Send for MAtomicPtr<T> {}
+unsafe impl<T> Sync for MAtomicPtr<T> {}
+
+impl<T: 'static> AtomicCell<*mut T> for MAtomicPtr<T> {
+    #[track_caller]
+    fn new(v: *mut T) -> Self {
+        MAtomicPtr(MaCell::new(v as usize as u64), PhantomData)
+    }
+    #[track_caller]
+    fn load(&self, order: Ordering) -> *mut T {
+        let (v, _) = self.0.op(AtomicOp::Load, order, Location::caller());
+        v as usize as *mut T
+    }
+    #[track_caller]
+    fn store(&self, v: *mut T, order: Ordering) {
+        self.0.op(
+            AtomicOp::Store(v as usize as u64),
+            order,
+            Location::caller(),
+        );
+    }
+    #[track_caller]
+    fn swap(&self, v: *mut T, order: Ordering) -> *mut T {
+        let (prev, _) = self
+            .0
+            .op(AtomicOp::Swap(v as usize as u64), order, Location::caller());
+        prev as usize as *mut T
+    }
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        _failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        let (prev, ok) = self.0.op(
+            AtomicOp::Cas {
+                current: current as usize as u64,
+                new: new as usize as u64,
+            },
+            success,
+            Location::caller(),
+        );
+        let prev = prev as usize as *mut T;
+        if ok {
+            Ok(prev)
+        } else {
+            Err(prev)
+        }
+    }
+}
+
+/// The model-checking atomic family: plug into any lock generic over
+/// [`Atomics`] (e.g. `McsLock<ModelAtomics>`) and the same lock source runs
+/// under the interleaving explorer.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct ModelAtomics;
+
+impl Atomics for ModelAtomics {
+    type Usize = MAtomicUsize;
+    type Isize = MAtomicIsize;
+    type U64 = MAtomicU64;
+    type Bool = MAtomicBool;
+    type Ptr<T: 'static> = MAtomicPtr<T>;
+
+    #[track_caller]
+    fn fence(order: Ordering) {
+        engine::fence_op(order, Location::caller());
+    }
+
+    #[track_caller]
+    fn spin_until(condition: impl FnMut() -> bool) {
+        engine::spin_op(condition, Location::caller());
+    }
+
+    fn spin_hint() {}
+}

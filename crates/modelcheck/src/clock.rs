@@ -1,0 +1,73 @@
+//! Fixed-size vector clocks for happens-before tracking.
+
+/// Maximum number of model threads per execution. Lock scenarios are 2–4
+/// threads; the array stays small enough to copy freely.
+pub const MAX_THREADS: usize = 4;
+
+/// A vector clock over the execution's threads.
+#[derive(Debug, Clone, Copy, PartialEq, Eq, Default)]
+pub struct VClock(pub [u32; MAX_THREADS]);
+
+impl VClock {
+    /// Component-wise maximum (the happens-before join).
+    #[inline]
+    pub fn join(&mut self, other: &VClock) {
+        for i in 0..MAX_THREADS {
+            if other.0[i] > self.0[i] {
+                self.0[i] = other.0[i];
+            }
+        }
+    }
+
+    /// `true` when this clock has reached `(tid, ts)` — i.e. the event with
+    /// timestamp `ts` on thread `tid` happens-before the holder of `self`.
+    #[inline]
+    pub fn covers(&self, tid: usize, ts: u32) -> bool {
+        self.0[tid] >= ts
+    }
+
+    /// Feeds the clock into a rolling hash.
+    pub fn hash_into(&self, h: &mut u64) {
+        for &c in &self.0 {
+            *h = mix64(*h ^ u64::from(c));
+        }
+    }
+}
+
+/// A fast 64-bit mixer (splitmix64 finaliser); used for state hashing and the
+/// seeded scheduler tie-breaks. Deterministic by construction.
+#[inline]
+pub fn mix64(mut x: u64) -> u64 {
+    x = x.wrapping_add(0x9e37_79b9_7f4a_7c15);
+    x = (x ^ (x >> 30)).wrapping_mul(0xbf58_476d_1ce4_e5b9);
+    x = (x ^ (x >> 27)).wrapping_mul(0x94d0_49bb_1331_11eb);
+    x ^ (x >> 31)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn join_is_componentwise_max() {
+        let mut a = VClock([1, 5, 0, 2]);
+        a.join(&VClock([3, 2, 0, 7]));
+        assert_eq!(a, VClock([3, 5, 0, 7]));
+    }
+
+    #[test]
+    fn covers_matches_components() {
+        let c = VClock([2, 0, 0, 0]);
+        assert!(c.covers(0, 2));
+        assert!(c.covers(0, 1));
+        assert!(!c.covers(0, 3));
+        assert!(c.covers(1, 0));
+    }
+
+    #[test]
+    fn mix64_is_deterministic_and_spreading() {
+        assert_eq!(mix64(1), mix64(1));
+        assert_ne!(mix64(1), mix64(2));
+        assert_ne!(mix64(0), 0);
+    }
+}

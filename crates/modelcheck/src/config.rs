@@ -1,0 +1,182 @@
+//! Exploration configuration: bounds, seed, mutation under test.
+
+use std::path::PathBuf;
+use std::sync::atomic::Ordering;
+
+/// Selects one source site whose ordering the checker weakens to `Relaxed`
+/// (fences become no-ops) — the mutation self-test mechanism.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Mutation {
+    /// Suffix of the source file path (e.g. `"mcs.rs"`).
+    pub file: String,
+    /// Line of the access, as reported by [`crate::SiteId`].
+    pub line: u32,
+}
+
+impl Mutation {
+    /// Mutation at `file:line`.
+    pub fn at(file: impl Into<String>, line: u32) -> Self {
+        Mutation {
+            file: file.into(),
+            line,
+        }
+    }
+
+    /// `true` when the access at `file:line` is the mutated site.
+    pub fn matches(&self, file: &str, line: u32) -> bool {
+        line == self.line && file.ends_with(self.file.as_str())
+    }
+}
+
+/// Bounds and knobs of one exploration.
+#[derive(Debug, Clone)]
+pub struct Config {
+    /// Name used in the report and the trace file.
+    pub name: String,
+    /// Seed for the scheduler's deterministic tie-break rotation. Every
+    /// exploration is reproducible given (`seed`, config, code version).
+    pub seed: u64,
+    /// Maximum number of preemptions (switching away from a runnable
+    /// thread) per schedule; `None` explores unboundedly.
+    pub preemption_bound: Option<u32>,
+    /// Stale-store window per atomic cell: how many old values a relaxed
+    /// load may still observe. 1 = sequentially consistent visibility.
+    pub store_history: usize,
+    /// Cap on explored schedules; hitting it reports `complete = false`.
+    pub max_schedules: u64,
+    /// Per-schedule step budget; exceeding it is a [`Livelock`] violation.
+    ///
+    /// [`Livelock`]: crate::Violation::Livelock
+    pub max_steps: u64,
+    /// Optional ordering mutation under test.
+    pub mutation: Option<Mutation>,
+    /// Directory for counterexample trace files (`None` disables writing).
+    pub trace_dir: Option<PathBuf>,
+    /// Enables state-hash pruning of revisited interleavings.
+    pub pruning: bool,
+}
+
+/// Reads the exploration seed from `MODELCHECK_SEED` (decimal or `0x` hex),
+/// defaulting to `0xC0FFEE`.
+pub fn seed_from_env() -> u64 {
+    match std::env::var("MODELCHECK_SEED") {
+        Ok(s) => {
+            let s = s.trim();
+            let parsed = if let Some(hex) = s.strip_prefix("0x") {
+                u64::from_str_radix(hex, 16).ok()
+            } else {
+                s.parse().ok()
+            };
+            parsed.unwrap_or(0xC0FFEE)
+        }
+        Err(_) => 0xC0FFEE,
+    }
+}
+
+impl Config {
+    /// The CI smoke configuration: preemption bound 3, a 2-deep stale-store
+    /// window, pruning on. Seed comes from `MODELCHECK_SEED` when set.
+    pub fn smoke(name: impl Into<String>) -> Self {
+        Config {
+            name: name.into(),
+            seed: seed_from_env(),
+            preemption_bound: Some(3),
+            store_history: 2,
+            max_schedules: 200_000,
+            max_steps: 20_000,
+            mutation: None,
+            trace_dir: Some(PathBuf::from("target/modelcheck")),
+            pruning: true,
+        }
+    }
+
+    /// The exhaustive configuration used by `SCALE=paper` runs: no preemption
+    /// bound, a deeper stale-store window, a much larger schedule budget.
+    pub fn paper(name: impl Into<String>) -> Self {
+        Config {
+            preemption_bound: None,
+            store_history: 3,
+            max_schedules: 5_000_000,
+            ..Config::smoke(name)
+        }
+    }
+
+    /// [`Config::smoke`] normally; [`Config::paper`] when `SCALE=paper`.
+    pub fn from_env(name: impl Into<String>) -> Self {
+        if std::env::var("SCALE")
+            .map(|s| s == "paper")
+            .unwrap_or(false)
+        {
+            Config::paper(name)
+        } else {
+            Config::smoke(name)
+        }
+    }
+
+    /// Replaces the seed (the `--seed` of programmatic callers).
+    pub fn with_seed(mut self, seed: u64) -> Self {
+        self.seed = seed;
+        self
+    }
+
+    /// Sets the mutation under test.
+    pub fn with_mutation(mut self, m: Mutation) -> Self {
+        self.mutation = Some(m);
+        self
+    }
+
+    /// Effective ordering of an access at `file:line`: `Relaxed` when the
+    /// mutation matches, the declared ordering otherwise.
+    pub fn effective_ordering(
+        &self,
+        declared: Ordering,
+        file: &str,
+        line: u32,
+    ) -> (Ordering, bool) {
+        match &self.mutation {
+            Some(m) if m.matches(file, line) && declared != Ordering::Relaxed => {
+                (Ordering::Relaxed, true)
+            }
+            _ => (declared, false),
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn mutation_matches_by_suffix_and_line() {
+        let m = Mutation::at("mcs.rs", 106);
+        assert!(m.matches("/root/repo/crates/locks/src/mcs.rs", 106));
+        assert!(!m.matches("/root/repo/crates/locks/src/mcs.rs", 107));
+        assert!(!m.matches("clh.rs", 106));
+    }
+
+    #[test]
+    fn effective_ordering_weakens_only_the_selected_site() {
+        let cfg = Config::smoke("t").with_mutation(Mutation::at("mcs.rs", 10));
+        assert_eq!(
+            cfg.effective_ordering(Ordering::Release, "x/mcs.rs", 10),
+            (Ordering::Relaxed, true)
+        );
+        assert_eq!(
+            cfg.effective_ordering(Ordering::Release, "x/mcs.rs", 11),
+            (Ordering::Release, false)
+        );
+        assert_eq!(
+            cfg.effective_ordering(Ordering::Relaxed, "x/mcs.rs", 10),
+            (Ordering::Relaxed, false)
+        );
+    }
+
+    #[test]
+    fn scale_paper_lifts_the_preemption_bound() {
+        let p = Config::paper("x");
+        assert!(p.preemption_bound.is_none());
+        assert!(p.store_history >= 3);
+        let s = Config::smoke("x");
+        assert_eq!(s.preemption_bound, Some(3));
+    }
+}

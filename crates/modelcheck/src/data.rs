@@ -1,0 +1,115 @@
+//! Checker-visible shared state for scenarios: [`Data`] (a non-atomic cell
+//! whose accesses are race-checked with vector clocks) and
+//! [`CriticalSection`] (a region that at most one thread may occupy).
+//!
+//! A lock bug under weak memory usually does not manifest as two threads
+//! literally interleaving inside the critical section of the *model* —
+//! it manifests as the protected data being accessed without a
+//! happens-before edge. Scenarios therefore wrap their protected state in
+//! [`Data`] and additionally mark the critical section with a
+//! [`CriticalSection`] guard; either checker can fire first.
+
+use std::cell::UnsafeCell;
+use std::panic::Location;
+use std::sync::atomic::AtomicU64;
+
+use crate::engine;
+
+/// A non-atomic cell that must only be accessed under mutual exclusion.
+/// Every access is checked for a data race against the model's
+/// happens-before relation.
+#[derive(Debug)]
+pub struct Data<T> {
+    value: UnsafeCell<T>,
+    reg: AtomicU64,
+    site: &'static Location<'static>,
+}
+
+// Accesses are serialised by the engine's scheduler baton (or, outside an
+// execution, the caller's own synchronisation — same contract as a lock).
+unsafe impl<T: Send> Send for Data<T> {}
+unsafe impl<T: Send> Sync for Data<T> {}
+
+impl<T> Data<T> {
+    /// A new protected cell.
+    #[track_caller]
+    pub fn new(value: T) -> Self {
+        Data {
+            value: UnsafeCell::new(value),
+            reg: AtomicU64::new(0),
+            site: Location::caller(),
+        }
+    }
+
+    /// Mutably accesses the value (a checked non-atomic *write*).
+    #[track_caller]
+    pub fn with<R>(&self, f: impl FnOnce(&mut T) -> R) -> R {
+        let site = Location::caller();
+        let mut f = Some(f);
+        let mut out: Option<R> = None;
+        engine::data_access(&self.reg, self.site, site, true, &mut || {
+            // SAFETY: the engine runs this closure under its core lock (or
+            // the caller owns exclusion outside an execution), and the race
+            // checker has validated happens-before ordering.
+            let v = unsafe { &mut *self.value.get() };
+            out = Some((f.take().expect("called once"))(v));
+        });
+        out.expect("engine ran the access")
+    }
+
+    /// Reads the value (a checked non-atomic *read*).
+    #[track_caller]
+    pub fn read<R>(&self, f: impl FnOnce(&T) -> R) -> R {
+        let site = Location::caller();
+        let mut f = Some(f);
+        let mut out: Option<R> = None;
+        engine::data_access(&self.reg, self.site, site, false, &mut || {
+            // SAFETY: as in `with`; shared reference only.
+            let v = unsafe { &*self.value.get() };
+            out = Some((f.take().expect("called once"))(v));
+        });
+        out.expect("engine ran the access")
+    }
+}
+
+/// A region at most one thread may occupy at a time. Entering while another
+/// thread is inside is an immediate mutual-exclusion violation.
+#[derive(Debug, Default)]
+pub struct CriticalSection {
+    reg: AtomicU64,
+}
+
+impl CriticalSection {
+    /// A new (empty) region.
+    pub const fn new() -> Self {
+        CriticalSection {
+            reg: AtomicU64::new(0),
+        }
+    }
+
+    /// Enters the region; the guard exits it on drop.
+    #[track_caller]
+    pub fn enter(&self) -> CsGuard<'_> {
+        let site = Location::caller();
+        engine::region_enter(&self.reg, site);
+        CsGuard { cs: self, site }
+    }
+}
+
+/// Occupancy guard of a [`CriticalSection`].
+#[derive(Debug)]
+pub struct CsGuard<'a> {
+    cs: &'a CriticalSection,
+    site: &'static Location<'static>,
+}
+
+impl Drop for CsGuard<'_> {
+    fn drop(&mut self) {
+        // During an abort unwind the region state is being torn down anyway;
+        // a model op here would deadlock or double-panic.
+        if std::thread::panicking() {
+            return;
+        }
+        engine::region_exit(&self.cs.reg, self.site);
+    }
+}

@@ -1,0 +1,51 @@
+//! Loom-style bounded interleaving exploration for the workspace's locks.
+//!
+//! The lock implementations in `sync-core`, `locks`, and `cna` are generic
+//! over the [`sync_core::atomics::Atomics`] family. Plugging in this crate's
+//! [`ModelAtomics`] family makes every atomic access, fence, and spin loop a
+//! scheduling point of a deterministic explorer — the *same lock source*
+//! that the benchmarks run is what gets checked.
+//!
+//! # What it does
+//!
+//! * [`explore`] enumerates thread interleavings of a [`Scenario`] with a
+//!   DFS over scheduling decisions, bounded by a configurable preemption
+//!   bound ([`Config::smoke`] uses 3; `SCALE=paper` lifts the bound), with
+//!   state hashing to prune revisited interleavings.
+//! * A vector-clock weak-memory model lets relaxed loads observe stale
+//!   stores from a bounded per-cell history, so missing `Acquire`/`Release`
+//!   edges produce real counterexamples (not just SC interleavings).
+//! * Checkers: mutual exclusion ([`CriticalSection`]), data races on
+//!   protected state ([`Data`]), deadlock / lost wakeup (every remaining
+//!   thread parked in a spin), livelock (step budget), and scenario
+//!   assertions.
+//! * On a violation the failing schedule is minimized by greedy prefix
+//!   shortening and rendered as a numbered event trace
+//!   ([`Report::assert_ok`] panics with it; `Config::trace_dir` writes it to
+//!   disk for CI artifact upload).
+//! * [`Config::with_mutation`] weakens one `Ordering::` site to `Relaxed` —
+//!   the mutation self-tests assert the checker *finds* a violation, which
+//!   is the evidence backing the relaxed-ordering downgrades landed on the
+//!   MCS/CNA fast paths.
+//!
+//! # Reproducibility
+//!
+//! Every exploration takes an explicit seed ([`Config::with_seed`], or the
+//! `MODELCHECK_SEED` environment variable) used for deterministic scheduler
+//! tie-breaks; a report is reproducible given (seed, config, code version).
+
+pub mod atomic;
+pub mod clock;
+pub mod config;
+pub mod data;
+pub mod engine;
+pub mod suite;
+pub mod trace;
+pub mod violation;
+
+pub use atomic::ModelAtomics;
+pub use config::{seed_from_env, Config, Mutation};
+pub use data::{CriticalSection, CsGuard, Data};
+pub use engine::{explore, FoundViolation, Report, Scenario, SiteInfo, ThreadEnv};
+pub use trace::{Event, OpKind};
+pub use violation::Violation;

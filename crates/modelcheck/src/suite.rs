@@ -1,0 +1,354 @@
+//! The lock scenario suite: ready-made [`Scenario`]s for every generically
+//! wired lock algorithm, plus the ordering-mutation audit.
+//!
+//! Each scenario instantiates the *production lock source* with the
+//! [`ModelAtomics`] family: `k` threads acquire the shared lock, enter a
+//! [`CriticalSection`], bump a race-checked [`Data`] counter, and release; a
+//! finale asserts no update was lost. Queue nodes live in the scenario state
+//! (not on body stacks) so a violation-aborted execution cannot free memory
+//! another thread still references.
+
+use cna::raw::{AlwaysFlushParams, CnaLock, NeverFlushParams, PaperParams, TunableCnaLock};
+use locks::{ClhLock, McsLock, PartitionedTicketLock, TestAndSetLock, TicketLock};
+use numa_topology::SocketOverrideGuard;
+use sync_core::erased::DynLock;
+use sync_core::raw::{RawLock, RawTryLock};
+
+use crate::atomic::ModelAtomics;
+use crate::config::Config;
+use crate::data::{CriticalSection, Data};
+use crate::engine::{explore, Scenario, SiteInfo};
+
+/// Shared state of a raw-lock scenario: the lock, one pinned queue node per
+/// thread, and the checked critical region.
+pub struct RawState<L: RawLock> {
+    lock: L,
+    nodes: Vec<L::Node>,
+    cs: CriticalSection,
+    counter: Data<usize>,
+}
+
+/// A scenario where `threads` threads each perform `iters`
+/// lock / critical-section / unlock cycles on a lock of type `L`.
+///
+/// Bodies reseed the `cna` thread-local RNG from the deterministic per-thread
+/// seed and pin their NUMA socket to `tid % 2`, so CNA's socket decisions and
+/// flush coin-flips replay identically across explorations.
+pub fn raw_lock_scenario<L>(
+    name: &str,
+    threads: usize,
+    iters: usize,
+) -> Scenario<'static, RawState<L>>
+where
+    L: RawLock + 'static,
+{
+    Scenario::new(name, move || RawState {
+        lock: L::default(),
+        nodes: (0..threads).map(|_| L::Node::default()).collect(),
+        cs: CriticalSection::new(),
+        counter: Data::new(0),
+    })
+    .threads(threads, move |s: &RawState<L>, env| {
+        cna::rng::reseed(env.seed);
+        let _socket = SocketOverrideGuard::new(env.tid % 2);
+        for _ in 0..iters {
+            // SAFETY: the node is owned by the scenario state, pinned for
+            // the whole execution, and used by this thread only.
+            unsafe {
+                s.lock.lock(&s.nodes[env.tid]);
+                {
+                    let _cs = s.cs.enter();
+                    s.counter.with(|c| *c += 1);
+                }
+                s.lock.unlock(&s.nodes[env.tid]);
+            }
+        }
+    })
+    .finale(move |s| {
+        s.counter.read(|c| {
+            assert_eq!(*c, threads * iters, "critical-section update lost");
+        })
+    })
+}
+
+/// A scenario where each thread makes one `try_lock` attempt, entering the
+/// checked region only on success.
+pub fn try_lock_scenario<L>(name: &str, threads: usize) -> Scenario<'static, RawState<L>>
+where
+    L: RawTryLock + 'static,
+{
+    Scenario::new(name, move || RawState {
+        lock: L::default(),
+        nodes: (0..threads).map(|_| L::Node::default()).collect(),
+        cs: CriticalSection::new(),
+        counter: Data::new(0),
+    })
+    .threads(threads, move |s: &RawState<L>, env| {
+        cna::rng::reseed(env.seed);
+        let _socket = SocketOverrideGuard::new(env.tid % 2);
+        // SAFETY: as in `raw_lock_scenario`.
+        unsafe {
+            if s.lock.try_lock(&s.nodes[env.tid]) {
+                {
+                    let _cs = s.cs.enter();
+                    s.counter.with(|c| *c += 1);
+                }
+                s.lock.unlock(&s.nodes[env.tid]);
+            }
+        }
+    })
+    .finale(move |s| {
+        s.counter.read(|c| {
+            // The lock starts free, so at least one attempt must succeed.
+            assert!(
+                (1..=threads).contains(c),
+                "try_lock successes out of range: {c}"
+            );
+        })
+    })
+}
+
+/// Shared state of the erased-lock (node-pool handoff) scenario.
+pub struct DynState {
+    lock: DynLock,
+    cs: CriticalSection,
+    counter: Data<usize>,
+}
+
+/// MCS behind [`DynLock`]: nodes come from the thread-local node pool and
+/// each thread acquires twice, exercising pool handoff and reuse — the
+/// lost-wakeup surface called out for the checker.
+pub fn dyn_mcs_pool_scenario(threads: usize) -> Scenario<'static, DynState> {
+    Scenario::new("dyn-mcs-pool", move || DynState {
+        lock: DynLock::new::<McsLock<ModelAtomics>>(),
+        cs: CriticalSection::new(),
+        counter: Data::new(0),
+    })
+    .threads(threads, move |s: &DynState, env| {
+        cna::rng::reseed(env.seed);
+        let _socket = SocketOverrideGuard::new(env.tid % 2);
+        for _ in 0..2 {
+            // SAFETY: the token is released once, on this thread.
+            unsafe {
+                let token = s.lock.raw_lock();
+                {
+                    let _cs = s.cs.enter();
+                    s.counter.with(|c| *c += 1);
+                }
+                s.lock.raw_unlock(token);
+            }
+        }
+    })
+    .finale(move |s| {
+        s.counter
+            .read(|c| assert_eq!(*c, threads * 2, "pool handoff lost an update"))
+    })
+}
+
+/// MCS under the model family.
+pub type ModelMcs = McsLock<ModelAtomics>;
+/// CLH under the model family.
+pub type ModelClh = ClhLock<ModelAtomics>;
+/// Ticket lock under the model family.
+pub type ModelTicket = TicketLock<ModelAtomics>;
+/// Partitioned ticket lock under the model family.
+pub type ModelPtl = PartitionedTicketLock<ModelAtomics>;
+/// Test-and-set lock under the model family.
+pub type ModelTas = TestAndSetLock<ModelAtomics>;
+/// CNA (paper parameters) under the model family.
+pub type ModelCna = CnaLock<PaperParams, ModelAtomics>;
+/// CNA that always flushes the secondary queue.
+pub type ModelCnaAlwaysFlush = CnaLock<AlwaysFlushParams, ModelAtomics>;
+/// CNA that never flushes (starvation-prone variant).
+pub type ModelCnaNeverFlush = CnaLock<NeverFlushParams, ModelAtomics>;
+/// Runtime-tunable CNA under the model family.
+pub type ModelCnaOpt = TunableCnaLock<ModelAtomics>;
+
+/// Runs the named lock's smoke scenario (`threads` threads, one acquisition
+/// each) under [`Config::from_env`] and panics with the counterexample on a
+/// violation. Returns the explored-schedule count.
+pub fn run_smoke(name: &str, threads: usize) -> u64 {
+    fn go<L: RawLock + 'static>(name: &str, threads: usize) -> u64 {
+        let cfg = Config::from_env(name);
+        let report = explore(&cfg, &raw_lock_scenario::<L>(name, threads, 1));
+        report.assert_ok();
+        report.schedules
+    }
+    match name {
+        "tas" => go::<ModelTas>(name, threads),
+        "ticket" => go::<ModelTicket>(name, threads),
+        "ptl" => go::<ModelPtl>(name, threads),
+        "clh" => go::<ModelClh>(name, threads),
+        "mcs" => go::<ModelMcs>(name, threads),
+        "cna" => go::<ModelCna>(name, threads),
+        "cna-always-flush" => go::<ModelCnaAlwaysFlush>(name, threads),
+        "cna-never-flush" => go::<ModelCnaNeverFlush>(name, threads),
+        "cna-opt" => go::<ModelCnaOpt>(name, threads),
+        other => panic!("unknown smoke scenario {other:?}"),
+    }
+}
+
+/// Names accepted by [`run_smoke`] — the CI smoke matrix.
+pub const SMOKE_LOCKS: &[&str] = &[
+    "tas",
+    "ticket",
+    "ptl",
+    "clh",
+    "mcs",
+    "cna",
+    "cna-always-flush",
+    "cna-never-flush",
+    "cna-opt",
+];
+
+/// The verdict of mutating one ordering site to `Relaxed`.
+#[derive(Debug, Clone)]
+pub struct SiteVerdict {
+    /// The mutated site.
+    pub site: SiteInfo,
+    /// `true` when the checker found a violation under the mutation — the
+    /// declared ordering is load-bearing. `false` marks a candidate for a
+    /// (model-level) relaxation, pending a C11-soundness argument.
+    pub caught: bool,
+    /// Schedules explored for this mutation.
+    pub schedules: u64,
+}
+
+/// Mutation audit: explores `scenario` once cleanly, then re-explores with
+/// each non-`Relaxed` ordering site individually weakened to `Relaxed`,
+/// reporting which mutations the checkers catch. This is the evidence base
+/// of `docs/orderings.md`.
+pub fn audit<S: Send + Sync>(cfg: &Config, scenario: &Scenario<'_, S>) -> Vec<SiteVerdict> {
+    let clean = explore(cfg, scenario);
+    clean.assert_ok();
+    clean
+        .sites
+        .iter()
+        .filter(|s| s.ordering != "Relaxed")
+        .map(|info| {
+            let mcfg = cfg
+                .clone()
+                .with_mutation(crate::config::Mutation::at(info.file, info.line));
+            let r = explore(&mcfg, scenario);
+            SiteVerdict {
+                site: info.clone(),
+                caught: r.violation.is_some(),
+                schedules: r.schedules,
+            }
+        })
+        .collect()
+}
+
+/// The ordering site targeted by a seeded mutation self-test: the last
+/// (largest-line) site in `file_suffix` with the given kind and ordering.
+/// For `("mcs.rs", "store", "Release")` that is the unlock handoff store —
+/// weakening it must produce a detectable violation.
+pub fn find_site<'r>(
+    sites: &'r [SiteInfo],
+    file_suffix: &str,
+    kind: &str,
+    ordering: &str,
+) -> Option<&'r SiteInfo> {
+    sites
+        .iter()
+        .filter(|s| s.file.ends_with(file_suffix) && s.kind == kind && s.ordering == ordering)
+        .max_by_key(|s| s.line)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::Mutation;
+    use crate::violation::Violation;
+    use sync_core::atomics::{AtomicCell, Atomics};
+
+    fn quick(name: &str) -> Config {
+        let mut cfg = Config::smoke(name);
+        cfg.max_schedules = 50_000;
+        cfg.trace_dir = None;
+        cfg
+    }
+
+    #[test]
+    fn tas_two_threads_holds_mutual_exclusion() {
+        let r = explore(&quick("tas2"), &raw_lock_scenario::<ModelTas>("tas", 2, 1));
+        r.assert_ok();
+        assert!(r.schedules > 1, "explored more than one interleaving");
+    }
+
+    #[test]
+    fn mcs_two_threads_holds_mutual_exclusion() {
+        let r = explore(&quick("mcs2"), &raw_lock_scenario::<ModelMcs>("mcs", 2, 1));
+        r.assert_ok();
+        assert!(!r.sites.is_empty(), "sites were recorded");
+    }
+
+    #[test]
+    fn message_passing_litmus_without_release_is_a_race() {
+        // Classic MP: relaxed flag handoff must race on the payload.
+        struct Mp {
+            flag: <ModelAtomics as Atomics>::Bool,
+            payload: Data<u32>,
+        }
+        let scenario = Scenario::new("mp-relaxed", || Mp {
+            flag: <ModelAtomics as Atomics>::Bool::new(false),
+            payload: Data::new(0),
+        })
+        .thread(|s: &Mp, _| {
+            s.payload.with(|p| *p = 42);
+            s.flag.store(true, std::sync::atomic::Ordering::Relaxed);
+        })
+        .thread(|s: &Mp, _| {
+            if s.flag.load(std::sync::atomic::Ordering::Relaxed) {
+                s.payload.read(|p| {
+                    let _ = *p;
+                });
+            }
+        });
+        let r = explore(&quick("mp"), &scenario);
+        let v = r.expect_violation();
+        assert!(
+            matches!(v.violation, Violation::DataRace { .. }),
+            "{}",
+            v.trace
+        );
+    }
+
+    #[test]
+    fn deadlock_is_detected() {
+        // Thread 0 locks and never unlocks; thread 1 parks forever.
+        let scenario = Scenario::new("deadlock", || RawState {
+            lock: ModelTas::default(),
+            nodes: vec![<ModelTas as RawLock>::Node::default(); 2],
+            cs: CriticalSection::new(),
+            counter: Data::new(0),
+        })
+        .thread(|s: &RawState<ModelTas>, _| unsafe {
+            s.lock.lock(&s.nodes[0]);
+        })
+        .thread(|s: &RawState<ModelTas>, _| unsafe {
+            s.lock.lock(&s.nodes[1]);
+            s.lock.unlock(&s.nodes[1]);
+        });
+        let r = explore(&quick("dl"), &scenario);
+        let v = r.expect_violation();
+        assert!(
+            matches!(v.violation, Violation::Deadlock { .. }),
+            "{}",
+            v.trace
+        );
+    }
+
+    #[test]
+    fn mcs_handoff_weakened_to_relaxed_is_caught() {
+        let clean = explore(&quick("mcs-a"), &raw_lock_scenario::<ModelMcs>("mcs", 2, 1));
+        clean.assert_ok();
+        let site =
+            find_site(&clean.sites, "mcs.rs", "store", "Release").expect("mcs handoff store site");
+        let cfg = quick("mcs-mut").with_mutation(Mutation::at(site.file, site.line));
+        let r = explore(&cfg, &raw_lock_scenario::<ModelMcs>("mcs", 2, 1));
+        let v = r.expect_violation();
+        assert!(v.trace.contains("MUTATED->Relaxed"), "{}", v.trace);
+        assert!(v.minimized_events <= v.original_events);
+    }
+}

@@ -1,0 +1,199 @@
+//! Event log and counterexample trace rendering.
+//!
+//! Every modeled step (atomic access, fence, data access, critical-section
+//! marker, spin park, thread lifecycle) is recorded as an [`Event`]. When a
+//! checker fires, the log of the (minimized) failing schedule is rendered as
+//! a numbered event table — the counterexample trace.
+
+use std::fmt::Write as _;
+use std::panic::Location;
+use std::sync::atomic::Ordering;
+
+use crate::violation::Violation;
+
+/// What kind of step an event records.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum OpKind {
+    /// Atomic load (the recorded value is the value read).
+    Load,
+    /// Atomic store (the recorded value is the value written).
+    Store,
+    /// Atomic read-modify-write (swap / CAS / fetch_add). Value = new value.
+    Rmw,
+    /// Failed compare-exchange (no store happened). Value = observed value.
+    RmwFail,
+    /// Memory fence.
+    Fence,
+    /// Non-atomic read of a [`crate::Data`] cell.
+    DataRead,
+    /// Non-atomic write of a [`crate::Data`] cell.
+    DataWrite,
+    /// Critical-section enter marker.
+    CsEnter,
+    /// Critical-section exit marker.
+    CsExit,
+    /// Thread parked inside `spin_until` waiting for a store.
+    SpinPark,
+    /// Thread body finished.
+    ThreadEnd,
+}
+
+impl OpKind {
+    /// Short column label.
+    pub fn label(self) -> &'static str {
+        match self {
+            OpKind::Load => "load",
+            OpKind::Store => "store",
+            OpKind::Rmw => "rmw",
+            OpKind::RmwFail => "rmw-fail",
+            OpKind::Fence => "fence",
+            OpKind::DataRead => "data-read",
+            OpKind::DataWrite => "data-write",
+            OpKind::CsEnter => "cs-enter",
+            OpKind::CsExit => "cs-exit",
+            OpKind::SpinPark => "spin-park",
+            OpKind::ThreadEnd => "end",
+        }
+    }
+}
+
+/// One step of an execution.
+#[derive(Debug, Clone)]
+pub struct Event {
+    /// Executing thread.
+    pub tid: usize,
+    /// Step kind.
+    pub kind: OpKind,
+    /// Source location of the access (`#[track_caller]` at the wrapper).
+    pub site: &'static Location<'static>,
+    /// Registration index of the touched cell, if any.
+    pub cell: Option<u32>,
+    /// Value read/written (raw bits).
+    pub value: u64,
+    /// Ordering as written in the source (`None` for non-atomic steps).
+    pub ordering: Option<Ordering>,
+    /// `true` when the configured mutation weakened this access to Relaxed.
+    pub mutated: bool,
+    /// How many modification-order entries behind the newest store the read
+    /// value was (0 = read the latest store; >0 = stale read).
+    pub lag: u32,
+}
+
+fn short_site(site: &Location<'_>) -> String {
+    let file = site.file();
+    let tail = file.rsplit(['/', '\\']).next().unwrap_or(file);
+    format!("{}:{}", tail, site.line())
+}
+
+pub(crate) fn ordering_name(o: Ordering) -> &'static str {
+    match o {
+        Ordering::Relaxed => "Relaxed",
+        Ordering::Acquire => "Acquire",
+        Ordering::Release => "Release",
+        Ordering::AcqRel => "AcqRel",
+        Ordering::SeqCst => "SeqCst",
+        _ => "?",
+    }
+}
+
+/// Renders the numbered counterexample trace for `events`, ending with the
+/// violation description.
+pub fn render(
+    name: &str,
+    seed: u64,
+    events: &[Event],
+    violation: &Violation,
+    original_len: usize,
+) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "counterexample: {name}");
+    let _ = writeln!(
+        out,
+        "schedule: {} events (minimized from {}), seed {seed}",
+        events.len(),
+        original_len
+    );
+    let _ = writeln!(
+        out,
+        "{:>4}  {:>3}  {:<10} {:<24} {:<8} {:<18} notes",
+        "#", "tid", "op", "site", "order", "value"
+    );
+    for (i, e) in events.iter().enumerate() {
+        let order = e.ordering.map(ordering_name).unwrap_or("-");
+        let value = match e.kind {
+            OpKind::Fence | OpKind::SpinPark | OpKind::ThreadEnd => String::from("-"),
+            _ if e.value > 0xffff => format!("{:#x}", e.value),
+            _ => format!("{}", e.value),
+        };
+        let mut notes = String::new();
+        if let Some(c) = e.cell {
+            let _ = write!(notes, "cell c{c}");
+        }
+        if e.lag > 0 {
+            let _ = write!(notes, " stale(-{})", e.lag);
+        }
+        if e.mutated {
+            let _ = write!(notes, " MUTATED->Relaxed");
+        }
+        let _ = writeln!(
+            out,
+            "{:>4}  {:>3}  {:<10} {:<24} {:<8} {:<18} {}",
+            i,
+            e.tid,
+            e.kind.label(),
+            short_site(e.site),
+            order,
+            value,
+            notes.trim_start()
+        );
+    }
+    let _ = writeln!(out, "violation: {violation}");
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[track_caller]
+    fn here() -> &'static Location<'static> {
+        Location::caller()
+    }
+
+    #[test]
+    fn render_numbers_events_and_prints_violation() {
+        let site = here();
+        let events = vec![
+            Event {
+                tid: 0,
+                kind: OpKind::Store,
+                site,
+                cell: Some(0),
+                value: 1,
+                ordering: Some(Ordering::Release),
+                mutated: true,
+                lag: 0,
+            },
+            Event {
+                tid: 1,
+                kind: OpKind::Load,
+                site,
+                cell: Some(0),
+                value: 1,
+                ordering: Some(Ordering::Relaxed),
+                mutated: false,
+                lag: 2,
+            },
+        ];
+        let v = Violation::Mutex {
+            site: format!("{}:{}", site.file(), site.line()),
+        };
+        let s = render("demo", 7, &events, &v, 10);
+        assert!(s.contains("counterexample: demo"));
+        assert!(s.contains("minimized from 10"));
+        assert!(s.contains("MUTATED->Relaxed"));
+        assert!(s.contains("stale(-2)"));
+        assert!(s.contains("violation:"));
+        assert!(s.lines().count() >= 5);
+    }
+}

@@ -1,0 +1,96 @@
+//! The property violations the checkers can report.
+
+use std::fmt;
+
+/// A property violation found during exploration.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub enum Violation {
+    /// Two threads were inside the same [`crate::CriticalSection`] at once.
+    Mutex {
+        /// Source site of the second (violating) enter.
+        site: String,
+    },
+    /// A non-atomic [`crate::Data`] access was not ordered (happens-before)
+    /// after a conflicting access — the weak-memory face of a mutual
+    /// exclusion failure.
+    DataRace {
+        /// Source site of the later (racing) access.
+        site: String,
+        /// Human description of the two accesses involved.
+        detail: String,
+    },
+    /// No runnable thread remained while at least one thread was still
+    /// parked — a deadlock or lost wakeup.
+    Deadlock {
+        /// Threads still parked in a spin wait.
+        waiting: Vec<usize>,
+    },
+    /// The execution exceeded the configured step budget — a livelock or an
+    /// unbounded spin under the modeled schedule.
+    Livelock {
+        /// Steps executed when the budget ran out.
+        steps: u64,
+    },
+    /// A thread body or finale assertion panicked.
+    AssertFailed {
+        /// The panic payload, when it was a string.
+        message: String,
+    },
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Violation::Mutex { site } => {
+                write!(f, "mutual exclusion violated: second enter at {site}")
+            }
+            Violation::DataRace { site, detail } => {
+                write!(f, "data race on protected data at {site} ({detail})")
+            }
+            Violation::Deadlock { waiting } => {
+                write!(
+                    f,
+                    "deadlock / lost wakeup: no runnable thread; parked: {waiting:?}"
+                )
+            }
+            Violation::Livelock { steps } => {
+                write!(f, "livelock: execution exceeded {steps} steps")
+            }
+            Violation::AssertFailed { message } => write!(f, "assertion failed: {message}"),
+        }
+    }
+}
+
+impl Violation {
+    /// `true` when `other` is the same kind of violation (used when checking
+    /// that a minimized schedule still reproduces the original failure).
+    pub fn same_kind(&self, other: &Violation) -> bool {
+        std::mem::discriminant(self) == std::mem::discriminant(other)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn same_kind_ignores_payload() {
+        let a = Violation::Deadlock { waiting: vec![0] };
+        let b = Violation::Deadlock {
+            waiting: vec![1, 2],
+        };
+        let c = Violation::Livelock { steps: 5 };
+        assert!(a.same_kind(&b));
+        assert!(!a.same_kind(&c));
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let v = Violation::DataRace {
+            site: "mcs.rs:10".into(),
+            detail: "write by t1 not ordered after write by t0".into(),
+        };
+        assert!(v.to_string().contains("data race"));
+        assert!(v.to_string().contains("mcs.rs:10"));
+    }
+}

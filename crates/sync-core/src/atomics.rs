@@ -1,0 +1,274 @@
+//! A pluggable family of atomic primitives.
+//!
+//! The lock implementations in this workspace are generic over an
+//! [`Atomics`] *family*: a zero-sized type that names which concrete atomic
+//! cell types the lock should use. In production the family is
+//! [`StdAtomics`], whose associated types are exactly
+//! `std::sync::atomic::Atomic*` — the generic code monomorphises to the same
+//! machine code as hand-written `AtomicUsize` calls. Under the model checker
+//! (`crates/modelcheck`) the family is `ModelAtomics`, whose cells record
+//! every access (and its [`Ordering`]) and yield to a deterministic scheduler
+//! so that bounded interleaving exploration can run the *same lock source*
+//! that the benchmarks run.
+//!
+//! This is the offline stand-in for `loom`'s `--cfg loom` type-swapping: a
+//! `cfg` would leak through Cargo feature unification and rebuild the whole
+//! workspace in "checking" mode, whereas a generic parameter with a
+//! `StdAtomics` default leaves every existing call site untouched.
+
+use std::fmt::Debug;
+use std::sync::atomic::{
+    self, AtomicBool, AtomicIsize, AtomicPtr, AtomicU64, AtomicUsize, Ordering,
+};
+
+use crate::spin;
+
+/// One atomic memory cell holding a `Copy` value of type `T`.
+///
+/// The method set mirrors `std::sync::atomic` (a subset: exactly the
+/// operations the lock algorithms use), including the explicit [`Ordering`]
+/// argument — orderings are *data* to the model checker, which records and
+/// (for mutation self-tests) selectively weakens them.
+pub trait AtomicCell<T: Copy>: Debug + Send + Sync + 'static {
+    /// Creates a cell initialised to `v`.
+    #[track_caller]
+    fn new(v: T) -> Self
+    where
+        Self: Sized;
+    /// Atomically loads the current value.
+    #[track_caller]
+    fn load(&self, order: Ordering) -> T;
+    /// Atomically stores `v`.
+    #[track_caller]
+    fn store(&self, v: T, order: Ordering);
+    /// Atomically swaps in `v`, returning the previous value.
+    #[track_caller]
+    fn swap(&self, v: T, order: Ordering) -> T;
+    /// Classic compare-exchange; `Err` carries the observed value.
+    #[track_caller]
+    fn compare_exchange(
+        &self,
+        current: T,
+        new: T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<T, T>;
+}
+
+/// An [`AtomicCell`] that additionally supports wrapping `fetch_add`
+/// (ticket-style locks need it; pointer cells do not provide it).
+pub trait AtomicAdd<T: Copy>: AtomicCell<T> {
+    /// Atomically adds `v`, returning the previous value.
+    #[track_caller]
+    fn fetch_add(&self, v: T, order: Ordering) -> T;
+}
+
+/// A family of atomic types plus the spin/fence primitives the lock
+/// implementations use between atomic accesses.
+///
+/// Implementors are zero-sized marker types ([`StdAtomics`] here,
+/// `ModelAtomics` in `crates/modelcheck`).
+pub trait Atomics: Debug + Default + Send + Sync + Sized + 'static {
+    /// The family's `AtomicUsize`.
+    type Usize: AtomicAdd<usize>;
+    /// The family's `AtomicIsize` (CNA stores the socket id in one).
+    type Isize: AtomicCell<isize>;
+    /// The family's `AtomicU64` (ticket locks pack owner/next in one word).
+    type U64: AtomicAdd<u64>;
+    /// The family's `AtomicBool`.
+    type Bool: AtomicCell<bool>;
+    /// The family's `AtomicPtr<T>`.
+    type Ptr<T: 'static>: AtomicCell<*mut T>;
+
+    /// A memory fence with the given ordering.
+    #[track_caller]
+    fn fence(order: Ordering);
+
+    /// Spins until `condition` returns `true`.
+    ///
+    /// Production families busy-wait politely; the model-checking family
+    /// instead parks the thread until another thread performs a store, so
+    /// that exploration never diverges inside a spin loop.
+    #[track_caller]
+    fn spin_until(condition: impl FnMut() -> bool);
+
+    /// [`Atomics::spin_until`] with a caller-supplied pacing action run
+    /// between polls (proportional backoff in the ticket lock). Model
+    /// families may ignore `pace` entirely.
+    #[track_caller]
+    fn spin_until_paced(condition: impl FnMut() -> bool, pace: impl FnMut()) {
+        let _ = pace;
+        Self::spin_until(condition);
+    }
+
+    /// A single polite busy-wait pause (no-op under the model checker).
+    fn spin_hint();
+}
+
+/// The production family: plain `std::sync::atomic` types, real fences and
+/// busy-wait spinning. Monomorphises to zero overhead.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct StdAtomics;
+
+macro_rules! std_atomic_cell {
+    ($atomic:ty, $value:ty) => {
+        impl AtomicCell<$value> for $atomic {
+            #[inline(always)]
+            fn new(v: $value) -> Self {
+                <$atomic>::new(v)
+            }
+            #[inline(always)]
+            fn load(&self, order: Ordering) -> $value {
+                self.load(order)
+            }
+            #[inline(always)]
+            fn store(&self, v: $value, order: Ordering) {
+                self.store(v, order)
+            }
+            #[inline(always)]
+            fn swap(&self, v: $value, order: Ordering) -> $value {
+                self.swap(v, order)
+            }
+            #[inline(always)]
+            fn compare_exchange(
+                &self,
+                current: $value,
+                new: $value,
+                success: Ordering,
+                failure: Ordering,
+            ) -> Result<$value, $value> {
+                self.compare_exchange(current, new, success, failure)
+            }
+        }
+    };
+}
+
+std_atomic_cell!(AtomicUsize, usize);
+std_atomic_cell!(AtomicIsize, isize);
+std_atomic_cell!(AtomicU64, u64);
+std_atomic_cell!(AtomicBool, bool);
+
+impl AtomicAdd<usize> for AtomicUsize {
+    #[inline(always)]
+    fn fetch_add(&self, v: usize, order: Ordering) -> usize {
+        self.fetch_add(v, order)
+    }
+}
+
+impl AtomicAdd<u64> for AtomicU64 {
+    #[inline(always)]
+    fn fetch_add(&self, v: u64, order: Ordering) -> u64 {
+        self.fetch_add(v, order)
+    }
+}
+
+impl<T: 'static> AtomicCell<*mut T> for AtomicPtr<T> {
+    #[inline(always)]
+    fn new(v: *mut T) -> Self {
+        AtomicPtr::new(v)
+    }
+    #[inline(always)]
+    fn load(&self, order: Ordering) -> *mut T {
+        self.load(order)
+    }
+    #[inline(always)]
+    fn store(&self, v: *mut T, order: Ordering) {
+        self.store(v, order)
+    }
+    #[inline(always)]
+    fn swap(&self, v: *mut T, order: Ordering) -> *mut T {
+        self.swap(v, order)
+    }
+    #[inline(always)]
+    fn compare_exchange(
+        &self,
+        current: *mut T,
+        new: *mut T,
+        success: Ordering,
+        failure: Ordering,
+    ) -> Result<*mut T, *mut T> {
+        self.compare_exchange(current, new, success, failure)
+    }
+}
+
+impl Atomics for StdAtomics {
+    type Usize = AtomicUsize;
+    type Isize = AtomicIsize;
+    type U64 = AtomicU64;
+    type Bool = AtomicBool;
+    type Ptr<T: 'static> = AtomicPtr<T>;
+
+    #[inline(always)]
+    fn fence(order: Ordering) {
+        atomic::fence(order);
+    }
+
+    #[inline(always)]
+    fn spin_until(condition: impl FnMut() -> bool) {
+        spin::spin_until(condition);
+    }
+
+    #[inline]
+    fn spin_until_paced(mut condition: impl FnMut() -> bool, mut pace: impl FnMut()) {
+        while !condition() {
+            pace();
+        }
+    }
+
+    #[inline(always)]
+    fn spin_hint() {
+        spin::cpu_relax();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn generic_roundtrip<A: Atomics>() -> (usize, bool, *mut u32) {
+        let u = A::Usize::new(1);
+        u.store(7, Ordering::Relaxed);
+        assert_eq!(u.fetch_add(1, Ordering::AcqRel), 7);
+        let b = A::Bool::new(false);
+        assert!(!b.swap(true, Ordering::Acquire));
+        let mut slot = 9u32;
+        let p = A::Ptr::<u32>::new(std::ptr::null_mut());
+        assert!(p
+            .compare_exchange(
+                std::ptr::null_mut(),
+                &mut slot,
+                Ordering::AcqRel,
+                Ordering::Relaxed,
+            )
+            .is_ok());
+        A::fence(Ordering::SeqCst);
+        (
+            u.load(Ordering::Acquire),
+            b.load(Ordering::Relaxed),
+            p.load(Ordering::Acquire),
+        )
+    }
+
+    #[test]
+    fn std_family_behaves_like_std() {
+        let (u, b, p) = generic_roundtrip::<StdAtomics>();
+        assert_eq!(u, 8);
+        assert!(b);
+        assert!(!p.is_null());
+    }
+
+    #[test]
+    fn paced_spin_runs_pace_between_polls() {
+        let mut polls = 0;
+        let mut paces = 0;
+        StdAtomics::spin_until_paced(
+            || {
+                polls += 1;
+                polls > 3
+            },
+            || paces += 1,
+        );
+        assert_eq!(polls, 4);
+        assert_eq!(paces, 3);
+    }
+}

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod atomics;
 pub mod erased;
 pub mod mutex;
 pub mod node_pool;
@@ -36,6 +37,7 @@ pub mod raw;
 pub mod spin;
 pub mod spinlock;
 
+pub use atomics::{AtomicAdd, AtomicCell, Atomics, StdAtomics};
 pub use erased::{DynLock, DynLockGuard, DynLockMutex, DynMutexGuard, ErasedLock, LockToken};
 pub use mutex::{LockGuard, LockMutex};
 pub use padded::CachePadded;

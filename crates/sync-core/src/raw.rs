@@ -83,8 +83,8 @@ mod tests {
                 lock.unlock(&node);
             }
         }
-        let lock = TestAndSetLock::default();
+        let lock: TestAndSetLock = TestAndSetLock::default();
         exercise(&lock);
-        assert_eq!(TestAndSetLock::NAME, "TAS");
+        assert_eq!(<TestAndSetLock>::NAME, "TAS");
     }
 }

@@ -5,17 +5,21 @@
 //! global layer). Richer baselines — test-and-test-and-set with backoff,
 //! ticket, CLH, MCS, HBO, cohort and hierarchical locks — live in the
 //! `locks` crate.
+//!
+//! Like the queue locks, the lock is generic over an [`Atomics`] family so
+//! the model checker can drive the exact same source; production code uses
+//! the [`StdAtomics`] default and sees plain `AtomicBool` machine code.
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use crate::atomics::{AtomicCell, Atomics, StdAtomics};
 use crate::raw::{RawLock, RawTryLock};
-use crate::spin::cpu_relax;
 
 /// A single-word (in fact single-byte) test-and-set spin lock with global
 /// spinning and no fairness guarantees.
-#[derive(Debug, Default)]
-pub struct TestAndSetLock {
-    locked: AtomicBool,
+#[derive(Debug)]
+pub struct TestAndSetLock<A: Atomics = StdAtomics> {
+    locked: A::Bool,
 }
 
 impl TestAndSetLock {
@@ -25,6 +29,15 @@ impl TestAndSetLock {
             locked: AtomicBool::new(false),
         }
     }
+}
+
+impl<A: Atomics> TestAndSetLock<A> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
+        TestAndSetLock {
+            locked: A::Bool::new(false),
+        }
+    }
 
     /// True when some thread currently holds the lock.
     pub fn is_locked(&self) -> bool {
@@ -32,7 +45,13 @@ impl TestAndSetLock {
     }
 }
 
-impl RawLock for TestAndSetLock {
+impl<A: Atomics> Default for TestAndSetLock<A> {
+    fn default() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics> RawLock for TestAndSetLock<A> {
     type Node = ();
     const NAME: &'static str = "TAS";
 
@@ -43,9 +62,7 @@ impl RawLock for TestAndSetLock {
             if !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
-            while self.locked.load(Ordering::Relaxed) {
-                cpu_relax();
-            }
+            A::spin_until(|| !self.locked.load(Ordering::Relaxed));
         }
     }
 
@@ -54,7 +71,7 @@ impl RawLock for TestAndSetLock {
     }
 }
 
-impl RawTryLock for TestAndSetLock {
+impl<A: Atomics> RawTryLock for TestAndSetLock<A> {
     unsafe fn try_lock(&self, _node: &()) -> bool {
         !self.locked.swap(true, Ordering::Acquire)
     }

@@ -12,6 +12,7 @@
 //!                                             --mode open --rate 1000,10000,100000 \
 //!                                             --metric p99 --scale smoke
 //! cargo run -p bench --bin lockbench -- diff baseline.csv target/experiments/lockbench_sweep.csv
+//! cargo run -p bench --bin lockbench -- lint --format json
 //! ```
 //!
 //! `run` and `sweep` both execute an
@@ -51,8 +52,19 @@ pub enum Command {
     Sweep(SweepArgs),
     /// `lockbench diff`: compare two stored reports.
     Diff(DiffArgs),
+    /// `lockbench lint`: run the `cnalint` lock-discipline analyzer.
+    Lint(LintArgs),
     /// `lockbench help` / `--help`.
     Help,
+}
+
+/// Arguments of `lockbench lint`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct LintArgs {
+    /// Emit machine-readable JSON instead of human diagnostics.
+    pub json: bool,
+    /// Promote warnings to errors for the exit code (`-D warnings`).
+    pub deny_warnings: bool,
 }
 
 /// Arguments of `lockbench run` / `lockbench sweep` — one experiment grid.
@@ -106,6 +118,7 @@ pub fn usage() -> String {
          \x20 lockbench run   --lock <names|all> --workload <names|all> [options]\n\
          \x20 lockbench sweep --lock <names|all> --workload <names|all> [options]\n\
          \x20 lockbench diff <baseline.csv> <current.csv> [--tolerance 0.25]\n\
+         \x20 lockbench lint [--format human|json] [-D warnings]\n\
          \n\
          OPTIONS (run/sweep):\n\
          \x20 --threads 1,2,4 | 1-8 | 2-16/2   thread sweep (default: scale sizing)\n\
@@ -138,7 +151,8 @@ pub fn usage() -> String {
          \n\
          EXIT CODES:\n\
          \x20 0  success\n\
-         \x20 1  `diff` found a regression (or dropped baseline coverage)\n\
+         \x20 1  `diff` found a regression (or dropped baseline coverage);\n\
+         \x20    `lint` found violations\n\
          \x20 2  usage or runtime error\n\
          \n\
          EXAMPLES:\n\
@@ -214,6 +228,30 @@ where
                                lockbench diff <baseline.csv> <current.csv>"
                     .to_string()),
             }
+        }
+        "lint" => {
+            let mut json = false;
+            let mut deny_warnings = false;
+            let mut args = args;
+            while let Some(flag) = args.next() {
+                match flag.as_str() {
+                    "--format" => match args.next().as_deref() {
+                        Some("json") => json = true,
+                        Some("human") => json = false,
+                        other => return Err(format!("--format expects human|json, got {other:?}")),
+                    },
+                    "-D" => match args.next().as_deref() {
+                        Some("warnings") => deny_warnings = true,
+                        other => return Err(format!("-D expects `warnings`, got {other:?}")),
+                    },
+                    "--deny-warnings" => deny_warnings = true,
+                    other => return Err(format!("unknown `lint` flag {other:?}")),
+                }
+            }
+            Ok(Command::Lint(LintArgs {
+                json,
+                deny_warnings,
+            }))
         }
         other => Err(format!(
             "unknown subcommand {other:?}; try `lockbench help`"
@@ -375,6 +413,7 @@ pub fn render_list() -> String {
         "fairness",
         "try",
         "checked",
+        "linted",
         "sim model",
         "description",
     ]
@@ -393,6 +432,7 @@ pub fn render_list() -> String {
                 id.fairness_class().to_string(),
                 yes_no(id.supports_try_lock()),
                 yes_no(id.is_model_checked()),
+                yes_no(id.is_linted()),
                 id.sim_algorithm().name().to_string(),
                 id.description().to_string(),
             ]
@@ -403,6 +443,21 @@ pub fn render_list() -> String {
         &header,
         &rows,
     )
+}
+
+/// The workspace root `lockbench lint` scans: two levels above this
+/// crate's manifest (`crates/bench`), falling back to the cwd when the env
+/// var is absent (e.g. a stripped deployment).
+fn workspace_root() -> std::path::PathBuf {
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = std::path::PathBuf::from(md);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").exists() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    std::env::current_dir().unwrap_or_else(|_| std::path::PathBuf::from("."))
 }
 
 /// Builds the [`ExperimentSpec`] a `run`/`sweep` invocation describes.
@@ -466,6 +521,17 @@ pub fn execute(command: &Command) -> Result<i32, String> {
                 .write_files()
                 .map_err(|e| format!("could not save report {:?}: {e}", report.id))?;
             println!("reports: {} {}", csv.display(), json.display());
+        }
+        Command::Lint(args) => {
+            let mut opts = cnalint::Options::new(workspace_root());
+            opts.deny_warnings = args.deny_warnings;
+            let out = cnalint::run_check(&opts).map_err(|e| format!("lint scan failed: {e}"))?;
+            if args.json {
+                print!("{}", cnalint::render_json(&out));
+            } else {
+                print!("{}", cnalint::render_human(&out));
+            }
+            return Ok(out.exit_code());
         }
         Command::Diff(args) => {
             let baseline =

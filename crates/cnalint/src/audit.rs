@@ -1,0 +1,463 @@
+//! The memory-ordering audit table: extraction of `Ordering::` sites from
+//! the lock crates, and parse/check/regenerate for the machine-readable
+//! table in `docs/orderings.md` that rule `ordering-audit-drift` enforces.
+
+use std::collections::HashMap;
+use std::fs;
+use std::path::Path;
+
+use crate::diag::Diagnostic;
+use crate::lexer::TokKind;
+use crate::rules;
+use crate::scan::{SourceFile, Workspace};
+
+/// Marker opening the machine-readable table in the audit doc.
+pub const TABLE_BEGIN: &str = "<!-- cnalint:audit-table:begin -->";
+/// Marker closing the machine-readable table.
+pub const TABLE_END: &str = "<!-- cnalint:audit-table:end -->";
+/// Marker opening the justification-tag glossary.
+pub const TAGS_BEGIN: &str = "<!-- cnalint:audit-tags:begin -->";
+/// Marker closing the glossary.
+pub const TAGS_END: &str = "<!-- cnalint:audit-tags:end -->";
+
+/// The atomic orderings of `std::sync::atomic::Ordering`.
+pub const ORDERINGS: [&str; 5] = ["Relaxed", "Acquire", "Release", "AcqRel", "SeqCst"];
+
+/// Atomic operations the extractor attributes orderings to.
+const OPS: [&str; 15] = [
+    "load",
+    "store",
+    "swap",
+    "compare_exchange",
+    "compare_exchange_weak",
+    "fetch_add",
+    "fetch_sub",
+    "fetch_or",
+    "fetch_and",
+    "fetch_xor",
+    "fetch_update",
+    "fetch_max",
+    "fetch_min",
+    "fence",
+    "compare_and_swap",
+];
+
+/// One `Ordering::<X>` use in source.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Site {
+    /// Workspace-relative file.
+    pub file: String,
+    /// 1-based line of the `Ordering::` token.
+    pub line: u32,
+    /// `Relaxed` | `Acquire` | `Release` | `AcqRel` | `SeqCst`.
+    pub ordering: String,
+    /// Attributed atomic op (`load`, `fence`, …) or `-` when unknown.
+    pub op: String,
+}
+
+/// One row of the audit table.
+#[derive(Debug, Clone)]
+pub struct Row {
+    /// Columns mirroring [`Site`].
+    pub site: Site,
+    /// Justification tag (must appear in the glossary).
+    pub tag: String,
+    /// Free-form note.
+    pub note: String,
+    /// 1-based line of this row inside the audit doc.
+    pub doc_line: u32,
+}
+
+/// Parsed audit doc.
+#[derive(Debug, Default)]
+pub struct AuditDoc {
+    /// Table rows in document order.
+    pub rows: Vec<Row>,
+    /// Glossary tag names.
+    pub tags: Vec<String>,
+    /// Whether the begin/end table markers were both found.
+    pub has_table: bool,
+}
+
+/// Extracts every `Ordering::<X>` site from audit-scope files, in
+/// (file, line) order.
+pub fn extract_sites(ws: &Workspace) -> Vec<Site> {
+    let mut sites = Vec::new();
+    for f in ws.files.iter().filter(|f| f.in_audit_scope()) {
+        sites.extend(file_sites(f));
+    }
+    sites
+}
+
+/// Extracts the ordering sites of a single file.
+pub fn file_sites(f: &SourceFile) -> Vec<Site> {
+    let toks = &f.lx.toks;
+    let mut sites = Vec::new();
+    for i in 0..toks.len() {
+        if !toks[i].is_ident("Ordering") {
+            continue;
+        }
+        // Match `Ordering :: <X>` (the repo never imports variants bare).
+        let Some((a, b, x)) = toks
+            .get(i + 1)
+            .zip(toks.get(i + 2))
+            .zip(toks.get(i + 3))
+            .map(|((a, b), x)| (a, b, x))
+        else {
+            continue;
+        };
+        if !(a.is_punct(':') && b.is_punct(':') && x.kind == TokKind::Ident) {
+            continue;
+        }
+        if !ORDERINGS.contains(&x.text.as_str()) {
+            continue;
+        }
+        // Attribute to the nearest preceding atomic-op identifier.
+        let op = toks[..i]
+            .iter()
+            .rev()
+            .take(40)
+            .find(|t| t.kind == TokKind::Ident && OPS.contains(&t.text.as_str()))
+            .map(|t| t.text.clone())
+            .unwrap_or_else(|| "-".to_string());
+        sites.push(Site {
+            file: f.rel.clone(),
+            line: toks[i].line,
+            ordering: x.text.clone(),
+            op,
+        });
+    }
+    sites
+}
+
+/// Parses the audit doc text (table rows plus tag glossary).
+pub fn parse_doc(text: &str) -> AuditDoc {
+    let mut doc = AuditDoc::default();
+    let mut in_table = false;
+    let mut saw_begin = false;
+    let mut saw_end = false;
+    let mut in_tags = false;
+    for (idx, line) in text.lines().enumerate() {
+        let n = (idx + 1) as u32;
+        let t = line.trim();
+        if t == TABLE_BEGIN {
+            in_table = true;
+            saw_begin = true;
+            continue;
+        }
+        if t == TABLE_END {
+            in_table = false;
+            saw_end = true;
+            continue;
+        }
+        if t == TAGS_BEGIN {
+            in_tags = true;
+            continue;
+        }
+        if t == TAGS_END {
+            in_tags = false;
+            continue;
+        }
+        if in_tags {
+            // Glossary entries: `- **tag** — description`.
+            if let Some(rest) = t.strip_prefix("- ") {
+                let tag = rest
+                    .trim_start_matches("**")
+                    .split("**")
+                    .next()
+                    .unwrap_or("")
+                    .trim();
+                if !tag.is_empty() {
+                    doc.tags.push(tag.to_string());
+                }
+            }
+        }
+        if in_table && t.starts_with('|') {
+            let cells: Vec<&str> = t.trim_matches('|').split('|').map(str::trim).collect();
+            if cells.len() < 5 || cells[0] == "file" || cells[0].starts_with('-') {
+                continue;
+            }
+            let Ok(line_no) = cells[1].parse::<u32>() else {
+                continue;
+            };
+            doc.rows.push(Row {
+                site: Site {
+                    file: cells[0].to_string(),
+                    line: line_no,
+                    op: cells[2].to_string(),
+                    ordering: cells[3].to_string(),
+                },
+                tag: cells[4].to_string(),
+                note: cells.get(5).unwrap_or(&"").to_string(),
+                doc_line: n,
+            });
+        }
+    }
+    doc.has_table = saw_begin && saw_end;
+    doc
+}
+
+/// Multiset key for site/row matching.
+fn key(s: &Site) -> (String, u32, String) {
+    (s.file.clone(), s.line, s.ordering.clone())
+}
+
+/// Checks source sites against the audit doc, both directions, and
+/// validates tags. `doc_rel` is the doc's path for diagnostic spans.
+pub fn check(sites: &[Site], doc_text: Option<&str>, doc_rel: &str, diags: &mut Vec<Diagnostic>) {
+    let Some(text) = doc_text else {
+        diags.push(Diagnostic::error(
+            rules::R1,
+            doc_rel,
+            0,
+            "ordering audit doc is missing; every Ordering:: site in the lock crates must be \
+             justified there (run `cnalint audit --write` to scaffold the table)"
+                .to_string(),
+        ));
+        return;
+    };
+    let doc = parse_doc(text);
+    if !doc.has_table {
+        diags.push(Diagnostic::error(
+            rules::R1,
+            doc_rel,
+            0,
+            format!("audit table markers `{TABLE_BEGIN}` / `{TABLE_END}` not found"),
+        ));
+        return;
+    }
+
+    // Source → table: every site must have a matching row.
+    let mut remaining: HashMap<(String, u32, String), Vec<usize>> = HashMap::new();
+    for (i, r) in doc.rows.iter().enumerate() {
+        remaining.entry(key(&r.site)).or_default().push(i);
+    }
+    for s in sites {
+        match remaining.get_mut(&key(s)) {
+            Some(v) if !v.is_empty() => {
+                v.pop();
+            }
+            _ => diags.push(Diagnostic::error(
+                rules::R1,
+                &s.file,
+                s.line,
+                format!(
+                    "Ordering::{} ({}) is not recorded in the {doc_rel} audit table; \
+                     add a justified row or run `cnalint audit --write`",
+                    s.ordering, s.op
+                ),
+            )),
+        }
+    }
+    // Table → source: leftover rows are stale.
+    for idxs in remaining.values() {
+        for &i in idxs {
+            let r = &doc.rows[i];
+            diags.push(Diagnostic::error(
+                rules::R1,
+                doc_rel,
+                r.doc_line,
+                format!(
+                    "stale audit row: no Ordering::{} at {}:{} (code moved or was deleted; \
+                     run `cnalint audit --write`)",
+                    r.site.ordering, r.site.file, r.site.line
+                ),
+            ));
+        }
+    }
+    // Tag discipline: every row tag must be a known glossary tag.
+    for r in &doc.rows {
+        if r.tag.is_empty() || r.tag == "TODO" {
+            diags.push(Diagnostic::error(
+                rules::R1,
+                doc_rel,
+                r.doc_line,
+                format!(
+                    "audit row for {}:{} has no justification tag",
+                    r.site.file, r.site.line
+                ),
+            ));
+        } else if !doc.tags.iter().any(|t| t == &r.tag) {
+            diags.push(Diagnostic::error(
+                rules::R1,
+                doc_rel,
+                r.doc_line,
+                format!(
+                    "audit tag `{}` is not defined in the tag glossary of {doc_rel}",
+                    r.tag
+                ),
+            ));
+        }
+    }
+}
+
+/// Regenerates the audit table from `sites`, preserving tags/notes from the
+/// existing doc (matched by (file, ordering) at the exact line, then by
+/// nearest line within 40). Returns the new doc text.
+pub fn rewrite_doc(sites: &[Site], old_text: &str) -> Result<String, String> {
+    let old = parse_doc(old_text);
+    if !old.has_table {
+        return Err(format!(
+            "audit table markers `{TABLE_BEGIN}` / `{TABLE_END}` not found in the doc"
+        ));
+    }
+    let mut used = vec![false; old.rows.len()];
+    let mut lookup = |s: &Site| -> (String, String) {
+        // Exact line match first.
+        if let Some((i, r)) = old.rows.iter().enumerate().find(|(i, r)| {
+            !used[*i]
+                && r.site.file == s.file
+                && r.site.ordering == s.ordering
+                && r.site.line == s.line
+        }) {
+            used[i] = true;
+            return (r.tag.clone(), r.note.clone());
+        }
+        // Then nearest line within 40 (code shifted).
+        let best = old
+            .rows
+            .iter()
+            .enumerate()
+            .filter(|(i, r)| {
+                !used[*i]
+                    && r.site.file == s.file
+                    && r.site.ordering == s.ordering
+                    && r.site.line.abs_diff(s.line) <= 40
+            })
+            .min_by_key(|(_, r)| r.site.line.abs_diff(s.line));
+        if let Some((i, r)) = best {
+            used[i] = true;
+            return (r.tag.clone(), r.note.clone());
+        }
+        ("TODO".to_string(), String::new())
+    };
+
+    let mut table = String::new();
+    table.push_str("| file | line | op | ordering | tag | note |\n");
+    table.push_str("|---|---|---|---|---|---|\n");
+    for s in sites {
+        let (tag, note) = lookup(s);
+        table.push_str(&format!(
+            "| {} | {} | {} | {} | {} | {} |\n",
+            s.file, s.line, s.op, s.ordering, tag, note
+        ));
+    }
+
+    // Splice between the markers, keeping everything else untouched.
+    let begin = old_text.find(TABLE_BEGIN).unwrap() + TABLE_BEGIN.len();
+    let end = old_text.find(TABLE_END).unwrap();
+    if end < begin {
+        return Err("audit table end marker precedes begin marker".to_string());
+    }
+    Ok(format!(
+        "{}\n{}{}",
+        &old_text[..begin],
+        table,
+        &old_text[end..]
+    ))
+}
+
+/// Reads the audit doc if present.
+pub fn read_doc(path: &Path) -> Option<String> {
+    fs::read_to_string(path).ok()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::load_source;
+
+    fn doc(rows: &str, tags: &str) -> String {
+        format!(
+            "# Audit\n{TAGS_BEGIN}\n{tags}{TAGS_END}\n{TABLE_BEGIN}\n| file | line | op | ordering | tag | note |\n|---|---|---|---|---|---|\n{rows}{TABLE_END}\n"
+        )
+    }
+
+    #[test]
+    fn sites_are_extracted_with_ops() {
+        let f = load_source(
+            "crates/locks/src/x.rs",
+            "fn f(a: &AtomicBool) { a.store(true, Ordering::Release); let _ = a.load(Ordering::Acquire); }",
+        );
+        let sites = file_sites(&f);
+        assert_eq!(sites.len(), 2);
+        assert_eq!(sites[0].op, "store");
+        assert_eq!(sites[0].ordering, "Release");
+        assert_eq!(sites[1].op, "load");
+    }
+
+    #[test]
+    fn matching_table_is_clean() {
+        let sites = vec![Site {
+            file: "crates/locks/src/x.rs".into(),
+            line: 3,
+            ordering: "Acquire".into(),
+            op: "load".into(),
+        }];
+        let text = doc(
+            "| crates/locks/src/x.rs | 3 | load | Acquire | acq-lock | handoff |\n",
+            "- **acq-lock** — acquire pairs with the releasing store\n",
+        );
+        let mut diags = Vec::new();
+        check(&sites, Some(&text), "docs/orderings.md", &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+
+    #[test]
+    fn missing_row_and_stale_row_both_fail() {
+        let sites = vec![Site {
+            file: "crates/locks/src/x.rs".into(),
+            line: 3,
+            ordering: "Acquire".into(),
+            op: "load".into(),
+        }];
+        let text = doc(
+            "| crates/locks/src/x.rs | 99 | load | Acquire | acq-lock | gone |\n",
+            "- **acq-lock** — why\n",
+        );
+        let mut diags = Vec::new();
+        check(&sites, Some(&text), "docs/orderings.md", &mut diags);
+        assert_eq!(diags.len(), 2);
+        assert!(diags.iter().any(|d| d.message.contains("not recorded")));
+        assert!(diags.iter().any(|d| d.message.contains("stale audit row")));
+    }
+
+    #[test]
+    fn unknown_tag_fails() {
+        let sites = vec![Site {
+            file: "crates/locks/src/x.rs".into(),
+            line: 3,
+            ordering: "Acquire".into(),
+            op: "load".into(),
+        }];
+        let text = doc(
+            "| crates/locks/src/x.rs | 3 | load | Acquire | mystery | |\n",
+            "- **acq-lock** — why\n",
+        );
+        let mut diags = Vec::new();
+        check(&sites, Some(&text), "docs/orderings.md", &mut diags);
+        assert_eq!(diags.len(), 1);
+        assert!(diags[0].message.contains("`mystery`"));
+    }
+
+    #[test]
+    fn rewrite_preserves_tags_across_line_shift() {
+        let old = doc(
+            "| crates/locks/src/x.rs | 3 | load | Acquire | acq-lock | keep me |\n",
+            "- **acq-lock** — why\n",
+        );
+        let sites = vec![Site {
+            file: "crates/locks/src/x.rs".into(),
+            line: 11,
+            ordering: "Acquire".into(),
+            op: "load".into(),
+        }];
+        let new = rewrite_doc(&sites, &old).unwrap();
+        assert!(
+            new.contains("| crates/locks/src/x.rs | 11 | load | Acquire | acq-lock | keep me |")
+        );
+        let mut diags = Vec::new();
+        check(&sites, Some(&new), "docs/orderings.md", &mut diags);
+        assert!(diags.is_empty(), "{diags:?}");
+    }
+}

@@ -1,0 +1,157 @@
+//! Diagnostics: severities, spans, and the human/JSON renderers.
+
+use std::fmt;
+
+/// Diagnostic severity. Warnings do not fail the run unless promoted with
+/// `-D warnings` (mirroring rustc's flag).
+#[derive(Debug, Clone, Copy, PartialEq, Eq, PartialOrd, Ord)]
+pub enum Severity {
+    /// Advisory; exit code stays 0 unless warnings are denied.
+    Warning,
+    /// Violation; exit code 1.
+    Error,
+}
+
+impl fmt::Display for Severity {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            Severity::Warning => write!(f, "warning"),
+            Severity::Error => write!(f, "error"),
+        }
+    }
+}
+
+/// One finding, anchored to a file:line span.
+#[derive(Debug, Clone)]
+pub struct Diagnostic {
+    /// Rule id (`safety-comments`, `ordering-audit-drift`, …).
+    pub rule: &'static str,
+    /// Severity before any `-D warnings` promotion.
+    pub severity: Severity,
+    /// Workspace-relative path with forward slashes.
+    pub file: String,
+    /// 1-based line. 0 means "whole file" (e.g. a missing audit table).
+    pub line: u32,
+    /// Human-readable description of the violation.
+    pub message: String,
+}
+
+impl Diagnostic {
+    /// Builds an error diagnostic.
+    pub fn error(rule: &'static str, file: &str, line: u32, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Error,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// Builds a warning diagnostic.
+    pub fn warning(rule: &'static str, file: &str, line: u32, message: String) -> Self {
+        Diagnostic {
+            rule,
+            severity: Severity::Warning,
+            file: file.to_string(),
+            line,
+            message,
+        }
+    }
+
+    /// `file:line` (or just `file` for whole-file findings).
+    pub fn span(&self) -> String {
+        if self.line == 0 {
+            self.file.clone()
+        } else {
+            format!("{}:{}", self.file, self.line)
+        }
+    }
+}
+
+impl fmt::Display for Diagnostic {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(
+            f,
+            "{}[{}]: {}: {}",
+            self.severity,
+            self.rule,
+            self.span(),
+            self.message
+        )
+    }
+}
+
+/// Escapes `s` for embedding in a JSON string literal.
+pub fn json_escape(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+/// Renders the full diagnostic set as a single JSON document.
+pub fn render_json(diags: &[Diagnostic], files_scanned: usize, deny_warnings: bool) -> String {
+    let mut out = String::from("{\n  \"tool\": \"cnalint\",\n  \"diagnostics\": [\n");
+    for (i, d) in diags.iter().enumerate() {
+        out.push_str(&format!(
+            "    {{\"rule\": \"{}\", \"severity\": \"{}\", \"file\": \"{}\", \"line\": {}, \"message\": \"{}\"}}{}\n",
+            json_escape(d.rule),
+            d.severity,
+            json_escape(&d.file),
+            d.line,
+            json_escape(&d.message),
+            if i + 1 == diags.len() { "" } else { "," }
+        ));
+    }
+    let errors = diags
+        .iter()
+        .filter(|d| d.severity == Severity::Error)
+        .count();
+    let warnings = diags.len() - errors;
+    out.push_str(&format!(
+        "  ],\n  \"summary\": {{\"errors\": {errors}, \"warnings\": {warnings}, \"files\": {files_scanned}, \"deny_warnings\": {deny_warnings}}}\n}}\n",
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_includes_rule_and_span() {
+        let d = Diagnostic::error("spin-hint", "crates/locks/src/x.rs", 7, "busy loop".into());
+        assert_eq!(
+            d.to_string(),
+            "error[spin-hint]: crates/locks/src/x.rs:7: busy loop"
+        );
+    }
+
+    #[test]
+    fn json_escapes_and_counts() {
+        let diags = vec![
+            Diagnostic::error("cmpxchg-pairs", "a.rs", 1, "bad \"pair\"".into()),
+            Diagnostic::warning("unused-allow", "b.rs", 2, "line1\nline2".into()),
+        ];
+        let json = render_json(&diags, 2, false);
+        assert!(json.contains("bad \\\"pair\\\""));
+        assert!(json.contains("line1\\nline2"));
+        assert!(json.contains("\"errors\": 1, \"warnings\": 1, \"files\": 2"));
+    }
+
+    #[test]
+    fn whole_file_span_omits_line() {
+        let d = Diagnostic::error("ordering-audit-drift", "docs/orderings.md", 0, "m".into());
+        assert_eq!(d.span(), "docs/orderings.md");
+    }
+}

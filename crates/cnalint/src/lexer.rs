@@ -1,0 +1,409 @@
+//! A minimal Rust lexer: just enough token structure for line-oriented
+//! lock-discipline rules, with no dependencies.
+//!
+//! The lexer understands the parts of Rust surface syntax that would
+//! otherwise produce false matches in a text scan: line comments, (nested)
+//! block comments, string/raw-string/byte-string literals, character
+//! literals vs. lifetimes, and numeric literals. Everything else becomes
+//! identifier or punctuation tokens tagged with their 1-based line number.
+//! Comments are kept in a separate per-line map so rules can reason about
+//! comment adjacency (`// SAFETY:`) and pragmas (`// cnalint: allow(...)`).
+
+/// Kind of a lexed token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword.
+    Ident,
+    /// Single punctuation character (`::` arrives as two `:` tokens).
+    Punct,
+    /// String, raw string, byte string, char or numeric literal.
+    Literal,
+    /// A lifetime or loop label (`'a`, `'outer`).
+    Lifetime,
+}
+
+/// One lexed token.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    /// Token kind.
+    pub kind: TokKind,
+    /// Token text (a single char for punctuation).
+    pub text: String,
+    /// 1-based source line the token starts on.
+    pub line: u32,
+}
+
+impl Tok {
+    /// `true` when this is the identifier `word`.
+    pub fn is_ident(&self, word: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == word
+    }
+
+    /// `true` when this is the punctuation character `ch`.
+    pub fn is_punct(&self, ch: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == 1 && self.text.starts_with(ch)
+    }
+}
+
+/// A comment, attributed to every line it touches.
+#[derive(Debug, Clone)]
+pub struct Comment {
+    /// 1-based line this comment fragment sits on.
+    pub line: u32,
+    /// The comment text of that line (without the `//` / `/*` markers).
+    pub text: String,
+}
+
+/// Lexer output: code tokens plus per-line comment fragments.
+#[derive(Debug, Default)]
+pub struct Lexed {
+    /// All non-comment tokens in source order.
+    pub toks: Vec<Tok>,
+    /// Comment fragments, one entry per (line, text) pair; a block comment
+    /// spanning lines produces one entry per line.
+    pub comments: Vec<Comment>,
+}
+
+impl Lexed {
+    /// Concatenated comment text on `line`, or `None` when the line carries
+    /// no comment.
+    pub fn comment_on(&self, line: u32) -> Option<String> {
+        let parts: Vec<&str> = self
+            .comments
+            .iter()
+            .filter(|c| c.line == line)
+            .map(|c| c.text.as_str())
+            .collect();
+        if parts.is_empty() {
+            None
+        } else {
+            Some(parts.join(" "))
+        }
+    }
+
+    /// `true` when any code token starts on `line`.
+    pub fn code_on(&self, line: u32) -> bool {
+        // Tokens are in line order; a binary search keeps rules O(log n).
+        self.toks
+            .binary_search_by(|t| {
+                use std::cmp::Ordering::*;
+                if t.line < line {
+                    Less
+                } else if t.line > line {
+                    Greater
+                } else {
+                    Equal
+                }
+            })
+            .is_ok()
+    }
+}
+
+/// Lexes `src` into tokens and comments. Never fails: unterminated
+/// constructs simply consume the rest of the input (the real compiler is the
+/// authority on validity; the linter only needs consistent structure).
+pub fn lex(src: &str) -> Lexed {
+    let b: Vec<char> = src.chars().collect();
+    let mut out = Lexed::default();
+    let mut i = 0usize;
+    let mut line: u32 = 1;
+
+    let push_comment = |out: &mut Lexed, line: u32, text: &str| {
+        out.comments.push(Comment {
+            line,
+            text: text.trim().to_string(),
+        });
+    };
+
+    while i < b.len() {
+        let c = b[i];
+        match c {
+            '\n' => {
+                line += 1;
+                i += 1;
+            }
+            c if c.is_whitespace() => {
+                i += 1;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '/' => {
+                // Line comment (incl. `///` and `//!` docs).
+                let start = i + 2;
+                let mut j = start;
+                while j < b.len() && b[j] != '\n' {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                let text = text.trim_start_matches(['/', '!']).to_string();
+                push_comment(&mut out, line, &text);
+                i = j;
+            }
+            '/' if i + 1 < b.len() && b[i + 1] == '*' => {
+                // Block comment, possibly nested, attributed line by line.
+                let mut depth = 1usize;
+                let mut j = i + 2;
+                let mut frag = String::new();
+                while j < b.len() && depth > 0 {
+                    if b[j] == '/' && j + 1 < b.len() && b[j + 1] == '*' {
+                        depth += 1;
+                        frag.push_str("/*");
+                        j += 2;
+                    } else if b[j] == '*' && j + 1 < b.len() && b[j + 1] == '/' {
+                        depth -= 1;
+                        if depth > 0 {
+                            frag.push_str("*/");
+                        }
+                        j += 2;
+                    } else if b[j] == '\n' {
+                        push_comment(&mut out, line, &frag);
+                        frag.clear();
+                        line += 1;
+                        j += 1;
+                    } else {
+                        frag.push(b[j]);
+                        j += 1;
+                    }
+                }
+                push_comment(&mut out, line, &frag);
+                i = j;
+            }
+            '"' => {
+                let (j, nl) = skip_string(&b, i + 1);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: String::from("\"…\""),
+                    line,
+                });
+                line += nl;
+                i = j;
+            }
+            'r' | 'b' if starts_raw_or_byte_string(&b, i) => {
+                let (j, nl, text_kind) = skip_raw_or_byte(&b, i);
+                out.toks.push(Tok {
+                    kind: TokKind::Literal,
+                    text: text_kind,
+                    line,
+                });
+                line += nl;
+                i = j;
+            }
+            '\'' => {
+                // Char literal or lifetime. A lifetime is `'` + ident not
+                // followed by a closing quote; a char literal always has a
+                // closing quote within a few chars (escapes included).
+                if is_lifetime(&b, i) {
+                    let mut j = i + 1;
+                    let mut name = String::new();
+                    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                        name.push(b[j]);
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Lifetime,
+                        text: name,
+                        line,
+                    });
+                    i = j;
+                } else {
+                    let mut j = i + 1;
+                    if j < b.len() && b[j] == '\\' {
+                        j += 2;
+                        // Long escapes (`\u{...}`, `\x41`) run to the quote.
+                        while j < b.len() && b[j] != '\'' {
+                            j += 1;
+                        }
+                    } else if j < b.len() {
+                        j += 1;
+                    }
+                    if j < b.len() && b[j] == '\'' {
+                        j += 1;
+                    }
+                    out.toks.push(Tok {
+                        kind: TokKind::Literal,
+                        text: String::from("'…'"),
+                        line,
+                    });
+                    i = j;
+                }
+            }
+            c if c.is_alphanumeric() || c == '_' => {
+                let start = i;
+                let mut j = i;
+                while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+                    j += 1;
+                }
+                let text: String = b[start..j].iter().collect();
+                let kind = if c.is_ascii_digit() {
+                    TokKind::Literal
+                } else {
+                    TokKind::Ident
+                };
+                out.toks.push(Tok { kind, text, line });
+                i = j;
+            }
+            _ => {
+                out.toks.push(Tok {
+                    kind: TokKind::Punct,
+                    text: c.to_string(),
+                    line,
+                });
+                i += 1;
+            }
+        }
+    }
+    out
+}
+
+/// Skips past a `"`-terminated string starting *after* the opening quote.
+/// Returns (next index, newlines consumed).
+fn skip_string(b: &[char], mut j: usize) -> (usize, u32) {
+    let mut nl = 0;
+    while j < b.len() {
+        match b[j] {
+            '\\' => j += 2,
+            '"' => return (j + 1, nl),
+            '\n' => {
+                nl += 1;
+                j += 1;
+            }
+            _ => j += 1,
+        }
+    }
+    (j, nl)
+}
+
+/// `true` when position `i` starts `r"`, `r#"`, `br"`, `b"`, `br#"` …
+fn starts_raw_or_byte_string(b: &[char], i: usize) -> bool {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    if j < b.len() && b[j] == 'r' {
+        j += 1;
+        while j < b.len() && b[j] == '#' {
+            j += 1;
+        }
+    }
+    j < b.len() && b[j] == '"' && j > i
+}
+
+/// Skips a raw/byte string starting at `i`. Returns (next index, newlines,
+/// placeholder text).
+fn skip_raw_or_byte(b: &[char], i: usize) -> (usize, u32, String) {
+    let mut j = i;
+    if b[j] == 'b' {
+        j += 1;
+    }
+    let raw = j < b.len() && b[j] == 'r';
+    if raw {
+        j += 1;
+    }
+    let mut hashes = 0usize;
+    while j < b.len() && b[j] == '#' {
+        hashes += 1;
+        j += 1;
+    }
+    debug_assert!(j < b.len() && b[j] == '"');
+    j += 1; // opening quote
+    let mut nl = 0u32;
+    if raw {
+        // Scan for `"` followed by `hashes` hashes; no escapes in raw.
+        while j < b.len() {
+            if b[j] == '"' {
+                let mut k = j + 1;
+                let mut h = 0usize;
+                while k < b.len() && b[k] == '#' && h < hashes {
+                    h += 1;
+                    k += 1;
+                }
+                if h == hashes {
+                    return (k, nl, String::from("r\"…\""));
+                }
+            }
+            if b[j] == '\n' {
+                nl += 1;
+            }
+            j += 1;
+        }
+        (j, nl, String::from("r\"…\""))
+    } else {
+        let (k, n) = skip_string(b, j);
+        (k, n, String::from("b\"…\""))
+    }
+}
+
+/// `true` when the `'` at `i` begins a lifetime rather than a char literal.
+fn is_lifetime(b: &[char], i: usize) -> bool {
+    let Some(&first) = b.get(i + 1) else {
+        return false;
+    };
+    if !(first.is_alphabetic() || first == '_') {
+        return false;
+    }
+    // `'a'` is a char; `'a` followed by non-quote is a lifetime. Identify by
+    // scanning the identifier and checking for a closing quote.
+    let mut j = i + 1;
+    while j < b.len() && (b[j].is_alphanumeric() || b[j] == '_') {
+        j += 1;
+    }
+    !(j < b.len() && b[j] == '\'')
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn idents_and_puncts_with_lines() {
+        let lx = lex("let x = 1;\nfoo(x)\n");
+        let idents: Vec<_> = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Ident)
+            .map(|t| (t.text.as_str(), t.line))
+            .collect();
+        assert_eq!(idents, vec![("let", 1), ("x", 1), ("foo", 2), ("x", 2)]);
+    }
+
+    #[test]
+    fn comments_are_not_code() {
+        let lx = lex("// Ordering::SeqCst in a comment\nlet x = 0; // trailing\n");
+        assert!(!lx.toks.iter().any(|t| t.text.contains("SeqCst")));
+        assert!(lx.comment_on(1).unwrap().contains("SeqCst"));
+        assert!(lx.comment_on(2).unwrap().contains("trailing"));
+        assert!(lx.code_on(2));
+        assert!(!lx.code_on(1));
+    }
+
+    #[test]
+    fn nested_block_comments_and_strings() {
+        let lx = lex("/* a /* nested */ still comment */ let s = \"unsafe { Ordering::SeqCst }\";");
+        assert!(!lx.toks.iter().any(|t| t.text == "SeqCst"));
+        assert!(lx.toks.iter().any(|t| t.is_ident("let")));
+    }
+
+    #[test]
+    fn raw_strings_and_chars_and_lifetimes() {
+        let lx = lex("let r = r#\"unsafe \" quote\"#; let c = 'x'; fn f<'a>(v: &'a str) {}");
+        assert!(!lx.toks.iter().any(|t| t.text == "unsafe"));
+        let lifetimes = lx
+            .toks
+            .iter()
+            .filter(|t| t.kind == TokKind::Lifetime)
+            .count();
+        assert_eq!(lifetimes, 2);
+    }
+
+    #[test]
+    fn multiline_string_advances_lines() {
+        let lx = lex("let s = \"a\nb\nc\";\nfinal_token");
+        let last = lx.toks.last().unwrap();
+        assert_eq!(last.text, "final_token");
+        assert_eq!(last.line, 4);
+    }
+
+    #[test]
+    fn char_escape_is_not_a_lifetime() {
+        let lx = lex("let tab = '\\t'; let nl = '\\n'; while x {}");
+        assert!(lx.toks.iter().any(|t| t.is_ident("while")));
+    }
+}

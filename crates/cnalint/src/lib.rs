@@ -1,0 +1,203 @@
+//! `cnalint` — a dependency-free lock-discipline static analyzer.
+//!
+//! The concurrency discipline this workspace runs on (every `Ordering::`
+//! justified in `docs/orderings.md`, every `unsafe` explained, legal
+//! compare-exchange pairs, paced spin loops, no stray `SeqCst`, pinned lock
+//! sizes) used to be enforced by review. `cnalint` turns it into a CI gate:
+//! an own lightweight Rust lexer plus six line-anchored rules, with per-rule
+//! allow pragmas so every exception carries a written reason.
+//!
+//! Entry points: the `cnalint` binary, `lockbench lint`, or [`run_check`]
+//! from tests.
+
+pub mod audit;
+pub mod diag;
+pub mod lexer;
+pub mod pragma;
+pub mod rules;
+pub mod scan;
+
+use std::io;
+use std::path::{Path, PathBuf};
+
+use diag::{Diagnostic, Severity};
+
+/// Check configuration.
+#[derive(Debug, Clone)]
+pub struct Options {
+    /// Workspace root to scan.
+    pub root: PathBuf,
+    /// Audit doc path, relative to `root`.
+    pub audit_doc: String,
+    /// When set, only these canonical rule ids run (meta rules always run).
+    pub only_rules: Option<Vec<&'static str>>,
+    /// Promote warnings to errors for the exit code.
+    pub deny_warnings: bool,
+}
+
+impl Options {
+    /// Default options rooted at `root`.
+    pub fn new(root: impl Into<PathBuf>) -> Self {
+        Options {
+            root: root.into(),
+            audit_doc: "docs/orderings.md".to_string(),
+            only_rules: None,
+            deny_warnings: false,
+        }
+    }
+}
+
+/// Result of a check run.
+#[derive(Debug)]
+pub struct Outcome {
+    /// All diagnostics, sorted by (file, line, rule).
+    pub diagnostics: Vec<Diagnostic>,
+    /// Number of Rust files scanned.
+    pub files_scanned: usize,
+    /// Whether warnings were promoted.
+    pub deny_warnings: bool,
+}
+
+impl Outcome {
+    /// Error-severity diagnostics.
+    pub fn errors(&self) -> impl Iterator<Item = &Diagnostic> {
+        self.diagnostics
+            .iter()
+            .filter(|d| d.severity == Severity::Error)
+    }
+
+    /// Process exit code: 0 clean, 1 violations (warnings count when
+    /// `deny_warnings`). Internal errors exit 2 before an [`Outcome`]
+    /// exists.
+    pub fn exit_code(&self) -> i32 {
+        let failing = if self.deny_warnings {
+            self.diagnostics.len()
+        } else {
+            self.errors().count()
+        };
+        if failing > 0 {
+            1
+        } else {
+            0
+        }
+    }
+
+    /// Diagnostics with a given rule id (test convenience).
+    pub fn by_rule(&self, rule: &str) -> Vec<&Diagnostic> {
+        self.diagnostics.iter().filter(|d| d.rule == rule).collect()
+    }
+}
+
+/// Scans the workspace and runs every enabled rule, then applies allow
+/// pragmas (suppressing matches, warning on unused ones).
+pub fn run_check(opts: &Options) -> io::Result<Outcome> {
+    let ws = scan::scan(&opts.root)?;
+    let enabled = |rule: &'static str| -> bool {
+        opts.only_rules.as_ref().is_none_or(|rs| rs.contains(&rule))
+    };
+
+    let mut diags: Vec<Diagnostic> = Vec::new();
+    if enabled(rules::R1) {
+        let sites = audit::extract_sites(&ws);
+        let doc_path = opts.root.join(&opts.audit_doc);
+        let doc_text = audit::read_doc(&doc_path);
+        audit::check(&sites, doc_text.as_deref(), &opts.audit_doc, &mut diags);
+    }
+    rules::run_local(&ws, &enabled, &mut diags);
+
+    // Pragma pass: malformed pragmas are errors; well-formed ones suppress
+    // matching diagnostics on their target line (or file); pragmas that
+    // suppressed nothing are warned about — unless their rule was filtered
+    // out of this run, in which case silence is not evidence of uselessness.
+    for f in &ws.files {
+        diags.extend(f.pragmas.bad.iter().cloned());
+    }
+    let mut kept: Vec<Diagnostic> = Vec::new();
+    let mut used: Vec<(&str, u32)> = Vec::new(); // (file rel, pragma line)
+    for d in diags {
+        let suppressed = ws
+            .files
+            .iter()
+            .find(|f| f.rel == d.file)
+            .map(|f| {
+                f.pragmas
+                    .allows
+                    .iter()
+                    .filter(|p| p.rule == d.rule && (p.file_wide || p.applies_to == d.line))
+                    .map(|p| {
+                        used.push((&f.rel, p.line));
+                    })
+                    .count()
+                    > 0
+            })
+            .unwrap_or(false);
+        if !suppressed {
+            kept.push(d);
+        }
+    }
+    for f in &ws.files {
+        for p in &f.pragmas.allows {
+            if !enabled(match_static(&p.rule)) {
+                continue;
+            }
+            if !used.contains(&(f.rel.as_str(), p.line)) {
+                kept.push(Diagnostic::warning(
+                    rules::UNUSED_ALLOW,
+                    &f.rel,
+                    p.line,
+                    format!(
+                        "allow pragma for `{}` suppressed nothing; remove it",
+                        p.rule
+                    ),
+                ));
+            }
+        }
+    }
+
+    kept.sort_by(|a, b| (a.file.as_str(), a.line, a.rule).cmp(&(b.file.as_str(), b.line, b.rule)));
+    Ok(Outcome {
+        diagnostics: kept,
+        files_scanned: ws.files.len(),
+        deny_warnings: opts.deny_warnings,
+    })
+}
+
+/// Maps a pragma's owned rule string back to the static id (pragmas only
+/// store canonical ids, so this lookup always succeeds for valid pragmas).
+fn match_static(rule: &str) -> &'static str {
+    rules::canonical_id(rule).unwrap_or(rules::BAD_PRAGMA)
+}
+
+/// Regenerates the audit table in the audit doc from the current source
+/// tree, preserving existing tags and notes. Returns the number of rows.
+pub fn run_audit_write(root: &Path, audit_doc: &str) -> Result<usize, String> {
+    let ws = scan::scan(root).map_err(|e| format!("scan failed: {e}"))?;
+    let sites = audit::extract_sites(&ws);
+    let doc_path = root.join(audit_doc);
+    let old = audit::read_doc(&doc_path)
+        .ok_or_else(|| format!("audit doc {audit_doc} not found under {}", root.display()))?;
+    let new = audit::rewrite_doc(&sites, &old)?;
+    std::fs::write(&doc_path, new).map_err(|e| format!("writing {audit_doc}: {e}"))?;
+    Ok(sites.len())
+}
+
+/// Renders diagnostics for terminal output.
+pub fn render_human(out: &Outcome) -> String {
+    let mut s = String::new();
+    for d in &out.diagnostics {
+        s.push_str(&d.to_string());
+        s.push('\n');
+    }
+    let errors = out.errors().count();
+    let warnings = out.diagnostics.len() - errors;
+    s.push_str(&format!(
+        "cnalint: {} files scanned, {errors} errors, {warnings} warnings\n",
+        out.files_scanned
+    ));
+    s
+}
+
+/// Renders diagnostics as JSON.
+pub fn render_json(out: &Outcome) -> String {
+    diag::render_json(&out.diagnostics, out.files_scanned, out.deny_warnings)
+}

@@ -1,0 +1,143 @@
+//! The `cnalint` command-line interface.
+//!
+//! ```text
+//! cnalint [check] [--root DIR] [--format human|json] [-D warnings] [--rule ID]…
+//! cnalint audit [--write] [--root DIR]
+//! cnalint rules
+//! ```
+//!
+//! Exit codes mirror `lockbench diff`: 0 clean, 1 violations found,
+//! 2 usage or internal error.
+
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+use cnalint::{rules, Options};
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match run(&args) {
+        Ok(code) => ExitCode::from(code),
+        Err(msg) => {
+            eprintln!("cnalint: error: {msg}");
+            eprintln!("{USAGE}");
+            ExitCode::from(2)
+        }
+    }
+}
+
+const USAGE: &str = "\
+usage:
+  cnalint [check] [--root DIR] [--format human|json] [-D warnings] [--rule ID]...
+  cnalint audit [--write] [--root DIR]
+  cnalint rules";
+
+fn run(args: &[String]) -> Result<u8, String> {
+    let (cmd, rest) = match args.first().map(String::as_str) {
+        Some("check") => ("check", &args[1..]),
+        Some("audit") => ("audit", &args[1..]),
+        Some("rules") => ("rules", &args[1..]),
+        Some("--help") | Some("-h") => {
+            println!("{USAGE}");
+            return Ok(0);
+        }
+        _ => ("check", args),
+    };
+
+    let mut root = default_root();
+    let mut format = "human".to_string();
+    let mut deny_warnings = false;
+    let mut only: Vec<&'static str> = Vec::new();
+    let mut write = false;
+    let mut it = rest.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--root" => {
+                root = PathBuf::from(it.next().ok_or("--root needs a value")?);
+            }
+            "--format" => {
+                format = it.next().ok_or("--format needs a value")?.clone();
+                if format != "human" && format != "json" {
+                    return Err(format!("unknown format `{format}` (human|json)"));
+                }
+            }
+            "-D" => {
+                let what = it.next().ok_or("-D needs a value")?;
+                if what != "warnings" {
+                    return Err(format!("unknown -D target `{what}` (only `warnings`)"));
+                }
+                deny_warnings = true;
+            }
+            "--deny-warnings" => deny_warnings = true,
+            "--rule" => {
+                let name = it.next().ok_or("--rule needs a value")?;
+                let id = rules::canonical_id(name)
+                    .ok_or_else(|| format!("unknown rule `{name}` (try `cnalint rules`)"))?;
+                only.push(id);
+            }
+            "--write" if cmd == "audit" => write = true,
+            other => return Err(format!("unknown argument `{other}`")),
+        }
+    }
+
+    match cmd {
+        "rules" => {
+            for r in &rules::RULES {
+                println!("{:24} ({}): {}", r.id, r.alias, r.summary);
+            }
+            println!(
+                "{:24}     : malformed `cnalint:` pragma (always on)",
+                rules::BAD_PRAGMA
+            );
+            println!(
+                "{:24}     : allow pragma that suppressed nothing (warning)",
+                rules::UNUSED_ALLOW
+            );
+            Ok(0)
+        }
+        "audit" => {
+            if write {
+                let n = cnalint::run_audit_write(&root, "docs/orderings.md")?;
+                eprintln!("cnalint: audit table rewritten ({n} rows)");
+                Ok(0)
+            } else {
+                // `audit` without --write is a check restricted to R1.
+                let mut opts = Options::new(root);
+                opts.only_rules = Some(vec![rules::R1]);
+                run_and_render(&opts, &format)
+            }
+        }
+        _ => {
+            let mut opts = Options::new(root);
+            opts.deny_warnings = deny_warnings;
+            if !only.is_empty() {
+                opts.only_rules = Some(only);
+            }
+            run_and_render(&opts, &format)
+        }
+    }
+}
+
+fn run_and_render(opts: &Options, format: &str) -> Result<u8, String> {
+    let out = cnalint::run_check(opts).map_err(|e| format!("scan failed: {e}"))?;
+    if format == "json" {
+        print!("{}", cnalint::render_json(&out));
+    } else {
+        print!("{}", cnalint::render_human(&out));
+    }
+    Ok(out.exit_code() as u8)
+}
+
+/// The workspace root: `CARGO_MANIFEST_DIR/../..` when run via `cargo run
+/// -p cnalint` (so it works from any cwd inside the repo), else the cwd.
+fn default_root() -> PathBuf {
+    if let Ok(md) = std::env::var("CARGO_MANIFEST_DIR") {
+        let p = PathBuf::from(md);
+        if let Some(root) = p.parent().and_then(|p| p.parent()) {
+            if root.join("Cargo.toml").exists() {
+                return root.to_path_buf();
+            }
+        }
+    }
+    std::env::current_dir().unwrap_or_else(|_| PathBuf::from("."))
+}

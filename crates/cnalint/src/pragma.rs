@@ -1,0 +1,166 @@
+//! Allow pragmas: `// cnalint: allow(<rule>) -- <reason>`.
+//!
+//! A trailing pragma (on a line that also carries code) suppresses matching
+//! diagnostics on *that* line. A standalone pragma (comment-only line)
+//! suppresses matching diagnostics on the next line that carries code.
+//! `allow-file(<rule>)` suppresses the rule for the whole file. A reason
+//! after ` -- ` is mandatory: pragmas are audit artifacts, not mute buttons.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Lexed;
+use crate::rules;
+
+/// One parsed allow pragma.
+#[derive(Debug, Clone)]
+pub struct Pragma {
+    /// Rule id this pragma allows.
+    pub rule: String,
+    /// Line the pragma comment sits on.
+    pub line: u32,
+    /// Line the pragma applies to (== `line` for trailing pragmas, the next
+    /// code line for standalone pragmas). Unused for file-wide pragmas.
+    pub applies_to: u32,
+    /// `true` for `allow-file(...)`.
+    pub file_wide: bool,
+    /// Justification text after ` -- `.
+    pub reason: String,
+}
+
+/// Pragmas found in one file, plus any malformed-pragma diagnostics.
+#[derive(Debug, Default)]
+pub struct Pragmas {
+    /// Well-formed pragmas.
+    pub allows: Vec<Pragma>,
+    /// `bad-pragma` diagnostics for malformed ones.
+    pub bad: Vec<Diagnostic>,
+}
+
+/// Extracts pragmas from the lexed comments of `file`.
+pub fn parse(file: &str, lx: &Lexed, line_count: u32) -> Pragmas {
+    let mut out = Pragmas::default();
+    for c in &lx.comments {
+        let text = c.text.trim();
+        let Some(rest) = text.strip_prefix("cnalint:") else {
+            continue;
+        };
+        let rest = rest.trim();
+        let (file_wide, body) = if let Some(b) = rest.strip_prefix("allow-file") {
+            (true, b)
+        } else if let Some(b) = rest.strip_prefix("allow") {
+            (false, b)
+        } else {
+            out.bad.push(Diagnostic::error(
+                rules::BAD_PRAGMA,
+                file,
+                c.line,
+                format!("unrecognized cnalint pragma `{text}` (expected `allow(<rule>) -- reason` or `allow-file(<rule>) -- reason`)"),
+            ));
+            continue;
+        };
+        let body = body.trim();
+        let Some((rule, after)) = body
+            .strip_prefix('(')
+            .and_then(|b| b.split_once(')'))
+            .map(|(r, a)| (r.trim().to_string(), a.trim()))
+        else {
+            out.bad.push(Diagnostic::error(
+                rules::BAD_PRAGMA,
+                file,
+                c.line,
+                format!("malformed cnalint pragma `{text}`: missing `(<rule>)`"),
+            ));
+            continue;
+        };
+        let Some(canonical) = rules::canonical_id(&rule) else {
+            out.bad.push(Diagnostic::error(
+                rules::BAD_PRAGMA,
+                file,
+                c.line,
+                format!(
+                    "unknown rule `{rule}` in cnalint pragma (known: {})",
+                    rules::ALL_IDS.join(", ")
+                ),
+            ));
+            continue;
+        };
+        let reason = after.strip_prefix("--").map(str::trim).unwrap_or("");
+        if reason.is_empty() {
+            out.bad.push(Diagnostic::error(
+                rules::BAD_PRAGMA,
+                file,
+                c.line,
+                format!(
+                    "cnalint pragma for `{canonical}` has no ` -- reason`; justify the exception"
+                ),
+            ));
+            continue;
+        }
+        let applies_to = if file_wide || lx.code_on(c.line) {
+            c.line
+        } else {
+            // Standalone pragma: applies to the next line carrying code.
+            (c.line + 1..=line_count)
+                .find(|&l| lx.code_on(l))
+                .unwrap_or(c.line)
+        };
+        out.allows.push(Pragma {
+            rule: canonical.to_string(),
+            line: c.line,
+            applies_to,
+            file_wide,
+            reason: reason.to_string(),
+        });
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::lexer::lex;
+
+    fn parse_src(src: &str) -> Pragmas {
+        let lx = lex(src);
+        parse("t.rs", &lx, src.lines().count() as u32)
+    }
+
+    #[test]
+    fn trailing_pragma_applies_to_its_own_line() {
+        let p = parse_src("let x = 0; // cnalint: allow(no-seqcst-hotpath) -- test fence\n");
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].applies_to, 1);
+        assert!(!p.allows[0].file_wide);
+    }
+
+    #[test]
+    fn standalone_pragma_applies_to_next_code_line() {
+        let p = parse_src(
+            "// cnalint: allow(r5) -- benchmark barrier\n\n// other comment\nlet x = 0;\n",
+        );
+        assert_eq!(p.allows.len(), 1);
+        assert_eq!(p.allows[0].rule, "no-seqcst-hotpath");
+        assert_eq!(p.allows[0].applies_to, 4);
+    }
+
+    #[test]
+    fn missing_reason_is_bad_pragma() {
+        let p = parse_src("// cnalint: allow(spin-hint)\n");
+        assert!(p.allows.is_empty());
+        assert_eq!(p.bad.len(), 1);
+        assert!(p.bad[0].message.contains("no ` -- reason`"));
+    }
+
+    #[test]
+    fn unknown_rule_is_bad_pragma() {
+        let p = parse_src("// cnalint: allow(made-up) -- because\n");
+        assert_eq!(p.bad.len(), 1);
+        assert!(p.bad[0].message.contains("unknown rule"));
+    }
+
+    #[test]
+    fn allow_file_is_file_wide() {
+        let p = parse_src("// cnalint: allow-file(safety-comments) -- generated code\n");
+        assert_eq!(p.allows.len(), 1);
+        assert!(p.allows[0].file_wide);
+    }
+}

@@ -1,0 +1,172 @@
+//! R2 `cmpxchg-pairs`: validates `compare_exchange` / `compare_exchange_weak`
+//! success/failure ordering pairs.
+//!
+//! Two checks, applied workspace-wide:
+//! 1. The failure ordering must be a load ordering — `Release` / `AcqRel`
+//!    there panic at runtime.
+//! 2. The failure ordering must not be stronger than the success ordering;
+//!    a stronger failure ordering is at best confused intent and usually an
+//!    Acquire/Relaxed transposition.
+//!
+//! Call sites whose orderings are not literal `Ordering::` paths (passed
+//! through variables or generics) are skipped — the lexical form carries no
+//! information there.
+
+use crate::audit::ORDERINGS;
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::rules::R2;
+use crate::scan::{SourceFile, Workspace};
+
+/// Strength ranking for the "failure stronger than success" check.
+fn rank(ordering: &str) -> u8 {
+    match ordering {
+        "Relaxed" => 0,
+        "Acquire" | "Release" => 1,
+        "AcqRel" => 2,
+        "SeqCst" => 3,
+        _ => 0,
+    }
+}
+
+/// Runs R2 over every scanned file.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for f in &ws.files {
+        run_file(f, diags);
+    }
+}
+
+fn run_file(f: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.lx.toks;
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        if !(t.is_ident("compare_exchange") || t.is_ident("compare_exchange_weak")) {
+            i += 1;
+            continue;
+        }
+        // Skip to the argument list; `::<...>` turbofish may intervene, and
+        // trait declarations (`fn compare_exchange(&self, …, success:
+        // Ordering, …)`) are naturally skipped because their parens contain
+        // no `Ordering::` paths.
+        let Some(open) = (i + 1..toks.len().min(i + 16)).find(|&j| toks[j].is_punct('(')) else {
+            i += 1;
+            continue;
+        };
+        let close = match matching_paren(toks, open) {
+            Some(c) => c,
+            None => {
+                i += 1;
+                continue;
+            }
+        };
+        let mut orderings: Vec<(&str, u32)> = Vec::new();
+        let mut j = open;
+        while j + 3 <= close {
+            if toks[j].is_ident("Ordering")
+                && toks[j + 1].is_punct(':')
+                && toks[j + 2].is_punct(':')
+                && ORDERINGS.contains(&toks[j + 3].text.as_str())
+            {
+                orderings.push((toks[j + 3].text.as_str(), toks[j].line));
+                j += 4;
+            } else {
+                j += 1;
+            }
+        }
+        if orderings.len() >= 2 {
+            let (success, _) = orderings[orderings.len() - 2];
+            let (failure, fline) = orderings[orderings.len() - 1];
+            if failure == "Release" || failure == "AcqRel" {
+                diags.push(Diagnostic::error(
+                    R2,
+                    &f.rel,
+                    fline,
+                    format!(
+                        "{}(…, {success}, {failure}): failure ordering `{failure}` is illegal \
+                         (the failed load cannot perform a release)",
+                        t.text
+                    ),
+                ));
+            } else if rank(failure) > rank(success) {
+                diags.push(Diagnostic::error(
+                    R2,
+                    &f.rel,
+                    fline,
+                    format!(
+                        "{}(…, {success}, {failure}): failure ordering `{failure}` is stronger \
+                         than success ordering `{success}` — almost certainly transposed",
+                        t.text
+                    ),
+                ));
+            }
+        }
+        i = close + 1;
+    }
+}
+
+/// Index of the `)` matching the `(` at `open`.
+fn matching_paren(toks: &[Tok], open: usize) -> Option<usize> {
+    let mut depth = 0i32;
+    for (j, t) in toks.iter().enumerate().skip(open) {
+        if t.is_punct('(') {
+            depth += 1;
+        } else if t.is_punct(')') {
+            depth -= 1;
+            if depth == 0 {
+                return Some(j);
+            }
+        }
+    }
+    None
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::load_source;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let f = load_source("crates/locks/src/x.rs", src);
+        let mut diags = Vec::new();
+        run_file(&f, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn legal_pairs_pass() {
+        let d = lint(
+            "fn f(a: &AtomicUsize) {\n\
+             let _ = a.compare_exchange(0, 1, Ordering::Acquire, Ordering::Relaxed);\n\
+             let _ = a.compare_exchange_weak(0, 1, Ordering::AcqRel, Ordering::Acquire);\n\
+             let _ = a.compare_exchange(0, 1, Ordering::Release, Ordering::Relaxed);\n}",
+        );
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn release_failure_is_illegal() {
+        let d = lint("fn f(a: &AtomicUsize) { let _ = a.compare_exchange(0, 1, Ordering::Acquire, Ordering::Release); }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("illegal"));
+    }
+
+    #[test]
+    fn stronger_failure_than_success_is_flagged() {
+        let d = lint("fn f(a: &AtomicUsize) { let _ = a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Acquire); }");
+        assert_eq!(d.len(), 1);
+        assert!(d[0].message.contains("stronger"));
+    }
+
+    #[test]
+    fn trait_declarations_are_skipped() {
+        let d = lint("trait C { fn compare_exchange(&self, cur: usize, new: usize, success: Ordering, failure: Ordering) -> Result<usize, usize>; }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+
+    #[test]
+    fn variable_orderings_are_skipped() {
+        let d = lint("fn f(a: &AtomicUsize, s: Ordering, fl: Ordering) { let _ = a.compare_exchange(0, 1, s, fl); }");
+        assert!(d.is_empty(), "{d:?}");
+    }
+}

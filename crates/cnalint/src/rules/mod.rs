@@ -1,0 +1,138 @@
+//! The rule registry: ids, aliases, one-line summaries, and dispatch.
+//!
+//! Rule `ordering-audit-drift` (R1) lives in [`crate::audit`] because it
+//! needs the audit doc besides the source tree; every other rule is a pure
+//! function of the scanned workspace.
+
+pub mod cmpxchg;
+pub mod compact;
+pub mod safety;
+pub mod seqcst;
+pub mod spin;
+
+use crate::diag::Diagnostic;
+use crate::scan::Workspace;
+
+/// R1: every `Ordering::` site in the lock crates must have a justified row
+/// in the audit table of `docs/orderings.md`, and vice versa.
+pub const R1: &str = "ordering-audit-drift";
+/// R2: `compare_exchange` success/failure ordering pairs must be legal and
+/// the failure ordering must not be stronger than the success ordering.
+pub const R2: &str = "cmpxchg-pairs";
+/// R3: every `unsafe` block / impl / fn needs an adjacent `// SAFETY:`
+/// comment or a `# Safety` doc section.
+pub const R3: &str = "safety-comments";
+/// R4: spin-wait loops over atomics must pace themselves (spin hint, parked
+/// wait, or backoff) instead of burning the bus.
+pub const R4: &str = "spin-hint";
+/// R5: `SeqCst` in the lock hot paths requires an explicit allow pragma.
+pub const R5: &str = "no-seqcst-hotpath";
+/// R6: every lock type registered in the registry must have a pinned
+/// `size_of` assertion somewhere in the workspace.
+pub const R6: &str = "lock-word-compactness";
+/// Meta: malformed `cnalint:` pragma.
+pub const BAD_PRAGMA: &str = "bad-pragma";
+/// Meta: an allow pragma that suppressed nothing.
+pub const UNUSED_ALLOW: &str = "unused-allow";
+
+/// The six real rules, in numbering order.
+pub const ALL_IDS: [&str; 6] = [R1, R2, R3, R4, R5, R6];
+
+/// Metadata for `cnalint rules` and the docs.
+pub struct RuleInfo {
+    /// Canonical kebab-case id.
+    pub id: &'static str,
+    /// Short numeric alias (`r1` …).
+    pub alias: &'static str,
+    /// One-line summary.
+    pub summary: &'static str,
+}
+
+/// Rule metadata table.
+pub const RULES: [RuleInfo; 6] = [
+    RuleInfo {
+        id: R1,
+        alias: "r1",
+        summary: "every Ordering:: site in the lock crates matches a justified audit-table row (both directions)",
+    },
+    RuleInfo {
+        id: R2,
+        alias: "r2",
+        summary: "compare_exchange failure ordering is legal and not stronger than the success ordering",
+    },
+    RuleInfo {
+        id: R3,
+        alias: "r3",
+        summary: "unsafe blocks/impls/fns carry an adjacent SAFETY comment or # Safety doc",
+    },
+    RuleInfo {
+        id: R4,
+        alias: "r4",
+        summary: "spin-wait loops over atomics pace themselves (spin hint, backoff, or parked wait)",
+    },
+    RuleInfo {
+        id: R5,
+        alias: "r5",
+        summary: "SeqCst in the lock hot paths requires an explicit allow pragma",
+    },
+    RuleInfo {
+        id: R6,
+        alias: "r6",
+        summary: "every registry-registered lock type has a pinned size_of assertion",
+    },
+];
+
+/// Resolves a user-supplied rule name (canonical id, `rN` alias, or a meta
+/// rule id) to its canonical id.
+pub fn canonical_id(name: &str) -> Option<&'static str> {
+    let name = name.trim();
+    for r in &RULES {
+        if name == r.id || name.eq_ignore_ascii_case(r.alias) {
+            return Some(r.id);
+        }
+    }
+    if name == BAD_PRAGMA {
+        return Some(BAD_PRAGMA);
+    }
+    if name == UNUSED_ALLOW {
+        return Some(UNUSED_ALLOW);
+    }
+    None
+}
+
+/// Runs every workspace-local rule (R2–R6) that `enabled` admits.
+pub fn run_local(
+    ws: &Workspace,
+    enabled: &dyn Fn(&'static str) -> bool,
+    diags: &mut Vec<Diagnostic>,
+) {
+    if enabled(R2) {
+        cmpxchg::run(ws, diags);
+    }
+    if enabled(R3) {
+        safety::run(ws, diags);
+    }
+    if enabled(R4) {
+        spin::run(ws, diags);
+    }
+    if enabled(R5) {
+        seqcst::run(ws, diags);
+    }
+    if enabled(R6) {
+        compact::run(ws, diags);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn aliases_resolve() {
+        assert_eq!(canonical_id("r1"), Some(R1));
+        assert_eq!(canonical_id("R5"), Some(R5));
+        assert_eq!(canonical_id("safety-comments"), Some(R3));
+        assert_eq!(canonical_id("unused-allow"), Some(UNUSED_ALLOW));
+        assert_eq!(canonical_id("nope"), None);
+    }
+}

@@ -1,0 +1,261 @@
+//! R3 `safety-comments`: every `unsafe` construct must justify itself.
+//!
+//! - `unsafe { … }` blocks need a `// SAFETY:` (or `// SAFETY(test):`)
+//!   comment on the same line or attached above the enclosing statement.
+//! - `unsafe impl` needs a SAFETY comment attached above.
+//! - `unsafe fn` / `unsafe trait` declarations need a `# Safety` doc section
+//!   (or SAFETY comment) attached above — except `unsafe fn`s inside trait
+//!   impls, whose contract lives on the trait declaration.
+
+use crate::diag::Diagnostic;
+use crate::lexer::Tok;
+use crate::rules::R3;
+use crate::scan::{SourceFile, Workspace};
+
+/// Runs R3 over every scanned file.
+pub fn run(ws: &Workspace, diags: &mut Vec<Diagnostic>) {
+    for f in &ws.files {
+        run_file(f, diags);
+    }
+}
+
+/// Block kinds tracked while walking braces.
+#[derive(Clone, Copy, PartialEq)]
+enum Scope {
+    TraitImpl,
+    Other,
+}
+
+fn run_file(f: &SourceFile, diags: &mut Vec<Diagnostic>) {
+    let toks = &f.lx.toks;
+    let mut stack: Vec<Scope> = Vec::new();
+    // Brace index → scope kind, precomputed so the unsafe walk below can ask
+    // "am I inside a trait impl?" cheaply.
+    let mut pending_impl: Option<bool> = None; // Some(is_trait_impl) before its `{`
+    let mut scope_at: Vec<Scope> = Vec::with_capacity(toks.len());
+
+    let mut i = 0;
+    while i < toks.len() {
+        let t = &toks[i];
+        scope_at.push(stack.last().copied().unwrap_or(Scope::Other));
+        if t.is_ident("impl") {
+            // Trait impl iff a bare `for` appears before the body brace
+            // (`for<'a>` HRTBs are `for` followed by `<` and don't count).
+            let mut is_trait = false;
+            for j in i + 1..toks.len() {
+                if toks[j].is_punct('{') || toks[j].is_punct(';') {
+                    break;
+                }
+                if toks[j].is_ident("for") && !toks.get(j + 1).is_some_and(|n| n.is_punct('<')) {
+                    is_trait = true;
+                    break;
+                }
+            }
+            pending_impl = Some(is_trait);
+        } else if t.is_punct('{') {
+            let kind = match pending_impl.take() {
+                Some(true) => Scope::TraitImpl,
+                _ => Scope::Other,
+            };
+            stack.push(kind);
+        } else if t.is_punct('}') {
+            stack.pop();
+        } else if t.is_punct(';') {
+            // `impl Trait for T;` never exists, but a stray `;` cancels any
+            // half-tracked impl header (e.g. associated consts).
+            if !stack.is_empty() {
+                pending_impl = None;
+            }
+        }
+        i += 1;
+    }
+
+    for (i, t) in toks.iter().enumerate() {
+        if !t.is_ident("unsafe") {
+            continue;
+        }
+        let Some(next) = toks.get(i + 1) else {
+            continue;
+        };
+        if next.is_punct('{') {
+            if !block_has_safety_comment(f, t.line) {
+                diags.push(Diagnostic::error(
+                    R3,
+                    &f.rel,
+                    t.line,
+                    "unsafe block without an adjacent `// SAFETY:` comment".to_string(),
+                ));
+            }
+        } else if next.is_ident("impl") {
+            if !decl_has_safety_doc(f, t, toks, i) {
+                diags.push(Diagnostic::error(
+                    R3,
+                    &f.rel,
+                    t.line,
+                    "unsafe impl without a `// SAFETY:` comment attached above".to_string(),
+                ));
+            }
+        } else if next.is_ident("fn") || next.is_ident("trait") {
+            // `unsafe fn` in a trait impl inherits the trait's contract.
+            if next.is_ident("fn") && scope_at[i] == Scope::TraitImpl {
+                continue;
+            }
+            // `unsafe fn(...)` pointer types have no name after `fn`.
+            if next.is_ident("fn") && toks.get(i + 2).is_some_and(|n| n.is_punct('(')) {
+                continue;
+            }
+            if !decl_has_safety_doc(f, t, toks, i) {
+                diags.push(Diagnostic::error(
+                    R3,
+                    &f.rel,
+                    t.line,
+                    format!(
+                        "unsafe {} without a `# Safety` doc section or `// SAFETY:` comment",
+                        next.text
+                    ),
+                ));
+            }
+        }
+    }
+}
+
+/// `true` when a SAFETY comment is adjacent to the `unsafe {` at `line`:
+/// on the line itself, or within the bounded upward scan that steps over
+/// the current statement's head lines and attribute lines.
+fn block_has_safety_comment(f: &SourceFile, line: u32) -> bool {
+    if comment_mentions_safety(f, line) {
+        return true;
+    }
+    let mut m = line.saturating_sub(1);
+    let mut steps = 0;
+    while m >= 1 && steps < 8 {
+        let raw = f.line(m);
+        let trimmed = raw.trim();
+        if trimmed.is_empty() {
+            return false;
+        }
+        if comment_mentions_safety(f, m) {
+            return true;
+        }
+        if f.lx.code_on(m) {
+            if trimmed.starts_with("#[") {
+                // Attribute: keep scanning above it.
+            } else if trimmed.ends_with(';') || trimmed.ends_with('{') || trimmed.ends_with('}') {
+                // Statement boundary: the comment above belongs elsewhere.
+                return false;
+            }
+            // Otherwise this line is the head of the same statement
+            // (`let guard =` …): keep scanning.
+        }
+        m -= 1;
+        steps += 1;
+    }
+    false
+}
+
+/// `true` when the declaration whose `unsafe` token is `toks[i]` has an
+/// attached doc/comment block above it mentioning SAFETY or `# Safety`.
+/// The scan walks up through contiguous comment, doc, and attribute lines
+/// starting from the declaration's first line (visibility modifiers may put
+/// `pub` on the same line as `unsafe`).
+fn decl_has_safety_doc(f: &SourceFile, unsafe_tok: &Tok, _toks: &[Tok], _i: usize) -> bool {
+    let mut m = unsafe_tok.line.saturating_sub(1);
+    while m >= 1 {
+        let trimmed = f.line(m).trim();
+        let is_attr = trimmed.starts_with("#[") || trimmed.starts_with("#!");
+        let comment = f.lx.comment_on(m);
+        if let Some(c) = &comment {
+            if c.contains("SAFETY") || c.contains("# Safety") {
+                return true;
+            }
+        }
+        // Stop once we leave the contiguous doc/attribute block.
+        if comment.is_none() && !is_attr {
+            return false;
+        }
+        if f.lx.code_on(m) && !is_attr {
+            return false;
+        }
+        m -= 1;
+    }
+    false
+}
+
+fn comment_mentions_safety(f: &SourceFile, line: u32) -> bool {
+    f.lx.comment_on(line)
+        .is_some_and(|c| c.contains("SAFETY") || c.contains("# Safety"))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::scan::load_source;
+
+    fn lint(src: &str) -> Vec<Diagnostic> {
+        let f = load_source("crates/locks/src/x.rs", src);
+        let mut diags = Vec::new();
+        run_file(&f, &mut diags);
+        diags
+    }
+
+    #[test]
+    fn commented_block_passes_bare_block_fails() {
+        let ok = lint("fn f(p: *mut u8) {\n    // SAFETY: p is valid.\n    unsafe { *p = 0 };\n}");
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = lint("fn f(p: *mut u8) {\n    unsafe { *p = 0 };\n}");
+        assert_eq!(bad.len(), 1);
+        assert_eq!(bad[0].line, 2);
+    }
+
+    #[test]
+    fn comment_above_multiline_statement_head_counts() {
+        let ok = lint(
+            "fn f(p: *mut u8) {\n    // SAFETY: p is valid.\n    let v =\n        unsafe { *p };\n    drop(v);\n}",
+        );
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn comment_separated_by_statement_does_not_count() {
+        let bad = lint(
+            "fn f(p: *mut u8) {\n    // SAFETY: stale.\n    let x = 1;\n    unsafe { *p = x };\n}",
+        );
+        assert_eq!(bad.len(), 1);
+    }
+
+    #[test]
+    fn unsafe_impl_needs_comment() {
+        let ok = lint("// SAFETY: T is plain-old-data.\nunsafe impl Send for X {}");
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = lint("struct X;\nunsafe impl Send for X {}");
+        assert_eq!(bad.len(), 1);
+        assert!(bad[0].message.contains("unsafe impl"));
+    }
+
+    #[test]
+    fn unsafe_fn_needs_safety_doc_unless_in_trait_impl() {
+        let ok = lint("/// Does things.\n///\n/// # Safety\n/// Caller must own `p`.\npub unsafe fn f(p: *mut u8) {}");
+        assert!(ok.is_empty(), "{ok:?}");
+        let bad = lint("pub unsafe fn f(p: *mut u8) {}");
+        assert_eq!(bad.len(), 1);
+        // Trait impls inherit the trait's contract.
+        let impl_ok =
+            lint("impl RawLock for X {\n    unsafe fn lock(&self, n: &Node) { todo!() }\n}");
+        assert!(impl_ok.is_empty(), "{impl_ok:?}");
+        // …but inherent impls do not.
+        let inherent_bad = lint("impl X {\n    unsafe fn lock(&self) {}\n}");
+        assert_eq!(inherent_bad.len(), 1);
+    }
+
+    #[test]
+    fn safety_test_variant_is_accepted() {
+        let ok = lint("fn f(p: *mut u8) {\n    // SAFETY(test): scoped join below.\n    unsafe { *p = 0 };\n}");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+
+    #[test]
+    fn fn_pointer_types_are_ignored() {
+        let ok = lint("type Callback = unsafe fn(*mut u8);");
+        assert!(ok.is_empty(), "{ok:?}");
+    }
+}

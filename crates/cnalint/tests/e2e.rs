@@ -1,0 +1,92 @@
+//! End-to-end checks against the seeded fixture tree in `tests/fixtures/`:
+//! one violation per rule, each asserted with its rule id and exact span,
+//! plus the allow-pragma and rule-filter semantics.
+
+use std::path::PathBuf;
+
+use cnalint::rules;
+use cnalint::{run_check, Options};
+
+fn fixture_root() -> PathBuf {
+    PathBuf::from(env!("CARGO_MANIFEST_DIR")).join("tests/fixtures")
+}
+
+const BAD: &str = "crates/locks/src/bad.rs";
+
+#[test]
+fn every_rule_fires_on_its_seeded_violation_with_the_right_span() {
+    let out = run_check(&Options::new(fixture_root())).unwrap();
+
+    let spans: Vec<(&str, &str, u32)> = out
+        .diagnostics
+        .iter()
+        .map(|d| (d.rule, d.file.as_str(), d.line))
+        .collect();
+
+    // R1 both drift directions: the SeqCst store at bad.rs:19 is missing from
+    // the table, and the table's line-99 row matches no source site.
+    assert!(spans.contains(&(rules::R1, BAD, 19)), "{spans:?}");
+    assert!(
+        spans.contains(&(rules::R1, "docs/orderings.md", 14)),
+        "{spans:?}"
+    );
+    let stale = out
+        .by_rule(rules::R1)
+        .into_iter()
+        .find(|d| d.file == "docs/orderings.md")
+        .unwrap();
+    assert!(stale.message.contains("stale audit row"), "{stale}");
+
+    // R2–R6, one seed each.
+    assert!(spans.contains(&(rules::R2, BAD, 7)), "{spans:?}");
+    assert!(spans.contains(&(rules::R3, BAD, 11)), "{spans:?}");
+    assert!(spans.contains(&(rules::R4, BAD, 15)), "{spans:?}");
+    assert!(spans.contains(&(rules::R5, BAD, 19)), "{spans:?}");
+    assert!(
+        spans.contains(&(rules::R6, "crates/registry/src/lib.rs", 5)),
+        "{spans:?}"
+    );
+
+    // Exactly the seeded errors, nothing else: 2×R1 + R2..R6.
+    assert_eq!(out.errors().count(), 7, "{:#?}", out.diagnostics);
+    assert_eq!(out.exit_code(), 1);
+}
+
+#[test]
+fn allow_pragma_suppresses_exactly_its_rule_and_unused_ones_warn() {
+    let out = run_check(&Options::new(fixture_root())).unwrap();
+
+    // The pragma'd SeqCst store at bad.rs:23 is suppressed...
+    assert!(
+        !out.by_rule(rules::R5).iter().any(|d| d.line == 23),
+        "{:#?}",
+        out.by_rule(rules::R5)
+    );
+    // ...while the bare one at bad.rs:19 still fires.
+    assert!(out.by_rule(rules::R5).iter().any(|d| d.line == 19));
+
+    // The spin-hint pragma at bad.rs:26 suppressed nothing → warning there,
+    // and no unused-allow warning for the used pragma at 23.
+    let unused = out.by_rule(rules::UNUSED_ALLOW);
+    assert_eq!(unused.len(), 1, "{unused:#?}");
+    assert_eq!((unused[0].file.as_str(), unused[0].line), (BAD, 26));
+}
+
+#[test]
+fn rule_filter_runs_only_selected_rules() {
+    let mut opts = Options::new(fixture_root());
+    opts.only_rules = Some(vec![rules::R4]);
+    let out = run_check(&opts).unwrap();
+
+    // Only the spin-hint seed fires...
+    assert_eq!(out.errors().count(), 1, "{:#?}", out.diagnostics);
+    assert_eq!(
+        (out.diagnostics[0].rule, out.diagnostics[0].line),
+        (rules::R4, 15)
+    );
+    // ...and only the spin-hint pragma can be judged unused: the pragma at
+    // 23 belongs to a filtered-out rule, so its silence is not warned about.
+    let unused = out.by_rule(rules::UNUSED_ALLOW);
+    assert_eq!(unused.len(), 1, "{unused:#?}");
+    assert_eq!(unused[0].line, 26);
+}

@@ -1,0 +1,27 @@
+//! Seeded violations for the cnalint e2e tests — one per rule. Line
+//! numbers are asserted in `tests/lint.rs`; edit with care.
+use std::sync::atomic::{AtomicBool, AtomicUsize, Ordering};
+
+pub fn cmpxchg_bad(a: &AtomicUsize) {
+    // R2 seed: failure ordering stronger than success.
+    let _ = a.compare_exchange(0, 1, Ordering::Relaxed, Ordering::Acquire);
+}
+
+pub fn missing_safety(p: *mut u8) {
+    unsafe { *p = 0 };
+}
+
+pub fn bare_spin(a: &AtomicBool) {
+    while a.load(Ordering::Relaxed) {}
+}
+
+pub fn seqcst_unjustified(a: &AtomicBool) {
+    a.store(true, Ordering::SeqCst);
+}
+
+pub fn seqcst_allowed(a: &AtomicBool) {
+    a.store(true, Ordering::SeqCst); // cnalint: allow(no-seqcst-hotpath) -- fixture: pragma demo
+}
+
+// cnalint: allow(spin-hint) -- fixture: unused pragma demo
+pub fn no_spin_here() {}

@@ -1,0 +1,7 @@
+//! Fixture registry: `UnpinnedLock` is registered without a `size_of`
+//! assertion anywhere in the fixture tree (the R6 seed); `PinnedLock` is
+//! covered by `tests/compactness.rs`.
+pub fn build() {
+    let _ = DynLock::new::<UnpinnedLock>();
+    let _ = DynLock::new_try::<PinnedLock>();
+}

@@ -1,0 +1,5 @@
+//! Pins the fixture lock sizes; `PinnedLock` is covered, `UnpinnedLock`
+//! deliberately is not.
+pub fn pin() {
+    let _ = core::mem::size_of::<PinnedLock>();
+}

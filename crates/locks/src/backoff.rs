@@ -6,16 +6,22 @@
 //! lock remains unfair: a releasing thread (whose backoff window is reset)
 //! can barge ahead of long-waiting threads — exactly the starvation behaviour
 //! Figure 8 of the paper shows for C-BO-MCS.
+//!
+//! The lock is generic over an [`Atomics`] family so the model checker
+//! (`crates/modelcheck`) can explore interleavings of this exact source;
+//! production code uses the [`StdAtomics`] default and the real backoff
+//! timing (model families ignore the pacing closure entirely).
 
 use std::sync::atomic::{AtomicBool, Ordering};
 
+use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
 use sync_core::raw::{RawLock, RawTryLock};
 use sync_core::spin::Backoff;
 
 /// Test-and-test-and-set spin lock with exponential backoff.
-#[derive(Debug, Default)]
-pub struct TtasBackoffLock {
-    locked: AtomicBool,
+#[derive(Debug)]
+pub struct TtasBackoffLock<A: Atomics = StdAtomics> {
+    locked: A::Bool,
 }
 
 impl TtasBackoffLock {
@@ -25,6 +31,15 @@ impl TtasBackoffLock {
             locked: AtomicBool::new(false),
         }
     }
+}
+
+impl<A: Atomics> TtasBackoffLock<A> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
+        TtasBackoffLock {
+            locked: A::Bool::new(false),
+        }
+    }
 
     /// `true` when the lock is currently held (racy; diagnostics only).
     pub fn is_locked(&self) -> bool {
@@ -32,7 +47,13 @@ impl TtasBackoffLock {
     }
 }
 
-impl RawLock for TtasBackoffLock {
+impl<A: Atomics> Default for TtasBackoffLock<A> {
+    fn default() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics> RawLock for TtasBackoffLock<A> {
     type Node = ();
     const NAME: &'static str = "TTAS-BO";
 
@@ -44,7 +65,10 @@ impl RawLock for TtasBackoffLock {
             if !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire) {
                 return;
             }
-            backoff.spin();
+            // Wait for the lock to look free, widening the backoff window
+            // between polls; the swap above re-validates, so a stale "free"
+            // observation only costs one more round.
+            A::spin_until_paced(|| !self.locked.load(Ordering::Relaxed), || backoff.spin());
         }
     }
 
@@ -53,7 +77,7 @@ impl RawLock for TtasBackoffLock {
     }
 }
 
-impl RawTryLock for TtasBackoffLock {
+impl<A: Atomics> RawTryLock for TtasBackoffLock<A> {
     unsafe fn try_lock(&self, _node: &()) -> bool {
         !self.locked.load(Ordering::Relaxed) && !self.locked.swap(true, Ordering::Acquire)
     }

@@ -20,13 +20,19 @@
 //! Note the memory cost the paper criticises: every instance embeds one
 //! cache-line-padded local lock *per socket* plus the global lock — compare
 //! with the single word of CNA.
+//!
+//! All pieces are generic over an [`Atomics`] family so the model checker
+//! (`crates/modelcheck`) can explore the cohort hand-over protocol of this
+//! exact source; production code uses the [`StdAtomics`] default.
 
+use std::cell::Cell;
 use std::ptr;
-use std::sync::atomic::{AtomicBool, AtomicPtr, AtomicU32, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
+use sync_core::atomics::{AtomicAdd, AtomicCell, Atomics, StdAtomics};
 use sync_core::padded::CachePadded;
 use sync_core::raw::RawLock;
-use sync_core::spin::{cpu_relax, spin_until};
+use sync_core::spin::cpu_relax;
 
 use crate::backoff::TtasBackoffLock;
 use crate::ticket::{PartitionedTicketLock, PtlNode, TicketLock};
@@ -93,36 +99,44 @@ const LOCAL_GLOBAL_PASSED: usize = 2;
 
 /// Queue node of [`McsCohortLocal`].
 #[derive(Debug)]
-pub struct McsCohortNode {
-    status: AtomicUsize,
-    next: AtomicPtr<McsCohortNode>,
+pub struct McsCohortNode<A: Atomics = StdAtomics> {
+    status: A::Usize,
+    next: A::Ptr<McsCohortNode<A>>,
 }
 
-impl Default for McsCohortNode {
+impl<A: Atomics> Default for McsCohortNode<A> {
     fn default() -> Self {
         McsCohortNode {
-            status: AtomicUsize::new(LOCAL_WAIT),
-            next: AtomicPtr::new(ptr::null_mut()),
+            status: A::Usize::new(LOCAL_WAIT),
+            next: A::Ptr::new(ptr::null_mut()),
         }
     }
 }
 
 /// MCS lock extended with the cohort hand-over status word.
-#[derive(Debug, Default)]
-pub struct McsCohortLocal {
-    tail: AtomicPtr<McsCohortNode>,
+#[derive(Debug)]
+pub struct McsCohortLocal<A: Atomics = StdAtomics> {
+    tail: A::Ptr<McsCohortNode<A>>,
+}
+
+impl<A: Atomics> Default for McsCohortLocal<A> {
+    fn default() -> Self {
+        McsCohortLocal {
+            tail: A::Ptr::new(ptr::null_mut()),
+        }
+    }
 }
 
 // SAFETY: `has_waiters` returning true means the tail differs from the
 // owner's node; MCS waiters never abandon the queue, so a successor is
 // guaranteed for `release_passing`.
-unsafe impl CohortLocal for McsCohortLocal {
-    type Node = McsCohortNode;
+unsafe impl<A: Atomics> CohortLocal for McsCohortLocal<A> {
+    type Node = McsCohortNode<A>;
 
-    unsafe fn acquire(&self, me: &McsCohortNode) -> bool {
+    unsafe fn acquire(&self, me: &McsCohortNode<A>) -> bool {
         me.next.store(ptr::null_mut(), Ordering::Relaxed);
         me.status.store(LOCAL_WAIT, Ordering::Relaxed);
-        let me_ptr = me as *const McsCohortNode as *mut McsCohortNode;
+        let me_ptr = me as *const McsCohortNode<A> as *mut McsCohortNode<A>;
         let prev = self.tail.swap(me_ptr, Ordering::AcqRel);
         if prev.is_null() {
             // First of a new cohort: we must acquire the global lock.
@@ -134,18 +148,18 @@ unsafe impl CohortLocal for McsCohortLocal {
         unsafe {
             (*prev).next.store(me_ptr, Ordering::Release);
         }
-        spin_until(|| me.status.load(Ordering::Acquire) != LOCAL_WAIT);
+        A::spin_until(|| me.status.load(Ordering::Acquire) != LOCAL_WAIT);
         me.status.load(Ordering::Relaxed) == LOCAL_GLOBAL_PASSED
     }
 
-    unsafe fn has_waiters(&self, me: &McsCohortNode) -> bool {
-        let me_ptr = me as *const McsCohortNode as *mut McsCohortNode;
+    unsafe fn has_waiters(&self, me: &McsCohortNode<A>) -> bool {
+        let me_ptr = me as *const McsCohortNode<A> as *mut McsCohortNode<A>;
         self.tail.load(Ordering::Relaxed) != me_ptr
     }
 
-    unsafe fn release_passing(&self, me: &McsCohortNode) {
+    unsafe fn release_passing(&self, me: &McsCohortNode<A>) {
         // A successor exists but may not have completed its link yet.
-        spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+        A::spin_until(|| !me.next.load(Ordering::Acquire).is_null());
         let next = me.next.load(Ordering::Acquire);
         // SAFETY: `next` is a live waiter spinning on its status.
         unsafe {
@@ -153,8 +167,8 @@ unsafe impl CohortLocal for McsCohortLocal {
         }
     }
 
-    unsafe fn release(&self, me: &McsCohortNode) {
-        let me_ptr = me as *const McsCohortNode as *mut McsCohortNode;
+    unsafe fn release(&self, me: &McsCohortNode<A>) {
+        let me_ptr = me as *const McsCohortNode<A> as *mut McsCohortNode<A>;
         let mut next = me.next.load(Ordering::Acquire);
         if next.is_null() {
             if self
@@ -164,7 +178,7 @@ unsafe impl CohortLocal for McsCohortLocal {
             {
                 return;
             }
-            spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+            A::spin_until(|| !me.next.load(Ordering::Acquire).is_null());
             next = me.next.load(Ordering::Acquire);
         }
         // SAFETY: `next` is a live waiter.
@@ -179,36 +193,57 @@ unsafe impl CohortLocal for McsCohortLocal {
 // ---------------------------------------------------------------------------
 
 /// Queue node of [`TktCohortLocal`]: remembers the drawn ticket.
-#[derive(Debug, Default)]
-pub struct TktCohortNode {
-    ticket: AtomicU64,
+#[derive(Debug)]
+pub struct TktCohortNode<A: Atomics = StdAtomics> {
+    ticket: A::U64,
+}
+
+impl<A: Atomics> Default for TktCohortNode<A> {
+    fn default() -> Self {
+        TktCohortNode {
+            ticket: A::U64::new(0),
+        }
+    }
 }
 
 /// Ticket lock extended with a "global ownership passed" flag.
-#[derive(Debug, Default)]
-pub struct TktCohortLocal {
-    next_ticket: AtomicU64,
-    now_serving: AtomicU64,
-    pass_global: AtomicBool,
+#[derive(Debug)]
+pub struct TktCohortLocal<A: Atomics = StdAtomics> {
+    next_ticket: A::U64,
+    now_serving: A::U64,
+    pass_global: A::Bool,
+}
+
+impl<A: Atomics> Default for TktCohortLocal<A> {
+    fn default() -> Self {
+        TktCohortLocal {
+            next_ticket: A::U64::new(0),
+            now_serving: A::U64::new(0),
+            pass_global: A::Bool::new(false),
+        }
+    }
 }
 
 // SAFETY: ticket waiters never abandon the queue (the drawn ticket must be
 // served), so a waiter observed via `has_waiters` guarantees a successor.
-unsafe impl CohortLocal for TktCohortLocal {
-    type Node = TktCohortNode;
+unsafe impl<A: Atomics> CohortLocal for TktCohortLocal<A> {
+    type Node = TktCohortNode<A>;
 
-    unsafe fn acquire(&self, me: &TktCohortNode) -> bool {
+    unsafe fn acquire(&self, me: &TktCohortNode<A>) -> bool {
         let ticket = self.next_ticket.fetch_add(1, Ordering::AcqRel);
         me.ticket.store(ticket, Ordering::Relaxed);
-        let mut spins = 0u32;
-        while self.now_serving.load(Ordering::Acquire) != ticket {
-            cpu_relax();
-            spins = spins.wrapping_add(1);
-            if spins.is_multiple_of(1024) {
-                // Keep over-subscribed hosts live: let the holder run.
-                std::thread::yield_now();
-            }
-        }
+        let spins = Cell::new(0u32);
+        A::spin_until_paced(
+            || self.now_serving.load(Ordering::Acquire) == ticket,
+            || {
+                cpu_relax();
+                spins.set(spins.get().wrapping_add(1));
+                if spins.get().is_multiple_of(1024) {
+                    // Keep over-subscribed hosts live: let the holder run.
+                    std::thread::yield_now();
+                }
+            },
+        );
         // `pass_global` was written by our releaser before it advanced
         // `now_serving` (Release), so this read is ordered. An idle lock
         // always has `pass_global == false` (a passing release requires a
@@ -216,18 +251,18 @@ unsafe impl CohortLocal for TktCohortLocal {
         self.pass_global.load(Ordering::Relaxed)
     }
 
-    unsafe fn has_waiters(&self, me: &TktCohortNode) -> bool {
+    unsafe fn has_waiters(&self, me: &TktCohortNode<A>) -> bool {
         let my_ticket = me.ticket.load(Ordering::Relaxed);
         self.next_ticket.load(Ordering::Relaxed) > my_ticket + 1
     }
 
-    unsafe fn release_passing(&self, me: &TktCohortNode) {
+    unsafe fn release_passing(&self, me: &TktCohortNode<A>) {
         let my_ticket = me.ticket.load(Ordering::Relaxed);
         self.pass_global.store(true, Ordering::Relaxed);
         self.now_serving.store(my_ticket + 1, Ordering::Release);
     }
 
-    unsafe fn release(&self, me: &TktCohortNode) {
+    unsafe fn release(&self, me: &TktCohortNode<A>) {
         let my_ticket = me.ticket.load(Ordering::Relaxed);
         self.pass_global.store(false, Ordering::Relaxed);
         self.now_serving.store(my_ticket + 1, Ordering::Release);
@@ -240,50 +275,84 @@ unsafe impl CohortLocal for TktCohortLocal {
 
 /// Per-acquisition node of a [`CohortLock`]: the local lock's node plus the
 /// socket the acquisition ran on.
-#[derive(Debug, Default)]
-pub struct CohortNode<L: CohortLocal> {
+#[derive(Debug)]
+pub struct CohortNode<L: CohortLocal, A: Atomics = StdAtomics> {
     local: L::Node,
-    socket: AtomicUsize,
+    socket: A::Usize,
 }
 
-/// Per-socket slot: the local lock and the cohort's hand-over budget counter,
-/// padded to its own cache line(s).
-#[derive(Debug, Default)]
-struct LocalSlot<L: CohortLocal> {
+impl<L: CohortLocal, A: Atomics> Default for CohortNode<L, A> {
+    fn default() -> Self {
+        CohortNode {
+            local: L::Node::default(),
+            socket: A::Usize::new(0),
+        }
+    }
+}
+
+/// Per-socket slot: the local lock, the cohort's hand-over budget counter and
+/// this socket's node for the global lock, padded to its own cache line(s).
+///
+/// The global node must be per-socket, not per-lock: the local roots of
+/// *different* sockets contend on the global lock concurrently, so a single
+/// shared node would be written by several in-flight `G::lock` calls at once
+/// (the model checker catches exactly this as a lost wakeup on C-PTL-TKT,
+/// whose node carries the drawn ticket). Within one socket the node is safe:
+/// only the socket's current local root touches it, and global ownership is
+/// passed strictly within the socket.
+struct LocalSlot<G: RawLock, L: CohortLocal, A: Atomics> {
     lock: L,
-    batch: AtomicU32,
+    batch: A::Usize,
+    global_node: G::Node,
+}
+
+impl<G: RawLock, L: CohortLocal + std::fmt::Debug, A: Atomics> std::fmt::Debug
+    for LocalSlot<G, L, A>
+{
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        // `G::Node` carries no `Debug` bound; elide it.
+        f.debug_struct("LocalSlot")
+            .field("lock", &self.lock)
+            .finish_non_exhaustive()
+    }
+}
+
+impl<G: RawLock, L: CohortLocal, A: Atomics> Default for LocalSlot<G, L, A> {
+    fn default() -> Self {
+        LocalSlot {
+            lock: L::default(),
+            batch: A::Usize::new(0),
+            global_node: G::Node::default(),
+        }
+    }
 }
 
 /// Generic cohort lock combining a global lock `G` (which must be
 /// *thread-oblivious*: acquired and released by different threads) with one
 /// local lock `L` per socket.
 #[derive(Debug)]
-pub struct CohortLock<G: RawLock, L: CohortLocal> {
+pub struct CohortLock<G: RawLock, L: CohortLocal, A: Atomics = StdAtomics> {
     global: G,
-    /// The global lock's node. Only the current cohort owner touches it, so a
-    /// single shared instance is sufficient and keeps `G` generic.
-    global_node: G::Node,
-    locals: Box<[CachePadded<LocalSlot<L>>]>,
+    locals: Box<[CachePadded<LocalSlot<G, L, A>>]>,
     max_batch: u32,
 }
 
-impl<G: RawLock, L: CohortLocal> Default for CohortLock<G, L> {
+impl<G: RawLock, L: CohortLocal, A: Atomics> Default for CohortLock<G, L, A> {
     fn default() -> Self {
         let sockets = numa_topology::global_topology().sockets().max(1);
         Self::with_sockets(sockets, DEFAULT_MAX_BATCH)
     }
 }
 
-impl<G: RawLock, L: CohortLocal> CohortLock<G, L> {
+impl<G: RawLock, L: CohortLocal, A: Atomics> CohortLock<G, L, A> {
     /// Creates a cohort lock for `sockets` sockets with the given intra-socket
     /// hand-over budget.
     pub fn with_sockets(sockets: usize, max_batch: u32) -> Self {
-        let locals: Vec<CachePadded<LocalSlot<L>>> = (0..sockets.max(1))
+        let locals: Vec<CachePadded<LocalSlot<G, L, A>>> = (0..sockets.max(1))
             .map(|_| CachePadded::new(LocalSlot::default()))
             .collect();
         CohortLock {
             global: G::default(),
-            global_node: G::Node::default(),
             locals: locals.into_boxed_slice(),
             max_batch,
         }
@@ -298,7 +367,7 @@ impl<G: RawLock, L: CohortLocal> CohortLock<G, L> {
     /// of the paper argues about).
     pub fn footprint_bytes(&self) -> usize {
         std::mem::size_of::<Self>()
-            + self.locals.len() * std::mem::size_of::<CachePadded<LocalSlot<L>>>()
+            + self.locals.len() * std::mem::size_of::<CachePadded<LocalSlot<G, L, A>>>()
     }
 
     /// Acquires the cohort lock.
@@ -306,16 +375,16 @@ impl<G: RawLock, L: CohortLocal> CohortLock<G, L> {
     /// # Safety
     ///
     /// Standard [`RawLock`] node contract for `node`.
-    pub unsafe fn lock_raw(&self, node: &CohortNode<L>) {
+    pub unsafe fn lock_raw(&self, node: &CohortNode<L, A>) {
         let socket = numa_topology::current_socket() % self.locals.len();
         node.socket.store(socket, Ordering::Relaxed);
         let slot = &self.locals[socket];
         // SAFETY: forwarded node contract.
         let global_passed = unsafe { slot.lock.acquire(&node.local) };
         if !global_passed {
-            // SAFETY: the shared global node is only used by the cohort owner,
-            // which we are about to become; contract forwarded.
-            unsafe { self.global.lock(&self.global_node) };
+            // SAFETY: we are the socket's local root, the only thread that
+            // touches this socket's global node; contract forwarded.
+            unsafe { self.global.lock(&slot.global_node) };
             slot.batch.store(0, Ordering::Relaxed);
         }
     }
@@ -326,22 +395,23 @@ impl<G: RawLock, L: CohortLocal> CohortLock<G, L> {
     ///
     /// Standard [`RawLock`] node contract; `node` must be the acquisition's
     /// node.
-    pub unsafe fn unlock_raw(&self, node: &CohortNode<L>) {
+    pub unsafe fn unlock_raw(&self, node: &CohortNode<L, A>) {
         let socket = node.socket.load(Ordering::Relaxed);
         let slot = &self.locals[socket];
         let batch = slot.batch.load(Ordering::Relaxed);
         // SAFETY: we own the local lock; `has_waiters` contract.
         let pass_within_socket =
-            batch < self.max_batch && unsafe { slot.lock.has_waiters(&node.local) };
+            batch < self.max_batch as usize && unsafe { slot.lock.has_waiters(&node.local) };
         if pass_within_socket {
             slot.batch.store(batch + 1, Ordering::Relaxed);
             // SAFETY: a waiter was observed; local waiters cannot abandon.
             unsafe { slot.lock.release_passing(&node.local) };
         } else {
-            // SAFETY: we are the cohort owner, releasing the global lock it
-            // acquired (possibly on a different thread — the global lock is
-            // thread-oblivious by construction).
-            unsafe { self.global.unlock(&self.global_node) };
+            // SAFETY: we are the cohort owner, releasing the global lock via
+            // the node of the socket that acquired it (possibly on a different
+            // thread of that socket — the global lock is thread-oblivious by
+            // construction, and ownership passes only within the socket).
+            unsafe { self.global.unlock(&slot.global_node) };
             // SAFETY: we own the local lock.
             unsafe { slot.lock.release(&node.local) };
         }
@@ -349,16 +419,34 @@ impl<G: RawLock, L: CohortLocal> CohortLock<G, L> {
 }
 
 /// Declares a concrete, named cohort lock type implementing [`RawLock`].
+///
+/// `$global` and `$local` are single-identifier type constructors taking the
+/// atomics family as their sole parameter, so the generated lock is itself
+/// generic over the family.
 macro_rules! cohort_lock_type {
-    ($(#[$doc:meta])* $name:ident, $global:ty, $local:ty, $label:expr) => {
+    ($(#[$doc:meta])* $name:ident, $global:ident, $local:ident, $label:expr) => {
         $(#[$doc])*
-        #[derive(Debug, Default)]
-        pub struct $name(CohortLock<$global, $local>);
+        #[derive(Debug)]
+        pub struct $name<A: Atomics = StdAtomics>(CohortLock<$global<A>, $local<A>, A>);
+
+        impl<A: Atomics> Default for $name<A> {
+            fn default() -> Self {
+                $name(CohortLock::default())
+            }
+        }
 
         impl $name {
             /// Creates the lock for `sockets` sockets and an explicit
             /// hand-over budget.
             pub fn with_sockets(sockets: usize, max_batch: u32) -> Self {
+                Self::with_sockets_in(sockets, max_batch)
+            }
+        }
+
+        impl<A: Atomics> $name<A> {
+            /// Creates the lock for any atomics family, `sockets` sockets and
+            /// an explicit hand-over budget.
+            pub fn with_sockets_in(sockets: usize, max_batch: u32) -> Self {
                 $name(CohortLock::with_sockets(sockets, max_batch))
             }
 
@@ -368,8 +456,8 @@ macro_rules! cohort_lock_type {
             }
         }
 
-        impl RawLock for $name {
-            type Node = CohortNode<$local>;
+        impl<A: Atomics> RawLock for $name<A> {
+            type Node = CohortNode<$local<A>, A>;
             const NAME: &'static str = $label;
 
             unsafe fn lock(&self, node: &Self::Node) {
@@ -506,8 +594,8 @@ mod tests {
 
     #[test]
     fn names_are_stable() {
-        assert_eq!(CBoMcsLock::NAME, "C-BO-MCS");
-        assert_eq!(CTktTktLock::NAME, "C-TKT-TKT");
-        assert_eq!(CPtlTktLock::NAME, "C-PTL-TKT");
+        assert_eq!(<CBoMcsLock>::NAME, "C-BO-MCS");
+        assert_eq!(<CTktTktLock>::NAME, "C-TKT-TKT");
+        assert_eq!(<CPtlTktLock>::NAME, "C-PTL-TKT");
     }
 }

@@ -7,9 +7,14 @@
 //! next acquisition towards the holder's socket. It inherits the problems of
 //! global-spinning backoff locks: unfairness, possible starvation of remote
 //! threads, and sensitivity of the backoff tuning.
+//!
+//! Like the queue locks, HBO is generic over an [`Atomics`] family so the
+//! model checker can explore this exact source; the backoff pacing closure is
+//! ignored by model families (parking replaces spinning there).
 
 use std::sync::atomic::{AtomicIsize, Ordering};
 
+use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
 use sync_core::raw::{RawLock, RawTryLock};
 use sync_core::spin::cpu_relax;
 
@@ -18,8 +23,8 @@ const FREE: isize = -1;
 
 /// The hierarchical backoff lock. One word of state: the holder's socket.
 #[derive(Debug)]
-pub struct HboLock {
-    holder_socket: AtomicIsize,
+pub struct HboLock<A: Atomics = StdAtomics> {
+    holder_socket: A::Isize,
 }
 
 /// Backoff parameters of [`HboLock`].
@@ -47,9 +52,9 @@ impl Default for HboParams {
     }
 }
 
-impl Default for HboLock {
+impl<A: Atomics> Default for HboLock<A> {
     fn default() -> Self {
-        Self::new()
+        Self::new_in()
     }
 }
 
@@ -60,10 +65,27 @@ impl HboLock {
             holder_socket: AtomicIsize::new(FREE),
         }
     }
+}
+
+impl<A: Atomics> HboLock<A> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
+        HboLock {
+            holder_socket: A::Isize::new(FREE),
+        }
+    }
 
     /// `true` when the lock is currently held (racy; diagnostics only).
     pub fn is_locked(&self) -> bool {
         self.holder_socket.load(Ordering::Relaxed) != FREE
+    }
+
+    /// The socket recorded in the lock word, or `None` when free (racy).
+    pub fn holder_socket(&self) -> Option<isize> {
+        match self.holder_socket.load(Ordering::Relaxed) {
+            FREE => None,
+            s => Some(s),
+        }
     }
 
     fn try_acquire(&self, my_socket: isize) -> bool {
@@ -73,7 +95,7 @@ impl HboLock {
     }
 }
 
-impl RawLock for HboLock {
+impl<A: Atomics> RawLock for HboLock<A> {
     type Node = ();
     const NAME: &'static str = "HBO";
 
@@ -86,21 +108,35 @@ impl RawLock for HboLock {
             if self.try_acquire(my_socket) {
                 return;
             }
-            let holder = self.holder_socket.load(Ordering::Relaxed);
-            if holder == my_socket {
-                for _ in 0..local_window {
-                    cpu_relax();
-                }
+            // Pick the backoff schedule from a racy peek at the holder: short
+            // pauses when the holder shares our socket (the hierarchical
+            // bias), long pauses plus a scheduler yield otherwise.
+            let local = self.holder_socket.load(Ordering::Relaxed) == my_socket;
+            let window = if local {
+                let w = local_window;
                 local_window = (local_window * 2).min(params.local_max);
+                w
             } else {
-                for _ in 0..remote_window {
-                    cpu_relax();
-                }
+                let w = remote_window;
                 remote_window = (remote_window * 2).min(params.remote_max);
-                // Occasionally give the scheduler a chance on over-subscribed
-                // hosts (the original algorithm has no such concern).
-                std::thread::yield_now();
-            }
+                w
+            };
+            // Wait for the word to look free before retrying the CAS; the CAS
+            // re-validates, so a stale "free" costs at most one more round.
+            A::spin_until_paced(
+                || self.holder_socket.load(Ordering::Relaxed) == FREE,
+                || {
+                    for _ in 0..window {
+                        cpu_relax();
+                    }
+                    if !local {
+                        // Occasionally give the scheduler a chance on
+                        // over-subscribed hosts (the original algorithm has
+                        // no such concern).
+                        std::thread::yield_now();
+                    }
+                },
+            );
         }
     }
 
@@ -109,7 +145,7 @@ impl RawLock for HboLock {
     }
 }
 
-impl RawTryLock for HboLock {
+impl<A: Atomics> RawTryLock for HboLock<A> {
     unsafe fn try_lock(&self, _node: &()) -> bool {
         self.try_acquire(numa_topology::current_socket() as isize)
     }
@@ -133,7 +169,7 @@ mod tests {
         // SAFETY: trivial node contract.
         unsafe {
             lock.lock(&());
-            assert_eq!(lock.holder_socket.load(Ordering::Relaxed), 3);
+            assert_eq!(lock.holder_socket(), Some(3));
             lock.unlock(&());
         }
         assert!(!lock.is_locked());

@@ -8,13 +8,17 @@
 //! is released so another socket can proceed. HMCS is the strongest baseline
 //! in the paper's plots (CNA "only lags behind HMCS by a narrow margin"), at
 //! the cost of per-socket cache-line-padded queues.
+//!
+//! Generic over an [`Atomics`] family so the model checker can explore the
+//! two-level hand-over of this exact source; production code uses the
+//! [`StdAtomics`] default.
 
 use std::ptr;
-use std::sync::atomic::{AtomicPtr, AtomicU64, AtomicUsize, Ordering};
+use std::sync::atomic::Ordering;
 
+use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
 use sync_core::padded::CachePadded;
 use sync_core::raw::RawLock;
-use sync_core::spin::spin_until;
 
 /// `status` of a waiter that has not been granted anything yet.
 const WAIT: u64 = 0;
@@ -29,52 +33,65 @@ pub const DEFAULT_THRESHOLD: u64 = 64;
 
 /// MCS-style queue cell used at both levels of the hierarchy.
 #[derive(Debug)]
-struct QNode {
-    status: AtomicU64,
-    next: AtomicPtr<QNode>,
+struct QNode<A: Atomics> {
+    status: A::U64,
+    next: A::Ptr<QNode<A>>,
 }
 
-impl Default for QNode {
+impl<A: Atomics> Default for QNode<A> {
     fn default() -> Self {
         QNode {
-            status: AtomicU64::new(WAIT),
-            next: AtomicPtr::new(ptr::null_mut()),
+            status: A::U64::new(WAIT),
+            next: A::Ptr::new(ptr::null_mut()),
         }
     }
 }
 
 /// Per-acquisition node of [`HmcsLock`].
-#[derive(Debug, Default)]
-pub struct HmcsNode {
-    qnode: QNode,
-    socket: AtomicUsize,
+#[derive(Debug)]
+pub struct HmcsNode<A: Atomics = StdAtomics> {
+    qnode: QNode<A>,
+    socket: A::Usize,
 }
 
-// SAFETY: all fields are atomics; access is mediated by the queue protocol.
-unsafe impl Send for HmcsNode {}
-// SAFETY: as above.
-unsafe impl Sync for HmcsNode {}
+impl<A: Atomics> Default for HmcsNode<A> {
+    fn default() -> Self {
+        HmcsNode {
+            qnode: QNode::default(),
+            socket: A::Usize::new(0),
+        }
+    }
+}
 
 /// Per-socket level: the socket's MCS queue plus the queue cell this socket
 /// uses to enqueue into the global level.
-#[derive(Debug, Default)]
-struct Level {
-    tail: AtomicPtr<QNode>,
-    parent_node: QNode,
+#[derive(Debug)]
+struct Level<A: Atomics> {
+    tail: A::Ptr<QNode<A>>,
+    parent_node: QNode<A>,
+}
+
+impl<A: Atomics> Default for Level<A> {
+    fn default() -> Self {
+        Level {
+            tail: A::Ptr::new(ptr::null_mut()),
+            parent_node: QNode::default(),
+        }
+    }
 }
 
 /// Two-level hierarchical MCS lock.
 #[derive(Debug)]
-pub struct HmcsLock {
-    global_tail: AtomicPtr<QNode>,
-    levels: Box<[CachePadded<Level>]>,
+pub struct HmcsLock<A: Atomics = StdAtomics> {
+    global_tail: A::Ptr<QNode<A>>,
+    levels: Box<[CachePadded<Level<A>>]>,
     threshold: u64,
 }
 
-impl Default for HmcsLock {
+impl<A: Atomics> Default for HmcsLock<A> {
     fn default() -> Self {
         let sockets = numa_topology::global_topology().sockets().max(1);
-        Self::with_sockets(sockets, DEFAULT_THRESHOLD)
+        Self::with_sockets_in(sockets, DEFAULT_THRESHOLD)
     }
 }
 
@@ -82,11 +99,18 @@ impl HmcsLock {
     /// Creates an HMCS lock for `sockets` sockets with the given hand-over
     /// threshold.
     pub fn with_sockets(sockets: usize, threshold: u64) -> Self {
-        let levels: Vec<CachePadded<Level>> = (0..sockets.max(1))
+        Self::with_sockets_in(sockets, threshold)
+    }
+}
+
+impl<A: Atomics> HmcsLock<A> {
+    /// Creates an HMCS lock for any atomics family.
+    pub fn with_sockets_in(sockets: usize, threshold: u64) -> Self {
+        let levels: Vec<CachePadded<Level<A>>> = (0..sockets.max(1))
             .map(|_| CachePadded::new(Level::default()))
             .collect();
         HmcsLock {
-            global_tail: AtomicPtr::new(ptr::null_mut()),
+            global_tail: A::Ptr::new(ptr::null_mut()),
             levels: levels.into_boxed_slice(),
             threshold: threshold.max(1),
         }
@@ -94,7 +118,8 @@ impl HmcsLock {
 
     /// Approximate memory footprint in bytes (grows with the socket count).
     pub fn footprint_bytes(&self) -> usize {
-        std::mem::size_of::<Self>() + self.levels.len() * std::mem::size_of::<CachePadded<Level>>()
+        std::mem::size_of::<Self>()
+            + self.levels.len() * std::mem::size_of::<CachePadded<Level<A>>>()
     }
 
     /// Acquires the global (top-level) MCS lock using the socket's parent
@@ -104,10 +129,10 @@ impl HmcsLock {
     ///
     /// Only the socket's current local root may call this, and only while no
     /// other thread of the same socket uses `parent_node`.
-    unsafe fn acquire_global(&self, pnode: &QNode) {
+    unsafe fn acquire_global(&self, pnode: &QNode<A>) {
         pnode.next.store(ptr::null_mut(), Ordering::Relaxed);
         pnode.status.store(WAIT, Ordering::Relaxed);
-        let p = pnode as *const QNode as *mut QNode;
+        let p = pnode as *const QNode<A> as *mut QNode<A>;
         let prev = self.global_tail.swap(p, Ordering::AcqRel);
         if prev.is_null() {
             return;
@@ -117,7 +142,7 @@ impl HmcsLock {
         unsafe {
             (*prev).next.store(p, Ordering::Release);
         }
-        spin_until(|| pnode.status.load(Ordering::Acquire) != WAIT);
+        A::spin_until(|| pnode.status.load(Ordering::Acquire) != WAIT);
     }
 
     /// Releases the global (top-level) MCS lock.
@@ -126,8 +151,8 @@ impl HmcsLock {
     ///
     /// Caller must be the socket that currently holds the global lock via
     /// `pnode`.
-    unsafe fn release_global(&self, pnode: &QNode) {
-        let p = pnode as *const QNode as *mut QNode;
+    unsafe fn release_global(&self, pnode: &QNode<A>) {
+        let p = pnode as *const QNode<A> as *mut QNode<A>;
         let mut next = pnode.next.load(Ordering::Acquire);
         if next.is_null() {
             if self
@@ -137,7 +162,7 @@ impl HmcsLock {
             {
                 return;
             }
-            spin_until(|| !pnode.next.load(Ordering::Acquire).is_null());
+            A::spin_until(|| !pnode.next.load(Ordering::Acquire).is_null());
             next = pnode.next.load(Ordering::Acquire);
         }
         // SAFETY: `next` is the parent cell of another socket's local root,
@@ -153,8 +178,8 @@ impl HmcsLock {
     /// # Safety
     ///
     /// Caller must own the local queue head `me`.
-    unsafe fn release_local(&self, level: &Level, me: &QNode, value: u64) {
-        let me_ptr = me as *const QNode as *mut QNode;
+    unsafe fn release_local(&self, level: &Level<A>, me: &QNode<A>, value: u64) {
+        let me_ptr = me as *const QNode<A> as *mut QNode<A>;
         let mut next = me.next.load(Ordering::Acquire);
         if next.is_null() {
             if level
@@ -164,7 +189,7 @@ impl HmcsLock {
             {
                 return;
             }
-            spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+            A::spin_until(|| !me.next.load(Ordering::Acquire).is_null());
             next = me.next.load(Ordering::Acquire);
         }
         // SAFETY: `next` is a live local waiter.
@@ -174,11 +199,11 @@ impl HmcsLock {
     }
 }
 
-impl RawLock for HmcsLock {
-    type Node = HmcsNode;
+impl<A: Atomics> RawLock for HmcsLock<A> {
+    type Node = HmcsNode<A>;
     const NAME: &'static str = "HMCS";
 
-    unsafe fn lock(&self, node: &HmcsNode) {
+    unsafe fn lock(&self, node: &HmcsNode<A>) {
         let socket = numa_topology::current_socket() % self.levels.len();
         node.socket.store(socket, Ordering::Relaxed);
         let level = &self.levels[socket];
@@ -186,7 +211,7 @@ impl RawLock for HmcsLock {
 
         me.next.store(ptr::null_mut(), Ordering::Relaxed);
         me.status.store(WAIT, Ordering::Relaxed);
-        let me_ptr = me as *const QNode as *mut QNode;
+        let me_ptr = me as *const QNode<A> as *mut QNode<A>;
         let prev = level.tail.swap(me_ptr, Ordering::AcqRel);
         if !prev.is_null() {
             // SAFETY: `prev` is a live local waiter/holder; it cannot recycle
@@ -194,7 +219,7 @@ impl RawLock for HmcsLock {
             unsafe {
                 (*prev).next.store(me_ptr, Ordering::Release);
             }
-            spin_until(|| me.status.load(Ordering::Acquire) != WAIT);
+            A::spin_until(|| me.status.load(Ordering::Acquire) != WAIT);
             if me.status.load(Ordering::Relaxed) != ACQUIRE_PARENT {
                 // The lock (and the global level) was passed to us locally.
                 return;
@@ -206,7 +231,7 @@ impl RawLock for HmcsLock {
         me.status.store(COHORT_START, Ordering::Relaxed);
     }
 
-    unsafe fn unlock(&self, node: &HmcsNode) {
+    unsafe fn unlock(&self, node: &HmcsNode<A>) {
         let socket = node.socket.load(Ordering::Relaxed);
         let level = &self.levels[socket];
         let me = &node.qnode;

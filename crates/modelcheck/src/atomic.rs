@@ -130,9 +130,11 @@ impl<T> std::fmt::Debug for MAtomicPtr<T> {
     }
 }
 
-// The cell stores the pointer as an address inside an AtomicU64; access is
-// serialised by the engine.
+// SAFETY: the cell stores the pointer as a bare address inside an
+// AtomicU64 — no `*mut T` is ever dereferenced here, and access to the
+// address itself is serialised by the engine.
 unsafe impl<T> Send for MAtomicPtr<T> {}
+// SAFETY: as above — only the numeric address is shared.
 unsafe impl<T> Sync for MAtomicPtr<T> {}
 
 impl<T: 'static> AtomicCell<*mut T> for MAtomicPtr<T> {

@@ -25,9 +25,11 @@ pub struct Data<T> {
     site: &'static Location<'static>,
 }
 
-// Accesses are serialised by the engine's scheduler baton (or, outside an
-// execution, the caller's own synchronisation — same contract as a lock).
+// SAFETY: accesses are serialised by the engine's scheduler baton (or,
+// outside an execution, the caller's own synchronisation — same contract as
+// a lock), so `&Data<T>` never aliases a live `&mut T` across threads.
 unsafe impl<T: Send> Send for Data<T> {}
+// SAFETY: as above — the baton admits one thread at a time.
 unsafe impl<T: Send> Sync for Data<T> {}
 
 impl<T> Data<T> {

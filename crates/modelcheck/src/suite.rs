@@ -9,7 +9,10 @@
 //! another thread still references.
 
 use cna::raw::{AlwaysFlushParams, CnaLock, NeverFlushParams, PaperParams, TunableCnaLock};
-use locks::{ClhLock, McsLock, PartitionedTicketLock, TestAndSetLock, TicketLock};
+use locks::{
+    CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, HboLock, HmcsLock, McsLock,
+    PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
+};
 use numa_topology::SocketOverrideGuard;
 use sync_core::erased::DynLock;
 use sync_core::raw::{RawLock, RawTryLock};
@@ -163,6 +166,68 @@ pub type ModelCnaAlwaysFlush = CnaLock<AlwaysFlushParams, ModelAtomics>;
 pub type ModelCnaNeverFlush = CnaLock<NeverFlushParams, ModelAtomics>;
 /// Runtime-tunable CNA under the model family.
 pub type ModelCnaOpt = TunableCnaLock<ModelAtomics>;
+/// TTAS backoff lock under the model family (the C-BO-MCS global layer).
+pub type ModelTtasBackoff = TtasBackoffLock<ModelAtomics>;
+/// HBO under the model family (single word, no per-socket allocation).
+pub type ModelHbo = HboLock<ModelAtomics>;
+
+/// Declares a model wrapper for a topology-sized lock, pinned to a fixed
+/// socket count and hand-over budget so exploration is identical on any host
+/// (the `Default` the scenarios use would otherwise size the lock from the
+/// machine's real topology). A budget of 1 reaches both the local-pass and
+/// the global-release paths within two acquisitions.
+macro_rules! pinned_model_lock {
+    ($(#[$doc:meta])* $model:ident, $inner:ident, $budget:expr) => {
+        $(#[$doc])*
+        pub struct $model($inner<ModelAtomics>);
+
+        impl Default for $model {
+            fn default() -> Self {
+                $model($inner::with_sockets_in(2, $budget))
+            }
+        }
+
+        impl RawLock for $model {
+            type Node = <$inner<ModelAtomics> as RawLock>::Node;
+            const NAME: &'static str = <$inner<ModelAtomics> as RawLock>::NAME;
+
+            unsafe fn lock(&self, node: &Self::Node) {
+                // SAFETY: forwarded contract.
+                unsafe { self.0.lock(node) }
+            }
+
+            unsafe fn unlock(&self, node: &Self::Node) {
+                // SAFETY: forwarded contract.
+                unsafe { self.0.unlock(node) }
+            }
+        }
+    };
+}
+
+pinned_model_lock!(
+    /// C-BO-MCS under the model family: 2 sockets, batch budget 1.
+    ModelCBoMcs,
+    CBoMcsLock,
+    1
+);
+pinned_model_lock!(
+    /// C-TKT-TKT under the model family: 2 sockets, batch budget 1.
+    ModelCTktTkt,
+    CTktTktLock,
+    1
+);
+pinned_model_lock!(
+    /// C-PTL-TKT under the model family: 2 sockets, batch budget 1.
+    ModelCPtlTkt,
+    CPtlTktLock,
+    1
+);
+pinned_model_lock!(
+    /// HMCS under the model family: 2 sockets, pass threshold 2.
+    ModelHmcs,
+    HmcsLock,
+    2
+);
 
 /// Runs the named lock's smoke scenario (`threads` threads, one acquisition
 /// each) under [`Config::from_env`] and panics with the counterexample on a
@@ -184,6 +249,12 @@ pub fn run_smoke(name: &str, threads: usize) -> u64 {
         "cna-always-flush" => go::<ModelCnaAlwaysFlush>(name, threads),
         "cna-never-flush" => go::<ModelCnaNeverFlush>(name, threads),
         "cna-opt" => go::<ModelCnaOpt>(name, threads),
+        "ttas-bo" => go::<ModelTtasBackoff>(name, threads),
+        "hbo" => go::<ModelHbo>(name, threads),
+        "c-bo-mcs" => go::<ModelCBoMcs>(name, threads),
+        "c-tkt-tkt" => go::<ModelCTktTkt>(name, threads),
+        "c-ptl-tkt" => go::<ModelCPtlTkt>(name, threads),
+        "hmcs" => go::<ModelHmcs>(name, threads),
         other => panic!("unknown smoke scenario {other:?}"),
     }
 }
@@ -199,6 +270,12 @@ pub const SMOKE_LOCKS: &[&str] = &[
     "cna-always-flush",
     "cna-never-flush",
     "cna-opt",
+    "ttas-bo",
+    "hbo",
+    "c-bo-mcs",
+    "c-tkt-tkt",
+    "c-ptl-tkt",
+    "hmcs",
 ];
 
 /// The verdict of mutating one ordering site to `Relaxed`.
@@ -323,9 +400,11 @@ mod tests {
             cs: CriticalSection::new(),
             counter: Data::new(0),
         })
+        // SAFETY(test): pinned nodes; the unmatched lock is the point.
         .thread(|s: &RawState<ModelTas>, _| unsafe {
             s.lock.lock(&s.nodes[0]);
         })
+        // SAFETY(test): pinned node, matched pair.
         .thread(|s: &RawState<ModelTas>, _| unsafe {
             s.lock.lock(&s.nodes[1]);
             s.lock.unlock(&s.nodes[1]);
@@ -337,6 +416,40 @@ mod tests {
             "{}",
             v.trace
         );
+    }
+
+    #[test]
+    fn ttas_backoff_two_threads_holds_mutual_exclusion() {
+        let r = explore(
+            &quick("ttas2"),
+            &raw_lock_scenario::<ModelTtasBackoff>("ttas-bo", 2, 1),
+        );
+        r.assert_ok();
+        assert!(r.schedules > 1);
+    }
+
+    #[test]
+    fn hbo_two_threads_holds_mutual_exclusion() {
+        let r = explore(&quick("hbo2"), &raw_lock_scenario::<ModelHbo>("hbo", 2, 1));
+        r.assert_ok();
+    }
+
+    #[test]
+    fn c_bo_mcs_two_threads_holds_mutual_exclusion() {
+        let r = explore(
+            &quick("cbomcs2"),
+            &raw_lock_scenario::<ModelCBoMcs>("c-bo-mcs", 2, 1),
+        );
+        r.assert_ok();
+    }
+
+    #[test]
+    fn hmcs_two_threads_holds_mutual_exclusion() {
+        let r = explore(
+            &quick("hmcs2"),
+            &raw_lock_scenario::<ModelHmcs>("hmcs", 2, 1),
+        );
+        r.assert_ok();
     }
 
     #[test]

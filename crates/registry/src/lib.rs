@@ -258,7 +258,7 @@ impl LockId {
             | LockId::CnaOpt => 8,
             LockId::PartitionedTicket | LockId::CBoMcs => 24,
             LockId::CTktTkt | LockId::Hmcs => 32,
-            LockId::CPtlTkt => 56,
+            LockId::CPtlTkt => 48,
         }
     }
 
@@ -312,21 +312,24 @@ impl LockId {
     /// explorer (its smoke suite instantiates the implementation with
     /// `ModelAtomics` and exhausts the bounded 2-thread tree in CI).
     ///
-    /// The qspinlocks hold their queue nodes in a global per-CPU static
-    /// table, so they cannot be instantiated with an instrumented atomic
-    /// family; the hierarchical and backoff locks are not yet wired through
-    /// the generic [`Atomics`](sync_core::atomics::Atomics) trait.
+    /// Every lock wired through the generic
+    /// [`Atomics`](sync_core::atomics::Atomics) family is checked — all but
+    /// the qspinlocks, which hold their queue nodes in a global per-CPU
+    /// static table and so cannot be instantiated with an instrumented
+    /// atomic family.
     pub const fn is_model_checked(self) -> bool {
-        matches!(
-            self,
-            LockId::Tas
-                | LockId::Ticket
-                | LockId::PartitionedTicket
-                | LockId::Clh
-                | LockId::Mcs
-                | LockId::Cna
-                | LockId::CnaOpt
-        )
+        !matches!(self, LockId::QSpinStock | LockId::QSpinCna)
+    }
+
+    /// Whether the lock's source falls in the `cnalint` audit scope: every
+    /// `Ordering::` site of the implementation is cross-checked against the
+    /// machine-readable table in `docs/orderings.md` (rule
+    /// `ordering-audit-drift`), alongside the rest of the lock-discipline
+    /// rules. The qspinlocks live outside the audited crates (their per-CPU
+    /// static table keeps them off the generic-atomics path); their orderings
+    /// are audited as prose only.
+    pub const fn is_linted(self) -> bool {
+        !matches!(self, LockId::QSpinStock | LockId::QSpinCna)
     }
 
     /// Builds the type-erased real lock — the `LockId → DynLock` factory.
@@ -630,6 +633,10 @@ mod tests {
         // The paper's algorithm and its main baseline are both checked.
         assert!(LockId::Cna.is_model_checked());
         assert!(LockId::Mcs.is_model_checked());
+        // The hierarchical and backoff locks are wired through `Atomics`.
+        assert!(LockId::CBoMcs.is_model_checked());
+        assert!(LockId::Hmcs.is_model_checked());
+        assert!(LockId::Hbo.is_model_checked());
         // The qspinlocks use a global per-CPU node table and cannot be
         // instantiated with an instrumented atomic family.
         assert!(!LockId::QSpinStock.is_model_checked());
@@ -639,8 +646,19 @@ mod tests {
                 .iter()
                 .filter(|id| id.is_model_checked())
                 .count(),
-            7
+            13
         );
+    }
+
+    #[test]
+    fn linted_set_covers_everything_but_the_qspinlocks() {
+        for id in LockId::ALL {
+            assert_eq!(
+                id.is_linted(),
+                !matches!(id, LockId::QSpinStock | LockId::QSpinCna),
+                "{id}: lint-audit coverage drifted"
+            );
+        }
     }
 
     #[test]

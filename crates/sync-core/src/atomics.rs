@@ -241,6 +241,8 @@ mod tests {
                 Ordering::Relaxed,
             )
             .is_ok());
+        // cnalint: allow(no-seqcst-hotpath) -- test-only: exercises the
+        // family's fence entry point at every strength, not a hot path.
         A::fence(Ordering::SeqCst);
         (
             u.load(Ordering::Acquire),

@@ -3,8 +3,12 @@
 
 use std::mem::{align_of, size_of};
 
+use cna_locks::cna::raw::CnaLockOpt;
 use cna_locks::cna::CnaLock;
-use cna_locks::locks::{CBoMcsLock, ClhLock, HmcsLock, McsLock, TestAndSetLock};
+use cna_locks::locks::{
+    CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, HboLock, HmcsLock, McsLock,
+    PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
+};
 use cna_locks::qspinlock::{CnaQSpinLock, StockQSpinLock};
 use cna_locks::registry::{FairnessClass, LockId};
 
@@ -42,6 +46,30 @@ fn queue_lock_baselines_are_one_word() {
 fn hierarchical_locks_are_not_compact() {
     assert!(size_of::<CBoMcsLock>() > size_of::<CnaLock>());
     assert!(size_of::<HmcsLock>() > size_of::<CnaLock>());
+}
+
+/// One pinned `size_of` assertion per registered lock type. This is the
+/// size-assertion hook `cnalint`'s `lock-word-compactness` rule looks for:
+/// every concrete type registered in `registry`'s `LockId::build` must have
+/// its `size_of::<T>()` asserted somewhere in the workspace, and this table
+/// is the canonical place.
+#[test]
+fn every_registered_lock_type_has_a_pinned_size() {
+    assert_eq!(size_of::<TestAndSetLock>(), 1);
+    assert_eq!(size_of::<TtasBackoffLock>(), 1);
+    assert_eq!(size_of::<TicketLock>(), 8);
+    assert_eq!(size_of::<PartitionedTicketLock>(), 24);
+    assert_eq!(size_of::<ClhLock>(), 8);
+    assert_eq!(size_of::<McsLock>(), 8);
+    assert_eq!(size_of::<HboLock>(), 8);
+    assert_eq!(size_of::<CBoMcsLock>(), 24);
+    assert_eq!(size_of::<CTktTktLock>(), 32);
+    assert_eq!(size_of::<CPtlTktLock>(), 48);
+    assert_eq!(size_of::<HmcsLock>(), 32);
+    assert_eq!(size_of::<CnaLock>(), 8);
+    assert_eq!(size_of::<CnaLockOpt>(), 8);
+    assert_eq!(size_of::<StockQSpinLock>(), 4);
+    assert_eq!(size_of::<CnaQSpinLock>(), 4);
 }
 
 /// Every registered algorithm's declared compactness must equal the real

@@ -31,7 +31,7 @@
 use std::path::Path;
 
 use harness::experiments::{
-    parse_batch_list, parse_rate_list, parse_shard_list, parse_thread_list, Arrival, DiffThreshold,
+    parse_batch_list, parse_rate_list, parse_shard_list, parse_thread_axis, Arrival, DiffThreshold,
     ExperimentSpec, LoadSpec, Metric, RunReport, WorkloadId,
 };
 use harness::{render_table, Scale};
@@ -79,6 +79,10 @@ pub struct SweepArgs {
     /// Thread sweep (`--threads 1,2,4` / `1-8` / `2-16/2`); empty = the
     /// scale's default sizing.
     pub threads: Vec<usize>,
+    /// CPU-count multipliers from `x` tokens (`--threads 4x` / `1x-8x`);
+    /// resolved against the back-end's CPU count at run time and exempt
+    /// from the scale cap — the oversubscription axis.
+    pub thread_multipliers: Vec<usize>,
     /// Shard-count sweep (`--shards 1,2,4,8`; kvmap only); empty = no
     /// shard axis.
     pub shards: Vec<usize>,
@@ -121,7 +125,10 @@ pub fn usage() -> String {
          \x20 lockbench lint [--format human|json] [-D warnings]\n\
          \n\
          OPTIONS (run/sweep):\n\
-         \x20 --threads 1,2,4 | 1-8 | 2-16/2   thread sweep (default: scale sizing)\n\
+         \x20 --threads 1,2,4 | 1-8 | 2-16/2   thread sweep (default: scale sizing);\n\
+         \x20          | 4x,8x | 1x-8x         x = CPU-count multiplier (over-\n\
+         \x20                                  subscription axis, exempt from the\n\
+         \x20                                  scale cap; mixes with plain counts)\n\
          \x20 --shards 1,2,4,8                 kv-map shard sweep (one lock per\n\
          \x20                                  shard; kvmap only, default: 1)\n\
          \x20 --batch 1,8,32                   leveldb group-commit batch sweep\n\
@@ -162,6 +169,8 @@ pub fn usage() -> String {
          \x20           --rate 1000,10000,100000 --metric p99 --scale smoke\n\
          \x20 lockbench sweep --lock cna,mcs --workload kvmap --shards 1,2,4,8 --scale smoke\n\
          \x20 lockbench sweep --lock cna --workload leveldb --batch 1,8,32 --scale smoke\n\
+         \x20 lockbench sweep --lock fissile,mcscr,cna --workload sim --threads 1x,2x,4x,8x \\\n\
+         \x20           --scale ci                                    # oversubscription\n\
          \x20 lockbench diff baselines/smoke.csv target/experiments/lockbench_sweep.csv",
         Arrival::ALL.map(|a| a.name()).join("|"),
         Metric::ALL.map(|m| m.name()).join("|"),
@@ -266,6 +275,7 @@ where
     let mut locks: Option<Vec<LockId>> = None;
     let mut workloads: Option<Vec<WorkloadId>> = None;
     let mut threads: Vec<usize> = Vec::new();
+    let mut thread_multipliers: Vec<usize> = Vec::new();
     let mut shards: Vec<usize> = Vec::new();
     let mut batches: Vec<usize> = Vec::new();
     let mut scale = Scale::from_env();
@@ -292,7 +302,9 @@ where
             }
             "--threads" => {
                 let value = value_of(&flag)?;
-                threads = parse_thread_list(&value).map_err(|e| e.to_string())?;
+                let axis = parse_thread_axis(&value).map_err(|e| e.to_string())?;
+                threads = axis.counts;
+                thread_multipliers = axis.multipliers;
             }
             "--shards" => {
                 let value = value_of(&flag)?;
@@ -392,6 +404,7 @@ where
         locks,
         workloads,
         threads,
+        thread_multipliers,
         shards,
         batches,
         load,
@@ -471,6 +484,7 @@ pub fn build_spec(args: &SweepArgs) -> ExperimentSpec {
         .locks(args.locks.clone())
         .workloads(args.workloads.iter().map(|w| w.to_spec()).collect())
         .threads(args.threads.clone())
+        .thread_multipliers(args.thread_multipliers.clone())
         .shards(args.shards.clone())
         .batches(args.batches.clone())
         .load(args.load.clone())
@@ -603,6 +617,7 @@ mod tests {
                 assert_eq!(args.locks, vec![LockId::Cna, LockId::Mcs]);
                 assert_eq!(args.workloads, vec![WorkloadId::Sim, WorkloadId::KvMap]);
                 assert_eq!(args.threads, vec![1, 2, 4]);
+                assert!(args.thread_multipliers.is_empty());
                 assert_eq!(args.load, LoadSpec::Closed);
                 assert_eq!(args.scale, Scale::Smoke);
                 assert_eq!(args.metric, Metric::FairnessFactor);
@@ -612,6 +627,40 @@ mod tests {
             }
             other => panic!("expected Sweep, got {other:?}"),
         }
+    }
+
+    #[test]
+    fn threads_axis_splits_multiplier_tokens_from_plain_counts() {
+        let cmd = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "fissile,mcscr",
+            "--workload",
+            "sim",
+            "--threads",
+            "2,1x-4x/1,8x",
+        ]))
+        .unwrap();
+        match cmd {
+            Command::Sweep(args) => {
+                assert_eq!(args.locks, vec![LockId::Fissile, LockId::Mcscr]);
+                assert_eq!(args.threads, vec![2]);
+                assert_eq!(args.thread_multipliers, vec![1, 2, 3, 4, 8]);
+            }
+            other => panic!("expected Sweep, got {other:?}"),
+        }
+        // Malformed multiplier tokens keep their own error badge.
+        let err = parse_args(strings(&[
+            "sweep",
+            "--lock",
+            "cna",
+            "--workload",
+            "sim",
+            "--threads",
+            "1-8x",
+        ]))
+        .unwrap_err();
+        assert!(err.contains("multiplier"), "got: {err}");
     }
 
     #[test]
@@ -852,6 +901,7 @@ mod tests {
             locks: vec![LockId::Mcs, LockId::Cna],
             workloads: vec![WorkloadId::Sim, WorkloadId::KvMap],
             threads: vec![1, 2],
+            thread_multipliers: Vec::new(),
             shards: Vec::new(),
             batches: Vec::new(),
             load: LoadSpec::Closed,

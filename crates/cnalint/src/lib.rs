@@ -113,7 +113,10 @@ pub fn run_check(opts: &Options) -> io::Result<Outcome> {
         diags.extend(f.pragmas.bad.iter().cloned());
     }
     let mut kept: Vec<Diagnostic> = Vec::new();
-    let mut used: Vec<(&str, u32)> = Vec::new(); // (file rel, pragma line)
+    // Keyed by (file, pragma line, rule): two pragmas for *different* rules
+    // can share a line (block comments), and a used one must not shadow an
+    // unused co-located neighbour.
+    let mut used: Vec<(&str, u32, &str)> = Vec::new();
     for d in diags {
         let suppressed = ws
             .files
@@ -125,7 +128,7 @@ pub fn run_check(opts: &Options) -> io::Result<Outcome> {
                     .iter()
                     .filter(|p| p.rule == d.rule && (p.file_wide || p.applies_to == d.line))
                     .map(|p| {
-                        used.push((&f.rel, p.line));
+                        used.push((&f.rel, p.line, &p.rule));
                     })
                     .count()
                     > 0
@@ -140,7 +143,7 @@ pub fn run_check(opts: &Options) -> io::Result<Outcome> {
             if !enabled(match_static(&p.rule)) {
                 continue;
             }
-            if !used.contains(&(f.rel.as_str(), p.line)) {
+            if !used.contains(&(f.rel.as_str(), p.line, p.rule.as_str())) {
                 kept.push(Diagnostic::warning(
                     rules::UNUSED_ALLOW,
                     &f.rel,

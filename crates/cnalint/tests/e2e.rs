@@ -68,8 +68,41 @@ fn allow_pragma_suppresses_exactly_its_rule_and_unused_ones_warn() {
     // The spin-hint pragma at bad.rs:26 suppressed nothing → warning there,
     // and no unused-allow warning for the used pragma at 23.
     let unused = out.by_rule(rules::UNUSED_ALLOW);
-    assert_eq!(unused.len(), 1, "{unused:#?}");
+    assert_eq!(unused.len(), 2, "{unused:#?}");
     assert_eq!((unused[0].file.as_str(), unused[0].line), (BAD, 26));
+
+    // Co-located pragmas at bad.rs:30: the used no-seqcst-hotpath pragma on
+    // the same line must not shadow its unused spin-hint neighbour — the
+    // `used` set is keyed by rule, not just by (file, line).
+    assert_eq!((unused[1].file.as_str(), unused[1].line), (BAD, 30));
+    assert!(unused[1].message.contains("spin-hint"), "{:#?}", unused[1]);
+    assert!(
+        !out.by_rule(rules::R5).iter().any(|d| d.line == 30),
+        "the co-located no-seqcst pragma should still suppress line 30"
+    );
+}
+
+#[test]
+fn unused_allow_json_diagnostics_carry_the_pragma_line() {
+    let out = run_check(&Options::new(fixture_root())).unwrap();
+    let json = cnalint::render_json(&out);
+    // The JSON span is the pragma's own file:line, never a file-start stub.
+    for line in [26, 30] {
+        assert!(
+            json.contains(&format!(
+                "{{\"rule\": \"unused-allow\", \"severity\": \"warning\", \
+                 \"file\": \"crates/locks/src/bad.rs\", \"line\": {line},"
+            )),
+            "missing unused-allow span for line {line} in:\n{json}"
+        );
+    }
+    assert!(
+        !json.contains(
+            "\"rule\": \"unused-allow\", \"severity\": \"warning\", \
+                        \"file\": \"crates/locks/src/bad.rs\", \"line\": 1,"
+        ),
+        "unused-allow must not collapse to the file's first line"
+    );
 }
 
 #[test]
@@ -84,9 +117,11 @@ fn rule_filter_runs_only_selected_rules() {
         (out.diagnostics[0].rule, out.diagnostics[0].line),
         (rules::R4, 15)
     );
-    // ...and only the spin-hint pragma can be judged unused: the pragma at
-    // 23 belongs to a filtered-out rule, so its silence is not warned about.
+    // ...and only the spin-hint pragmas can be judged unused: the pragmas at
+    // 23 and 30 (no-seqcst) belong to a filtered-out rule, so their silence
+    // is not warned about.
     let unused = out.by_rule(rules::UNUSED_ALLOW);
-    assert_eq!(unused.len(), 1, "{unused:#?}");
+    assert_eq!(unused.len(), 2, "{unused:#?}");
     assert_eq!(unused[0].line, 26);
+    assert_eq!(unused[1].line, 30);
 }

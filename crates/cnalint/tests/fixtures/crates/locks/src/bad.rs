@@ -25,3 +25,7 @@ pub fn seqcst_allowed(a: &AtomicBool) {
 
 // cnalint: allow(spin-hint) -- fixture: unused pragma demo
 pub fn no_spin_here() {}
+
+pub fn colocated_pragmas(a: &AtomicBool) {
+    a.store(true, Ordering::SeqCst); /* cnalint: allow(no-seqcst-hotpath) -- fixture: used */ /* cnalint: allow(spin-hint) -- fixture: co-located, unused */
+}

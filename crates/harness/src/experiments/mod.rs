@@ -411,6 +411,105 @@ pub fn parse_thread_list(list: &str) -> Result<Vec<usize>, ExperimentError> {
     Ok(threads)
 }
 
+/// The parsed thread axis of a sweep: absolute counts plus CPU-count
+/// multipliers (the oversubscription axis).
+///
+/// Multiplier cells resolve to `multiplier × base_threads` at run time,
+/// where the base is the back-end's CPU count (the simulated machine's
+/// logical CPUs, or the host's available parallelism). They deliberately
+/// bypass the scale's thread cap: running more threads than CPUs is the
+/// point of the axis.
+#[derive(Debug, Clone, Default, PartialEq, Eq)]
+pub struct ThreadAxis {
+    /// Absolute thread counts (`4`, `1-8`, `2-16/2`).
+    pub counts: Vec<usize>,
+    /// CPU-count multipliers (`4x`, `1x-8x`, `2x-8x/2`).
+    pub multipliers: Vec<usize>,
+}
+
+/// Parses a thread-sweep list that may mix absolute counts with `x`-suffixed
+/// CPU-count multipliers: `"1,2,4x"`, `"1x-8x"`, `"2x-8x/2,16"`.
+///
+/// Plain tokens follow the [`parse_thread_list`] grammar; in a multiplier
+/// token every range boundary carries the `x` suffix (`1x-8x`, not `1-8x`).
+/// Zero and duplicates are rejected per sub-axis.
+///
+/// # Examples
+///
+/// ```
+/// use harness::experiments::parse_thread_axis;
+/// let axis = parse_thread_axis("1,2,4x,8x").unwrap();
+/// assert_eq!(axis.counts, vec![1, 2]);
+/// assert_eq!(axis.multipliers, vec![4, 8]);
+/// let axis = parse_thread_axis("1x-4x").unwrap();
+/// assert_eq!(axis.multipliers, vec![1, 2, 3, 4]);
+/// assert!(parse_thread_axis("x4").is_err());
+/// assert!(parse_thread_axis("1-8x").is_err());
+/// ```
+pub fn parse_thread_axis(list: &str) -> Result<ThreadAxis, ExperimentError> {
+    let bad = |msg: String| ExperimentError::InvalidThreads(msg);
+    let mut count_parts: Vec<String> = Vec::new();
+    let mut mult_parts: Vec<String> = Vec::new();
+    for part in list.split(',') {
+        let part = part.trim();
+        if part.is_empty() {
+            continue;
+        }
+        if !part.to_ascii_lowercase().contains('x') {
+            count_parts.push(part.to_string());
+            continue;
+        }
+        // A multiplier token: strip the `x` from every range boundary and
+        // reuse the numeric grammar. The stride (after `/`) is a plain count.
+        let (range, step) = match part.split_once('/') {
+            Some((range, step)) => (range, Some(step)),
+            None => (part, None),
+        };
+        let boundaries: Result<Vec<&str>, ExperimentError> = range
+            .split('-')
+            .map(|token| {
+                let token = token.trim();
+                token
+                    .strip_suffix('x')
+                    .or_else(|| token.strip_suffix('X'))
+                    .ok_or_else(|| {
+                        bad(format!(
+                            "{part:?}: multiplier tokens end in 'x' (e.g. 4x, 1x-8x)"
+                        ))
+                    })
+            })
+            .collect();
+        let mut rebuilt = boundaries?.join("-");
+        if let Some(step) = step {
+            rebuilt.push('/');
+            rebuilt.push_str(step);
+        }
+        mult_parts.push(rebuilt);
+    }
+    let counts = if count_parts.is_empty() {
+        Vec::new()
+    } else {
+        parse_thread_list(&count_parts.join(","))?
+    };
+    let multipliers = if mult_parts.is_empty() {
+        Vec::new()
+    } else {
+        parse_thread_list(&mult_parts.join(",")).map_err(|err| match err {
+            ExperimentError::InvalidThreads(msg) => {
+                bad(msg.replace("thread count", "thread multiplier"))
+            }
+            other => other,
+        })?
+    };
+    if counts.is_empty() && multipliers.is_empty() {
+        return Err(bad("the list selects no thread counts".to_string()));
+    }
+    Ok(ThreadAxis {
+        counts,
+        multipliers,
+    })
+}
+
 /// Parses a shard-count sweep list (`--shards`): the same grammar as
 /// [`parse_thread_list`] (counts, ranges, strides; rejects zero, duplicates
 /// and empty lists).
@@ -462,7 +561,8 @@ pub fn parse_batch_list(list: &str) -> Result<Vec<usize>, ExperimentError> {
 /// group commit with that leader limit.
 #[derive(Debug, Clone, Copy, PartialEq, Eq)]
 pub struct GridPoint {
-    /// Worker (or simulated) thread count.
+    /// Worker (or simulated) thread count, always resolved to an absolute
+    /// number (multiplier cells are resolved before the runner sees them).
     pub threads: usize,
     /// Load shape of the cell.
     pub mode: LoadMode,
@@ -470,6 +570,11 @@ pub struct GridPoint {
     pub shards: usize,
     /// Group-commit batch limit (0 = the native non-batched path).
     pub batch: usize,
+    /// Provenance of `threads`: 0 for an absolute count, `m >= 1` when the
+    /// cell came from an `m`-times-the-CPU-count multiplier token (`4x`) of
+    /// the oversubscription axis. Reporting only; `threads` is already
+    /// resolved.
+    pub multiplier: usize,
 }
 
 impl GridPoint {
@@ -481,6 +586,7 @@ impl GridPoint {
             mode: LoadMode::Closed,
             shards: 1,
             batch: 0,
+            multiplier: 0,
         }
     }
 }
@@ -705,8 +811,14 @@ pub struct ExperimentSpec {
     pub workloads: Vec<WorkloadSpec>,
     /// Thread counts to sweep. Empty = the runner's default for the scale
     /// (the machine's paper sweep on the simulator, one substrate sizing
-    /// otherwise). Explicit lists are still capped by the scale.
+    /// otherwise) unless [`thread_multipliers`](Self::thread_multipliers)
+    /// pins the axis instead. Explicit lists are still capped by the scale.
     pub threads: Vec<usize>,
+    /// Oversubscription axis: CPU-count multipliers resolved against the
+    /// back-end's base thread count (`4` → four threads per logical CPU).
+    /// Resolved cells bypass the scale's thread cap — running past the CPU
+    /// count is the point. Empty = no multiplier cells.
+    pub thread_multipliers: Vec<usize>,
     /// Run sizing.
     pub scale: Scale,
     /// Repetitions averaged per data point; 0 = the scale's default.
@@ -737,6 +849,7 @@ impl ExperimentSpec {
             locks: Vec::new(),
             workloads: Vec::new(),
             threads: Vec::new(),
+            thread_multipliers: Vec::new(),
             scale: Scale::from_env(),
             repetitions: 0,
             metric: Metric::ThroughputOpsPerUs,
@@ -780,6 +893,21 @@ impl ExperimentSpec {
     /// Sets an explicit thread sweep (empty = runner default).
     pub fn threads(mut self, threads: Vec<usize>) -> Self {
         self.threads = threads;
+        self
+    }
+
+    /// Sets the oversubscription axis: each multiplier adds a cell at
+    /// `multiplier × base_threads`, uncapped by the scale.
+    pub fn thread_multipliers(mut self, multipliers: Vec<usize>) -> Self {
+        self.thread_multipliers = multipliers;
+        self
+    }
+
+    /// Sets both halves of the thread axis from a parsed
+    /// [`ThreadAxis`] (the `--threads` grammar with `x` tokens).
+    pub fn thread_axis(mut self, axis: ThreadAxis) -> Self {
+        self.threads = axis.counts;
+        self.thread_multipliers = axis.multipliers;
         self
     }
 
@@ -898,6 +1026,21 @@ impl ExperimentSpec {
                 });
             }
         }
+        if self.thread_multipliers.contains(&0) {
+            return Err(ExperimentError::InvalidThreads(
+                "thread multipliers must be at least 1".to_string(),
+            ));
+        }
+        {
+            let mut seen = std::collections::HashSet::new();
+            for &m in &self.thread_multipliers {
+                if !seen.insert(m) {
+                    return Err(ExperimentError::InvalidThreads(format!(
+                        "thread multiplier {m} appears twice"
+                    )));
+                }
+            }
+        }
         if self.shards.contains(&0) {
             return Err(ExperimentError::InvalidShards(
                 "shard counts must be at least 1".to_string(),
@@ -967,11 +1110,29 @@ impl ExperimentSpec {
         for workload in &self.workloads {
             let runner = workload.runner();
             let threads = if self.threads.is_empty() {
-                runner.default_threads(self.scale)
+                // A pure multiplier axis pins the sweep on its own; only a
+                // spec with no thread axis at all falls back to the default.
+                if self.thread_multipliers.is_empty() {
+                    runner.default_threads(self.scale)
+                } else {
+                    Vec::new()
+                }
             } else {
                 self.scale.config().cap_threads(&self.threads)
             };
-            if threads.is_empty() {
+            // The thread axis the cells iterate: capped absolutes first,
+            // then the multiplier cells resolved against the back-end's CPU
+            // count — deliberately uncapped (oversubscription is the point)
+            // and deduplicated against already-present absolute counts.
+            let mut thread_cells: Vec<(usize, usize)> = threads.iter().map(|&t| (t, 0)).collect();
+            let base = runner.base_threads();
+            for &m in &self.thread_multipliers {
+                let resolved = m.saturating_mul(base).max(1);
+                if !thread_cells.iter().any(|&(t, _)| t == resolved) {
+                    thread_cells.push((resolved, m));
+                }
+            }
+            if thread_cells.is_empty() {
                 return Err(ExperimentError::InvalidThreads(format!(
                     "the {:?} scale cap removed every requested thread count",
                     self.scale
@@ -992,13 +1153,14 @@ impl ExperimentSpec {
             for mode in self.load.points() {
                 for &shards in shard_points {
                     for &batch in batch_points {
-                        for &t in &threads {
+                        for &(t, multiplier) in &thread_cells {
                             for &lock in &self.locks {
                                 let point = GridPoint {
                                     threads: t,
                                     mode,
                                     shards,
                                     batch,
+                                    multiplier,
                                 };
                                 samples.extend(runner.run_cell(self, lock, point)?);
                             }
@@ -1039,6 +1201,134 @@ mod tests {
         assert!(parse_thread_list("four").is_err());
         assert!(parse_thread_list("4-1").is_err());
         assert!(parse_thread_list("4/2").is_err());
+    }
+
+    #[test]
+    fn thread_axis_splits_counts_from_multipliers() {
+        let axis = parse_thread_axis("1,2,4").unwrap();
+        assert_eq!(axis.counts, vec![1, 2, 4]);
+        assert!(axis.multipliers.is_empty());
+        let axis = parse_thread_axis("1,2,4x,8x").unwrap();
+        assert_eq!(axis.counts, vec![1, 2]);
+        assert_eq!(axis.multipliers, vec![4, 8]);
+        let axis = parse_thread_axis("1x-4x").unwrap();
+        assert!(axis.counts.is_empty());
+        assert_eq!(axis.multipliers, vec![1, 2, 3, 4]);
+        let axis = parse_thread_axis("2x-8x/2").unwrap();
+        assert_eq!(axis.multipliers, vec![2, 4, 6, 8]);
+        let axis = parse_thread_axis("2X").unwrap();
+        assert_eq!(axis.multipliers, vec![2], "upper-case x is accepted");
+    }
+
+    #[test]
+    fn thread_axis_rejects_malformed_multipliers() {
+        assert!(parse_thread_axis("x4").is_err(), "prefix x is not a token");
+        assert!(parse_thread_axis("1-8x").is_err(), "both ends need the x");
+        assert!(parse_thread_axis("1x-8").is_err());
+        assert!(parse_thread_axis("0x").is_err());
+        assert!(parse_thread_axis("2x,2x").is_err(), "duplicate multiplier");
+        assert!(parse_thread_axis("").is_err());
+        // The re-badged diagnostic names the multiplier, not a thread count.
+        match parse_thread_axis("0x").unwrap_err() {
+            ExperimentError::InvalidThreads(msg) => {
+                assert!(msg.contains("multiplier"), "{msg}");
+            }
+            other => panic!("expected InvalidThreads, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn multiplier_cells_resolve_against_the_machine_and_bypass_the_cap() {
+        // Smoke caps absolute counts at 8, but a 2x cell on the 72-CPU paper
+        // machine must still run 144 simulated threads.
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Mcs)
+            .workload(WorkloadId::Sim.to_spec())
+            .scale(Scale::Smoke)
+            .repetitions(1)
+            .threads(vec![2])
+            .thread_multipliers(vec![2]);
+        let report = spec.run().unwrap();
+        let threads: Vec<usize> = report.samples.iter().map(|s| s.threads).collect();
+        assert!(threads.contains(&2), "absolute cell ran: {threads:?}");
+        assert!(
+            threads.contains(&144),
+            "2x cell resolved to 144 and escaped the smoke cap: {threads:?}"
+        );
+    }
+
+    #[test]
+    fn concurrency_restriction_wins_the_oversubscription_sweep() {
+        // End-to-end regime check (EuroSys'19 §1): at 8x oversubscription the
+        // plain MCS queue collapses under preemption-in-queue while the
+        // concurrency-restricting lock keeps its active set near the core
+        // count and holds close to its 1x throughput.
+        let spec = ExperimentSpec::new("t")
+            .locks(vec![LockId::Mcs, LockId::Mcscr])
+            .workload(WorkloadId::Sim.to_spec())
+            .scale(Scale::Smoke)
+            .repetitions(1)
+            .thread_multipliers(vec![1, 8]);
+        let report = spec.run().unwrap();
+        let value = |lock: &str, threads: usize| -> f64 {
+            report
+                .samples
+                .iter()
+                .find(|s| s.lock == lock && s.threads == threads)
+                .unwrap_or_else(|| panic!("missing sample {lock}@{threads}"))
+                .value
+        };
+        // 72-CPU two_socket_paper machine: 1x = 72 threads, 8x = 576.
+        let (mcs_1x, mcs_8x) = (value("mcs", 72), value("mcs", 576));
+        let (cr_1x, cr_8x) = (value("mcscr", 72), value("mcscr", 576));
+        assert!(
+            mcs_8x < mcs_1x * 0.25,
+            "plain MCS should collapse at 8x: 1x={mcs_1x:.0} 8x={mcs_8x:.0}"
+        );
+        assert!(
+            cr_8x > cr_1x * 0.9,
+            "MCSCR should hold within 10% of its 1x value: 1x={cr_1x:.0} 8x={cr_8x:.0}"
+        );
+        assert!(
+            cr_8x > mcs_8x * 2.0,
+            "MCSCR should beat plain MCS at 8x: mcscr={cr_8x:.0} mcs={mcs_8x:.0}"
+        );
+    }
+
+    #[test]
+    fn a_pure_multiplier_axis_skips_the_default_thread_sweep() {
+        let spec = ExperimentSpec::new("t")
+            .lock(LockId::Mcs)
+            .workload(WorkloadId::Sim.to_spec())
+            .scale(Scale::Smoke)
+            .repetitions(1)
+            .thread_multipliers(vec![1]);
+        let report = spec.run().unwrap();
+        let threads: std::collections::HashSet<usize> =
+            report.samples.iter().map(|s| s.threads).collect();
+        assert_eq!(
+            threads,
+            std::collections::HashSet::from([72]),
+            "only the 1x cell runs"
+        );
+    }
+
+    #[test]
+    fn multiplier_validation_rejects_zero_and_duplicates() {
+        let base = || {
+            ExperimentSpec::new("t")
+                .lock(LockId::Cna)
+                .workload(WorkloadId::Sim.to_spec())
+        };
+        assert!(matches!(
+            base().thread_multipliers(vec![0]).validate(),
+            Err(ExperimentError::InvalidThreads(_))
+        ));
+        assert!(matches!(
+            base().thread_multipliers(vec![2, 2]).validate(),
+            Err(ExperimentError::InvalidThreads(_))
+        ));
+        assert!(base().thread_multipliers(vec![1, 8]).validate().is_ok());
     }
 
     #[test]

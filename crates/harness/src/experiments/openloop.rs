@@ -335,7 +335,11 @@ impl<'a> SimOpenLoop<'a> {
             .locks
             .iter()
             .map(|_| SimLock {
-                model: algorithm.build(sweep.machine.sockets, &sweep.cost),
+                model: algorithm.build(
+                    sweep.machine.sockets,
+                    sweep.machine.logical_cpus(),
+                    &sweep.cost,
+                ),
                 held: false,
                 holder_socket: 0,
                 last_holder_socket: 0,
@@ -505,7 +509,14 @@ impl<'a> SimOpenLoop<'a> {
         let cost = &self.sweep.cost;
         let state = &mut self.locks[lock];
         let acquire_ns = match handover_from {
-            Some(from) => cost.handover_ns(from, socket) + cost.contended_overhead_ns,
+            Some(from) => {
+                // Same oversubscription charge as the closed-loop engine:
+                // hot spinners + the new holder compete for logical CPUs.
+                let runnable = state.model.spinning() + 1;
+                cost.handover_ns(from, socket)
+                    + cost.contended_overhead_ns
+                    + cost.oversubscription_penalty_ns(runnable, self.sweep.machine.logical_cpus())
+            }
             None => {
                 cost.uncontended_acquire_ns + cost.line_access_ns(state.last_holder_socket, socket)
             }

@@ -28,6 +28,11 @@ pub trait Runner {
     /// The thread counts swept when the spec does not pin any.
     fn default_threads(&self, scale: Scale) -> Vec<usize>;
 
+    /// The base thread count a `4x`-style oversubscription multiplier
+    /// resolves against: the back-end's notion of "one thread per CPU" (the
+    /// simulated machine's logical CPUs, or the host's parallelism).
+    fn base_threads(&self) -> usize;
+
     /// Runs one cell of the grid: `spec.effective_repetitions()` runs of
     /// `lock` at the grid coordinate `point` (thread count, load shape, and
     /// the scale-out axes).
@@ -138,6 +143,12 @@ impl Runner for SubstrateRunner {
         vec![scale.substrate_run().threads]
     }
 
+    fn base_threads(&self) -> usize {
+        std::thread::available_parallelism()
+            .map(|n| n.get())
+            .unwrap_or(1)
+    }
+
     fn run_cell(
         &self,
         spec: &ExperimentSpec,
@@ -149,6 +160,7 @@ impl Runner for SubstrateRunner {
             mode,
             shards,
             batch,
+            ..
         } = point;
         if spec.metric == Metric::LlcMissesPerUs {
             // Wall-clock runs have no cache-event counters; only the
@@ -348,6 +360,10 @@ impl Runner for SimRunner<'_> {
             .cap_threads(&self.sweep.machine.paper_thread_counts())
     }
 
+    fn base_threads(&self) -> usize {
+        self.sweep.machine.logical_cpus()
+    }
+
     fn run_cell(
         &self,
         spec: &ExperimentSpec,
@@ -488,6 +504,7 @@ mod tests {
             mode: open(rate),
             shards: 1,
             batch: 0,
+            multiplier: 0,
         }
     }
 
@@ -625,6 +642,7 @@ mod tests {
                     mode: LoadMode::Closed,
                     shards: 4,
                     batch: 0,
+                    multiplier: 0,
                 },
             )
             .unwrap();
@@ -645,6 +663,7 @@ mod tests {
                     mode: LoadMode::Closed,
                     shards: 1,
                     batch: 4,
+                    multiplier: 0,
                 },
             )
             .unwrap();
@@ -667,6 +686,7 @@ mod tests {
                     mode: open(50_000),
                     shards: 1,
                     batch: 8,
+                    multiplier: 0,
                 },
             )
             .unwrap();

@@ -12,6 +12,7 @@
 use std::ptr;
 use std::sync::atomic::Ordering;
 
+use sync_core::admission::{SpinPolicy, WaitPolicy};
 use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
 use sync_core::raw::RawLock;
 
@@ -62,12 +63,16 @@ impl<A: Atomics> Drop for ClhNode<A> {
 }
 
 /// The CLH queue lock: a single word pointing at the queue tail.
+///
+/// The admission wait (spinning on the predecessor's cell) is pluggable via
+/// `P`; the default [`SpinPolicy`] is the zero-cost pre-refactor spin.
 #[derive(Debug)]
-pub struct ClhLock<A: Atomics = StdAtomics> {
+pub struct ClhLock<A: Atomics = StdAtomics, P: WaitPolicy<A> = SpinPolicy> {
     tail: A::Ptr<ClhQNode<A>>,
+    policy: P,
 }
 
-impl<A: Atomics> Default for ClhLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> Default for ClhLock<A, P> {
     fn default() -> Self {
         Self::new_in()
     }
@@ -80,16 +85,22 @@ impl ClhLock {
     }
 }
 
-impl<A: Atomics> ClhLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> ClhLock<A, P> {
     /// Creates an unlocked lock for any atomics family.
     pub fn new_in() -> Self {
+        Self::with_policy(P::default())
+    }
+
+    /// Creates an unlocked lock with an explicit admission policy instance.
+    pub fn with_policy(policy: P) -> Self {
         ClhLock {
             tail: A::Ptr::new(ClhQNode::<A>::alloc(false)),
+            policy,
         }
     }
 }
 
-impl<A: Atomics> Drop for ClhLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> Drop for ClhLock<A, P> {
     fn drop(&mut self) {
         let tail = self.tail.load(Ordering::Relaxed);
         if !tail.is_null() {
@@ -102,11 +113,11 @@ impl<A: Atomics> Drop for ClhLock<A> {
 }
 
 // SAFETY: the queue protocol serialises all access to the heap cells.
-unsafe impl<A: Atomics> Send for ClhLock<A> {}
+unsafe impl<A: Atomics, P: WaitPolicy<A>> Send for ClhLock<A, P> {}
 // SAFETY: as above.
-unsafe impl<A: Atomics> Sync for ClhLock<A> {}
+unsafe impl<A: Atomics, P: WaitPolicy<A>> Sync for ClhLock<A, P> {}
 
-impl<A: Atomics> RawLock for ClhLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> RawLock for ClhLock<A, P> {
     type Node = ClhNode<A>;
     const NAME: &'static str = "CLH";
 
@@ -125,7 +136,10 @@ impl<A: Atomics> RawLock for ClhLock<A> {
         debug_assert!(!prev.is_null(), "CLH tail always points at a cell");
         // SAFETY: `prev` stays allocated until we recycle it in `unlock`; its
         // previous owner never dereferences it after the swap handed it to us.
-        A::spin_until(|| unsafe { !(*prev).locked.load(Ordering::Acquire) });
+        // The admission wait goes through the policy; `SpinPolicy`
+        // monomorphises back to `A::spin_until`.
+        self.policy
+            .wait(|| unsafe { !(*prev).locked.load(Ordering::Acquire) });
         me.prev.store(prev, Ordering::Relaxed);
     }
 

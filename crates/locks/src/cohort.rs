@@ -158,8 +158,12 @@ unsafe impl<A: Atomics> CohortLocal for McsCohortLocal<A> {
     }
 
     unsafe fn release_passing(&self, me: &McsCohortNode<A>) {
-        // A successor exists but may not have completed its link yet.
-        A::spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+        // A successor exists but may not have completed its link yet. The
+        // spin load is Relaxed: the Acquire re-read below supplies the
+        // happens-before edge before the pointer is dereferenced
+        // (mutation-audit verdict: weakening the spin is not caught, the
+        // re-read is load-bearing).
+        A::spin_until(|| !me.next.load(Ordering::Relaxed).is_null());
         let next = me.next.load(Ordering::Acquire);
         // SAFETY: `next` is a live waiter spinning on its status.
         unsafe {
@@ -178,7 +182,8 @@ unsafe impl<A: Atomics> CohortLocal for McsCohortLocal<A> {
             {
                 return;
             }
-            A::spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+            // Relaxed spin; the Acquire re-read below carries the edge.
+            A::spin_until(|| !me.next.load(Ordering::Relaxed).is_null());
             next = me.next.load(Ordering::Acquire);
         }
         // SAFETY: `next` is a live waiter.

@@ -1,0 +1,359 @@
+//! The Fissile lock (Dice & Kogan, NETYS 2020): a test-and-set fast path
+//! grafted onto an MCS slow path, with an anti-starvation direct handoff.
+//!
+//! Arrivals first try to barge on a single test-and-set word (bounded
+//! attempts). If that fails they fall back to an MCS queue, but — unlike
+//! plain MCS — only the *queue head* competes with barging arrivals for the
+//! TS word; everybody behind it spins locally on its own node. The release
+//! path is a single store to the TS word (the queue is never touched at
+//! unlock), which keeps the uncontended and lightly-contended hand-over as
+//! cheap as a test-and-set lock while the queue crowd-controls the rest.
+//!
+//! Starvation of the queue head by a stream of barging arrivals is bounded:
+//! after `PATIENCE` failed claim attempts the head raises a *handoff* bit on
+//! the TS word. Barging arrivals only ever CAS `0 -> HELD`, so once the bit
+//! is up the next release (which preserves the bit) can only be claimed by
+//! the queue head, which clears the bit as it enters.
+//!
+//! Generic over an [`Atomics`] family so `crates/modelcheck` explores this
+//! exact source; production uses the [`StdAtomics`] default. The admission
+//! wait for queue-head-ship is delegated to a [`WaitPolicy`].
+
+use std::ptr;
+use std::sync::atomic::Ordering;
+
+use sync_core::admission::{SpinPolicy, WaitPolicy};
+use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
+use sync_core::raw::{RawLock, RawTryLock};
+
+/// TS-word bit: the lock is held.
+const HELD: usize = 1;
+/// TS-word bit: the queue head demands a direct handoff (no barging).
+const HANDOFF: usize = 2;
+
+/// `spin` value while a queued waiter has not reached the queue head.
+const WAITING: usize = 0;
+/// `spin` value once the predecessor has passed queue-head-ship on.
+const AT_HEAD: usize = 1;
+
+/// Failed TS claim attempts by the queue head before it raises the handoff
+/// bit. Small enough that a barging storm cannot starve the queue for long,
+/// large enough that the fast path stays useful under light contention.
+const PATIENCE: u32 = 64;
+
+/// Bounded barging attempts by an arrival before it joins the queue.
+const FAST_ATTEMPTS: u32 = 4;
+
+/// Per-acquisition queue node of the Fissile lock (MCS-shaped).
+#[derive(Debug)]
+pub struct FissileNode<A: Atomics = StdAtomics> {
+    spin: A::Usize,
+    next: A::Ptr<FissileNode<A>>,
+}
+
+impl<A: Atomics> Default for FissileNode<A> {
+    fn default() -> Self {
+        FissileNode {
+            spin: A::Usize::new(WAITING),
+            next: A::Ptr::new(ptr::null_mut()),
+        }
+    }
+}
+
+impl<A: Atomics> FissileNode<A> {
+    /// Creates a fresh node ready for an acquisition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The Fissile lock: a TS word plus an MCS queue tail (two words).
+#[derive(Debug)]
+pub struct FissileLock<A: Atomics = StdAtomics, P: WaitPolicy<A> = SpinPolicy> {
+    /// Bit 0: held; bit 1: handoff demanded by the queue head.
+    ts: A::Usize,
+    tail: A::Ptr<FissileNode<A>>,
+    policy: P,
+}
+
+impl FissileLock {
+    /// Creates an unlocked lock.
+    pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics, P: WaitPolicy<A>> FissileLock<A, P> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
+        Self::with_policy(P::default())
+    }
+
+    /// Creates an unlocked lock with an explicit admission policy instance.
+    pub fn with_policy(policy: P) -> Self {
+        FissileLock {
+            ts: A::Usize::new(0),
+            tail: A::Ptr::new(ptr::null_mut()),
+            policy,
+        }
+    }
+
+    /// `true` when a thread holds the TS word (racy; diagnostics only).
+    pub fn is_held(&self) -> bool {
+        self.ts.load(Ordering::Relaxed) & HELD != 0
+    }
+
+    /// One barging attempt: CAS `0 -> HELD`. Only the bare-zero state is
+    /// claimable so the handoff bit shuts barging off entirely.
+    fn try_barge(&self) -> bool {
+        self.ts
+            .compare_exchange(0, HELD, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Claim the TS word as the queue head, clearing the handoff bit if we
+    /// had raised it. Returns `true` on acquisition.
+    fn try_claim_as_head(&self) -> bool {
+        // Free states seen by the head: 0 or HANDOFF (bit we raised).
+        let free = self.ts.load(Ordering::Relaxed) & !HELD;
+        self.ts
+            .compare_exchange(free, HELD, Ordering::AcqRel, Ordering::Relaxed)
+            .is_ok()
+    }
+
+    /// Raise the handoff bit (anti-starvation). Best-effort single CAS: on
+    /// contention the head simply retries on a later pass.
+    fn demand_handoff(&self) {
+        let cur = self.ts.load(Ordering::Relaxed);
+        if cur & HANDOFF == 0 {
+            // Relaxed: the bit is a policy hint gating barging, not a
+            // publication of data; the Acquire/Release pair on HELD carries
+            // the critical section.
+            let _ =
+                self.ts
+                    .compare_exchange(cur, cur | HANDOFF, Ordering::Relaxed, Ordering::Relaxed);
+        }
+    }
+}
+
+impl<A: Atomics, P: WaitPolicy<A>> Default for FissileLock<A, P> {
+    fn default() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics, P: WaitPolicy<A>> RawLock for FissileLock<A, P> {
+    type Node = FissileNode<A>;
+    const NAME: &'static str = "Fissile";
+
+    unsafe fn lock(&self, me: &FissileNode<A>) {
+        // Fast path: bounded barging on the TS word.
+        for _ in 0..FAST_ATTEMPTS {
+            if self.try_barge() {
+                return;
+            }
+            A::spin_hint();
+        }
+
+        // Slow path: enqueue MCS-style and wait for queue-head-ship.
+        me.next.store(ptr::null_mut(), Ordering::Relaxed);
+        me.spin.store(WAITING, Ordering::Relaxed);
+        let me_ptr = me as *const FissileNode<A> as *mut FissileNode<A>;
+        let prev = self.tail.swap(me_ptr, Ordering::AcqRel);
+        if !prev.is_null() {
+            // SAFETY: `prev` is the previous tail; its owner cannot recycle
+            // the node before it acquires the TS word, and it only does that
+            // after observing our link (its closing CAS on the tail fails
+            // while we are enqueued).
+            unsafe {
+                (*prev).next.store(me_ptr, Ordering::Release);
+            }
+            // Relaxed spin + Acquire fence after the loop, the same audited
+            // downgrade as the MCS waiter spin; head-ship only carries queue
+            // position, the critical section is carried by the TS word.
+            self.policy
+                .wait(|| me.spin.load(Ordering::Relaxed) != WAITING);
+            A::fence(Ordering::Acquire);
+        }
+
+        // At the queue head: compete with barging arrivals for the TS word,
+        // raising the handoff bit once patience runs out.
+        let mut attempts = 0u32;
+        loop {
+            A::spin_until(|| self.ts.load(Ordering::Relaxed) & HELD == 0);
+            if self.try_claim_as_head() {
+                break;
+            }
+            attempts += 1;
+            if attempts >= PATIENCE {
+                self.demand_handoff();
+            }
+            A::spin_hint();
+        }
+
+        // Acquired: pass queue-head-ship to our successor (it starts
+        // competing only now, so at most one queued thread spins on the TS
+        // word at any moment).
+        let mut next = me.next.load(Ordering::Acquire);
+        if next.is_null() {
+            if self
+                .tail
+                .compare_exchange(me_ptr, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            // A successor is mid-link; wait for the pointer (short bounded
+            // protocol wait, deliberately not policy-routed).
+            A::spin_until(|| !me.next.load(Ordering::Relaxed).is_null());
+            next = me.next.load(Ordering::Acquire);
+        }
+        // SAFETY: `next` is a live waiter spinning on its own node.
+        unsafe {
+            (*next).spin.store(AT_HEAD, Ordering::Release);
+        }
+    }
+
+    unsafe fn unlock(&self, _me: &FissileNode<A>) {
+        // Clear HELD, preserving a concurrently raised handoff bit. The CAS
+        // can fail at most once per raise of the bit.
+        loop {
+            let cur = self.ts.load(Ordering::Relaxed);
+            if self
+                .ts
+                .compare_exchange(cur, cur & !HELD, Ordering::Release, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            A::spin_hint();
+        }
+    }
+}
+
+impl<A: Atomics, P: WaitPolicy<A>> RawTryLock for FissileLock<A, P> {
+    unsafe fn try_lock(&self, _me: &FissileNode<A>) -> bool {
+        self.try_barge()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_state_is_two_words() {
+        assert_eq!(
+            std::mem::size_of::<FissileLock>(),
+            2 * std::mem::size_of::<*mut ()>()
+        );
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let lock = FissileLock::new();
+        let node = FissileNode::new();
+        for _ in 0..10_000 {
+            // SAFETY: pinned node, matched pair.
+            unsafe {
+                lock.lock(&node);
+                lock.unlock(&node);
+            }
+        }
+        assert!(!lock.is_held());
+    }
+
+    #[test]
+    fn try_lock_barges_only_on_a_free_word() {
+        let lock = FissileLock::new();
+        let a = FissileNode::new();
+        let b = FissileNode::new();
+        // SAFETY: pinned nodes, matched pairs.
+        unsafe {
+            assert!(lock.try_lock(&a));
+            assert!(!lock.try_lock(&b));
+            lock.unlock(&a);
+            assert!(lock.try_lock(&b));
+            lock.unlock(&b);
+        }
+    }
+
+    #[test]
+    fn mutual_exclusion() {
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        const THREADS: u64 = 4;
+        const ITERS: u64 = 3_000;
+        let lock = Arc::new(FissileLock::new());
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let node = FissileNode::new();
+                    for _ in 0..ITERS {
+                        // SAFETY: pinned node, matched pair, counter under lock.
+                        unsafe {
+                            lock.lock(&node);
+                            *counter.0.get() += 1;
+                            lock.unlock(&node);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, THREADS * ITERS);
+    }
+
+    #[test]
+    fn queued_waiters_all_make_progress() {
+        // Fissile admission is not FIFO (barging), but nobody may starve:
+        // every spawned thread must complete its acquisitions.
+        let lock = Arc::new(FissileLock::new());
+        let done = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..6)
+            .map(|id| {
+                let lock = Arc::clone(&lock);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let node = FissileNode::new();
+                    for _ in 0..2_000 {
+                        // SAFETY: pinned node, matched pair.
+                        unsafe {
+                            lock.lock(&node);
+                            lock.unlock(&node);
+                        }
+                    }
+                    done.lock().unwrap().push(id);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.lock().unwrap().len(), 6);
+    }
+
+    #[test]
+    fn works_through_lock_mutex() {
+        use sync_core::LockMutex;
+        let m: LockMutex<u32, FissileLock> = LockMutex::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..3 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 3_000);
+    }
+}

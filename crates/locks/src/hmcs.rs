@@ -162,7 +162,9 @@ impl<A: Atomics> HmcsLock<A> {
             {
                 return;
             }
-            A::spin_until(|| !pnode.next.load(Ordering::Acquire).is_null());
+            // Relaxed spin; the Acquire re-read below carries the edge
+            // (mutation-audit verdict: the spin weakening is not caught).
+            A::spin_until(|| !pnode.next.load(Ordering::Relaxed).is_null());
             next = pnode.next.load(Ordering::Acquire);
         }
         // SAFETY: `next` is the parent cell of another socket's local root,
@@ -189,7 +191,8 @@ impl<A: Atomics> HmcsLock<A> {
             {
                 return;
             }
-            A::spin_until(|| !me.next.load(Ordering::Acquire).is_null());
+            // Relaxed spin; the Acquire re-read below carries the edge.
+            A::spin_until(|| !me.next.load(Ordering::Relaxed).is_null());
             next = me.next.load(Ordering::Acquire);
         }
         // SAFETY: `next` is a live local waiter.

@@ -20,6 +20,13 @@
 //! | C-BO-MCS, C-TKT-TKT, C-PTL-TKT | [`cohort`] | O(sockets) cache lines | yes |
 //! | HMCS | [`hmcs`] | O(sockets) cache lines | yes |
 //! | CNA | `cna` crate | 1 word | yes |
+//! | Fissile | [`fissile`] | 2 words | no (admission) |
+//! | MCSCR | [`mcscr`] | 5 words | no (admission) |
+//!
+//! Fissile (Dice & Kogan 2020) and MCSCR (Dice & Kogan 2019) come from the
+//! CNA authors' admission-policy line of work: they change *who is allowed
+//! to spin* rather than *where* the spinning happens, building on the
+//! [`sync_core::admission`] layer.
 //!
 //! HYSHMCS/CST are not implemented: the paper reports their performance is
 //! indistinguishable from HMCS in every experiment shown, and their lazy
@@ -30,17 +37,21 @@
 pub mod backoff;
 pub mod clh;
 pub mod cohort;
+pub mod fissile;
 pub mod hbo;
 pub mod hmcs;
 pub mod mcs;
+pub mod mcscr;
 pub mod ticket;
 
 pub use backoff::TtasBackoffLock;
 pub use clh::ClhLock;
 pub use cohort::{CBoMcsLock, CPtlTktLock, CTktTktLock};
+pub use fissile::{FissileLock, FissileNode};
 pub use hbo::HboLock;
 pub use hmcs::HmcsLock;
 pub use mcs::{McsLock, McsNode};
+pub use mcscr::{McsCrLock, McsCrNode};
 pub use sync_core::spinlock::TestAndSetLock;
 pub use ticket::{PartitionedTicketLock, PtlNode, TicketLock};
 

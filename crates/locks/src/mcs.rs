@@ -10,10 +10,17 @@
 //! exact source; production code uses the [`StdAtomics`] default.
 //! `docs/orderings.md` records the justification for every ordering below,
 //! including the checker-audited `Relaxed` spin loads.
+//!
+//! The *admission wait* (spinning for the GRANTED handoff) is delegated to a
+//! [`WaitPolicy`]; the default [`SpinPolicy`] is the zero-cost pre-refactor
+//! spin, while e.g. `McsLock<StdAtomics, CullingPolicy>` bounds the hot
+//! spinner set on oversubscribed hosts. The short protocol wait in `unlock`
+//! (successor mid-link) stays a plain bounded spin by design.
 
 use std::ptr;
 use std::sync::atomic::{AtomicPtr, Ordering};
 
+use sync_core::admission::{SpinPolicy, WaitPolicy};
 use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
 use sync_core::raw::RawLock;
 
@@ -46,9 +53,14 @@ impl<A: Atomics> McsNode<A> {
 }
 
 /// The MCS queue spin lock: a single word pointing at the queue tail.
+///
+/// The admission wait is pluggable via `P`; [`SpinPolicy`] (the default) is
+/// a ZST, so the lock stays one word and the wait monomorphises to the same
+/// `A::spin_until` call as before the admission-layer refactor.
 #[derive(Debug)]
-pub struct McsLock<A: Atomics = StdAtomics> {
+pub struct McsLock<A: Atomics = StdAtomics, P: WaitPolicy<A> = SpinPolicy> {
     tail: A::Ptr<McsNode<A>>,
+    policy: P,
 }
 
 impl McsLock {
@@ -56,15 +68,22 @@ impl McsLock {
     pub const fn new() -> Self {
         McsLock {
             tail: AtomicPtr::new(ptr::null_mut()),
+            policy: SpinPolicy,
         }
     }
 }
 
-impl<A: Atomics> McsLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> McsLock<A, P> {
     /// Creates an unlocked lock for any atomics family.
     pub fn new_in() -> Self {
+        Self::with_policy(P::default())
+    }
+
+    /// Creates an unlocked lock with an explicit admission policy instance.
+    pub fn with_policy(policy: P) -> Self {
         McsLock {
             tail: A::Ptr::new(ptr::null_mut()),
+            policy,
         }
     }
 
@@ -75,13 +94,13 @@ impl<A: Atomics> McsLock<A> {
     }
 }
 
-impl<A: Atomics> Default for McsLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> Default for McsLock<A, P> {
     fn default() -> Self {
         Self::new_in()
     }
 }
 
-impl<A: Atomics> RawLock for McsLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> RawLock for McsLock<A, P> {
     type Node = McsNode<A>;
     const NAME: &'static str = "MCS";
 
@@ -103,8 +122,11 @@ impl<A: Atomics> RawLock for McsLock<A> {
         // Relaxed spin + Acquire fence after the loop: the fence synchronises
         // with the holder's GRANTED Release store once it has been observed,
         // which is the downgrade the weak-memory CNA verification paper
-        // proves safe for the waiter spin (audited by `modelcheck`).
-        A::spin_until(|| me.spin.load(Ordering::Relaxed) != WAITING);
+        // proves safe for the waiter spin (audited by `modelcheck`). The
+        // admission wait itself goes through the policy; `SpinPolicy`
+        // monomorphises back to `A::spin_until`.
+        self.policy
+            .wait(|| me.spin.load(Ordering::Relaxed) != WAITING);
         A::fence(Ordering::Acquire);
     }
 
@@ -193,6 +215,42 @@ mod tests {
     }
 
     #[test]
+    fn culling_policy_variant_is_still_exclusive() {
+        use sync_core::admission::CullingPolicy;
+        use sync_core::atomics::StdAtomics;
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        const THREADS: u64 = 6;
+        const ITERS: u64 = 2_000;
+        let lock: Arc<McsLock<StdAtomics, CullingPolicy>> =
+            Arc::new(McsLock::with_policy(CullingPolicy::with_bound(2)));
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let node = McsNode::new();
+                    for _ in 0..ITERS {
+                        // SAFETY: pinned node, matched pair, counter under lock.
+                        unsafe {
+                            lock.lock(&node);
+                            *counter.0.get() += 1;
+                            lock.unlock(&node);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, THREADS * ITERS);
+    }
+
+    #[test]
     fn admission_is_fifo() {
         let lock = Arc::new(McsLock::new());
         let order = Arc::new(Mutex::new(Vec::new()));
@@ -224,6 +282,78 @@ mod tests {
             h.join().unwrap();
         }
         assert_eq!(*order.lock().unwrap(), vec![1, 2, 3, 4]);
+    }
+
+    /// Enqueues `waiters` threads one at a time (serialised by polling the
+    /// tail) behind a held lock and returns the acquisition order.
+    fn acquisition_order_under<P>(policy: P, waiters: usize) -> Vec<usize>
+    where
+        P: WaitPolicy<StdAtomics> + Send + Sync + 'static,
+    {
+        let lock = Arc::new(McsLock::<StdAtomics, P>::with_policy(policy));
+        let order = Arc::new(Mutex::new(Vec::new()));
+        let holder_node = McsNode::new();
+        // SAFETY: pinned node; matching unlock below.
+        unsafe { lock.lock(&holder_node) };
+        let mut handles = Vec::new();
+        for id in 1..=waiters {
+            let thread_lock = Arc::clone(&lock);
+            let order = Arc::clone(&order);
+            let before = lock.tail.load(Ordering::Relaxed);
+            handles.push(std::thread::spawn(move || {
+                let node = McsNode::new();
+                // SAFETY: pinned node; matched pair.
+                unsafe {
+                    thread_lock.lock(&node);
+                    order.lock().unwrap().push(id);
+                    thread_lock.unlock(&node);
+                }
+            }));
+            while lock.tail.load(Ordering::Relaxed) == before {
+                std::thread::yield_now();
+            }
+        }
+        // SAFETY: matching unlock for the acquisition above.
+        unsafe { lock.unlock(&holder_node) };
+        for h in handles {
+            h.join().unwrap();
+        }
+        let got = order.lock().unwrap().clone();
+        got
+    }
+
+    /// Property: the admission-layer refactor does not change who gets the
+    /// lock, only how waiters burn cycles. Across seeded random waiter
+    /// counts, every wait policy (the zero-cost default, the yielding
+    /// variant, and culling with a tiny hot set) preserves the pre-refactor
+    /// MCS guarantee: acquisition order == enqueue order.
+    #[test]
+    fn every_wait_policy_preserves_fifo_admission() {
+        use sync_core::admission::{CullingPolicy, SpinThenYieldPolicy};
+        let mut seed: u64 = 0xD1CE_2019;
+        for _ in 0..6 {
+            // Park–Miller-style LCG; waiter counts in 2..=9.
+            seed = seed
+                .wrapping_mul(6364136223846793005)
+                .wrapping_add(1442695040888963407);
+            let waiters = 2 + (seed >> 33) as usize % 8;
+            let expected: Vec<usize> = (1..=waiters).collect();
+            assert_eq!(
+                acquisition_order_under(SpinPolicy, waiters),
+                expected,
+                "SpinPolicy broke FIFO at {waiters} waiters"
+            );
+            assert_eq!(
+                acquisition_order_under(SpinThenYieldPolicy, waiters),
+                expected,
+                "SpinThenYieldPolicy broke FIFO at {waiters} waiters"
+            );
+            assert_eq!(
+                acquisition_order_under(CullingPolicy::with_bound(2), waiters),
+                expected,
+                "CullingPolicy broke FIFO at {waiters} waiters"
+            );
+        }
     }
 
     #[test]

@@ -1,0 +1,468 @@
+//! MCSCR — a concurrency-restricting MCS lock ("Avoiding Scalability
+//! Collapse by Restricting Concurrency", Dice & Kogan, EuroSys 2019).
+//!
+//! Plain MCS keeps every waiter spinning; once threads outnumber cores those
+//! spinners steal the holder's quantum and throughput collapses. MCSCR keeps
+//! the MCS queue but *culls* it: on each release, if more than one waiter is
+//! queued behind the immediate successor, the holder detaches the excess
+//! waiter onto a lock-private **passive list** whose members poll lazily
+//! (yielding between polls) instead of spinning hot. The active spinning set
+//! is thereby driven down to the holder plus its successor regardless of
+//! offered load.
+//!
+//! Long-term fairness is preserved by **recirculation**: every
+//! `recirc_every` releases the holder moves the oldest passive waiter back
+//! to the tail of the main queue, and whenever the main queue drains the
+//! next passive waiter is granted directly, so nobody is stranded.
+//!
+//! The passive list (`passive_head`/`passive_tail`/`pnext` links and the
+//! release counter) is **holder-serialized**: it is only ever touched by the
+//! thread holding the lock, so those accesses are `Relaxed` — successive
+//! holders are ordered by the lock handoff itself (GRANTED Release store /
+//! Acquire fence), which is exactly the ordering argument recorded in
+//! `docs/orderings.md`.
+//!
+//! Generic over an [`Atomics`] family so `crates/modelcheck` explores this
+//! exact source; production uses the [`StdAtomics`] default. The admission
+//! wait is delegated to a [`WaitPolicy`]; passive members additionally pace
+//! themselves with scheduler yields via the wait's pacing action.
+
+use std::cell::Cell;
+use std::ptr;
+use std::sync::atomic::Ordering;
+
+use sync_core::admission::{SpinPolicy, WaitPolicy};
+use sync_core::atomics::{AtomicCell, Atomics, StdAtomics};
+use sync_core::raw::RawLock;
+
+/// `spin` value while the waiter has not been granted the lock.
+const WAITING: usize = 0;
+/// `spin` value once the lock has been granted.
+const GRANTED: usize = 1;
+/// `spin` value while the waiter sits on the passive list (pacing hint: the
+/// waiter keeps waiting, but lazily).
+const PASSIVE: usize = 2;
+
+/// Default recirculation cadence: one passive waiter re-enters the main
+/// queue every this many releases (long-term fairness bound).
+const DEFAULT_RECIRC_EVERY: u64 = 64;
+
+/// Per-acquisition queue node of the MCSCR lock.
+#[derive(Debug)]
+pub struct McsCrNode<A: Atomics = StdAtomics> {
+    spin: A::Usize,
+    next: A::Ptr<McsCrNode<A>>,
+    /// Passive-list link; holder-serialized.
+    pnext: A::Ptr<McsCrNode<A>>,
+}
+
+impl<A: Atomics> Default for McsCrNode<A> {
+    fn default() -> Self {
+        McsCrNode {
+            spin: A::Usize::new(WAITING),
+            next: A::Ptr::new(ptr::null_mut()),
+            pnext: A::Ptr::new(ptr::null_mut()),
+        }
+    }
+}
+
+impl<A: Atomics> McsCrNode<A> {
+    /// Creates a fresh node ready for an acquisition.
+    pub fn new() -> Self {
+        Self::default()
+    }
+}
+
+/// The concurrency-restricting MCS lock.
+#[derive(Debug)]
+pub struct McsCrLock<A: Atomics = StdAtomics, P: WaitPolicy<A> = SpinPolicy> {
+    tail: A::Ptr<McsCrNode<A>>,
+    /// Oldest passive waiter; holder-serialized.
+    passive_head: A::Ptr<McsCrNode<A>>,
+    /// Newest passive waiter; holder-serialized.
+    passive_tail: A::Ptr<McsCrNode<A>>,
+    /// Release counter driving recirculation; holder-serialized.
+    releases: A::U64,
+    /// Recirculation cadence (immutable after construction).
+    recirc_every: u64,
+    policy: P,
+}
+
+impl McsCrLock {
+    /// Creates an unlocked lock with the default recirculation cadence.
+    pub fn new() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics, P: WaitPolicy<A>> McsCrLock<A, P> {
+    /// Creates an unlocked lock for any atomics family.
+    pub fn new_in() -> Self {
+        Self::with_recirc_every(DEFAULT_RECIRC_EVERY)
+    }
+
+    /// Creates an unlocked lock that recirculates one passive waiter every
+    /// `every` releases (clamped to at least 1). Small values trade
+    /// throughput for a tighter fairness bound; the model-check scenarios
+    /// use 1 to exercise recirculation within a handful of steps.
+    pub fn with_recirc_every(every: u64) -> Self {
+        McsCrLock {
+            tail: A::Ptr::new(ptr::null_mut()),
+            passive_head: A::Ptr::new(ptr::null_mut()),
+            passive_tail: A::Ptr::new(ptr::null_mut()),
+            releases: A::U64::new(0),
+            recirc_every: every.max(1),
+            policy: P::default(),
+        }
+    }
+
+    /// `true` when a thread holds or queues for the lock (racy; diagnostics
+    /// only).
+    pub fn is_contended_or_held(&self) -> bool {
+        !self.tail.load(Ordering::Relaxed).is_null()
+    }
+
+    /// Pushes `node` onto the passive list. Holder-serialized.
+    ///
+    /// SAFETY: caller holds the lock and `node` is a detached, live waiter.
+    unsafe fn passive_push(&self, node: *mut McsCrNode<A>) {
+        // SAFETY: per function contract; all pointers on the passive list
+        // stay pinned while their owners wait.
+        unsafe {
+            (*node).pnext.store(ptr::null_mut(), Ordering::Relaxed);
+            // Pacing hint for the detached owner; it keeps waiting either way.
+            (*node).spin.store(PASSIVE, Ordering::Release);
+            let tail = self.passive_tail.load(Ordering::Relaxed);
+            if tail.is_null() {
+                self.passive_head.store(node, Ordering::Relaxed);
+            } else {
+                (*tail).pnext.store(node, Ordering::Relaxed);
+            }
+            self.passive_tail.store(node, Ordering::Relaxed);
+        }
+    }
+
+    /// Pops the oldest passive waiter, or null. Holder-serialized.
+    ///
+    /// SAFETY: caller holds the lock.
+    unsafe fn passive_pop(&self) -> *mut McsCrNode<A> {
+        let head = self.passive_head.load(Ordering::Relaxed);
+        if head.is_null() {
+            return head;
+        }
+        // SAFETY: `head` is a pinned passive waiter (see `passive_push`).
+        unsafe {
+            let next = (*head).pnext.load(Ordering::Relaxed);
+            self.passive_head.store(next, Ordering::Relaxed);
+            if next.is_null() {
+                self.passive_tail.store(ptr::null_mut(), Ordering::Relaxed);
+            }
+            (*head).pnext.store(ptr::null_mut(), Ordering::Relaxed);
+        }
+        head
+    }
+
+    /// Detaches the waiter right behind the immediate successor `n1` onto
+    /// the passive list, if there is one. Holder-serialized (culling is done
+    /// by the releasing holder). Returns `true` if a waiter was culled.
+    ///
+    /// SAFETY: caller holds the lock; `n1` is its fully linked successor.
+    unsafe fn cull_behind(&self, n1: *mut McsCrNode<A>) -> bool {
+        // SAFETY: `n1` is a live, fully linked waiter.
+        let n2 = unsafe { (*n1).next.load(Ordering::Acquire) };
+        if n2.is_null() {
+            return false;
+        }
+        // Unlink n2: find its successor n3 (waiting out a mid-link arrival
+        // if n2 is the tail and the closing CAS fails).
+        // SAFETY: `n2` is a live, fully linked waiter; it cannot leave the
+        // queue while we (the holder) are the only thread that dequeues.
+        let mut n3 = unsafe { (*n2).next.load(Ordering::Acquire) };
+        if n3.is_null() {
+            // Null n1's link *before* the CAS can publish n1 as the tail:
+            // the CAS's Release then orders this store before any arrival's
+            // link store into n1 (write-write coherence via the arrival's
+            // Acquire tail swap), so the arrival's link can never be lost.
+            // SAFETY: `n1` keeps spinning on its own `spin` word only; its
+            // `next` is ours (the holder's) to rewrite until we grant it.
+            unsafe {
+                (*n1).next.store(ptr::null_mut(), Ordering::Relaxed);
+            }
+            if self
+                .tail
+                .compare_exchange(n2, n1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                // n2 was the tail; n1 is the tail again.
+                // SAFETY: `n2` is detached and pinned.
+                unsafe { self.passive_push(n2) };
+                return true;
+            }
+            // An arrival is mid-link behind n2: wait for the pointer (short
+            // bounded protocol wait, deliberately not policy-routed).
+            // SAFETY: `n2` stays pinned while its owner waits.
+            A::spin_until(|| unsafe { !(*n2).next.load(Ordering::Relaxed).is_null() });
+            // SAFETY: `n2` stays pinned while its owner waits.
+            n3 = unsafe { (*n2).next.load(Ordering::Acquire) };
+        }
+        // SAFETY: n1/n2 live waiters; n3 now fully linked. Relinking n1->n3
+        // is Release so n1's later unlock (which reads `next` with Acquire)
+        // sees a fully initialised successor.
+        unsafe {
+            (*n1).next.store(n3, Ordering::Release);
+            self.passive_push(n2);
+        }
+        true
+    }
+
+    /// Moves the oldest passive waiter (if any) back onto the main queue
+    /// tail. Holder-serialized.
+    ///
+    /// SAFETY: caller holds the lock.
+    unsafe fn recirculate_one(&self) {
+        // SAFETY: caller holds the lock.
+        let p = unsafe { self.passive_pop() };
+        if p.is_null() {
+            return;
+        }
+        // SAFETY: `p` is a pinned passive waiter; re-enqueue it exactly like
+        // a fresh arrival. The swap cannot return null: the holder's own
+        // node is still queued until its unlock completes.
+        unsafe {
+            (*p).next.store(ptr::null_mut(), Ordering::Relaxed);
+            (*p).spin.store(WAITING, Ordering::Relaxed);
+            let prev = self.tail.swap(p, Ordering::AcqRel);
+            debug_assert!(!prev.is_null(), "holder node still queued");
+            (*prev).next.store(p, Ordering::Release);
+        }
+    }
+}
+
+impl<A: Atomics, P: WaitPolicy<A>> Default for McsCrLock<A, P> {
+    fn default() -> Self {
+        Self::new_in()
+    }
+}
+
+impl<A: Atomics, P: WaitPolicy<A>> RawLock for McsCrLock<A, P> {
+    type Node = McsCrNode<A>;
+    const NAME: &'static str = "MCSCR";
+
+    unsafe fn lock(&self, me: &McsCrNode<A>) {
+        me.next.store(ptr::null_mut(), Ordering::Relaxed);
+        me.pnext.store(ptr::null_mut(), Ordering::Relaxed);
+        me.spin.store(WAITING, Ordering::Relaxed);
+        let me_ptr = me as *const McsCrNode<A> as *mut McsCrNode<A>;
+
+        let prev = self.tail.swap(me_ptr, Ordering::AcqRel);
+        if prev.is_null() {
+            return;
+        }
+        // SAFETY: `prev` is the previous tail; its owner cannot finish its
+        // unlock (and reuse the node) before observing our link, because its
+        // closing CAS on the tail must fail while we are enqueued. The same
+        // holds when `prev` is the holder re-enqueueing a passive waiter.
+        unsafe {
+            (*prev).next.store(me_ptr, Ordering::Release);
+        }
+        // Relaxed spin + Acquire fence after the loop, the audited MCS
+        // downgrade. Waiters culled onto the passive list see PASSIVE and
+        // pace themselves with scheduler yields until granted or
+        // recirculated; active waiters spin hot.
+        let lazy = Cell::new(false);
+        let polls = Cell::new(0u32);
+        self.policy.wait_paced(
+            || {
+                let s = me.spin.load(Ordering::Relaxed);
+                lazy.set(s == PASSIVE);
+                s == GRANTED
+            },
+            || {
+                if lazy.get() {
+                    std::thread::yield_now();
+                } else {
+                    A::spin_hint();
+                    polls.set(polls.get().wrapping_add(1));
+                    // Keep over-subscribed hosts live even before culling
+                    // kicks in: let the holder run occasionally.
+                    if polls.get().is_multiple_of(4096) {
+                        std::thread::yield_now();
+                    }
+                }
+            },
+        );
+        A::fence(Ordering::Acquire);
+    }
+
+    unsafe fn unlock(&self, me: &McsCrNode<A>) {
+        let me_ptr = me as *const McsCrNode<A> as *mut McsCrNode<A>;
+
+        // Holder-serialized bookkeeping: count the release and periodically
+        // recirculate a passive waiter back into the main queue.
+        let n = self.releases.load(Ordering::Relaxed).wrapping_add(1);
+        self.releases.store(n, Ordering::Relaxed);
+        if n.is_multiple_of(self.recirc_every) {
+            // SAFETY: we hold the lock.
+            unsafe { self.recirculate_one() };
+        }
+
+        let mut next = me.next.load(Ordering::Acquire);
+        if next.is_null() {
+            // Queue looks drained: promote the oldest passive waiter (if
+            // any) back into the main queue *while we still hold the lock*,
+            // so the passive list is never touched by two threads — a
+            // closing-CAS-then-pop order would let the next holder's unlock
+            // race our pop.
+            // SAFETY: we hold the lock.
+            let p = unsafe { self.passive_pop() };
+            if !p.is_null() {
+                // SAFETY: `p` is a pinned passive waiter; re-enqueue it
+                // exactly like a fresh arrival. The swap cannot return
+                // null: our own node is still queued.
+                unsafe {
+                    (*p).next.store(ptr::null_mut(), Ordering::Relaxed);
+                    (*p).spin.store(WAITING, Ordering::Relaxed);
+                    let prev = self.tail.swap(p, Ordering::AcqRel);
+                    debug_assert!(!prev.is_null(), "holder node still queued");
+                    (*prev).next.store(p, Ordering::Release);
+                }
+                // Fall through: our `next` link is now (eventually) set —
+                // by `p` itself if the queue really was drained, or by the
+                // mid-link arrival that beat it.
+            } else if self
+                .tail
+                .compare_exchange(me_ptr, ptr::null_mut(), Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+            {
+                return;
+            }
+            // Relaxed is enough while polling for the link: the Acquire
+            // re-load below is the one the successor's Release store must
+            // synchronise with (audited by `modelcheck`).
+            A::spin_until(|| !me.next.load(Ordering::Relaxed).is_null());
+            next = me.next.load(Ordering::Acquire);
+        }
+
+        // Concurrency restriction: if anyone is queued behind our immediate
+        // successor, cull one waiter onto the passive list.
+        // SAFETY: we hold the lock; `next` is our fully linked successor.
+        unsafe {
+            self.cull_behind(next);
+        }
+
+        // SAFETY: `next` is a live waiter spinning on its own node.
+        unsafe {
+            (*next).spin.store(GRANTED, Ordering::Release);
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::{Arc, Mutex};
+
+    #[test]
+    fn lock_state_stays_small() {
+        // Three pointers + release counter + cadence + ZST policy.
+        assert_eq!(
+            std::mem::size_of::<McsCrLock>(),
+            3 * std::mem::size_of::<*mut ()>() + 2 * std::mem::size_of::<u64>()
+        );
+    }
+
+    #[test]
+    fn single_thread_roundtrip() {
+        let lock = McsCrLock::new();
+        let node = McsCrNode::new();
+        for _ in 0..10_000 {
+            // SAFETY: pinned node, matched pair.
+            unsafe {
+                lock.lock(&node);
+                lock.unlock(&node);
+            }
+        }
+        assert!(!lock.is_contended_or_held());
+    }
+
+    #[test]
+    fn mutual_exclusion_under_heavy_contention() {
+        struct RacyCounter(std::cell::UnsafeCell<u64>);
+        // SAFETY(test): only touched under the lock.
+        unsafe impl Sync for RacyCounter {}
+        // Enough threads that the culling path (>= 2 queued behind the
+        // successor) is exercised constantly.
+        const THREADS: u64 = 8;
+        const ITERS: u64 = 2_000;
+        let lock = Arc::new(McsCrLock::new());
+        let counter = Arc::new(RacyCounter(std::cell::UnsafeCell::new(0)));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|_| {
+                let lock = Arc::clone(&lock);
+                let counter = Arc::clone(&counter);
+                std::thread::spawn(move || {
+                    let node = McsCrNode::new();
+                    for _ in 0..ITERS {
+                        // SAFETY: pinned node, matched pair, counter under lock.
+                        unsafe {
+                            lock.lock(&node);
+                            *counter.0.get() += 1;
+                            lock.unlock(&node);
+                        }
+                    }
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        // SAFETY: writers joined.
+        assert_eq!(unsafe { *counter.0.get() }, THREADS * ITERS);
+    }
+
+    #[test]
+    fn passive_waiters_are_recirculated_and_complete() {
+        // Aggressive cadence: every release recirculates, so passive
+        // waiters bounce back quickly; everyone must finish.
+        let lock: Arc<McsCrLock> = Arc::new(McsCrLock::with_recirc_every(1));
+        let done = Arc::new(Mutex::new(Vec::new()));
+        let handles: Vec<_> = (0..8)
+            .map(|id| {
+                let lock = Arc::clone(&lock);
+                let done = Arc::clone(&done);
+                std::thread::spawn(move || {
+                    let node = McsCrNode::new();
+                    for _ in 0..1_000 {
+                        // SAFETY: pinned node, matched pair.
+                        unsafe {
+                            lock.lock(&node);
+                            lock.unlock(&node);
+                        }
+                    }
+                    done.lock().unwrap().push(id);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(done.lock().unwrap().len(), 8);
+        assert!(!lock.is_contended_or_held());
+    }
+
+    #[test]
+    fn works_through_lock_mutex() {
+        use sync_core::LockMutex;
+        let m: LockMutex<u32, McsCrLock> = LockMutex::new(0);
+        std::thread::scope(|s| {
+            for _ in 0..6 {
+                s.spawn(|| {
+                    for _ in 0..1_000 {
+                        *m.lock() += 1;
+                    }
+                });
+            }
+        });
+        assert_eq!(*m.lock(), 6_000);
+    }
+}

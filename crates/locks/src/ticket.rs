@@ -12,6 +12,7 @@
 use std::cell::Cell;
 use std::sync::atomic::{AtomicU64, Ordering};
 
+use sync_core::admission::{SpinPolicy, WaitPolicy};
 use sync_core::atomics::{AtomicAdd, AtomicCell, Atomics, StdAtomics};
 use sync_core::padded::CachePadded;
 use sync_core::raw::{RawLock, RawTryLock};
@@ -19,11 +20,16 @@ use sync_core::spin::cpu_relax;
 
 /// The classic ticket lock: a `next` counter handed to arrivals and an
 /// `owner` counter advanced on release.
+///
+/// The admission wait is pluggable via `P`; the default [`SpinPolicy`]
+/// keeps the pre-refactor proportional-backoff spin (the lock supplies the
+/// backoff as the pacing action of [`WaitPolicy::wait_paced`]).
 #[derive(Debug)]
-pub struct TicketLock<A: Atomics = StdAtomics> {
+pub struct TicketLock<A: Atomics = StdAtomics, P: WaitPolicy<A> = SpinPolicy> {
     /// Low 32 bits: owner (now serving); high 32 bits: next free ticket.
     /// A single word keeps `try_lock` a single CAS.
     state: A::U64,
+    policy: P,
 }
 
 const OWNER_MASK: u64 = 0xffff_ffff;
@@ -34,15 +40,22 @@ impl TicketLock {
     pub const fn new() -> Self {
         TicketLock {
             state: AtomicU64::new(0),
+            policy: SpinPolicy,
         }
     }
 }
 
-impl<A: Atomics> TicketLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> TicketLock<A, P> {
     /// Creates an unlocked lock for any atomics family.
     pub fn new_in() -> Self {
+        Self::with_policy(P::default())
+    }
+
+    /// Creates an unlocked lock with an explicit admission policy instance.
+    pub fn with_policy(policy: P) -> Self {
         TicketLock {
             state: A::U64::new(0),
+            policy,
         }
     }
 
@@ -59,13 +72,13 @@ impl<A: Atomics> TicketLock<A> {
     }
 }
 
-impl<A: Atomics> Default for TicketLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> Default for TicketLock<A, P> {
     fn default() -> Self {
         Self::new_in()
     }
 }
 
-impl<A: Atomics> RawLock for TicketLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> RawLock for TicketLock<A, P> {
     type Node = ();
     const NAME: &'static str = "Ticket";
 
@@ -77,9 +90,10 @@ impl<A: Atomics> RawLock for TicketLock<A> {
         }
         // Proportional backoff: wait longer the further our ticket is from
         // the currently served one (the pace callback reads the distance the
-        // last poll observed).
+        // last poll observed). The admission wait goes through the policy;
+        // `SpinPolicy` monomorphises back to `A::spin_until_paced`.
         let distance = Cell::new(1u64);
-        A::spin_until_paced(
+        self.policy.wait_paced(
             || {
                 let s = self.state.load(Ordering::Acquire);
                 distance.set(ticket.saturating_sub(s & OWNER_MASK).max(1));
@@ -101,7 +115,7 @@ impl<A: Atomics> RawLock for TicketLock<A> {
     }
 }
 
-impl<A: Atomics> RawTryLock for TicketLock<A> {
+impl<A: Atomics, P: WaitPolicy<A>> RawTryLock for TicketLock<A, P> {
     unsafe fn try_lock(&self, _node: &()) -> bool {
         let s = self.state.load(Ordering::Relaxed);
         let owner = s & OWNER_MASK;

@@ -1,4 +1,7 @@
-use modelcheck::suite::{self, ModelClh, ModelCna, ModelMcs, ModelTicket};
+use modelcheck::suite::{
+    self, ModelCBoMcs, ModelClh, ModelCna, ModelFissile, ModelHbo, ModelHmcs, ModelMcs, ModelMcscr,
+    ModelTicket,
+};
 use modelcheck::Config;
 
 fn main() {
@@ -23,6 +26,53 @@ fn main() {
         (
             "cna",
             suite::audit(&cfg, &suite::raw_lock_scenario::<ModelCna>("cna", 2, 1)),
+        ),
+        // The cohort family: the shared MCS local layer (cohort.rs) under
+        // C-BO-MCS, plus the fused hierarchical queue (hmcs.rs) and the
+        // backoff word (hbo.rs). Two iterations reach the local-pass and
+        // global-release arms, where the successor spin loads live.
+        (
+            "c-bo-mcs",
+            suite::audit(
+                &cfg,
+                &suite::raw_lock_scenario::<ModelCBoMcs>("c-bo-mcs", 2, 2),
+            ),
+        ),
+        (
+            "hmcs",
+            suite::audit(&cfg, &suite::raw_lock_scenario::<ModelHmcs>("hmcs", 2, 2)),
+        ),
+        (
+            "hbo",
+            suite::audit(&cfg, &suite::raw_lock_scenario::<ModelHbo>("hbo", 2, 1)),
+        ),
+        // Same-socket runs: only these reach the cohort-family *local*
+        // layer (successor spins under a same-socket hand-off).
+        (
+            "c-bo-mcs/local",
+            suite::audit(
+                &cfg,
+                &suite::raw_lock_scenario_same_socket::<ModelCBoMcs>("c-bo-mcs-local", 2, 2),
+            ),
+        ),
+        (
+            "hmcs/local",
+            suite::audit(
+                &cfg,
+                &suite::raw_lock_scenario_same_socket::<ModelHmcs>("hmcs-local", 2, 2),
+            ),
+        ),
+        // The admission-layer newcomers ride the same audit.
+        (
+            "fissile",
+            suite::audit(
+                &cfg,
+                &suite::raw_lock_scenario::<ModelFissile>("fissile", 2, 2),
+            ),
+        ),
+        (
+            "mcscr",
+            suite::audit(&cfg, &suite::raw_lock_scenario::<ModelMcscr>("mcscr", 2, 2)),
         ),
     ] {
         println!("== {name}");

@@ -10,8 +10,8 @@
 
 use cna::raw::{AlwaysFlushParams, CnaLock, NeverFlushParams, PaperParams, TunableCnaLock};
 use locks::{
-    CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, HboLock, HmcsLock, McsLock,
-    PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
+    CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, FissileLock, HboLock, HmcsLock, McsCrLock,
+    McsLock, PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
 };
 use numa_topology::SocketOverrideGuard;
 use sync_core::erased::DynLock;
@@ -58,6 +58,48 @@ where
             // SAFETY: the node is owned by the scenario state, pinned for
             // the whole execution, and used by this thread only.
             unsafe {
+                s.lock.lock(&s.nodes[env.tid]);
+                {
+                    let _cs = s.cs.enter();
+                    s.counter.with(|c| *c += 1);
+                }
+                s.lock.unlock(&s.nodes[env.tid]);
+            }
+        }
+    })
+    .finale(move |s| {
+        s.counter.read(|c| {
+            assert_eq!(*c, threads * iters, "critical-section update lost");
+        })
+    })
+}
+
+/// Like [`raw_lock_scenario`], but with every thread pinned to socket 0.
+///
+/// The cohort family's local layer (same-socket hand-off, the successor
+/// spins in `cohort.rs` / the leaf level of `hmcs.rs`) is unreachable when
+/// the default scenario spreads two model threads across two sockets; this
+/// variant drives exactly those paths for the mutation audit.
+pub fn raw_lock_scenario_same_socket<L>(
+    name: &str,
+    threads: usize,
+    iters: usize,
+) -> Scenario<'static, RawState<L>>
+where
+    L: RawLock + 'static,
+{
+    Scenario::new(name, move || RawState {
+        lock: L::default(),
+        nodes: (0..threads).map(|_| L::Node::default()).collect(),
+        cs: CriticalSection::new(),
+        counter: Data::new(0),
+    })
+    .threads(threads, move |s: &RawState<L>, env| {
+        cna::rng::reseed(env.seed);
+        let _socket = SocketOverrideGuard::new(0);
+        // SAFETY: as in `raw_lock_scenario`.
+        unsafe {
+            for _ in 0..iters {
                 s.lock.lock(&s.nodes[env.tid]);
                 {
                     let _cs = s.cs.enter();
@@ -170,6 +212,35 @@ pub type ModelCnaOpt = TunableCnaLock<ModelAtomics>;
 pub type ModelTtasBackoff = TtasBackoffLock<ModelAtomics>;
 /// HBO under the model family (single word, no per-socket allocation).
 pub type ModelHbo = HboLock<ModelAtomics>;
+/// Fissile under the model family (TS fast path + MCS slow path).
+pub type ModelFissile = FissileLock<ModelAtomics>;
+
+/// MCSCR under the model family, pinned to recirculate a passive waiter on
+/// *every* release so exploration reaches the cull/promote/recirculate paths
+/// within a handful of acquisitions (the production cadence of 64 would keep
+/// the bounded tree on the plain-MCS paths only).
+pub struct ModelMcscr(McsCrLock<ModelAtomics>);
+
+impl Default for ModelMcscr {
+    fn default() -> Self {
+        ModelMcscr(McsCrLock::with_recirc_every(1))
+    }
+}
+
+impl RawLock for ModelMcscr {
+    type Node = <McsCrLock<ModelAtomics> as RawLock>::Node;
+    const NAME: &'static str = <McsCrLock<ModelAtomics> as RawLock>::NAME;
+
+    unsafe fn lock(&self, node: &Self::Node) {
+        // SAFETY: forwarded contract.
+        unsafe { self.0.lock(node) }
+    }
+
+    unsafe fn unlock(&self, node: &Self::Node) {
+        // SAFETY: forwarded contract.
+        unsafe { self.0.unlock(node) }
+    }
+}
 
 /// Declares a model wrapper for a topology-sized lock, pinned to a fixed
 /// socket count and hand-over budget so exploration is identical on any host
@@ -255,6 +326,8 @@ pub fn run_smoke(name: &str, threads: usize) -> u64 {
         "c-tkt-tkt" => go::<ModelCTktTkt>(name, threads),
         "c-ptl-tkt" => go::<ModelCPtlTkt>(name, threads),
         "hmcs" => go::<ModelHmcs>(name, threads),
+        "fissile" => go::<ModelFissile>(name, threads),
+        "mcscr" => go::<ModelMcscr>(name, threads),
         other => panic!("unknown smoke scenario {other:?}"),
     }
 }
@@ -276,6 +349,8 @@ pub const SMOKE_LOCKS: &[&str] = &[
     "c-tkt-tkt",
     "c-ptl-tkt",
     "hmcs",
+    "fissile",
+    "mcscr",
 ];
 
 /// The verdict of mutating one ordering site to `Relaxed`.
@@ -448,6 +523,48 @@ mod tests {
         let r = explore(
             &quick("hmcs2"),
             &raw_lock_scenario::<ModelHmcs>("hmcs", 2, 1),
+        );
+        r.assert_ok();
+    }
+
+    #[test]
+    fn fissile_two_threads_holds_mutual_exclusion() {
+        let r = explore(
+            &quick("fissile2"),
+            &raw_lock_scenario::<ModelFissile>("fissile", 2, 1),
+        );
+        r.assert_ok();
+        assert!(r.schedules > 1);
+    }
+
+    #[test]
+    fn fissile_two_threads_two_iters_reaches_the_queue_paths() {
+        // One acquisition each can resolve entirely on the TS fast path;
+        // two iterations force queue traffic and the head handoff.
+        let r = explore(
+            &quick("fissile2x2"),
+            &raw_lock_scenario::<ModelFissile>("fissile", 2, 2),
+        );
+        r.assert_ok();
+    }
+
+    #[test]
+    fn mcscr_two_threads_holds_mutual_exclusion() {
+        let r = explore(
+            &quick("mcscr2"),
+            &raw_lock_scenario::<ModelMcscr>("mcscr", 2, 1),
+        );
+        r.assert_ok();
+        assert!(r.schedules > 1);
+    }
+
+    #[test]
+    fn mcscr_two_threads_two_iters_reaches_recirculation() {
+        // recirc_every is pinned to 1 in ModelMcscr, so repeated releases
+        // drive the cull/promote/recirculate paths inside the bounded tree.
+        let r = explore(
+            &quick("mcscr2x2"),
+            &raw_lock_scenario::<ModelMcscr>("mcscr", 2, 2),
         );
         r.assert_ok();
     }

@@ -29,6 +29,13 @@ pub struct CostModel {
     /// Extra cost charged by CNA-style policies for restructuring the wait
     /// queue (moving waiters to/from the secondary queue) per moved waiter.
     pub queue_shuffle_ns: u64,
+    /// Scheduler-quantum-scale penalty underlying the oversubscription
+    /// regime: when runnable threads (holder + hot spinners) exceed the
+    /// machine's logical CPUs, each hand-over is charged a slice of this
+    /// (the probability the next holder is preempted off-CPU times the wait
+    /// to be rescheduled). Locks that park excess waiters keep their
+    /// runnable set under the CPU count and never pay it.
+    pub preemption_ns: u64,
 }
 
 impl Default for CostModel {
@@ -48,6 +55,7 @@ impl CostModel {
             local_line_ns: 6,
             remote_line_ns: 60,
             queue_shuffle_ns: 12,
+            preemption_ns: 20_000,
         }
     }
 
@@ -63,6 +71,7 @@ impl CostModel {
             local_line_ns: 6,
             remote_line_ns: 95,
             queue_shuffle_ns: 12,
+            preemption_ns: 20_000,
         }
     }
 
@@ -90,6 +99,25 @@ impl CostModel {
     pub fn is_remote(&self, owner_socket: usize, accessor_socket: usize) -> bool {
         owner_socket != accessor_socket
     }
+
+    /// Oversubscription penalty charged per hand-over when `runnable`
+    /// threads (holder + hot spinners) compete for `cpus` logical CPUs.
+    ///
+    /// The fraction of runnable threads that are off-CPU at any moment is
+    /// `(runnable - cpus) / runnable`; that is the probability the next
+    /// holder must first be scheduled back in, costing [`preemption_ns`]
+    /// (a descheduling-wait on the scale of a scheduler quantum slice).
+    /// Zero whenever `runnable <= cpus`, so experiments at or below the
+    /// machine's CPU count are unaffected.
+    ///
+    /// [`preemption_ns`]: CostModel::preemption_ns
+    pub fn oversubscription_penalty_ns(&self, runnable: usize, cpus: usize) -> u64 {
+        if runnable <= cpus || runnable == 0 {
+            return 0;
+        }
+        let off_cpu = (runnable - cpus) as u64;
+        self.preemption_ns * off_cpu / runnable as u64
+    }
 }
 
 #[cfg(test)]
@@ -110,6 +138,20 @@ mod tests {
         let four = CostModel::four_socket_xeon();
         assert!(four.remote_line_ns > two.remote_line_ns);
         assert!(four.remote_handover_ns > two.remote_handover_ns);
+    }
+
+    #[test]
+    fn oversubscription_penalty_is_zero_at_or_below_the_cpu_count() {
+        let m = CostModel::default();
+        assert_eq!(m.oversubscription_penalty_ns(0, 72), 0);
+        assert_eq!(m.oversubscription_penalty_ns(72, 72), 0);
+        assert_eq!(m.oversubscription_penalty_ns(1, 1), 0);
+        // 8x oversubscription: 7/8 of runnable threads are off-CPU.
+        let p = m.oversubscription_penalty_ns(576, 72);
+        assert_eq!(p, m.preemption_ns * 504 / 576);
+        assert!(p > m.remote_handover_ns * 10, "penalty must dominate");
+        // Monotone in runnable.
+        assert!(m.oversubscription_penalty_ns(144, 72) < p);
     }
 
     #[test]

@@ -136,7 +136,11 @@ impl<'a> Engine<'a> {
             .locks
             .iter()
             .map(|spec| LockState {
-                model: sim.algorithm.build(sim.machine.sockets, &sim.cost),
+                model: sim.algorithm.build(
+                    sim.machine.sockets,
+                    sim.machine.logical_cpus(),
+                    &sim.cost,
+                ),
                 held: false,
                 holder_socket: 0,
                 last_holder_socket: 0,
@@ -297,7 +301,15 @@ impl<'a> Engine<'a> {
                     self.remote_transfers += 1;
                 }
                 state.stats.wait_time_ns += now.saturating_sub(self.threads[t].waiting_since);
-                cost.handover_ns(from, socket) + cost.contended_overhead_ns
+                // Oversubscription: the next holder may have been preempted
+                // off-CPU while spinning. Only *hot* spinners (the model's
+                // `spinning()` set) plus the new holder compete for CPUs;
+                // admission-restricting policies keep this under the machine
+                // size and never pay the penalty.
+                let runnable = state.model.spinning() + 1;
+                cost.handover_ns(from, socket)
+                    + cost.contended_overhead_ns
+                    + cost.oversubscription_penalty_ns(runnable, self.sim.machine.logical_cpus())
             }
             None => {
                 state.stats.uncontended += 1;
@@ -567,6 +579,8 @@ mod tests {
             LockAlgorithm::CTktTkt,
             LockAlgorithm::CPtlTkt,
             LockAlgorithm::Hmcs,
+            LockAlgorithm::Fissile,
+            LockAlgorithm::Mcscr,
         ] {
             let r = run(algo, 8, MachineConfig::two_socket_paper());
             assert!(
@@ -584,5 +598,55 @@ mod tests {
                 assert!(r.ops_per_thread.iter().all(|&o| o > 0), "{}", algo.name());
             }
         }
+    }
+
+    #[test]
+    fn oversubscription_collapses_mcs_but_not_the_culling_lock() {
+        // 8x oversubscription of the 72-CPU paper machine: plain MCS keeps
+        // every waiter spinning hot, so each hand-over pays the preemption
+        // penalty; MCSCR parks excess waiters on the passive list and keeps
+        // its runnable set below the CPU count.
+        let machine = MachineConfig::two_socket_paper();
+        let cpus = machine.logical_cpus();
+        let tp = |algo, threads| run(algo, threads, machine.clone()).throughput_ops_per_us();
+
+        let mcs_1x = tp(LockAlgorithm::Mcs, cpus);
+        let mcs_8x = tp(LockAlgorithm::Mcs, cpus * 8);
+        assert!(
+            mcs_8x < mcs_1x * 0.25,
+            "MCS should collapse under oversubscription: 1x {mcs_1x:.2}, 8x {mcs_8x:.2}"
+        );
+
+        let cr_1x = tp(LockAlgorithm::Mcscr, cpus);
+        let cr_8x = tp(LockAlgorithm::Mcscr, cpus * 8);
+        assert!(
+            cr_8x > cr_1x * 0.9,
+            "MCSCR should hold within 10% of its 1x throughput: 1x {cr_1x:.2}, 8x {cr_8x:.2}"
+        );
+        assert!(
+            cr_8x > mcs_8x * 2.0,
+            "MCSCR ({cr_8x:.2}) should clearly beat MCS ({mcs_8x:.2}) at 8x"
+        );
+    }
+
+    #[test]
+    fn at_or_below_the_cpu_count_the_penalty_changes_nothing() {
+        // The oversubscription term must be exactly zero when the thread
+        // count fits the machine, so all calibrated anchors are untouched.
+        let machine = MachineConfig::two_socket_paper();
+        let r = run(LockAlgorithm::Mcs, 32, machine.clone());
+        let mut zero_penalty_cost = CostModel::two_socket_xeon();
+        zero_penalty_cost.preemption_ns = 0;
+        let baseline = Simulation::new(
+            machine,
+            zero_penalty_cost,
+            LockAlgorithm::Mcs,
+            Workload::kv_map_no_external_work(),
+        )
+        .threads(32)
+        .virtual_duration_ms(5)
+        .seed(42)
+        .run();
+        assert_eq!(r.total_ops, baseline.total_ops);
     }
 }

@@ -61,6 +61,16 @@ pub trait LockModel: Send {
     /// Number of waiting threads.
     fn waiting(&self) -> usize;
 
+    /// Number of waiting threads that are *spinning hot* (burning a CPU
+    /// while they wait). For every classic lock this is all of them; locks
+    /// that restrict concurrency (MCSCR's passive list) report only their
+    /// active set, which is what shields them from the oversubscription
+    /// preemption penalty the engines charge when runnable threads exceed
+    /// simulated CPUs.
+    fn spinning(&self) -> usize {
+        self.waiting()
+    }
+
     /// Number of times the policy restructured its queues (CNA's "main queue
     /// alterations" statistic discussed with the shuffle-reduction
     /// optimisation).
@@ -102,6 +112,12 @@ pub enum LockAlgorithm {
     CPtlTkt,
     /// Two-level hierarchical MCS (HMCS).
     Hmcs,
+    /// Fissile lock (Dice & Kogan 2020): MCS queue with a TS fast path that
+    /// lets arrivals barge past the queue.
+    Fissile,
+    /// Concurrency-restricting MCS (Dice & Kogan 2019): excess waiters are
+    /// parked on a passive list and stop spinning.
+    Mcscr,
 }
 
 impl LockAlgorithm {
@@ -119,6 +135,8 @@ impl LockAlgorithm {
             LockAlgorithm::CTktTkt => "C-TKT-TKT",
             LockAlgorithm::CPtlTkt => "C-PTL-TKT",
             LockAlgorithm::Hmcs => "HMCS",
+            LockAlgorithm::Fissile => "Fissile",
+            LockAlgorithm::Mcscr => "MCSCR",
         }
     }
 
@@ -132,8 +150,10 @@ impl LockAlgorithm {
         ]
     }
 
-    /// Builds the policy model for a machine with `sockets` sockets.
-    pub fn build(self, sockets: usize, cost: &CostModel) -> Box<dyn LockModel> {
+    /// Builds the policy model for a machine with `sockets` sockets and
+    /// `cpus` logical CPUs in total (concurrency-restricting locks size
+    /// their active set off the CPU count).
+    pub fn build(self, sockets: usize, cpus: usize, cost: &CostModel) -> Box<dyn LockModel> {
         match self {
             LockAlgorithm::Mcs => Box::new(FifoModel::new("MCS")),
             LockAlgorithm::Ticket => Box::new(FifoModel::new("Ticket")),
@@ -170,6 +190,12 @@ impl LockAlgorithm {
                 sockets,
                 64,
                 GlobalDiscipline::RoundRobin,
+            )),
+            LockAlgorithm::Fissile => Box::new(FissileModel::new("Fissile", 0.2)),
+            LockAlgorithm::Mcscr => Box::new(McscrModel::new(
+                "MCSCR",
+                cpus.saturating_sub(1).max(1),
+                cost.queue_shuffle_ns,
             )),
         }
     }
@@ -582,6 +608,132 @@ impl LockModel for CohortModel {
     }
 }
 
+// ---------------------------------------------------------------------------
+// Fissile (TS fast path over an MCS slow path)
+// ---------------------------------------------------------------------------
+
+/// Fissile admission: mostly FIFO (the MCS queue crowd-controls waiters),
+/// but with some probability the *newest* arrival wins the TS race instead —
+/// the barging fast path. Every waiter still spins (the queue spins locally,
+/// the head and bargers spin on the TS word), so Fissile enjoys cheap
+/// hand-overs but is not shielded from oversubscription.
+#[derive(Debug)]
+pub struct FissileModel {
+    name: &'static str,
+    queue: VecDeque<Waiter>,
+    /// Probability that a barging arrival beats the queue head.
+    barge_probability: f64,
+}
+
+impl FissileModel {
+    /// Creates a Fissile model with the given barge probability.
+    pub fn new(name: &'static str, barge_probability: f64) -> Self {
+        FissileModel {
+            name,
+            queue: VecDeque::new(),
+            barge_probability,
+        }
+    }
+}
+
+impl LockModel for FissileModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn on_arrival(&mut self, waiter: Waiter) {
+        self.queue.push_back(waiter);
+    }
+    fn pick_next(&mut self, _releaser_socket: usize, rng: &mut SimRng) -> Option<Grant> {
+        if self.queue.len() > 1 && rng.chance(self.barge_probability) {
+            // The newest arrival wins the TS race before the queue head
+            // notices the word went free.
+            return self.queue.pop_back().map(|waiter| Grant {
+                waiter,
+                extra_ns: 0,
+            });
+        }
+        self.queue.pop_front().map(|waiter| Grant {
+            waiter,
+            extra_ns: 0,
+        })
+    }
+    fn has_waiters(&self) -> bool {
+        !self.queue.is_empty()
+    }
+    fn waiting(&self) -> usize {
+        self.queue.len()
+    }
+}
+
+// ---------------------------------------------------------------------------
+// MCSCR (concurrency-restricting MCS)
+// ---------------------------------------------------------------------------
+
+/// MCSCR admission: FIFO over a bounded *active* set; arrivals beyond the
+/// bound go to a passive list (they stop spinning) and are promoted back
+/// into the active set one per grant, preserving overall FIFO order. The
+/// promotion is the modelled cost of the real lock's cull/recirculate queue
+/// surgery.
+#[derive(Debug)]
+pub struct McscrModel {
+    name: &'static str,
+    active: VecDeque<Waiter>,
+    passive: VecDeque<Waiter>,
+    max_active: usize,
+    /// Queue-surgery cost charged when a passive waiter is promoted.
+    promote_ns: u64,
+}
+
+impl McscrModel {
+    /// Creates an MCSCR model admitting at most `max_active` hot spinners.
+    pub fn new(name: &'static str, max_active: usize, promote_ns: u64) -> Self {
+        McscrModel {
+            name,
+            active: VecDeque::new(),
+            passive: VecDeque::new(),
+            max_active: max_active.max(1),
+            promote_ns,
+        }
+    }
+}
+
+impl LockModel for McscrModel {
+    fn name(&self) -> &'static str {
+        self.name
+    }
+    fn on_arrival(&mut self, waiter: Waiter) {
+        if self.active.len() < self.max_active {
+            self.active.push_back(waiter);
+        } else {
+            self.passive.push_back(waiter);
+        }
+    }
+    fn pick_next(&mut self, _releaser_socket: usize, _rng: &mut SimRng) -> Option<Grant> {
+        let granted = self.active.pop_front().or_else(|| self.passive.pop_front());
+        granted.map(|waiter| {
+            // Refill the freed active slot from the passive list (FIFO), and
+            // charge the hand-over for the queue surgery if we did.
+            let mut extra_ns = 0;
+            if self.active.len() < self.max_active {
+                if let Some(promoted) = self.passive.pop_front() {
+                    self.active.push_back(promoted);
+                    extra_ns = self.promote_ns;
+                }
+            }
+            Grant { waiter, extra_ns }
+        })
+    }
+    fn has_waiters(&self) -> bool {
+        !self.active.is_empty() || !self.passive.is_empty()
+    }
+    fn waiting(&self) -> usize {
+        self.active.len() + self.passive.len()
+    }
+    fn spinning(&self) -> usize {
+        self.active.len()
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -705,6 +857,46 @@ mod tests {
     }
 
     #[test]
+    fn mcscr_restricts_spinning_to_the_active_set_but_stays_fifo() {
+        let mut m = McscrModel::new("MCSCR", 3, 12);
+        let mut rng = SimRng::new(11);
+        for i in 0..8 {
+            m.on_arrival(waiter(i, i % 2, i as u64));
+        }
+        assert_eq!(m.waiting(), 8);
+        assert_eq!(m.spinning(), 3, "only the active set spins");
+        let mut order = Vec::new();
+        let mut promoted_cost = 0;
+        while let Some(g) = m.pick_next(0, &mut rng) {
+            order.push(g.waiter.thread);
+            promoted_cost += g.extra_ns;
+        }
+        assert_eq!(order, vec![0, 1, 2, 3, 4, 5, 6, 7], "promotion keeps FIFO");
+        assert!(promoted_cost > 0, "promotions charge queue-surgery cost");
+        assert_eq!(m.spinning(), 0);
+    }
+
+    #[test]
+    fn fissile_barges_sometimes_but_everyone_is_served() {
+        let mut m = FissileModel::new("Fissile", 0.5);
+        let mut rng = SimRng::new(13);
+        let mut barged = 0;
+        for round in 0..200u64 {
+            for i in 0..4 {
+                m.on_arrival(waiter(i, 0, round * 10 + i as u64));
+            }
+            let first = m.pick_next(0, &mut rng).unwrap().waiter.thread;
+            if first == 3 {
+                barged += 1;
+            }
+            while m.pick_next(0, &mut rng).is_some() {}
+            assert!(!m.has_waiters());
+        }
+        assert!(barged > 20, "barging path never taken ({barged}/200)");
+        assert!(barged < 180, "FIFO path never taken ({barged}/200)");
+    }
+
+    #[test]
     fn every_algorithm_builds_and_reports_a_name() {
         let cost = CostModel::default();
         for algo in [
@@ -718,8 +910,10 @@ mod tests {
             LockAlgorithm::CTktTkt,
             LockAlgorithm::CPtlTkt,
             LockAlgorithm::Hmcs,
+            LockAlgorithm::Fissile,
+            LockAlgorithm::Mcscr,
         ] {
-            let model = algo.build(4, &cost);
+            let model = algo.build(4, 8, &cost);
             assert!(!model.name().is_empty());
             assert!(!model.has_waiters());
             assert_eq!(algo.name(), model.name());

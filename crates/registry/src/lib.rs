@@ -38,8 +38,8 @@ use std::str::FromStr;
 use cna::raw::CnaLockOpt;
 use cna::CnaLock;
 use locks::{
-    CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, HboLock, HmcsLock, McsLock,
-    PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
+    CBoMcsLock, CPtlTktLock, CTktTktLock, ClhLock, FissileLock, HboLock, HmcsLock, McsCrLock,
+    McsLock, PartitionedTicketLock, TestAndSetLock, TicketLock, TtasBackoffLock,
 };
 use numa_sim::lock_model::LockAlgorithm;
 use qspinlock::{CnaQSpinLock, StockQSpinLock};
@@ -85,6 +85,10 @@ pub enum LockId {
     QSpinStock,
     /// Kernel qspinlock with the paper's CNA slow path.
     QSpinCna,
+    /// Fissile lock: TS fast path over an MCS slow path (admission family).
+    Fissile,
+    /// Concurrency-restricting MCS: bounded active set, passive list.
+    Mcscr,
 }
 
 /// Long-term fairness guarantee of a lock's hand-over policy — the paper's
@@ -145,7 +149,7 @@ impl std::error::Error for UnknownLockError {}
 
 impl LockId {
     /// All registered algorithms, in the order `lockbench list` prints them.
-    pub const ALL: [LockId; 15] = [
+    pub const ALL: [LockId; 17] = [
         LockId::Tas,
         LockId::TtasBackoff,
         LockId::Ticket,
@@ -161,6 +165,8 @@ impl LockId {
         LockId::CnaOpt,
         LockId::QSpinStock,
         LockId::QSpinCna,
+        LockId::Fissile,
+        LockId::Mcscr,
     ];
 
     /// Canonical, unique, parseable name (the `lockbench --lock` token).
@@ -181,6 +187,8 @@ impl LockId {
             LockId::CnaOpt => "cna-opt",
             LockId::QSpinStock => "qspinlock-stock",
             LockId::QSpinCna => "qspinlock-cna",
+            LockId::Fissile => "fissile",
+            LockId::Mcscr => "mcscr",
         }
     }
 
@@ -204,6 +212,8 @@ impl LockId {
             LockId::CnaOpt => "CNA (opt)",
             LockId::QSpinStock => "stock",
             LockId::QSpinCna => "CNA",
+            LockId::Fissile => "Fissile",
+            LockId::Mcscr => "MCSCR",
         }
     }
 
@@ -225,6 +235,8 @@ impl LockId {
             LockId::CnaOpt => "CNA with the §6 shuffle-reduction optimisation",
             LockId::QSpinStock => "4-byte kernel qspinlock, stock MCS slow path",
             LockId::QSpinCna => "4-byte kernel qspinlock, CNA slow path (the paper's patch)",
+            LockId::Fissile => "Fissile lock: TS fast path + MCS slow path, bounded barging",
+            LockId::Mcscr => "concurrency-restricting MCS (bounded active set, passive list)",
         }
     }
 
@@ -235,7 +247,10 @@ impl LockId {
         !matches!(
             self,
             LockId::CBoMcs | LockId::CTktTkt | LockId::CPtlTkt | LockId::Hmcs
-        ) && !matches!(self, LockId::PartitionedTicket)
+        ) && !matches!(
+            self,
+            LockId::PartitionedTicket | LockId::Fissile | LockId::Mcscr
+        )
     }
 
     /// Expected size of the lock struct in bytes — the paper's compactness
@@ -256,8 +271,10 @@ impl LockId {
             | LockId::Hbo
             | LockId::Cna
             | LockId::CnaOpt => 8,
+            LockId::Fissile => 16,
             LockId::PartitionedTicket | LockId::CBoMcs => 24,
             LockId::CTktTkt | LockId::Hmcs => 32,
+            LockId::Mcscr => 40,
             LockId::CPtlTkt => 48,
         }
     }
@@ -265,7 +282,9 @@ impl LockId {
     /// The long-term fairness guarantee of the hand-over policy (§4).
     pub const fn fairness_class(self) -> FairnessClass {
         match self {
-            LockId::Tas | LockId::TtasBackoff | LockId::Hbo => FairnessClass::None,
+            LockId::Tas | LockId::TtasBackoff | LockId::Hbo | LockId::Fissile => {
+                FairnessClass::None
+            }
             LockId::Ticket
             | LockId::PartitionedTicket
             | LockId::Clh
@@ -274,7 +293,12 @@ impl LockId {
             LockId::CBoMcs | LockId::CTktTkt | LockId::CPtlTkt | LockId::Hmcs => {
                 FairnessClass::CohortBounded
             }
-            LockId::Cna | LockId::CnaOpt | LockId::QSpinCna => FairnessClass::EpochBounded,
+            // MCSCR recirculates passive waiters back into the active set on
+            // a fixed release cadence — long-term (not short-term) fairness,
+            // structurally the same guarantee CNA's epochs give.
+            LockId::Cna | LockId::CnaOpt | LockId::QSpinCna | LockId::Mcscr => {
+                FairnessClass::EpochBounded
+            }
         }
     }
 
@@ -305,6 +329,7 @@ impl LockId {
                 | LockId::Hbo
                 | LockId::QSpinStock
                 | LockId::QSpinCna
+                | LockId::Fissile
         )
     }
 
@@ -350,6 +375,8 @@ impl LockId {
             LockId::CnaOpt => DynLock::new::<CnaLockOpt>(),
             LockId::QSpinStock => DynLock::new_try::<StockQSpinLock>(),
             LockId::QSpinCna => DynLock::new_try::<CnaQSpinLock>(),
+            LockId::Fissile => DynLock::new_try::<FissileLock>(),
+            LockId::Mcscr => DynLock::new::<McsCrLock>(),
         }
     }
 
@@ -372,6 +399,8 @@ impl LockId {
             LockId::Hmcs => LockAlgorithm::Hmcs,
             LockId::Cna | LockId::QSpinCna => LockAlgorithm::Cna,
             LockId::CnaOpt => LockAlgorithm::CnaOpt,
+            LockId::Fissile => LockAlgorithm::Fissile,
+            LockId::Mcscr => LockAlgorithm::Mcscr,
         }
     }
 
@@ -393,6 +422,7 @@ impl LockId {
             "cna-sr" | "cnaopt" => Ok(LockId::CnaOpt),
             "stock" | "qspinlock" => Ok(LockId::QSpinStock),
             "qspinlock-opt" => Ok(LockId::QSpinCna),
+            "cr" | "mcs-cr" => Ok(LockId::Mcscr),
             _ => Err(UnknownLockError {
                 name: name.to_string(),
             }),
@@ -517,6 +547,8 @@ mod tests {
                 "qspinlock::CnaQSpinLock",
                 TypeId::of::<qspinlock::CnaQSpinLock>(),
             ),
+            ("locks::FissileLock", TypeId::of::<locks::FissileLock>()),
+            ("locks::McsCrLock", TypeId::of::<locks::McsCrLock>()),
         ];
         let registered: Vec<TypeId> = LockId::ALL
             .iter()
@@ -563,7 +595,7 @@ mod tests {
         let cost = numa_sim::CostModel::default();
         for id in LockId::ALL {
             let algo = id.sim_algorithm();
-            let model = algo.build(4, &cost);
+            let model = algo.build(4, 8, &cost);
             assert!(
                 !model.name().is_empty(),
                 "{id}: sim model has an empty name"
@@ -637,6 +669,9 @@ mod tests {
         assert!(LockId::CBoMcs.is_model_checked());
         assert!(LockId::Hmcs.is_model_checked());
         assert!(LockId::Hbo.is_model_checked());
+        // The admission-family locks are generic over `Atomics` like the rest.
+        assert!(LockId::Fissile.is_model_checked());
+        assert!(LockId::Mcscr.is_model_checked());
         // The qspinlocks use a global per-CPU node table and cannot be
         // instantiated with an instrumented atomic family.
         assert!(!LockId::QSpinStock.is_model_checked());
@@ -646,7 +681,7 @@ mod tests {
                 .iter()
                 .filter(|id| id.is_model_checked())
                 .count(),
-            13
+            15
         );
     }
 
@@ -693,14 +728,28 @@ mod tests {
         assert_eq!(LockId::Hmcs.fairness_class(), CohortBounded);
         assert_eq!(LockId::Cna.fairness_class(), EpochBounded);
         assert_eq!(LockId::QSpinCna.fairness_class(), EpochBounded);
-        // Every NUMA-aware lock trades strict FIFO away; every FIFO lock is
-        // NUMA-oblivious.
+        // The admission family trades FIFO for throughput: Fissile barges
+        // (unordered, starvation bounded only by the handoff bit), MCSCR
+        // recirculates its passive list on a release cadence (epochal).
+        assert_eq!(LockId::Fissile.fairness_class(), None);
+        assert_eq!(LockId::Mcscr.fairness_class(), EpochBounded);
+        // Every NUMA-aware lock trades strict FIFO away, and a FIFO class
+        // always means a NUMA-oblivious lock. (The converse no longer holds:
+        // MCSCR is NUMA-oblivious yet epoch-bounded by recirculation.)
         for id in LockId::ALL {
-            assert_eq!(
-                id.fairness_class() == Fifo,
-                !id.is_numa_aware() && !matches!(id.fairness_class(), None),
-                "{id}: fairness class inconsistent with NUMA-awareness"
-            );
+            if id.is_numa_aware() {
+                assert_ne!(
+                    id.fairness_class(),
+                    Fifo,
+                    "{id}: NUMA-aware locks cannot be strictly FIFO"
+                );
+            }
+            if id.fairness_class() == Fifo {
+                assert!(
+                    !id.is_numa_aware(),
+                    "{id}: FIFO admission precludes NUMA preference"
+                );
+            }
         }
         assert_eq!(FairnessClass::EpochBounded.to_string(), "epoch-bounded");
     }

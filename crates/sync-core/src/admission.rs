@@ -1,0 +1,261 @@
+//! Waiting/admission policies: *who* is allowed to spin, and *how*.
+//!
+//! The CNA paper's lineage shows that the waiting discipline matters as much
+//! as the queue discipline: Fissile locks (Dice & Kogan, NETYS 2020) let
+//! arrivals barge on a test-and-set word while a queue crowd-controls the
+//! rest, and "Avoiding Scalability Collapse by Restricting Concurrency"
+//! (Dice & Kogan, EuroSys 2019) shows that once threads outnumber cores the
+//! winning move is to stop excess waiters from spinning at all. Before this
+//! module that decision was smeared across per-lock ad-hoc spin loops; now a
+//! lock's *admission wait* — the wait for its turn to enter the critical
+//! section, as opposed to short bounded protocol waits such as MCS's
+//! "successor is linking" window — is delegated to a [`WaitPolicy`].
+//!
+//! The default policy, [`SpinPolicy`], is a zero-sized type whose `wait` is
+//! exactly `A::spin_until(..)` — the call every lock made before the
+//! refactor — so `McsLock<StdAtomics>` (now `McsLock<StdAtomics,
+//! SpinPolicy>`) monomorphises to the same machine code as before.
+//!
+//! Policies compose with any [`Atomics`](crate::atomics::Atomics) family:
+//! they route all waiting through `A::spin_until`/`A::spin_until_paced`, so
+//! under the model checker the waiting thread parks deterministically instead
+//! of diverging, no matter which policy is plugged in.
+
+use std::fmt::Debug;
+use std::sync::atomic::Ordering;
+
+use crate::atomics::{AtomicAdd, AtomicCell, Atomics, StdAtomics};
+use crate::spin::Backoff;
+
+/// How a lock waits for admission to the critical section.
+///
+/// Locks hold a policy instance as a field (zero-sized for [`SpinPolicy`])
+/// and call [`WaitPolicy::wait`] — or [`WaitPolicy::wait_paced`] for locks
+/// that supply their own pacing action, like the ticket lock's proportional
+/// backoff — instead of calling `A::spin_until` directly.
+pub trait WaitPolicy<A: Atomics = StdAtomics>: Debug + Default + Send + Sync + 'static {
+    /// Blocks until `ready` returns `true`.
+    ///
+    /// The default is the pre-refactor behavior: a polite busy-wait via
+    /// [`Atomics::spin_until`].
+    fn wait(&self, ready: impl FnMut() -> bool) {
+        A::spin_until(ready);
+    }
+
+    /// [`WaitPolicy::wait`] with a lock-supplied pacing action run between
+    /// polls (e.g. the ticket lock's proportional backoff). Policies that
+    /// impose their own pacing may ignore `pace`.
+    fn wait_paced(&self, ready: impl FnMut() -> bool, pace: impl FnMut()) {
+        A::spin_until_paced(ready, pace);
+    }
+
+    /// Hook invoked by the lock once the waiter has been admitted (acquired
+    /// the lock). Default: nothing.
+    fn on_acquired(&self) {}
+
+    /// Hook invoked by the lock when the holder releases. Default: nothing.
+    fn on_released(&self) {}
+}
+
+/// The default policy: pure polite spinning, bit-for-bit the pre-refactor
+/// behavior (`wait` is exactly `A::spin_until`).
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpinPolicy;
+
+impl<A: Atomics> WaitPolicy<A> for SpinPolicy {}
+
+/// Spin-then-yield: spin a bounded window, then interleave scheduler yields
+/// using the existing [`Backoff`] pacing primitive.
+///
+/// This is the "spin-then-park" family realised with the pacing machinery
+/// the workspace already has (no OS parking primitive is introduced): once
+/// the backoff window saturates, every poll yields the CPU, so on an
+/// oversubscribed host waiters stop burning the holder's quantum.
+#[derive(Debug, Default, Clone, Copy)]
+pub struct SpinThenYieldPolicy;
+
+impl<A: Atomics> WaitPolicy<A> for SpinThenYieldPolicy {
+    fn wait(&self, ready: impl FnMut() -> bool) {
+        let mut backoff = Backoff::default_lock_backoff();
+        // Routed through the family's paced spin so the model checker parks
+        // instead of replaying the backoff loop; StdAtomics runs `pace`
+        // (which eventually yields) between polls.
+        A::spin_until_paced(ready, move || backoff.spin());
+    }
+
+    fn on_acquired(&self) {}
+}
+
+/// Culling policy: a bounded active set à la MCSCR (Dice & Kogan 2019).
+///
+/// At most `max_active` waiters spin hot at any moment; the rest poll
+/// lazily, yielding between polls, until either their condition holds or an
+/// active slot frees up. Unlike [`McsCrLock`]'s native passive list this is
+/// algorithm-agnostic: it bounds *spinning*, not queue membership, so it can
+/// be plugged into any queue lock (e.g. `McsLock<StdAtomics,
+/// CullingPolicy>`) without touching the queue protocol.
+///
+/// [`McsCrLock`]: ../../locks/mcscr/struct.McsCrLock.html
+#[derive(Debug)]
+pub struct CullingPolicy<A: Atomics = StdAtomics> {
+    /// Number of waiters currently admitted to spin hot.
+    active: A::Usize,
+    /// Bound on the hot-spinning set.
+    max_active: usize,
+}
+
+/// Default bound on hot spinners when the host's parallelism is unknown.
+const DEFAULT_ACTIVE_BOUND: usize = 8;
+
+impl<A: Atomics> Default for CullingPolicy<A> {
+    fn default() -> Self {
+        // Deterministic default (no host introspection): tests and the model
+        // checker see the same bound everywhere.
+        Self::with_bound(DEFAULT_ACTIVE_BOUND)
+    }
+}
+
+impl<A: Atomics> CullingPolicy<A> {
+    /// Creates a policy admitting at most `max_active` hot spinners
+    /// (clamped to at least 1).
+    pub fn with_bound(max_active: usize) -> Self {
+        CullingPolicy {
+            active: A::Usize::new(0),
+            max_active: max_active.max(1),
+        }
+    }
+
+    /// The configured active-set bound.
+    pub fn bound(&self) -> usize {
+        self.max_active
+    }
+
+    /// Number of hot spinners right now (diagnostics/tests).
+    pub fn active_now(&self) -> usize {
+        self.active.load(Ordering::Relaxed)
+    }
+
+    fn try_enter(&self) -> bool {
+        let cur = self.active.load(Ordering::Relaxed);
+        cur < self.max_active
+            && self
+                .active
+                .compare_exchange(cur, cur + 1, Ordering::AcqRel, Ordering::Relaxed)
+                .is_ok()
+    }
+
+    fn exit(&self) {
+        // Wrapping add of MAX == subtract one; the `Atomics` cell surface
+        // has no `fetch_sub`, and the counter never underflows because every
+        // `exit` pairs with a successful `try_enter`.
+        self.active.fetch_add(usize::MAX, Ordering::AcqRel);
+    }
+}
+
+impl<A: Atomics> WaitPolicy<A> for CullingPolicy<A> {
+    fn wait(&self, mut ready: impl FnMut() -> bool) {
+        // Fast path: condition already true (uncontended handoff).
+        if ready() {
+            return;
+        }
+        loop {
+            if self.try_enter() {
+                // Admitted: spin hot until ready, then free the slot.
+                A::spin_until(&mut ready);
+                self.exit();
+                return;
+            }
+            // Culled: poll lazily (yield every poll) until ready or until a
+            // slot frees. Routed through the paced family spin so the model
+            // checker parks instead of diverging.
+            let mut done = false;
+            A::spin_until_paced(
+                || {
+                    if ready() {
+                        done = true;
+                        return true;
+                    }
+                    self.active.load(Ordering::Relaxed) < self.max_active
+                },
+                std::thread::yield_now,
+            );
+            if done {
+                return;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::sync::atomic::{AtomicBool, AtomicUsize};
+    use std::sync::Arc;
+
+    #[test]
+    fn spin_policy_is_zero_sized() {
+        assert_eq!(std::mem::size_of::<SpinPolicy>(), 0);
+        assert_eq!(std::mem::size_of::<SpinThenYieldPolicy>(), 0);
+    }
+
+    #[test]
+    fn default_policy_waits_for_the_condition() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = flag.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            f.store(true, Ordering::Release);
+        });
+        let p = SpinPolicy;
+        WaitPolicy::<StdAtomics>::wait(&p, || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn spin_then_yield_policy_waits_for_the_condition() {
+        let flag = Arc::new(AtomicBool::new(false));
+        let f = flag.clone();
+        let h = std::thread::spawn(move || {
+            std::thread::sleep(std::time::Duration::from_millis(5));
+            f.store(true, Ordering::Release);
+        });
+        let p = SpinThenYieldPolicy;
+        WaitPolicy::<StdAtomics>::wait(&p, || flag.load(Ordering::Acquire));
+        h.join().unwrap();
+    }
+
+    #[test]
+    fn culling_policy_bounds_the_hot_set_and_releases_slots() {
+        let p: CullingPolicy = CullingPolicy::with_bound(1);
+        assert_eq!(p.bound(), 1);
+        // Uncontended: ready immediately, no slot taken.
+        WaitPolicy::<StdAtomics>::wait(&p, || true);
+        assert_eq!(p.active_now(), 0);
+        // Single waiter: takes and returns the slot.
+        let done = AtomicBool::new(true);
+        WaitPolicy::<StdAtomics>::wait(&p, || done.load(Ordering::Relaxed));
+        assert_eq!(p.active_now(), 0);
+    }
+
+    #[test]
+    fn culling_policy_admits_everyone_eventually() {
+        const THREADS: usize = 8;
+        let p: Arc<CullingPolicy> = Arc::new(CullingPolicy::with_bound(2));
+        let turn = Arc::new(AtomicUsize::new(0));
+        let handles: Vec<_> = (0..THREADS)
+            .map(|i| {
+                let p = Arc::clone(&p);
+                let turn = Arc::clone(&turn);
+                std::thread::spawn(move || {
+                    WaitPolicy::<StdAtomics>::wait(&*p, || turn.load(Ordering::Acquire) == i);
+                    turn.store(i + 1, Ordering::Release);
+                })
+            })
+            .collect();
+        for h in handles {
+            h.join().unwrap();
+        }
+        assert_eq!(turn.load(Ordering::Relaxed), THREADS);
+        assert_eq!(p.active_now(), 0);
+    }
+}

@@ -28,6 +28,7 @@
 
 #![warn(missing_docs)]
 
+pub mod admission;
 pub mod atomics;
 pub mod erased;
 pub mod mutex;
@@ -37,6 +38,7 @@ pub mod raw;
 pub mod spin;
 pub mod spinlock;
 
+pub use admission::{CullingPolicy, SpinPolicy, SpinThenYieldPolicy, WaitPolicy};
 pub use atomics::{AtomicAdd, AtomicCell, Atomics, StdAtomics};
 pub use erased::{DynLock, DynLockGuard, DynLockMutex, DynMutexGuard, ErasedLock, LockToken};
 pub use mutex::{LockGuard, LockMutex};

@@ -87,7 +87,9 @@ proptest! {
         releasers in proptest::collection::vec(0usize..4, 1..40),
     ) {
         let cost = CostModel::default();
-        let mut model = LockAlgorithm::Cna.build(4, &cost);
+        // 64 CPUs: enough for every generated waiter set, so the
+        // oversubscription penalty never perturbs the policy under test.
+        let mut model = LockAlgorithm::Cna.build(4, 64, &cost);
         let mut rng = SimRng::new(99);
         for (i, &socket) in sockets.iter().enumerate() {
             model.on_arrival(Waiter { thread: i, socket, arrival_ns: i as u64 });
